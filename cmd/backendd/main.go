@@ -1,0 +1,60 @@
+// Command backendd runs the back-end application server of the
+// split-servers configuration as a standalone process: it connects to a
+// database server (cmd/dbserverd) over its low-latency path and serves
+// cache-miss fetches, finder queries, single-round-trip optimistic
+// commits, and the invalidation stream to edge servers.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"edgeejb/internal/backend"
+	"edgeejb/internal/dbwire"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "backendd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("backendd", flag.ContinueOnError)
+	var (
+		addr = fs.String("addr", "127.0.0.1:7001", "listen address for edge servers")
+		db   = fs.String("db", "127.0.0.1:7000", "database server address")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	dbClient := dbwire.Dial(*db)
+	defer dbClient.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	err := dbClient.Ping(ctx)
+	cancel()
+	if err != nil {
+		return fmt.Errorf("database %s unreachable: %w", *db, err)
+	}
+
+	srv := backend.NewServer(dbClient)
+	if err := srv.Start(*addr); err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Printf("backendd: serving split-servers commit logic on %s (database %s)\n", srv.Addr(), *db)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	fmt.Printf("backendd: shutting down (commits applied=%d rejected=%d)\n",
+		srv.CommitsApplied(), srv.CommitsRejected())
+	return nil
+}

@@ -1,0 +1,111 @@
+// Command edged runs one application server as a standalone process: an
+// edge server (ES/RDB or ES/RBES) or the remote application server of
+// Clients/RAS, depending on where you deploy it and what you point it
+// at. The -algo flag selects the data-access algorithm:
+//
+//	jdbc        hand-optimized direct access (pessimistic)
+//	bmp         vanilla EJB entity beans (pessimistic, uncached)
+//	sli-db      cached EJBs, combined-servers: commit per memento image
+//	            straight to the database (-target is a dbserverd)
+//	sli-backend cached EJBs, split-servers: whole-set commits through a
+//	            back-end server (-target is a backendd)
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"edgeejb/internal/appserver"
+	"edgeejb/internal/component"
+	"edgeejb/internal/dbwire"
+	"edgeejb/internal/slicache"
+	"edgeejb/internal/trade"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "edged:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("edged", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:7100", "listen address for web clients (gob protocol)")
+		httpAddr = fs.String("http", "", "also serve plain HTTP on this address (GET /trade/{action})")
+		target   = fs.String("target", "127.0.0.1:7000", "database or back-end server address")
+		algo     = fs.String("algo", "sli-backend", "data access: jdbc | bmp | sli-db | sli-backend")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	dbClient := dbwire.Dial(*target)
+	defer dbClient.Close()
+
+	registry, err := trade.NewEntityRegistry()
+	if err != nil {
+		return err
+	}
+
+	var (
+		rm  component.ResourceManager
+		mgr *slicache.Manager
+	)
+	switch *algo {
+	case "jdbc":
+		rm = component.NewJDBCManager(dbClient)
+	case "bmp":
+		rm = component.NewBMPManager(dbClient)
+	case "sli-db":
+		mgr = slicache.NewManager(dbClient, slicache.WithShipping(slicache.PerImage))
+		rm = mgr
+	case "sli-backend":
+		mgr = slicache.NewManager(dbClient, slicache.WithShipping(slicache.WholeSet))
+		rm = mgr
+	default:
+		return fmt.Errorf("unknown -algo %q", *algo)
+	}
+	if mgr != nil {
+		if err := mgr.Start(context.Background()); err != nil {
+			return fmt.Errorf("start cache invalidation: %w", err)
+		}
+		defer mgr.Close()
+	}
+
+	svc := trade.NewService(component.NewContainer(registry, rm))
+	srv := appserver.NewServer(svc)
+	if err := srv.Start(*addr); err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Printf("edged: serving Trade (%s) on %s against %s\n", *algo, srv.Addr(), *target)
+
+	if *httpAddr != "" {
+		httpSrv := &http.Server{Addr: *httpAddr, Handler: appserver.NewHTTPGateway(srv)}
+		go func() {
+			if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "edged: http:", err)
+			}
+		}()
+		defer httpSrv.Close()
+		fmt.Printf("edged: HTTP gateway on %s (try /trade/home?user=uid-0)\n", *httpAddr)
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	fmt.Printf("edged: shutting down (requests=%d failures=%d)\n", srv.Requests(), srv.Failures())
+	if mgr != nil {
+		st := mgr.Stats()
+		fmt.Printf("edged: cache hits=%d misses=%d commits=%d conflicts=%d invalidations=%d\n",
+			st.Cache.Hits, st.Cache.Misses, st.Commits, st.Conflicts, st.Cache.Invalidations)
+	}
+	return nil
+}

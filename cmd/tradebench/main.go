@@ -1,0 +1,198 @@
+// Command tradebench regenerates the paper's evaluation: Table 1,
+// Figures 6-8, and Table 2, by assembling each architecture on loopback
+// TCP with the delay proxy on its high-latency path and driving the
+// Trade workload through it.
+//
+// Usage:
+//
+//	tradebench -all                     # everything (several minutes)
+//	tradebench -fig6 -fig8              # selected experiments
+//	tradebench -table1                  # no measurement needed
+//	tradebench -all -sessions 50 -delays 0ms,2ms,4ms,8ms
+//
+// Latency sensitivities (Table 2 slopes) are delay-scale-invariant, so
+// the default sweep uses small delays to keep wall-clock reasonable;
+// pass larger -delays for paper-scale runs.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"edgeejb/internal/harness"
+	"edgeejb/internal/trade"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tradebench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("tradebench", flag.ContinueOnError)
+	var (
+		all     = fs.Bool("all", false, "run every experiment")
+		table1  = fs.Bool("table1", false, "print Table 1 (workload characteristics)")
+		fig6    = fs.Bool("fig6", false, "reproduce Figure 6 (architecture comparison)")
+		fig7    = fs.Bool("fig7", false, "reproduce Figure 7 (ES/RDB algorithms)")
+		fig8    = fs.Bool("fig8", false, "reproduce Figure 8 (bandwidth)")
+		table2  = fs.Bool("table2", false, "reproduce Table 2 (latency sensitivity)")
+		thru    = fs.Bool("throughput", false, "extension: throughput under concurrent clients")
+		actions = fs.Bool("actions", false, "print per-action latency breakdown for the Figure 6 configurations")
+		csvDir  = fs.String("csv", "", "also export figures/tables as CSV files into this directory")
+
+		sessions = fs.Int("sessions", 25, "measured sessions per delay point (paper: 300)")
+		warmup   = fs.Int("warmup", 8, "warmup sessions before measurement (paper: 400)")
+		batches  = fs.Int("batches", 20, "latency batches (paper: 20)")
+		delays   = fs.String("delays", "0ms,1ms,2ms,4ms", "comma-separated one-way delays to sweep")
+		users    = fs.Int("users", 50, "registered users in the Trade database")
+		symbols  = fs.Int("symbols", 100, "quoted securities in the Trade database")
+		holdings = fs.Int("holdings", 4, "initial holdings per user")
+		seed     = fs.Int64("seed", 42, "workload random seed")
+		quiet    = fs.Bool("q", false, "suppress progress output")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if !*all && !*table1 && !*fig6 && !*fig7 && !*fig8 && !*table2 && !*thru && !*actions {
+		fs.Usage()
+		return fmt.Errorf("select at least one experiment (-all, -table1, -fig6, -fig7, -fig8, -table2, -throughput, -actions)")
+	}
+	if *all {
+		*table1, *fig6, *fig7, *fig8, *table2, *thru, *actions = true, true, true, true, true, true, true
+	}
+
+	if *table1 {
+		harness.WriteTable1(os.Stdout)
+		fmt.Println()
+	}
+	needsMeasurement := *fig6 || *fig7 || *fig8 || *table2 || *thru || *actions
+	if !needsMeasurement {
+		return nil
+	}
+
+	delayList, err := parseDelays(*delays)
+	if err != nil {
+		return err
+	}
+	cfg := harness.EvalConfig{
+		Run: harness.RunOptions{
+			Delays:         delayList,
+			Sessions:       *sessions,
+			WarmupSessions: *warmup,
+			Batches:        *batches,
+			Workload: trade.GeneratorConfig{
+				Seed:    *seed,
+				Users:   *users,
+				Symbols: *symbols,
+			},
+		},
+		Populate: trade.PopulateConfig{
+			Seed:            *seed,
+			Users:           *users,
+			Symbols:         *symbols,
+			HoldingsPerUser: *holdings,
+		},
+	}
+	logf := func(format string, a ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", a...)
+	}
+	if *quiet {
+		logf = nil
+	}
+	eval, err := harness.RunEvaluation(context.Background(), cfg, logf)
+	if err != nil {
+		return err
+	}
+
+	if *fig6 {
+		eval.WriteFig6(os.Stdout)
+		fmt.Println()
+	}
+	if *fig7 {
+		eval.WriteFig7(os.Stdout)
+		fmt.Println()
+	}
+	if *table2 {
+		eval.WriteTable2(os.Stdout)
+		fmt.Println()
+	}
+	if *fig8 {
+		eval.WriteFig8(os.Stdout)
+	}
+	if *actions {
+		fmt.Println()
+		harness.WriteActionBreakdown(os.Stdout, eval.Fig6Series())
+	}
+	if *csvDir != "" {
+		if err := eval.WriteCSV(*csvDir); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote CSV files to %s\n", *csvDir)
+	}
+	if *thru {
+		fmt.Println()
+		if err := runThroughput(cfg, logf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runThroughput measures the concurrency extension for the three
+// Figure 6 configurations.
+func runThroughput(cfg harness.EvalConfig, logf func(string, ...any)) error {
+	topts := harness.DefaultThroughputOptions()
+	topts.Workload = cfg.Run.Workload
+	configs := []harness.Pair{
+		{Arch: harness.ClientsRAS, Algo: harness.AlgJDBC},
+		{Arch: harness.ESRBES, Algo: harness.AlgCachedEJB},
+		{Arch: harness.ESRDB, Algo: harness.AlgJDBC},
+	}
+	var curves []harness.ThroughputCurve
+	for _, pair := range configs {
+		if logf != nil {
+			logf("running throughput %s (clients %v)...", pair, topts.ClientCounts)
+		}
+		curve, err := harness.RunThroughput(context.Background(), harness.Options{
+			Arch:     pair.Arch,
+			Algo:     pair.Algo,
+			Populate: cfg.Populate,
+		}, topts)
+		if err != nil {
+			return err
+		}
+		curves = append(curves, curve)
+	}
+	harness.WriteThroughput(os.Stdout, curves)
+	return nil
+}
+
+func parseDelays(s string) ([]time.Duration, error) {
+	parts := strings.Split(s, ",")
+	out := make([]time.Duration, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		d, err := time.ParseDuration(p)
+		if err != nil {
+			return nil, fmt.Errorf("bad delay %q: %w", p, err)
+		}
+		if d < 0 {
+			return nil, fmt.Errorf("negative delay %q", p)
+		}
+		out = append(out, d)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no delays given")
+	}
+	return out, nil
+}

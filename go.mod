@@ -1,0 +1,3 @@
+module edgeejb
+
+go 1.23

@@ -1,0 +1,150 @@
+package appserver
+
+import (
+	"bufio"
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"edgeejb/internal/trade"
+)
+
+// DialFunc opens a connection to an application server; the harness
+// injects dialers that route through the delay proxy (Clients/RAS) or
+// count bytes.
+type DialFunc func(ctx context.Context, addr string) (net.Conn, error)
+
+// Client is the web-browser stand-in: it sends trade requests to an
+// application server and receives rendered pages. A client keeps one
+// persistent connection, like a browser with HTTP keep-alive.
+type Client struct {
+	addr string
+	dial DialFunc
+
+	mu   sync.Mutex
+	conn net.Conn
+	bw   *bufio.Writer
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+// ClientOption configures a Client.
+type ClientOption interface {
+	apply(*Client)
+}
+
+type clientDialerOption DialFunc
+
+func (d clientDialerOption) apply(c *Client) { c.dial = DialFunc(d) }
+
+// WithDialer overrides how the client connects.
+func WithDialer(d DialFunc) ClientOption { return clientDialerOption(d) }
+
+// NewClient creates a client for the application server at addr.
+func NewClient(addr string, opts ...ClientOption) *Client {
+	c := &Client{
+		addr: addr,
+		dial: func(ctx context.Context, addr string) (net.Conn, error) {
+			var d net.Dialer
+			return d.DialContext(ctx, "tcp", addr)
+		},
+	}
+	for _, o := range opts {
+		o.apply(c)
+	}
+	return c
+}
+
+// Close drops the client's connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn != nil {
+		err := c.conn.Close()
+		c.conn = nil
+		return err
+	}
+	return nil
+}
+
+func (c *Client) ensureConn(ctx context.Context) error {
+	if c.conn != nil {
+		return nil
+	}
+	conn, err := c.dial(ctx, c.addr)
+	if err != nil {
+		return fmt.Errorf("appserver: dial %s: %w", c.addr, err)
+	}
+	c.conn = conn
+	c.bw = bufio.NewWriter(conn)
+	c.enc = gob.NewEncoder(c.bw)
+	c.dec = gob.NewDecoder(bufio.NewReader(conn))
+	return nil
+}
+
+// Do performs one interaction. A transport error invalidates the
+// connection; the next call redials.
+func (c *Client) Do(ctx context.Context, req *Request) (*Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.ensureConn(ctx); err != nil {
+		return nil, err
+	}
+	drop := func(err error) (*Response, error) {
+		_ = c.conn.Close()
+		c.conn = nil
+		return nil, err
+	}
+	if err := c.enc.Encode(req); err != nil {
+		return drop(fmt.Errorf("appserver: send: %w", err))
+	}
+	if err := c.bw.Flush(); err != nil {
+		return drop(fmt.Errorf("appserver: flush: %w", err))
+	}
+	var resp Response
+	if err := c.dec.Decode(&resp); err != nil {
+		return drop(fmt.Errorf("appserver: recv: %w", err))
+	}
+	return &resp, nil
+}
+
+// DoStep converts a workload step into a request and performs it.
+func (c *Client) DoStep(ctx context.Context, step trade.Step) (*Response, error) {
+	req, err := StepRequest(step)
+	if err != nil {
+		return nil, err
+	}
+	return c.Do(ctx, req)
+}
+
+// StepRequest converts a workload step into a protocol request.
+func StepRequest(step trade.Step) (*Request, error) {
+	params := map[string]string{"user": step.UserID}
+	switch step.Action {
+	case trade.ActionLogin, trade.ActionLogout, trade.ActionHome,
+		trade.ActionAccount, trade.ActionPortfolio, trade.ActionSell:
+		// user only
+	case trade.ActionAccountUpdate:
+		params["address"] = step.Address
+		params["email"] = step.Email
+	case trade.ActionQuote:
+		params["symbol"] = step.Symbol
+	case trade.ActionBuy:
+		params["symbol"] = step.Symbol
+		params["quantity"] = fmt.Sprintf("%g", step.Quantity)
+	case trade.ActionRegister:
+		params["newUser"] = step.NewUserID
+		params["fullName"] = step.FullName
+		params["email"] = step.Email
+	default:
+		return nil, errors.New("appserver: unknown step action")
+	}
+	return &Request{
+		SessionID: step.SessionID,
+		Action:    step.Action.String(),
+		Params:    params,
+	}, nil
+}

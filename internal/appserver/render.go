@@ -1,0 +1,130 @@
+package appserver
+
+import (
+	"fmt"
+	"strings"
+
+	"edgeejb/internal/trade"
+)
+
+// pageChrome is the presentation portion shared by every page: markup,
+// styles and scripts a brokerage front-end would ship with each
+// response. Its size is what separates the Clients/RAS bandwidth curve
+// from the edge architectures in Figure 8, so it is deliberately sized
+// like a real (2004-era) page: about 6 KB.
+var pageChrome = buildChrome()
+
+func buildChrome() string {
+	var sb strings.Builder
+	sb.WriteString("<!DOCTYPE html><html><head><title>Trade - Online Brokerage</title>\n")
+	sb.WriteString("<style>\n")
+	for i := 0; i < 40; i++ {
+		fmt.Fprintf(&sb, ".panel-%02d { border: 1px solid #003366; padding: 4px; margin: 2px; "+
+			"font-family: Verdana, Arial, sans-serif; font-size: 11px; color: #00%02x66; }\n", i, i*4)
+	}
+	sb.WriteString("</style>\n<script>\n")
+	for i := 0; i < 25; i++ {
+		fmt.Fprintf(&sb, "function nav_%02d(t) { document.location = '/trade/action?dest=' + t + '&panel=%02d'; }\n", i, i)
+	}
+	sb.WriteString("</script>\n</head><body>\n")
+	sb.WriteString("<table width=\"100%\" class=\"panel-00\"><tr>")
+	for _, item := range []string{
+		"Home", "Account", "Portfolio", "Quotes/Trade", "Logoff",
+		"Market Summary", "Glossary", "Help", "Contact",
+	} {
+		fmt.Fprintf(&sb, "<td><a href=\"#\" onclick=\"nav_00('%s')\">%s</a></td>", item, item)
+	}
+	sb.WriteString("</tr></table>\n")
+	return sb.String()
+}
+
+const pageFooter = "<hr><i>Trade benchmark application &mdash; edge-server architecture evaluation.</i></body></html>\n"
+
+// renderPage wraps a body fragment in the shared chrome.
+func renderPage(title, body string) []byte {
+	var sb strings.Builder
+	sb.Grow(len(pageChrome) + len(body) + len(pageFooter) + 64)
+	sb.WriteString(pageChrome)
+	fmt.Fprintf(&sb, "<h1>%s</h1>\n", title)
+	sb.WriteString(body)
+	sb.WriteString(pageFooter)
+	return []byte(sb.String())
+}
+
+func renderLogin(r trade.LoginResult) []byte {
+	return renderPage("Welcome back", fmt.Sprintf(
+		"<p>User %s logged in (session %s).</p><p>Logins: %d. Cash balance: $%.2f.</p>",
+		r.UserID, r.SessionID, r.LoginCount, r.Balance))
+}
+
+func renderLogout(user string) []byte {
+	return renderPage("Goodbye", fmt.Sprintf("<p>User %s logged off.</p>", user))
+}
+
+func renderRegister(user string) []byte {
+	return renderPage("Registration complete", fmt.Sprintf(
+		"<p>Created account, profile and registry entry for %s.</p>", user))
+}
+
+func renderHome(r trade.HomeResult) []byte {
+	return renderPage("Trade Home", fmt.Sprintf(
+		"<p>Welcome %s.</p><table class=\"panel-01\"><tr><td>Cash balance</td><td>$%.2f</td></tr>"+
+			"<tr><td>Opening balance</td><td>$%.2f</td></tr></table>",
+		r.UserID, r.Balance, r.Open))
+}
+
+func renderAccount(r trade.AccountResult) []byte {
+	return renderPage("Account Information", fmt.Sprintf(
+		"<table class=\"panel-02\"><tr><td>User</td><td>%s</td></tr><tr><td>Name</td><td>%s</td></tr>"+
+			"<tr><td>Address</td><td>%s</td></tr><tr><td>Email</td><td>%s</td></tr></table>",
+		r.UserID, r.FullName, r.Address, r.Email))
+}
+
+func renderAccountUpdate(user string) []byte {
+	return renderPage("Account Updated", fmt.Sprintf("<p>Profile for %s updated.</p>", user))
+}
+
+func renderPortfolio(r trade.PortfolioResult) []byte {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "<p>%d holdings for %s.</p><table class=\"panel-03\">"+
+		"<tr><th>Holding</th><th>Symbol</th><th>Qty</th><th>Price</th><th>Date</th></tr>",
+		len(r.Holdings), r.UserID)
+	for _, h := range r.Holdings {
+		fmt.Fprintf(&sb, "<tr><td>%s</td><td>%s</td><td>%.0f</td><td>$%.2f</td><td>%s</td></tr>",
+			h.HoldingID, h.Symbol, h.Quantity, h.PurchasePrice, h.PurchaseDate)
+	}
+	sb.WriteString("</table>")
+	return renderPage("Portfolio", sb.String())
+}
+
+func renderMarketSummary(r trade.MarketSummaryResult) []byte {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "<p>Market summary (volume %.0f).</p><table class=\"panel-05\">"+
+		"<tr><th>Symbol</th><th>Company</th><th>Price</th></tr>", r.Volume)
+	for _, q := range r.Top {
+		fmt.Fprintf(&sb, "<tr><td>%s</td><td>%s</td><td>$%.2f</td></tr>", q.Symbol, q.Company, q.Price)
+	}
+	sb.WriteString("</table>")
+	return renderPage("Market Summary", sb.String())
+}
+
+func renderQuote(r trade.QuoteResult) []byte {
+	return renderPage("Quote", fmt.Sprintf(
+		"<table class=\"panel-04\"><tr><td>Symbol</td><td>%s</td></tr>"+
+			"<tr><td>Price</td><td>$%.2f</td></tr></table>", r.Symbol, r.Price))
+}
+
+func renderBuy(r trade.BuyResult) []byte {
+	return renderPage("Buy Order Confirmation", fmt.Sprintf(
+		"<p>Bought %.0f %s @ $%.2f (total $%.2f). Holding %s. New balance $%.2f.</p>",
+		r.Quantity, r.Symbol, r.Price, r.Total, r.HoldingID, r.Balance))
+}
+
+func renderSell(r trade.SellResult) []byte {
+	if !r.Sold {
+		return renderPage("Sell Order", "<p>No holdings to sell.</p>")
+	}
+	return renderPage("Sell Order Confirmation", fmt.Sprintf(
+		"<p>Sold %.0f %s @ $%.2f (proceeds $%.2f). Holding %s closed. New balance $%.2f.</p>",
+		r.Quantity, r.Symbol, r.Price, r.Proceeds, r.HoldingID, r.Balance))
+}

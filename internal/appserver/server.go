@@ -1,0 +1,248 @@
+package appserver
+
+import (
+	"bufio"
+	"context"
+	"encoding/gob"
+	"errors"
+	"net"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"edgeejb/internal/trade"
+)
+
+// Server hosts the trade application over the client protocol. One
+// instance stands in for an "HTTP server + application server" box in
+// Figures 3–5; the harness deploys it as an edge server or as the
+// remote application server depending on the architecture.
+type Server struct {
+	svc *trade.Service
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+
+	requests atomic.Uint64
+	failures atomic.Uint64
+}
+
+// NewServer wraps a trade service.
+func NewServer(svc *trade.Service) *Server {
+	return &Server{
+		svc:   svc,
+		conns: make(map[net.Conn]struct{}),
+	}
+}
+
+// Requests returns the number of requests served.
+func (s *Server) Requests() uint64 { return s.requests.Load() }
+
+// Failures returns the number of requests that returned an error.
+func (s *Server) Failures() uint64 { return s.failures.Load() }
+
+// Start listens on addr and serves in the background until Close.
+func (s *Server) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		_ = ln.Close()
+		return errors.New("appserver: server closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return nil
+}
+
+// Addr returns the listen address. It panics if Start has not been
+// called.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and tears down connections.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	ln := s.ln
+	for c := range s.conns {
+		_ = c.Close()
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		_ = ln.Close()
+	}
+	s.wg.Wait()
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		if !s.track(conn) {
+			_ = conn.Close()
+			return
+		}
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) track(c net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.conns[c] = struct{}{}
+	return true
+}
+
+func (s *Server) untrack(c net.Conn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.conns, c)
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer s.untrack(conn)
+	defer conn.Close()
+
+	bw := bufio.NewWriter(conn)
+	dec := gob.NewDecoder(bufio.NewReader(conn))
+	enc := gob.NewEncoder(bw)
+	ctx := context.Background()
+
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		resp := s.dispatch(ctx, &req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// dispatch maps one request to the trade service.
+func (s *Server) dispatch(ctx context.Context, req *Request) *Response {
+	s.requests.Add(1)
+	fail := func(err error) *Response {
+		s.failures.Add(1)
+		return &Response{Err: err.Error()}
+	}
+	p := func(k string) string { return req.Params[k] }
+
+	// Extension action (not part of Table 1's mix): market summary.
+	if req.Action == "marketSummary" {
+		n, err := strconv.Atoi(p("n"))
+		if err != nil || n < 1 {
+			n = 5
+		}
+		r, err := s.svc.MarketSummary(ctx, n)
+		if err != nil {
+			return fail(err)
+		}
+		return &Response{OK: true, Body: renderMarketSummary(r)}
+	}
+
+	action, err := trade.ParseAction(req.Action)
+	if err != nil {
+		return fail(err)
+	}
+	switch action {
+	case trade.ActionLogin:
+		r, err := s.svc.Login(ctx, p("user"), req.SessionID)
+		if err != nil {
+			return fail(err)
+		}
+		return &Response{OK: true, Body: renderLogin(r)}
+
+	case trade.ActionLogout:
+		if err := s.svc.Logout(ctx, p("user")); err != nil {
+			return fail(err)
+		}
+		return &Response{OK: true, Body: renderLogout(p("user"))}
+
+	case trade.ActionRegister:
+		if err := s.svc.Register(ctx, p("newUser"), p("fullName"), p("email"), 1_000_000); err != nil {
+			return fail(err)
+		}
+		return &Response{OK: true, Body: renderRegister(p("newUser"))}
+
+	case trade.ActionHome:
+		r, err := s.svc.Home(ctx, p("user"))
+		if err != nil {
+			return fail(err)
+		}
+		return &Response{OK: true, Body: renderHome(r)}
+
+	case trade.ActionAccount:
+		r, err := s.svc.Account(ctx, p("user"))
+		if err != nil {
+			return fail(err)
+		}
+		return &Response{OK: true, Body: renderAccount(r)}
+
+	case trade.ActionAccountUpdate:
+		if err := s.svc.AccountUpdate(ctx, p("user"), p("address"), p("email")); err != nil {
+			return fail(err)
+		}
+		return &Response{OK: true, Body: renderAccountUpdate(p("user"))}
+
+	case trade.ActionPortfolio:
+		r, err := s.svc.Portfolio(ctx, p("user"))
+		if err != nil {
+			return fail(err)
+		}
+		return &Response{OK: true, Body: renderPortfolio(r)}
+
+	case trade.ActionQuote:
+		r, err := s.svc.GetQuote(ctx, p("symbol"))
+		if err != nil {
+			return fail(err)
+		}
+		return &Response{OK: true, Body: renderQuote(r)}
+
+	case trade.ActionBuy:
+		qty, err := strconv.ParseFloat(p("quantity"), 64)
+		if err != nil || qty <= 0 {
+			qty = 1
+		}
+		r, err := s.svc.Buy(ctx, p("user"), p("symbol"), qty)
+		if err != nil {
+			return fail(err)
+		}
+		return &Response{OK: true, Body: renderBuy(r)}
+
+	case trade.ActionSell:
+		r, err := s.svc.Sell(ctx, p("user"))
+		if err != nil {
+			return fail(err)
+		}
+		return &Response{OK: true, Body: renderSell(r)}
+
+	default:
+		return fail(errors.New("appserver: unhandled action " + req.Action))
+	}
+}

@@ -1,0 +1,139 @@
+// Package backend implements the back-end application server of the
+// split-servers configuration (§2.4, Figure 1): a process deployed next
+// to the database that hosts the cache-miss and optimistic-commit logic
+// on behalf of cache-enhanced edge application servers.
+//
+// The edge servers talk to the back-end over the dbwire protocol across
+// the high-latency path: one round trip for a cache-miss fetch, one
+// round trip for a finder query, and — crucially — one round trip for an
+// entire transaction commit (ApplyCommitSet). The back-end then performs
+// the per-image validation work against the database server over its
+// low-latency path, statement by statement, exactly as the paper
+// describes: "the back-end server will, in turn, perform multiple
+// accesses to the database server. However, these occur over a
+// low-latency path" (§4.4).
+package backend
+
+import (
+	"context"
+	"fmt"
+
+	"edgeejb/internal/dbwire"
+	"edgeejb/internal/memento"
+	"edgeejb/internal/sqlstore"
+	"edgeejb/internal/storeapi"
+)
+
+// Server is the back-end application server. It serves the dbwire
+// protocol (so edge servers use the ordinary dbwire.Client against it)
+// over a logic layer that expands whole commit sets into per-statement
+// database work.
+type Server struct {
+	inner *dbwire.Server
+	logic *logic
+}
+
+// NewServer builds a back-end server over its (low-latency) handle to
+// the database tier. Call Start/Close as with dbwire.Server.
+func NewServer(db storeapi.Conn) *Server {
+	l := &logic{db: db}
+	return &Server{inner: dbwire.NewServer(l), logic: l}
+}
+
+// Start listens on addr and serves in the background.
+func (s *Server) Start(addr string) error { return s.inner.Start(addr) }
+
+// Addr returns the listen address.
+func (s *Server) Addr() string { return s.inner.Addr() }
+
+// Close shuts the server down. It does not close the database handle.
+func (s *Server) Close() { s.inner.Close() }
+
+// CommitsApplied returns the number of commit sets validated and
+// applied successfully.
+func (s *Server) CommitsApplied() uint64 { return s.logic.applied.Load() }
+
+// CommitsRejected returns the number of commit sets rejected with a
+// conflict.
+func (s *Server) CommitsRejected() uint64 { return s.logic.rejected.Load() }
+
+// logic is the storeapi.Conn the embedded dbwire server dispatches to.
+// Reads, queries and pessimistic transactions pass straight through to
+// the database handle; ApplyCommitSet is replaced by the split-servers
+// commit logic.
+type logic struct {
+	db storeapi.Conn
+
+	applied  counter
+	rejected counter
+}
+
+var _ storeapi.Conn = (*logic)(nil)
+
+func (l *logic) Begin(ctx context.Context) (storeapi.Txn, error) { return l.db.Begin(ctx) }
+
+func (l *logic) AutoGet(ctx context.Context, table, id string) (memento.Memento, error) {
+	return l.db.AutoGet(ctx, table, id)
+}
+
+func (l *logic) AutoQuery(ctx context.Context, q memento.Query) ([]memento.Memento, error) {
+	return l.db.AutoQuery(ctx, q)
+}
+
+func (l *logic) Subscribe(ctx context.Context) (<-chan sqlstore.Notice, func(), error) {
+	return l.db.Subscribe(ctx)
+}
+
+func (l *logic) Close() error { return nil }
+
+// ApplyCommitSet validates and applies a whole commit set by driving the
+// database statement-by-statement over the low-latency path.
+func (l *logic) ApplyCommitSet(ctx context.Context, cs memento.CommitSet) (sqlstore.ApplyResult, error) {
+	txn, err := l.db.Begin(ctx)
+	if err != nil {
+		return sqlstore.ApplyResult{}, fmt.Errorf("backend: begin: %w", err)
+	}
+	abort := func(err error) (sqlstore.ApplyResult, error) {
+		_ = txn.Abort(ctx)
+		l.rejected.Add(1)
+		return sqlstore.ApplyResult{}, err
+	}
+	for _, r := range cs.Reads {
+		want := r.Version
+		if r.Absent {
+			want = 0
+		}
+		if err := txn.CheckVersion(ctx, r.Key, want); err != nil {
+			return abort(err)
+		}
+	}
+	newVersions := make(map[memento.Key]uint64, len(cs.Writes)+len(cs.Creates))
+	for _, w := range cs.Writes {
+		if err := txn.CheckedPut(ctx, w); err != nil {
+			return abort(err)
+		}
+		newVersions[w.Key] = w.Version + 1
+	}
+	for _, c := range cs.Creates {
+		create := c
+		create.Version = 0
+		if err := txn.CheckedPut(ctx, create); err != nil {
+			return abort(err)
+		}
+		newVersions[c.Key] = 1
+	}
+	for _, r := range cs.Removes {
+		if r.Version == 0 {
+			return abort(fmt.Errorf("%w: remove of never-persisted %s", sqlstore.ErrConflict, r.Key))
+		}
+		if err := txn.CheckedDelete(ctx, r.Key, r.Version); err != nil {
+			return abort(err)
+		}
+	}
+	if err := txn.Commit(ctx); err != nil {
+		l.rejected.Add(1)
+		return sqlstore.ApplyResult{}, err
+	}
+	l.applied.Add(1)
+	return sqlstore.ApplyResult{TxID: txn.ID(), NewVersions: newVersions}, nil
+}

@@ -1,0 +1,198 @@
+package backend
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"edgeejb/internal/dbwire"
+	"edgeejb/internal/memento"
+	"edgeejb/internal/sqlstore"
+	"edgeejb/internal/storeapi"
+)
+
+func key(id string) memento.Key { return memento.Key{Table: "t", ID: id} }
+
+func row(id string, n int64, version uint64) memento.Memento {
+	return memento.Memento{
+		Key:     key(id),
+		Version: version,
+		Fields:  memento.Fields{"n": memento.Int(n)},
+	}
+}
+
+// newStack builds dbserver <- backend <- edge client, all over real TCP.
+func newStack(t *testing.T) (*sqlstore.Store, *Server, *dbwire.Client) {
+	t.Helper()
+	store := sqlstore.New()
+	dbSrv := dbwire.NewServer(storeapi.Local(store))
+	if err := dbSrv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	dbClient := dbwire.Dial(dbSrv.Addr())
+	be := NewServer(dbClient)
+	if err := be.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	edge := dbwire.Dial(be.Addr())
+	t.Cleanup(func() {
+		_ = edge.Close()
+		be.Close()
+		_ = dbClient.Close()
+		dbSrv.Close()
+		store.Close()
+	})
+	return store, be, edge
+}
+
+func TestBackendServesCacheMisses(t *testing.T) {
+	store, _, edge := newStack(t)
+	store.Seed(row("1", 10, 0))
+	ctx := context.Background()
+
+	m, err := edge.AutoGet(ctx, "t", "1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Fields["n"].Int != 10 || m.Version != 1 {
+		t.Errorf("AutoGet = %v", m)
+	}
+	mems, err := edge.AutoQuery(ctx, memento.Query{Table: "t"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mems) != 1 {
+		t.Errorf("AutoQuery rows = %d, want 1", len(mems))
+	}
+}
+
+func TestBackendCommitIsOneEdgeRoundTrip(t *testing.T) {
+	store, be, edge := newStack(t)
+	store.Seed(row("1", 10, 0))
+	ctx := context.Background()
+	if err := edge.Ping(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	before := edge.RoundTrips()
+	res, err := edge.ApplyCommitSet(ctx, memento.CommitSet{
+		Reads:   []memento.ReadProof{{Key: key("1"), Version: 1}},
+		Creates: []memento.Memento{row("2", 5, 0)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := edge.RoundTrips() - before; got != 1 {
+		t.Errorf("commit cost %d edge round trips, want exactly 1", got)
+	}
+	if res.NewVersions[key("2")] != 1 {
+		t.Errorf("NewVersions = %v", res.NewVersions)
+	}
+	if be.CommitsApplied() != 1 {
+		t.Errorf("CommitsApplied = %d, want 1", be.CommitsApplied())
+	}
+	if v, _ := store.CurrentVersion(key("2")); v != 1 {
+		t.Error("create not applied at the database")
+	}
+}
+
+func TestBackendRejectsConflicts(t *testing.T) {
+	store, be, edge := newStack(t)
+	store.Seed(row("1", 10, 0))
+	ctx := context.Background()
+
+	tests := []struct {
+		name string
+		cs   memento.CommitSet
+	}{
+		{"stale read", memento.CommitSet{
+			Reads: []memento.ReadProof{{Key: key("1"), Version: 9}},
+		}},
+		{"stale write", memento.CommitSet{
+			Writes: []memento.Memento{row("1", 11, 9)},
+		}},
+		{"create over existing", memento.CommitSet{
+			Creates: []memento.Memento{row("1", 0, 0)},
+		}},
+		{"remove missing", memento.CommitSet{
+			Removes: []memento.ReadProof{{Key: key("gone"), Version: 1}},
+		}},
+		{"remove never persisted", memento.CommitSet{
+			Removes: []memento.ReadProof{{Key: key("1"), Version: 0}},
+		}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := edge.ApplyCommitSet(ctx, tt.cs); !errors.Is(err, sqlstore.ErrConflict) {
+				t.Fatalf("got %v, want ErrConflict", err)
+			}
+		})
+	}
+	if be.CommitsRejected() != uint64(len(tests)) {
+		t.Errorf("CommitsRejected = %d, want %d", be.CommitsRejected(), len(tests))
+	}
+	if v, _ := store.CurrentVersion(key("1")); v != 1 {
+		t.Error("store changed by rejected commits")
+	}
+}
+
+func TestBackendForwardsInvalidationStream(t *testing.T) {
+	store, _, edge := newStack(t)
+	store.Seed(row("1", 10, 0))
+	ctx := context.Background()
+
+	ch, cancel, err := edge.Subscribe(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+
+	res, err := edge.ApplyCommitSet(ctx, memento.CommitSet{
+		Writes: []memento.Memento{row("1", 11, 1)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case n := <-ch:
+		if n.TxID != res.TxID {
+			t.Errorf("notice tx = %d, want %d (ids must be stable across tiers)", n.TxID, res.TxID)
+		}
+		if len(n.Keys) != 1 || n.Keys[0] != key("1") {
+			t.Errorf("notice keys = %v", n.Keys)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("invalidation not forwarded through the back-end")
+	}
+}
+
+func TestBackendDrivesDatabasePerStatement(t *testing.T) {
+	// The back-end must expand a commit set into per-statement database
+	// work ("the back-end server will, in turn, perform multiple
+	// accesses to the database server", §4.4).
+	store := sqlstore.New()
+	defer store.Close()
+	store.Seed(row("a", 1, 0), row("b", 1, 0))
+	counting := storeapi.NewCountingConn(storeapi.Local(store))
+	be := NewServer(counting)
+	if err := be.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer be.Close()
+	edge := dbwire.Dial(be.Addr())
+	defer edge.Close()
+	ctx := context.Background()
+
+	before := counting.Ops()
+	if _, err := edge.ApplyCommitSet(ctx, memento.CommitSet{
+		Reads:  []memento.ReadProof{{Key: key("a"), Version: 1}},
+		Writes: []memento.Memento{row("b", 2, 1)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// begin + CheckVersion + CheckedPut + commit = 4 database accesses.
+	if got := counting.Ops() - before; got != 4 {
+		t.Errorf("back-end drove %d database statements, want 4", got)
+	}
+}

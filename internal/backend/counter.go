@@ -1,0 +1,11 @@
+package backend
+
+import "sync/atomic"
+
+// counter is a tiny alias-free wrapper so the logic struct reads well.
+type counter struct {
+	v atomic.Uint64
+}
+
+func (c *counter) Add(n uint64) { c.v.Add(n) }
+func (c *counter) Load() uint64 { return c.v.Load() }

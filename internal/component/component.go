@@ -1,0 +1,239 @@
+// Package component implements the enterprise-component model that
+// stands in for EJB entity beans: entities with identity and
+// memento-serializable state, homes keyed by table, and a container that
+// brackets business logic in transactions and delegates data access to a
+// pluggable resource manager.
+//
+// Three resource managers exist, matching the paper's three algorithms:
+//
+//   - JDBC (this package): hand-optimized direct access with a
+//     per-transaction statement cache, pessimistic locking.
+//   - Vanilla EJB / BMP (this package): bean-managed persistence with
+//     the classic container behaviors — ejbLoad on every access,
+//     unconditional ejbStore at commit, and N+1 loads after finders.
+//   - Cached EJB / SLI (package slicache): the paper's contribution.
+//
+// Application code is written once against Container/Tx and runs
+// unchanged under any resource manager — the "transparent
+// cache-enabling" requirement of §1.3.
+package component
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"edgeejb/internal/memento"
+	"edgeejb/internal/sqlstore"
+)
+
+// Entity is the contract entity implementations satisfy: identity plus
+// memento round-tripping. Concrete entities are plain structs (see
+// package trade); the container moves their state in and out of
+// mementos, never serializing the entity itself — the same restriction
+// the EJB specification imposes.
+type Entity interface {
+	// PrimaryKey returns the entity's identity (table + primary key).
+	PrimaryKey() memento.Key
+	// ToMemento snapshots the entity's state. The Version field is
+	// managed by the runtime and may be left zero.
+	ToMemento() memento.Memento
+	// LoadMemento replaces the entity's state from a snapshot.
+	LoadMemento(m memento.Memento) error
+}
+
+// Descriptor describes one entity type to the container.
+type Descriptor struct {
+	// Table is the persistent table backing the entity type.
+	Table string
+	// New allocates an empty entity, used to materialize finder results.
+	New func() Entity
+}
+
+// Registry maps tables to entity descriptors.
+type Registry struct {
+	byTable map[string]Descriptor
+}
+
+// NewRegistry builds a registry from descriptors.
+func NewRegistry(descs ...Descriptor) (*Registry, error) {
+	r := &Registry{byTable: make(map[string]Descriptor, len(descs))}
+	for _, d := range descs {
+		if d.Table == "" || d.New == nil {
+			return nil, fmt.Errorf("component: invalid descriptor for table %q", d.Table)
+		}
+		if _, dup := r.byTable[d.Table]; dup {
+			return nil, fmt.Errorf("component: duplicate descriptor for table %q", d.Table)
+		}
+		r.byTable[d.Table] = d
+	}
+	return r, nil
+}
+
+// Lookup returns the descriptor for a table.
+func (r *Registry) Lookup(table string) (Descriptor, error) {
+	d, ok := r.byTable[table]
+	if !ok {
+		return Descriptor{}, fmt.Errorf("component: no descriptor for table %q", table)
+	}
+	return d, nil
+}
+
+// DataTx is one transaction's view of the datastore, as provided by a
+// resource manager. Mementos returned by Load/Query carry the version
+// bookkeeping the manager needs at commit time.
+type DataTx interface {
+	// Load fetches the current state of an entity.
+	Load(ctx context.Context, key memento.Key) (memento.Memento, error)
+	// Store registers an updated after-image for an entity.
+	Store(ctx context.Context, m memento.Memento) error
+	// Create registers a new entity.
+	Create(ctx context.Context, m memento.Memento) error
+	// Remove registers deletion of an entity.
+	Remove(ctx context.Context, key memento.Key) error
+	// Query runs a custom finder.
+	Query(ctx context.Context, q memento.Query) ([]memento.Memento, error)
+	// Commit makes the transaction durable or fails with a conflict.
+	Commit(ctx context.Context) error
+	// Abort abandons the transaction.
+	Abort(ctx context.Context) error
+}
+
+// ResourceManager begins data transactions.
+type ResourceManager interface {
+	// Begin starts a transaction.
+	Begin(ctx context.Context) (DataTx, error)
+	// Name identifies the algorithm for reports ("jdbc", "bmp", "sli").
+	Name() string
+}
+
+// ErrRollback can be returned by application functions to abort the
+// transaction without surfacing an error from Execute.
+var ErrRollback = errors.New("component: rollback requested")
+
+// IsConflict reports whether an error is a serialization conflict — the
+// signal that an optimistic transaction must be retried.
+func IsConflict(err error) bool { return errors.Is(err, sqlstore.ErrConflict) }
+
+// IsNotFound reports whether an error means the entity does not exist.
+func IsNotFound(err error) bool { return errors.Is(err, sqlstore.ErrNotFound) }
+
+// IsExists reports whether an error means the entity already exists.
+func IsExists(err error) bool { return errors.Is(err, sqlstore.ErrExists) }
+
+// Container hosts entity types and brackets application logic in
+// transactions, the role the EJB container plays for session and entity
+// beans.
+type Container struct {
+	registry *Registry
+	rm       ResourceManager
+}
+
+// NewContainer assembles a container.
+func NewContainer(registry *Registry, rm ResourceManager) *Container {
+	return &Container{registry: registry, rm: rm}
+}
+
+// Algorithm returns the resource manager's name.
+func (c *Container) Algorithm() string { return c.rm.Name() }
+
+// Execute runs fn inside one transaction. The transaction commits when
+// fn returns nil; any error aborts it. ErrRollback aborts silently.
+func (c *Container) Execute(ctx context.Context, fn func(tx *Tx) error) error {
+	dt, err := c.rm.Begin(ctx)
+	if err != nil {
+		return fmt.Errorf("component: begin: %w", err)
+	}
+	tx := &Tx{ctx: ctx, dt: dt, registry: c.registry}
+	if err := fn(tx); err != nil {
+		_ = dt.Abort(ctx)
+		if errors.Is(err, ErrRollback) {
+			return nil
+		}
+		return err
+	}
+	if err := dt.Commit(ctx); err != nil {
+		return err
+	}
+	return nil
+}
+
+// ExecuteRetry runs fn like Execute, retrying up to attempts times when
+// the commit (or any statement) fails with an optimistic conflict. This
+// is the standard client loop for the paper's optimistic isolation:
+// "if another transaction modified the data ... t1 will be aborted".
+func (c *Container) ExecuteRetry(ctx context.Context, attempts int, fn func(tx *Tx) error) error {
+	if attempts < 1 {
+		attempts = 1
+	}
+	var err error
+	for i := 0; i < attempts; i++ {
+		err = c.Execute(ctx, fn)
+		if err == nil || !IsConflict(err) {
+			return err
+		}
+	}
+	return fmt.Errorf("component: giving up after %d conflicting attempts: %w", attempts, err)
+}
+
+// Tx is the application-facing transaction handle.
+type Tx struct {
+	ctx      context.Context
+	dt       DataTx
+	registry *Registry
+}
+
+// Context returns the transaction's context.
+func (tx *Tx) Context() context.Context { return tx.ctx }
+
+// Find loads the entity identified by e.PrimaryKey() into e
+// (findByPrimaryKey followed by ejbLoad, in EJB terms).
+func (tx *Tx) Find(e Entity) error {
+	m, err := tx.dt.Load(tx.ctx, e.PrimaryKey())
+	if err != nil {
+		return err
+	}
+	return e.LoadMemento(m)
+}
+
+// Update registers e's current state as its after-image.
+func (tx *Tx) Update(e Entity) error {
+	return tx.dt.Store(tx.ctx, e.ToMemento())
+}
+
+// Create registers e as a newly created entity.
+func (tx *Tx) Create(e Entity) error {
+	return tx.dt.Create(tx.ctx, e.ToMemento())
+}
+
+// Remove registers deletion of the entity identified by e.PrimaryKey().
+func (tx *Tx) Remove(e Entity) error {
+	return tx.dt.Remove(tx.ctx, e.PrimaryKey())
+}
+
+// RemoveKey registers deletion by key.
+func (tx *Tx) RemoveKey(key memento.Key) error {
+	return tx.dt.Remove(tx.ctx, key)
+}
+
+// FindWhere runs a custom finder and materializes the resulting
+// entities via the registry.
+func (tx *Tx) FindWhere(q memento.Query) ([]Entity, error) {
+	d, err := tx.registry.Lookup(q.Table)
+	if err != nil {
+		return nil, err
+	}
+	mems, err := tx.dt.Query(tx.ctx, q)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Entity, 0, len(mems))
+	for _, m := range mems {
+		e := d.New()
+		if err := e.LoadMemento(m); err != nil {
+			return nil, fmt.Errorf("component: materialize %s: %w", m.Key, err)
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}

@@ -1,0 +1,469 @@
+package component
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"edgeejb/internal/memento"
+	"edgeejb/internal/sqlstore"
+	"edgeejb/internal/storeapi"
+)
+
+// item is a minimal test entity.
+type item struct {
+	ID    string
+	Owner string
+	N     int64
+}
+
+var _ Entity = (*item)(nil)
+
+func (i *item) PrimaryKey() memento.Key { return memento.Key{Table: "item", ID: i.ID} }
+
+func (i *item) ToMemento() memento.Memento {
+	return memento.Memento{
+		Key: i.PrimaryKey(),
+		Fields: memento.Fields{
+			"owner": memento.String(i.Owner),
+			"n":     memento.Int(i.N),
+		},
+	}
+}
+
+func (i *item) LoadMemento(m memento.Memento) error {
+	if m.Key.Table != "item" {
+		return fmt.Errorf("not an item: %s", m.Key)
+	}
+	i.ID = m.Key.ID
+	i.Owner = m.Fields["owner"].Str
+	i.N = m.Fields["n"].Int
+	return nil
+}
+
+func itemRegistry(t *testing.T) *Registry {
+	t.Helper()
+	r, err := NewRegistry(Descriptor{Table: "item", New: func() Entity { return &item{} }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// countingConn wraps a storeapi.Conn, counting every statement that
+// would be a wire round trip (Begin, per-op, Commit/Abort, auto ops).
+type countingConn struct {
+	inner storeapi.Conn
+	ops   atomic.Int64
+}
+
+func (c *countingConn) Begin(ctx context.Context) (storeapi.Txn, error) {
+	c.ops.Add(1)
+	txn, err := c.inner.Begin(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &countingTxn{inner: txn, ops: &c.ops}, nil
+}
+
+func (c *countingConn) AutoGet(ctx context.Context, table, id string) (memento.Memento, error) {
+	c.ops.Add(1)
+	return c.inner.AutoGet(ctx, table, id)
+}
+
+func (c *countingConn) AutoQuery(ctx context.Context, q memento.Query) ([]memento.Memento, error) {
+	c.ops.Add(1)
+	return c.inner.AutoQuery(ctx, q)
+}
+
+func (c *countingConn) ApplyCommitSet(ctx context.Context, cs memento.CommitSet) (sqlstore.ApplyResult, error) {
+	c.ops.Add(1)
+	return c.inner.ApplyCommitSet(ctx, cs)
+}
+
+func (c *countingConn) Subscribe(ctx context.Context) (<-chan sqlstore.Notice, func(), error) {
+	return c.inner.Subscribe(ctx)
+}
+
+func (c *countingConn) Close() error { return c.inner.Close() }
+
+type countingTxn struct {
+	inner storeapi.Txn
+	ops   *atomic.Int64
+}
+
+func (t *countingTxn) ID() uint64 { return t.inner.ID() }
+
+func (t *countingTxn) Get(ctx context.Context, table, id string) (memento.Memento, error) {
+	t.ops.Add(1)
+	return t.inner.Get(ctx, table, id)
+}
+
+func (t *countingTxn) GetForUpdate(ctx context.Context, table, id string) (memento.Memento, error) {
+	t.ops.Add(1)
+	return t.inner.GetForUpdate(ctx, table, id)
+}
+
+func (t *countingTxn) Put(ctx context.Context, m memento.Memento) error {
+	t.ops.Add(1)
+	return t.inner.Put(ctx, m)
+}
+
+func (t *countingTxn) Insert(ctx context.Context, m memento.Memento) error {
+	t.ops.Add(1)
+	return t.inner.Insert(ctx, m)
+}
+
+func (t *countingTxn) Delete(ctx context.Context, table, id string) error {
+	t.ops.Add(1)
+	return t.inner.Delete(ctx, table, id)
+}
+
+func (t *countingTxn) Query(ctx context.Context, q memento.Query) ([]memento.Memento, error) {
+	t.ops.Add(1)
+	return t.inner.Query(ctx, q)
+}
+
+func (t *countingTxn) CheckVersion(ctx context.Context, key memento.Key, version uint64) error {
+	t.ops.Add(1)
+	return t.inner.CheckVersion(ctx, key, version)
+}
+
+func (t *countingTxn) CheckedPut(ctx context.Context, m memento.Memento) error {
+	t.ops.Add(1)
+	return t.inner.CheckedPut(ctx, m)
+}
+
+func (t *countingTxn) CheckedDelete(ctx context.Context, key memento.Key, version uint64) error {
+	t.ops.Add(1)
+	return t.inner.CheckedDelete(ctx, key, version)
+}
+
+func (t *countingTxn) Commit(ctx context.Context) error {
+	t.ops.Add(1)
+	return t.inner.Commit(ctx)
+}
+
+func (t *countingTxn) Abort(ctx context.Context) error {
+	t.ops.Add(1)
+	return t.inner.Abort(ctx)
+}
+
+func newStore(t *testing.T, items ...item) (*sqlstore.Store, *countingConn) {
+	t.Helper()
+	store := sqlstore.New()
+	t.Cleanup(store.Close)
+	for _, it := range items {
+		store.Seed(it.ToMemento())
+	}
+	return store, &countingConn{inner: storeapi.Local(store)}
+}
+
+func TestRegistryValidation(t *testing.T) {
+	if _, err := NewRegistry(Descriptor{Table: "", New: func() Entity { return &item{} }}); err == nil {
+		t.Error("empty table accepted")
+	}
+	if _, err := NewRegistry(Descriptor{Table: "x", New: nil}); err == nil {
+		t.Error("nil constructor accepted")
+	}
+	d := Descriptor{Table: "x", New: func() Entity { return &item{} }}
+	if _, err := NewRegistry(d, d); err == nil {
+		t.Error("duplicate table accepted")
+	}
+	r, err := NewRegistry(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Lookup("missing"); err == nil {
+		t.Error("missing table lookup succeeded")
+	}
+}
+
+func TestContainerExecuteCommit(t *testing.T) {
+	_, conn := newStore(t, item{ID: "1", Owner: "a", N: 1})
+	c := NewContainer(itemRegistry(t), NewJDBCManager(conn))
+	ctx := context.Background()
+
+	err := c.Execute(ctx, func(tx *Tx) error {
+		it := &item{ID: "1"}
+		if err := tx.Find(it); err != nil {
+			return err
+		}
+		it.N = 5
+		return tx.Update(it)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Verify the write committed.
+	err = c.Execute(ctx, func(tx *Tx) error {
+		it := &item{ID: "1"}
+		if err := tx.Find(it); err != nil {
+			return err
+		}
+		if it.N != 5 {
+			return fmt.Errorf("n = %d, want 5", it.N)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestContainerExecuteAbortOnError(t *testing.T) {
+	_, conn := newStore(t, item{ID: "1", Owner: "a", N: 1})
+	c := NewContainer(itemRegistry(t), NewJDBCManager(conn))
+	ctx := context.Background()
+	boom := errors.New("boom")
+
+	err := c.Execute(ctx, func(tx *Tx) error {
+		it := &item{ID: "1"}
+		if err := tx.Find(it); err != nil {
+			return err
+		}
+		it.N = 99
+		if err := tx.Update(it); err != nil {
+			return err
+		}
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want boom", err)
+	}
+	_ = c.Execute(ctx, func(tx *Tx) error {
+		it := &item{ID: "1"}
+		if err := tx.Find(it); err != nil {
+			return err
+		}
+		if it.N != 1 {
+			t.Errorf("aborted write leaked: n = %d", it.N)
+		}
+		return nil
+	})
+}
+
+func TestContainerRollbackSentinel(t *testing.T) {
+	_, conn := newStore(t, item{ID: "1", Owner: "a", N: 1})
+	c := NewContainer(itemRegistry(t), NewJDBCManager(conn))
+	err := c.Execute(context.Background(), func(tx *Tx) error {
+		return ErrRollback
+	})
+	if err != nil {
+		t.Fatalf("ErrRollback should not surface: %v", err)
+	}
+}
+
+func TestFindWhereMaterializesEntities(t *testing.T) {
+	_, conn := newStore(t,
+		item{ID: "1", Owner: "a", N: 1},
+		item{ID: "2", Owner: "a", N: 2},
+		item{ID: "3", Owner: "b", N: 3},
+	)
+	c := NewContainer(itemRegistry(t), NewJDBCManager(conn))
+	err := c.Execute(context.Background(), func(tx *Tx) error {
+		ents, err := tx.FindWhere(memento.Query{
+			Table: "item",
+			Where: []memento.Predicate{memento.Where("owner", memento.String("a"))},
+		})
+		if err != nil {
+			return err
+		}
+		if len(ents) != 2 {
+			return fmt.Errorf("got %d entities, want 2", len(ents))
+		}
+		for _, e := range ents {
+			if _, ok := e.(*item); !ok {
+				return fmt.Errorf("wrong type %T", e)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCreateAndRemove(t *testing.T) {
+	store, conn := newStore(t)
+	c := NewContainer(itemRegistry(t), NewJDBCManager(conn))
+	ctx := context.Background()
+
+	if err := c.Execute(ctx, func(tx *Tx) error {
+		return tx.Create(&item{ID: "n1", Owner: "x", N: 7})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if store.RowCount("item") != 1 {
+		t.Fatal("create did not persist")
+	}
+	if err := c.Execute(ctx, func(tx *Tx) error {
+		return tx.Remove(&item{ID: "n1"})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if store.RowCount("item") != 0 {
+		t.Fatal("remove did not persist")
+	}
+}
+
+func TestNotFoundSurfaces(t *testing.T) {
+	_, conn := newStore(t)
+	c := NewContainer(itemRegistry(t), NewJDBCManager(conn))
+	err := c.Execute(context.Background(), func(tx *Tx) error {
+		return tx.Find(&item{ID: "ghost"})
+	})
+	if !IsNotFound(err) {
+		t.Fatalf("got %v, want not-found", err)
+	}
+}
+
+// TestJDBCStatementCache: repeated Finds of the same bean in one
+// transaction cost one Get — the hand-optimized behavior.
+func TestJDBCStatementCache(t *testing.T) {
+	_, conn := newStore(t, item{ID: "1", Owner: "a", N: 1})
+	c := NewContainer(itemRegistry(t), NewJDBCManager(conn))
+
+	before := conn.ops.Load()
+	err := c.Execute(context.Background(), func(tx *Tx) error {
+		for i := 0; i < 5; i++ {
+			if err := tx.Find(&item{ID: "1"}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// begin + 1 get + commit = 3 statements.
+	if got := conn.ops.Load() - before; got != 3 {
+		t.Errorf("JDBC repeated find cost %d statements, want 3", got)
+	}
+}
+
+// TestBMPDoubleLoad: a single Find under BMP costs two Gets (finder
+// existence check + ejbLoad) and an unconditional ejbStore at commit.
+func TestBMPDoubleLoadAndUnconditionalStore(t *testing.T) {
+	_, conn := newStore(t, item{ID: "1", Owner: "a", N: 1})
+	c := NewContainer(itemRegistry(t), NewBMPManager(conn))
+
+	before := conn.ops.Load()
+	err := c.Execute(context.Background(), func(tx *Tx) error {
+		return tx.Find(&item{ID: "1"}) // read-only access
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// begin + get + get + put(ejbStore of a CLEAN bean) + commit = 5.
+	if got := conn.ops.Load() - before; got != 5 {
+		t.Errorf("BMP read-only find cost %d statements, want 5", got)
+	}
+}
+
+// TestBMPFinderNPlusOne: a custom finder with N results costs 1 query +
+// N ejbLoads (plus N ejbStores at commit).
+func TestBMPFinderNPlusOne(t *testing.T) {
+	const n = 4
+	var items []item
+	for i := 0; i < n; i++ {
+		items = append(items, item{ID: fmt.Sprintf("%d", i), Owner: "a", N: int64(i)})
+	}
+	_, conn := newStore(t, items...)
+	c := NewContainer(itemRegistry(t), NewBMPManager(conn))
+
+	before := conn.ops.Load()
+	err := c.Execute(context.Background(), func(tx *Tx) error {
+		ents, err := tx.FindWhere(memento.Query{
+			Table: "item",
+			Where: []memento.Predicate{memento.Where("owner", memento.String("a"))},
+		})
+		if err != nil {
+			return err
+		}
+		if len(ents) != n {
+			return fmt.Errorf("got %d, want %d", len(ents), n)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// begin + query + N gets + N ejbStores + commit.
+	want := int64(1 + 1 + n + n + 1)
+	if got := conn.ops.Load() - before; got != want {
+		t.Errorf("BMP finder cost %d statements, want %d", got, want)
+	}
+}
+
+// TestJDBCFinderReusesSelect: the JDBC finder costs 1 query; later Finds
+// of result rows are free.
+func TestJDBCFinderReusesSelect(t *testing.T) {
+	_, conn := newStore(t,
+		item{ID: "1", Owner: "a", N: 1},
+		item{ID: "2", Owner: "a", N: 2},
+	)
+	c := NewContainer(itemRegistry(t), NewJDBCManager(conn))
+
+	before := conn.ops.Load()
+	err := c.Execute(context.Background(), func(tx *Tx) error {
+		if _, err := tx.FindWhere(memento.Query{
+			Table: "item",
+			Where: []memento.Predicate{memento.Where("owner", memento.String("a"))},
+		}); err != nil {
+			return err
+		}
+		// Re-reading a row from the result set must hit the statement
+		// cache.
+		return tx.Find(&item{ID: "1"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// begin + query + commit = 3.
+	if got := conn.ops.Load() - before; got != 3 {
+		t.Errorf("JDBC finder+find cost %d statements, want 3", got)
+	}
+}
+
+func TestExecuteRetryOnConflict(t *testing.T) {
+	store, conn := newStore(t, item{ID: "1", Owner: "a", N: 0})
+	c := NewContainer(itemRegistry(t), NewJDBCManager(conn))
+	ctx := context.Background()
+
+	attempts := 0
+	err := c.ExecuteRetry(ctx, 3, func(tx *Tx) error {
+		attempts++
+		it := &item{ID: "1"}
+		if err := tx.Find(it); err != nil {
+			return err
+		}
+		if attempts == 1 {
+			// Sabotage: bump the row underneath the transaction via an
+			// optimistic apply, then fail with a synthetic conflict.
+			return fmt.Errorf("synthetic: %w", sqlstore.ErrConflict)
+		}
+		it.N++
+		return tx.Update(it)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attempts != 2 {
+		t.Errorf("attempts = %d, want 2", attempts)
+	}
+	_ = store
+}
+
+func TestExecuteRetryGivesUp(t *testing.T) {
+	_, conn := newStore(t, item{ID: "1", Owner: "a", N: 0})
+	c := NewContainer(itemRegistry(t), NewJDBCManager(conn))
+	err := c.ExecuteRetry(context.Background(), 2, func(tx *Tx) error {
+		return fmt.Errorf("always: %w", sqlstore.ErrConflict)
+	})
+	if !IsConflict(err) {
+		t.Fatalf("got %v, want conflict", err)
+	}
+}

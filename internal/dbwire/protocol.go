@@ -1,0 +1,186 @@
+// Package dbwire implements the network protocol between application
+// servers and the database tier: a length-delimited gob RPC in which
+// every statement is one request/response round trip. This mirrors the
+// role of the JDBC driver protocol in the paper — the per-statement
+// round trip is precisely what makes the ES/RDB architecture sensitive
+// to path latency, and the single-message ApplyCommitSet operation is
+// what lets the split-servers configuration commit in one round trip.
+//
+// The same protocol also carries the server-push invalidation stream
+// that cache-enhanced application servers subscribe to.
+package dbwire
+
+import (
+	"errors"
+	"fmt"
+
+	"edgeejb/internal/memento"
+	"edgeejb/internal/sqlstore"
+)
+
+// OpCode identifies a request operation.
+type OpCode uint8
+
+// Protocol operations.
+const (
+	OpBegin OpCode = iota + 1
+	OpGet
+	OpGetForUpdate
+	OpPut
+	OpInsert
+	OpDelete
+	OpQuery
+	OpCheckVersion
+	OpCheckedPut
+	OpCheckedDelete
+	OpCommit
+	OpAbort
+	OpApplyCommitSet
+	OpSubscribe
+	OpPing
+	OpAutoGet
+	OpAutoQuery
+)
+
+// String returns the operation name.
+func (o OpCode) String() string {
+	switch o {
+	case OpBegin:
+		return "Begin"
+	case OpGet:
+		return "Get"
+	case OpGetForUpdate:
+		return "GetForUpdate"
+	case OpPut:
+		return "Put"
+	case OpInsert:
+		return "Insert"
+	case OpDelete:
+		return "Delete"
+	case OpQuery:
+		return "Query"
+	case OpCheckVersion:
+		return "CheckVersion"
+	case OpCheckedPut:
+		return "CheckedPut"
+	case OpCheckedDelete:
+		return "CheckedDelete"
+	case OpCommit:
+		return "Commit"
+	case OpAbort:
+		return "Abort"
+	case OpApplyCommitSet:
+		return "ApplyCommitSet"
+	case OpSubscribe:
+		return "Subscribe"
+	case OpPing:
+		return "Ping"
+	case OpAutoGet:
+		return "AutoGet"
+	case OpAutoQuery:
+		return "AutoQuery"
+	default:
+		return fmt.Sprintf("OpCode(%d)", uint8(o))
+	}
+}
+
+// Request is one client-to-server message. Fields beyond Op are
+// populated according to the operation.
+type Request struct {
+	Op      OpCode
+	Tx      uint64
+	Table   string
+	ID      string
+	Key     memento.Key
+	Version uint64
+	Mem     memento.Memento
+	Query   memento.Query
+	Set     memento.CommitSet
+}
+
+// ErrCode classifies a response outcome so sentinel errors survive the
+// wire: the client reconstructs an error for which errors.Is matches the
+// corresponding sqlstore sentinel.
+type ErrCode uint8
+
+// Response outcome codes.
+const (
+	CodeOK ErrCode = iota
+	CodeNotFound
+	CodeExists
+	CodeConflict
+	CodeTxDone
+	CodeClosed
+	CodeBadRequest
+	CodeInternal
+)
+
+// Response is one server-to-client message: either an RPC reply or (on
+// subscription connections) a pushed invalidation notice.
+type Response struct {
+	Code        ErrCode
+	Msg         string
+	Tx          uint64
+	Mem         memento.Memento
+	Mems        []memento.Memento
+	NewVersions map[memento.Key]uint64
+	Notice      sqlstore.Notice
+}
+
+// encodeErr maps a server-side error to a wire code and message.
+func encodeErr(err error) (ErrCode, string) {
+	switch {
+	case err == nil:
+		return CodeOK, ""
+	case errors.Is(err, sqlstore.ErrNotFound):
+		return CodeNotFound, err.Error()
+	case errors.Is(err, sqlstore.ErrExists):
+		return CodeExists, err.Error()
+	case errors.Is(err, sqlstore.ErrConflict):
+		return CodeConflict, err.Error()
+	case errors.Is(err, sqlstore.ErrTxDone):
+		return CodeTxDone, err.Error()
+	case errors.Is(err, sqlstore.ErrClosed):
+		return CodeClosed, err.Error()
+	default:
+		return CodeInternal, err.Error()
+	}
+}
+
+// decodeErr reconstructs a sentinel-matching error from a wire response.
+func decodeErr(code ErrCode, msg string) error {
+	switch code {
+	case CodeOK:
+		return nil
+	case CodeNotFound:
+		return wireError{sentinel: sqlstore.ErrNotFound, msg: msg}
+	case CodeExists:
+		return wireError{sentinel: sqlstore.ErrExists, msg: msg}
+	case CodeConflict:
+		return wireError{sentinel: sqlstore.ErrConflict, msg: msg}
+	case CodeTxDone:
+		return wireError{sentinel: sqlstore.ErrTxDone, msg: msg}
+	case CodeClosed:
+		return wireError{sentinel: sqlstore.ErrClosed, msg: msg}
+	case CodeBadRequest:
+		return fmt.Errorf("dbwire: bad request: %s", msg)
+	default:
+		return fmt.Errorf("dbwire: server error: %s", msg)
+	}
+}
+
+// wireError carries a server error across the wire while preserving
+// errors.Is matching against the sqlstore sentinels.
+type wireError struct {
+	sentinel error
+	msg      string
+}
+
+func (e wireError) Error() string {
+	if e.msg != "" {
+		return e.msg
+	}
+	return e.sentinel.Error()
+}
+
+func (e wireError) Unwrap() error { return e.sentinel }

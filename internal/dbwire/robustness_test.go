@@ -1,0 +1,179 @@
+package dbwire
+
+import (
+	"bufio"
+	"context"
+	"encoding/gob"
+	"net"
+	"testing"
+	"time"
+
+	"edgeejb/internal/sqlstore"
+	"edgeejb/internal/storeapi"
+	"edgeejb/internal/trade"
+)
+
+// TestServerSurvivesGarbageFrames: raw garbage on the wire must close
+// that connection cleanly without disturbing other clients.
+func TestServerSurvivesGarbageFrames(t *testing.T) {
+	store, client := newPair(t)
+	seed(store, "t", "1", 1)
+	ctx := context.Background()
+
+	// Blast garbage at the server on raw connections.
+	srvAddr := client.addr
+	for _, payload := range [][]byte{
+		[]byte("GET / HTTP/1.1\r\n\r\n"),
+		{0x00, 0x01, 0x02, 0x03, 0xff, 0xfe},
+		make([]byte, 4096), // zeros
+	} {
+		raw, err := net.Dial("tcp", srvAddr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _ = raw.Write(payload)
+		_ = raw.SetReadDeadline(time.Now().Add(2 * time.Second))
+		buf := make([]byte, 64)
+		_, _ = raw.Read(buf) // server should close; any response is fine
+		_ = raw.Close()
+	}
+
+	// A well-behaved client still works.
+	if err := client.Ping(ctx); err != nil {
+		t.Fatalf("server died after garbage: %v", err)
+	}
+	if _, err := client.AutoGet(ctx, "t", "1"); err != nil {
+		t.Fatalf("server state corrupted: %v", err)
+	}
+}
+
+// TestServerRejectsUnknownOp: a syntactically valid request with a bogus
+// op code gets a BadRequest response, and the connection stays usable.
+func TestServerRejectsUnknownOp(t *testing.T) {
+	store, _ := newPair(t)
+	seed(store, "t", "1", 1)
+
+	srv := NewServer(storeapi.Local(store))
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	bw := bufio.NewWriter(conn)
+	enc := gob.NewEncoder(bw)
+	dec := gob.NewDecoder(bufio.NewReader(conn))
+
+	if err := enc.Encode(&Request{Op: OpCode(200)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var resp Response
+	if err := dec.Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Code != CodeBadRequest {
+		t.Fatalf("code = %v, want BadRequest", resp.Code)
+	}
+
+	// Same connection keeps working for valid requests. (Decode into a
+	// FRESH struct: gob omits zero-valued fields, so reusing resp would
+	// leave the previous non-zero Code behind — the same reason the
+	// client's roundTrip allocates a new Response per call.)
+	if err := enc.Encode(&Request{Op: OpPing}); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var resp2 Response
+	if err := dec.Decode(&resp2); err != nil {
+		t.Fatal(err)
+	}
+	if resp2.Code != CodeOK {
+		t.Fatalf("ping after bad request: %v", resp2.Code)
+	}
+}
+
+// TestUnknownTransactionRejected: operating on a transaction id that was
+// never begun (or was already finished) is a BadRequest, not a crash.
+func TestUnknownTransactionRejected(t *testing.T) {
+	store, _ := newPair(t)
+	seed(store, "t", "1", 1)
+	srv := NewServer(storeapi.Local(store))
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	bw := bufio.NewWriter(conn)
+	enc := gob.NewEncoder(bw)
+	dec := gob.NewDecoder(bufio.NewReader(conn))
+
+	for _, op := range []OpCode{OpGet, OpPut, OpCommit, OpAbort, OpQuery} {
+		if err := enc.Encode(&Request{Op: op, Tx: 424242, Table: "t", ID: "1"}); err != nil {
+			t.Fatal(err)
+		}
+		if err := bw.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		var resp Response
+		if err := dec.Decode(&resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.Code != CodeBadRequest {
+			t.Errorf("%s on unknown tx: code %v, want BadRequest", op, resp.Code)
+		}
+	}
+}
+
+// TestStaleConnectionRetryAfterServerRestart: a pooled client connection
+// outlives a server restart; the next one-shot op must transparently
+// redial instead of failing.
+func TestStaleConnectionRetryAfterServerRestart(t *testing.T) {
+	store := sqlstore.New()
+	defer store.Close()
+	store.Seed((&trade.Quote{Symbol: "s-1", Price: 10}).ToMemento())
+
+	srv := NewServer(storeapi.Local(store))
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	client := Dial(addr)
+	defer client.Close()
+	ctx := context.Background()
+
+	if _, err := client.AutoGet(ctx, trade.TableQuote, "s-1"); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	srv2 := NewServer(storeapi.Local(store))
+	if err := srv2.Start(addr); err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+
+	// The pooled connection is stale; the client must retry on a fresh
+	// dial without surfacing an error.
+	if _, err := client.AutoGet(ctx, trade.TableQuote, "s-1"); err != nil {
+		t.Fatalf("stale pooled connection not retried: %v", err)
+	}
+	// Begin must also survive a stale pooled connection.
+	txn, err := client.Begin(ctx)
+	if err != nil {
+		t.Fatalf("begin after restart: %v", err)
+	}
+	_ = txn.Abort(ctx)
+}

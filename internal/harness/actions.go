@@ -1,0 +1,71 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"edgeejb/internal/trade"
+)
+
+// WriteActionBreakdown renders mean per-action latency at the largest
+// swept delay for the given sweeps — the per-action view behind the
+// aggregate curves: it shows WHERE each architecture pays its round
+// trips (e.g. under vanilla EJBs, portfolio and sell dominate because
+// of the N+1 finder loads).
+func WriteActionBreakdown(w io.Writer, sweeps []Sweep) {
+	if len(sweeps) == 0 {
+		return
+	}
+	fmt.Fprintln(w, "Per-action mean latency (ms) at the largest swept delay")
+	header := fmt.Sprintf("%-14s", "action")
+	for _, s := range sweeps {
+		header += fmt.Sprintf(" %24s", s.Arch.String()+" "+s.Algo.String())
+	}
+	fmt.Fprintln(w, header)
+
+	actions := actionNames(sweeps)
+	for _, action := range actions {
+		line := fmt.Sprintf("%-14s", action)
+		for _, s := range sweeps {
+			if len(s.Points) == 0 {
+				line += fmt.Sprintf(" %24s", "-")
+				continue
+			}
+			last := s.Points[len(s.Points)-1]
+			sum, ok := last.Load.PerAction[action]
+			if !ok || sum.N == 0 {
+				line += fmt.Sprintf(" %24s", "-")
+				continue
+			}
+			line += fmt.Sprintf(" %24.2f", sum.Mean)
+		}
+		fmt.Fprintln(w, line)
+	}
+}
+
+// actionNames returns the union of measured action names in Table 1
+// order, with any extras appended alphabetically.
+func actionNames(sweeps []Sweep) []string {
+	seen := make(map[string]bool)
+	for _, s := range sweeps {
+		for _, p := range s.Points {
+			for name := range p.Load.PerAction {
+				seen[name] = true
+			}
+		}
+	}
+	var ordered []string
+	for _, a := range trade.Actions {
+		if seen[a.String()] {
+			ordered = append(ordered, a.String())
+			delete(seen, a.String())
+		}
+	}
+	var rest []string
+	for name := range seen {
+		rest = append(rest, name)
+	}
+	sort.Strings(rest)
+	return append(ordered, rest...)
+}

@@ -1,0 +1,149 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"edgeejb/internal/loadgen"
+	"edgeejb/internal/stats"
+	"edgeejb/internal/trade"
+)
+
+// RunOptions configures a delay sweep over one topology.
+type RunOptions struct {
+	// Delays are the one-way delays to sweep (the x-axis of Figures
+	// 6–7). Zero is a legitimate point (LAN baseline).
+	Delays []time.Duration
+	// Sessions measured per delay point (paper: 300).
+	Sessions int
+	// WarmupSessions run once, before the first point (paper: 400).
+	WarmupSessions int
+	// Batches for batched latency means (paper: 20).
+	Batches int
+	// Workload sizes the session generator; Users/Symbols should match
+	// the topology's Populate config.
+	Workload trade.GeneratorConfig
+}
+
+// DefaultRunOptions returns a laptop-scale run: delays scaled to keep
+// wall-clock reasonable (latency sensitivity is a slope and is
+// invariant to the delay scale; see DESIGN.md §7).
+func DefaultRunOptions() RunOptions {
+	return RunOptions{
+		Delays: []time.Duration{
+			0, time.Millisecond, 2 * time.Millisecond, 4 * time.Millisecond,
+		},
+		Sessions:       25,
+		WarmupSessions: 8,
+		Batches:        20,
+		Workload:       trade.GeneratorConfig{Seed: 42, Users: 50, Symbols: 100},
+	}
+}
+
+// Point is one delay point of a sweep.
+type Point struct {
+	// OneWayDelayMs is the injected one-way delay, in milliseconds.
+	OneWayDelayMs float64
+	// MeanLatencyMs is the mean client-interaction latency (Figure 6/7
+	// y-axis).
+	MeanLatencyMs float64
+	// SharedBytesPerInteraction is the traffic on the shared
+	// (high-latency) path divided by measured interactions (Figure 8).
+	SharedBytesPerInteraction float64
+	// Load is the full measurement for this point.
+	Load loadgen.Result
+}
+
+// Sweep is one (architecture, algorithm) latency curve.
+type Sweep struct {
+	Arch   Architecture
+	Algo   Algorithm
+	Points []Point
+	// Fit is the least-squares line through (delay, latency): Fit.Slope
+	// is the paper's latency sensitivity (Table 2).
+	Fit stats.Fit
+}
+
+// Sensitivity returns the latency-sensitivity slope (dimensionless:
+// ms of client latency per ms of one-way delay).
+func (s Sweep) Sensitivity() float64 { return s.Fit.Slope }
+
+// RunSweep builds the topology, warms it up, then measures every delay
+// point. The topology is built once and the delay adjusted in place, so
+// caches stay warm across points exactly as a long-running edge server's
+// would.
+func RunSweep(ctx context.Context, opts Options, run RunOptions) (Sweep, error) {
+	if len(run.Delays) == 0 {
+		return Sweep{}, fmt.Errorf("harness: sweep needs at least one delay point")
+	}
+	opts.OneWayDelay = run.Delays[0]
+	topo, err := Build(opts)
+	if err != nil {
+		return Sweep{}, err
+	}
+	defer topo.Close()
+	return RunSweepOn(ctx, topo, run)
+}
+
+// RunSweepOn measures an already-built topology. Used directly by tests
+// and ablations that need access to the topology's internals.
+func RunSweepOn(ctx context.Context, topo *Topology, run RunOptions) (Sweep, error) {
+	client := topo.NewWebClient()
+	defer client.Close()
+	gen := trade.NewGenerator(run.Workload)
+
+	// One warmup at the first delay point.
+	topo.SetDelay(run.Delays[0])
+	if run.WarmupSessions > 0 {
+		if _, err := loadgen.Run(ctx, loadgen.Config{
+			Client:    client,
+			Generator: gen,
+			Sessions:  run.WarmupSessions,
+			Batches:   run.Batches,
+		}); err != nil {
+			return Sweep{}, fmt.Errorf("harness: warmup: %w", err)
+		}
+	}
+
+	sweep := Sweep{Arch: topo.Arch, Algo: topo.Algo}
+	counter := topo.SharedPathCounter()
+	for _, d := range run.Delays {
+		topo.SetDelay(d)
+		before := counter.Total()
+		res, err := loadgen.Run(ctx, loadgen.Config{
+			Client:    client,
+			Generator: gen,
+			Sessions:  run.Sessions,
+			Batches:   run.Batches,
+		})
+		if err != nil {
+			return Sweep{}, fmt.Errorf("harness: delay %v: %w", d, err)
+		}
+		bytesUsed := float64(counter.Total() - before)
+		point := Point{
+			OneWayDelayMs: float64(d) / float64(time.Millisecond),
+			MeanLatencyMs: res.MeanLatencyMs(),
+			Load:          res,
+		}
+		if res.Interactions > 0 {
+			point.SharedBytesPerInteraction = bytesUsed / float64(res.Interactions)
+		}
+		sweep.Points = append(sweep.Points, point)
+	}
+
+	xs := make([]float64, len(sweep.Points))
+	ys := make([]float64, len(sweep.Points))
+	for i, p := range sweep.Points {
+		xs[i] = p.OneWayDelayMs
+		ys[i] = p.MeanLatencyMs
+	}
+	if len(xs) >= 2 {
+		fit, err := stats.LinearFit(xs, ys)
+		if err != nil {
+			return Sweep{}, fmt.Errorf("harness: fit: %w", err)
+		}
+		sweep.Fit = fit
+	}
+	return sweep, nil
+}

@@ -1,0 +1,296 @@
+// Package latency provides the experiment plumbing the paper calls the
+// "delay proxy": a TCP proxy that interposes a configurable one-way
+// delay on a designated communication path, transparently to both
+// endpoints, plus byte-counting connection wrappers used to measure the
+// bandwidth consumed on the shared (high-latency) path.
+package latency
+
+import (
+	"errors"
+	"io"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter accumulates byte counts for one path, split by direction. It
+// is safe for concurrent use and may be shared by many connections.
+type Counter struct {
+	toTarget   atomic.Uint64
+	fromTarget atomic.Uint64
+	conns      atomic.Uint64
+}
+
+// AddToTarget records n bytes flowing toward the target (requests).
+func (c *Counter) AddToTarget(n int) { c.toTarget.Add(uint64(n)) }
+
+// AddFromTarget records n bytes flowing back from the target (responses).
+func (c *Counter) AddFromTarget(n int) { c.fromTarget.Add(uint64(n)) }
+
+// ToTarget returns the bytes sent toward the target so far.
+func (c *Counter) ToTarget() uint64 { return c.toTarget.Load() }
+
+// FromTarget returns the bytes received from the target so far.
+func (c *Counter) FromTarget() uint64 { return c.fromTarget.Load() }
+
+// Total returns bytes in both directions.
+func (c *Counter) Total() uint64 { return c.toTarget.Load() + c.fromTarget.Load() }
+
+// Conns returns the number of connections accounted so far.
+func (c *Counter) Conns() uint64 { return c.conns.Load() }
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() {
+	c.toTarget.Store(0)
+	c.fromTarget.Store(0)
+	c.conns.Store(0)
+}
+
+// CountingConn wraps a net.Conn, attributing written bytes as
+// "to target" and read bytes as "from target" on a Counter.
+type CountingConn struct {
+	net.Conn
+
+	counter *Counter
+}
+
+// NewCountingConn wraps conn so all traffic is recorded on counter.
+func NewCountingConn(conn net.Conn, counter *Counter) *CountingConn {
+	counter.conns.Add(1)
+	return &CountingConn{Conn: conn, counter: counter}
+}
+
+// Read records bytes received from the target.
+func (c *CountingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	if n > 0 {
+		c.counter.AddFromTarget(n)
+	}
+	return n, err
+}
+
+// Write records bytes sent toward the target.
+func (c *CountingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	if n > 0 {
+		c.counter.AddToTarget(n)
+	}
+	return n, err
+}
+
+// Proxy is a TCP delay proxy. Every byte forwarded in either direction
+// is held for the configured one-way delay before delivery, emulating a
+// wide-area path on a loopback interface. The proxy also counts the
+// bytes it forwards, which is how the bandwidth experiment (Figure 8)
+// measures traffic on the shared path.
+type Proxy struct {
+	target  string
+	delay   atomic.Int64 // one-way delay in nanoseconds
+	counter *Counter
+
+	ln     net.Listener
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewProxy creates a proxy that will forward connections to target with
+// the given one-way delay. Call Start to begin listening.
+func NewProxy(target string, oneWayDelay time.Duration) *Proxy {
+	p := &Proxy{
+		target:  target,
+		counter: &Counter{},
+		conns:   make(map[net.Conn]struct{}),
+	}
+	p.delay.Store(int64(oneWayDelay))
+	return p
+}
+
+// Counter returns the proxy's byte counter for the proxied path.
+func (p *Proxy) Counter() *Counter { return p.counter }
+
+// SetDelay changes the one-way delay; it applies to bytes forwarded
+// after the call, including on established connections. This is how the
+// experiment harness sweeps the delay axis without rebuilding topology.
+func (p *Proxy) SetDelay(d time.Duration) { p.delay.Store(int64(d)) }
+
+// Delay returns the current one-way delay.
+func (p *Proxy) Delay() time.Duration { return time.Duration(p.delay.Load()) }
+
+// Start begins listening on addr (use "127.0.0.1:0" for an ephemeral
+// port) and serving connections in the background.
+func (p *Proxy) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		_ = ln.Close()
+		return errors.New("latency: proxy closed")
+	}
+	p.ln = ln
+	p.mu.Unlock()
+	p.wg.Add(1)
+	go p.acceptLoop(ln)
+	return nil
+}
+
+// Addr returns the proxy's listen address. It panics if Start has not
+// been called.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Close stops the listener and tears down every proxied connection,
+// waiting for the forwarding goroutines to exit.
+func (p *Proxy) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.wg.Wait()
+		return
+	}
+	p.closed = true
+	ln := p.ln
+	for c := range p.conns {
+		_ = c.Close()
+	}
+	p.mu.Unlock()
+	if ln != nil {
+		_ = ln.Close()
+	}
+	p.wg.Wait()
+}
+
+func (p *Proxy) acceptLoop(ln net.Listener) {
+	defer p.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		if !p.track(conn) {
+			_ = conn.Close()
+			return
+		}
+		p.wg.Add(1)
+		go p.serve(conn)
+	}
+}
+
+func (p *Proxy) track(c net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	p.conns[c] = struct{}{}
+	return true
+}
+
+func (p *Proxy) untrack(c net.Conn) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.conns, c)
+}
+
+func (p *Proxy) serve(client net.Conn) {
+	defer p.wg.Done()
+	defer p.untrack(client)
+	defer client.Close()
+
+	target, err := net.Dial("tcp", p.target)
+	if err != nil {
+		return
+	}
+	if !p.track(target) {
+		_ = target.Close()
+		return
+	}
+	defer p.untrack(target)
+	defer target.Close()
+	p.counter.conns.Add(1)
+
+	done := make(chan struct{}, 2)
+	go func() {
+		p.pump(target, client, p.counter.AddToTarget)
+		// Half-close toward the target so request streams terminate.
+		if tc, ok := target.(*net.TCPConn); ok {
+			_ = tc.CloseWrite()
+		}
+		done <- struct{}{}
+	}()
+	go func() {
+		p.pump(client, target, p.counter.AddFromTarget)
+		if cc, ok := client.(*net.TCPConn); ok {
+			_ = cc.CloseWrite()
+		}
+		done <- struct{}{}
+	}()
+	<-done
+	<-done
+}
+
+// chunk is one delayed segment in flight.
+type chunk struct {
+	data []byte
+	due  time.Time
+}
+
+// sleepUntil sleeps to a deadline accurately: timer sleep for the bulk,
+// then cooperative yielding for the tail. Plain time.Sleep can overshoot
+// by around a millisecond on coarse-timer kernels, which at
+// millisecond-scale injected delays badly inflates the measured latency
+// sensitivities; the experiments need the injected delay to be accurate,
+// so the last stretch busy-yields instead of sleeping. The yield loop
+// calls runtime.Gosched, so other goroutines (the servers under test,
+// which are idle while a delay elapses anyway) keep running.
+func sleepUntil(due time.Time) {
+	const spinWindow = 2 * time.Millisecond
+	if wait := time.Until(due) - spinWindow; wait > 0 {
+		time.Sleep(wait)
+	}
+	for time.Now().Before(due) {
+		runtime.Gosched()
+	}
+}
+
+// pump forwards src to dst, modeling one-way propagation delay: every
+// chunk is delivered delay after it was read, but chunks overlap in
+// flight (pipelining), so a large message spanning several TCP segments
+// pays the delay once, not once per segment — the behavior of a real
+// wide-area path, and of the paper's delay proxy.
+func (p *Proxy) pump(dst io.Writer, src io.Reader, account func(int)) {
+	inflight := make(chan chunk, 256)
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		for c := range inflight {
+			sleepUntil(c.due)
+			if _, err := dst.Write(c.data); err != nil {
+				// Drain remaining chunks so the reader never blocks.
+				for range inflight {
+				}
+				return
+			}
+			account(len(c.data))
+		}
+	}()
+	buf := make([]byte, 32*1024)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			data := make([]byte, n)
+			copy(data, buf[:n])
+			inflight <- chunk{data: data, due: time.Now().Add(p.Delay())}
+		}
+		if err != nil {
+			close(inflight)
+			<-writerDone
+			return
+		}
+	}
+}

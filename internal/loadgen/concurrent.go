@@ -1,0 +1,131 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"edgeejb/internal/appserver"
+	"edgeejb/internal/stats"
+	"edgeejb/internal/trade"
+)
+
+// ConcurrentConfig describes a multi-client run. The paper deliberately
+// measured a "low-load situation so as to factor out queuing delay
+// effects" with one virtual client; this runner is the extension that
+// puts the queuing effects back, driving several virtual clients
+// concurrently against the same deployment to measure throughput and
+// contention (optimistic-conflict rates rise with concurrency).
+type ConcurrentConfig struct {
+	// NewClient builds one virtual client's connection; each client gets
+	// its own (browsers do not share sockets).
+	NewClient func() *appserver.Client
+	// Clients is the number of concurrent virtual clients.
+	Clients int
+	// SessionsPerClient measured per client.
+	SessionsPerClient int
+	// WarmupSessions run on one client before measurement.
+	WarmupSessions int
+	// Workload sizes the generators; each client derives a distinct seed
+	// so clients walk different users (with overlap, which is what
+	// produces conflicts).
+	Workload trade.GeneratorConfig
+}
+
+// ConcurrentResult aggregates a multi-client run.
+type ConcurrentResult struct {
+	// Clients echoes the concurrency level.
+	Clients int
+	// Interactions across all clients.
+	Interactions int
+	// Throughput in interactions per second (wall clock).
+	Throughput float64
+	// Latency summarizes per-interaction latency (ms) across clients.
+	Latency stats.Summary
+	// Failures counts interactions whose response reported an error
+	// (e.g. optimistic transactions that exhausted their retries).
+	Failures int
+	// Elapsed is the measured wall-clock duration.
+	Elapsed time.Duration
+}
+
+// RunConcurrent drives Clients virtual clients in parallel and
+// aggregates their measurements.
+func RunConcurrent(ctx context.Context, cfg ConcurrentConfig) (ConcurrentResult, error) {
+	if cfg.NewClient == nil {
+		return ConcurrentResult{}, fmt.Errorf("loadgen: NewClient is required")
+	}
+	if cfg.Clients < 1 {
+		cfg.Clients = 1
+	}
+	if cfg.SessionsPerClient < 1 {
+		cfg.SessionsPerClient = 1
+	}
+
+	// Warmup on a single client.
+	if cfg.WarmupSessions > 0 {
+		warm := cfg.NewClient()
+		gen := trade.NewGenerator(cfg.Workload)
+		for i := 0; i < cfg.WarmupSessions; i++ {
+			if _, _, err := runSession(ctx, warm, gen, nil); err != nil {
+				_ = warm.Close()
+				return ConcurrentResult{}, fmt.Errorf("loadgen: warmup: %w", err)
+			}
+		}
+		_ = warm.Close()
+	}
+
+	type clientOut struct {
+		latencies []float64
+		failures  int
+		err       error
+	}
+	outs := make([]clientOut, cfg.Clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < cfg.Clients; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			client := cfg.NewClient()
+			defer client.Close()
+			wl := cfg.Workload
+			wl.Seed = wl.Seed*1000 + int64(c) + 1
+			gen := trade.NewGenerator(wl)
+			for s := 0; s < cfg.SessionsPerClient; s++ {
+				lats, fails, err := runSession(ctx, client, gen, nil)
+				if err != nil {
+					outs[c].err = fmt.Errorf("client %d session %d: %w", c, s, err)
+					return
+				}
+				outs[c].latencies = append(outs[c].latencies, lats...)
+				outs[c].failures += fails
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []float64
+	failures := 0
+	for _, o := range outs {
+		if o.err != nil {
+			return ConcurrentResult{}, o.err
+		}
+		all = append(all, o.latencies...)
+		failures += o.failures
+	}
+	res := ConcurrentResult{
+		Clients:      cfg.Clients,
+		Interactions: len(all),
+		Latency:      stats.Summarize(all),
+		Failures:     failures,
+		Elapsed:      elapsed,
+	}
+	if elapsed > 0 {
+		res.Throughput = float64(len(all)) / elapsed.Seconds()
+	}
+	return res, nil
+}

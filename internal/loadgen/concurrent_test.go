@@ -1,0 +1,87 @@
+package loadgen
+
+import (
+	"context"
+	"testing"
+
+	"edgeejb/internal/appserver"
+	"edgeejb/internal/component"
+	"edgeejb/internal/sqlstore"
+	"edgeejb/internal/storeapi"
+	"edgeejb/internal/trade"
+)
+
+func newConcurrentTarget(t *testing.T) func() *appserver.Client {
+	t.Helper()
+	store := sqlstore.New()
+	t.Cleanup(store.Close)
+	trade.Populate(store, trade.PopulateConfig{Users: 10, Symbols: 20, HoldingsPerUser: 2})
+	reg, err := trade.NewEntityRegistry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := trade.NewService(component.NewContainer(reg, component.NewJDBCManager(storeapi.Local(store))))
+	srv := appserver.NewServer(svc)
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	addr := srv.Addr()
+	return func() *appserver.Client { return appserver.NewClient(addr) }
+}
+
+func TestRunConcurrentAggregates(t *testing.T) {
+	newClient := newConcurrentTarget(t)
+	res, err := RunConcurrent(context.Background(), ConcurrentConfig{
+		NewClient:         newClient,
+		Clients:           3,
+		SessionsPerClient: 4,
+		WarmupSessions:    1,
+		Workload:          trade.GeneratorConfig{Seed: 9, Users: 10, Symbols: 20},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Clients != 3 {
+		t.Errorf("clients = %d", res.Clients)
+	}
+	if res.Interactions < 3*4*3 {
+		t.Errorf("interactions = %d, too few", res.Interactions)
+	}
+	if res.Throughput <= 0 {
+		t.Errorf("throughput = %v", res.Throughput)
+	}
+	if res.Latency.Mean <= 0 {
+		t.Errorf("latency = %+v", res.Latency)
+	}
+}
+
+func TestRunConcurrentValidates(t *testing.T) {
+	if _, err := RunConcurrent(context.Background(), ConcurrentConfig{}); err == nil {
+		t.Fatal("missing NewClient accepted")
+	}
+}
+
+func TestRunConcurrentDistinctSeeds(t *testing.T) {
+	// Clients must not replay identical sessions: with many clients and
+	// a tiny workload, identical seeds would make all clients hammer the
+	// same user in the same order. We check generators differ via the
+	// derived seeds (behavioral check: first sessions differ for at
+	// least one pair).
+	wl := trade.GeneratorConfig{Seed: 5, Users: 10, Symbols: 20}
+	g1 := trade.NewGenerator(func() trade.GeneratorConfig { c := wl; c.Seed = c.Seed*1000 + 1; return c }())
+	g2 := trade.NewGenerator(func() trade.GeneratorConfig { c := wl; c.Seed = c.Seed*1000 + 2; return c }())
+	s1, s2 := g1.Session(), g2.Session()
+	same := len(s1) == len(s2)
+	if same {
+		for i := range s1 {
+			if s1[i] != s2[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("derived seeds produced identical sessions")
+	}
+}

@@ -1,0 +1,97 @@
+package loadgen
+
+import (
+	"context"
+	"testing"
+
+	"edgeejb/internal/appserver"
+	"edgeejb/internal/component"
+	"edgeejb/internal/sqlstore"
+	"edgeejb/internal/storeapi"
+	"edgeejb/internal/trade"
+)
+
+func newTarget(t *testing.T) *appserver.Client {
+	t.Helper()
+	store := sqlstore.New()
+	t.Cleanup(store.Close)
+	trade.Populate(store, trade.PopulateConfig{Users: 8, Symbols: 16, HoldingsPerUser: 2})
+	reg, err := trade.NewEntityRegistry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := trade.NewService(component.NewContainer(reg, component.NewJDBCManager(storeapi.Local(store))))
+	srv := appserver.NewServer(svc)
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	client := appserver.NewClient(srv.Addr())
+	t.Cleanup(func() {
+		_ = client.Close()
+		srv.Close()
+	})
+	return client
+}
+
+func TestRunMeasuresSessions(t *testing.T) {
+	client := newTarget(t)
+	gen := trade.NewGenerator(trade.GeneratorConfig{Seed: 3, Users: 8, Symbols: 16})
+	res, err := Run(context.Background(), Config{
+		Client:         client,
+		Generator:      gen,
+		WarmupSessions: 2,
+		Sessions:       5,
+		Batches:        4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Interactions < 5*3 {
+		t.Errorf("interactions = %d, too few", res.Interactions)
+	}
+	if res.Latency.Mean <= 0 {
+		t.Errorf("mean latency = %v", res.Latency.Mean)
+	}
+	if len(res.BatchMeans) != 4 {
+		t.Errorf("batch means = %d, want 4", len(res.BatchMeans))
+	}
+	if res.Failures != 0 {
+		t.Errorf("failures = %d", res.Failures)
+	}
+	if len(res.PerAction) == 0 {
+		t.Error("no per-action breakdown")
+	}
+	if _, ok := res.PerAction["login"]; !ok {
+		t.Error("login missing from per-action stats")
+	}
+	if res.Elapsed <= 0 {
+		t.Error("elapsed not measured")
+	}
+}
+
+func TestRunValidatesConfig(t *testing.T) {
+	if _, err := Run(context.Background(), Config{}); err == nil {
+		t.Fatal("missing client/generator accepted")
+	}
+}
+
+func TestRunReportsConfidenceInterval(t *testing.T) {
+	client := newTarget(t)
+	gen := trade.NewGenerator(trade.GeneratorConfig{Seed: 4, Users: 8, Symbols: 16})
+	res, err := Run(context.Background(), Config{
+		Client:    client,
+		Generator: gen,
+		Sessions:  6,
+		Batches:   5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CI95 <= 0 {
+		t.Errorf("CI95 = %v, want positive for noisy latencies", res.CI95)
+	}
+	// The CI must be plausible: no wider than the full latency range.
+	if res.CI95 > res.Latency.Max-res.Latency.Min {
+		t.Errorf("CI95 %v wider than the observed range", res.CI95)
+	}
+}

@@ -1,0 +1,95 @@
+package lockmgr
+
+import "errors"
+
+// ErrDeadlock is returned to a requester whose wait would close a cycle
+// in the waits-for graph. The requester is chosen as the victim (it
+// holds the fewest resources invested in the cycle's formation at that
+// instant and is already positioned to abort), mirroring the
+// immediate-restart policy common in lock managers. Timeout-based
+// resolution (ErrTimeout) remains as a backstop for waits the graph
+// cannot see, such as cross-store dependencies.
+var ErrDeadlock = errors.New("lockmgr: deadlock detected")
+
+// wouldDeadlock reports whether owner blocking on res (with the given
+// effective mode) would create a cycle in the waits-for graph. Called
+// with m.mu held, before the request is enqueued.
+//
+// Edges: a waiter waits for (a) every current holder whose mode is
+// incompatible with the waiter's requested mode, and (b) every waiter
+// queued ahead of it on the same resource with an incompatible mode —
+// FIFO granting means those waiters will be granted first.
+func (m *Manager) wouldDeadlock(owner Owner, res Resource, mode Mode) bool {
+	// start set: the owners this new wait would block on.
+	blockers := m.blockersFor(owner, res, mode, len(m.locks[res].waiters))
+	if len(blockers) == 0 {
+		return false
+	}
+	// DFS over the waits-for graph looking for a path back to owner.
+	seen := make(map[Owner]bool)
+	stack := blockers
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if cur == owner {
+			return true
+		}
+		if seen[cur] {
+			continue
+		}
+		seen[cur] = true
+		stack = append(stack, m.waitsFor(cur)...)
+	}
+	return false
+}
+
+// waitsFor returns the owners that owner currently waits on, derived
+// from the lock table. Called with m.mu held.
+func (m *Manager) waitsFor(owner Owner) []Owner {
+	var out []Owner
+	for res, st := range m.locks {
+		for pos, w := range st.waiters {
+			if w.owner != owner {
+				continue
+			}
+			out = append(out, m.blockersFor(owner, res, w.mode, pos)...)
+		}
+	}
+	return out
+}
+
+// blockersFor lists the distinct owners that block a request by owner
+// for mode on res, considering holders and the first queuePos waiters.
+// Called with m.mu held.
+func (m *Manager) blockersFor(owner Owner, res Resource, mode Mode, queuePos int) []Owner {
+	st := m.locks[res]
+	if st == nil {
+		return nil
+	}
+	seen := make(map[Owner]bool)
+	var out []Owner
+	add := func(o Owner) {
+		if o != owner && !seen[o] {
+			seen[o] = true
+			out = append(out, o)
+		}
+	}
+	for holder, hm := range st.holders {
+		if holder == owner {
+			continue
+		}
+		if !Compatible(mode, hm) {
+			add(holder)
+		}
+	}
+	for i := 0; i < queuePos && i < len(st.waiters); i++ {
+		w := st.waiters[i]
+		if w.owner == owner {
+			continue
+		}
+		if !Compatible(mode, w.mode) {
+			add(w.owner)
+		}
+	}
+	return out
+}

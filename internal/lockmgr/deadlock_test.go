@@ -1,0 +1,210 @@
+package lockmgr
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestTwoTransactionDeadlockDetectedImmediately: the classic A->B, B->A
+// cycle must be broken by ErrDeadlock well before any timeout.
+func TestTwoTransactionDeadlockDetectedImmediately(t *testing.T) {
+	m := New(WithTimeout(10 * time.Second)) // timeout must NOT be the resolver
+	ctx := context.Background()
+
+	if err := m.Acquire(ctx, 1, "a", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(ctx, 2, "b", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+
+	// Owner 1 blocks on b.
+	blocked := make(chan error, 1)
+	go func() { blocked <- m.Acquire(ctx, 1, "b", Exclusive) }()
+	waitUntilWaiting(t, m, "b")
+
+	// Owner 2 requesting a would close the cycle: must fail fast.
+	start := time.Now()
+	err := m.Acquire(ctx, 2, "a", Exclusive)
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("got %v, want ErrDeadlock", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("deadlock resolution took %v; detector did not fire", elapsed)
+	}
+
+	// The victim aborts, releasing its locks; the survivor proceeds.
+	m.ReleaseAll(2)
+	select {
+	case err := <-blocked:
+		if err != nil {
+			t.Fatalf("survivor's blocked acquire failed: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("survivor never granted after victim release")
+	}
+}
+
+// TestUpgradeDeadlockDetected: two S holders both upgrading to X is the
+// canonical upgrade deadlock; the second upgrader must get ErrDeadlock.
+func TestUpgradeDeadlockDetected(t *testing.T) {
+	m := New(WithTimeout(10 * time.Second))
+	ctx := context.Background()
+	if err := m.Acquire(ctx, 1, "r", Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(ctx, 2, "r", Shared); err != nil {
+		t.Fatal(err)
+	}
+	first := make(chan error, 1)
+	go func() { first <- m.Acquire(ctx, 1, "r", Exclusive) }()
+	waitUntilWaiting(t, m, "r")
+
+	if err := m.Acquire(ctx, 2, "r", Exclusive); !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("second upgrader: got %v, want ErrDeadlock", err)
+	}
+	m.ReleaseAll(2)
+	select {
+	case err := <-first:
+		if err != nil {
+			t.Fatalf("first upgrader failed after victim release: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("first upgrader never granted")
+	}
+}
+
+// TestThreeWayDeadlockDetected: a cycle through three owners.
+func TestThreeWayDeadlockDetected(t *testing.T) {
+	m := New(WithTimeout(10 * time.Second))
+	ctx := context.Background()
+	for i, res := range []string{"a", "b", "c"} {
+		if err := m.Acquire(ctx, Owner(i+1), res, Exclusive); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 1 waits for b (held by 2), 2 waits for c (held by 3).
+	done1 := make(chan error, 1)
+	go func() { done1 <- m.Acquire(ctx, 1, "b", Exclusive) }()
+	waitUntilWaiting(t, m, "b")
+	done2 := make(chan error, 1)
+	go func() { done2 <- m.Acquire(ctx, 2, "c", Exclusive) }()
+	waitUntilWaiting(t, m, "c")
+
+	// 3 requesting a closes the three-way cycle.
+	if err := m.Acquire(ctx, 3, "a", Exclusive); !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("got %v, want ErrDeadlock", err)
+	}
+	m.ReleaseAll(3)
+	if err := <-done2; err != nil {
+		t.Fatalf("owner 2: %v", err)
+	}
+	m.ReleaseAll(2)
+	if err := <-done1; err != nil {
+		t.Fatalf("owner 1: %v", err)
+	}
+}
+
+// TestNoFalsePositiveOnChain: a linear wait chain (no cycle) must not
+// trigger the detector.
+func TestNoFalsePositiveOnChain(t *testing.T) {
+	m := New(WithTimeout(time.Second))
+	ctx := context.Background()
+	if err := m.Acquire(ctx, 1, "a", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	done2 := make(chan error, 1)
+	go func() { done2 <- m.Acquire(ctx, 2, "a", Exclusive) }()
+	waitUntilWaiting(t, m, "a")
+	done3 := make(chan error, 1)
+	go func() { done3 <- m.Acquire(ctx, 3, "a", Exclusive) }()
+	waitUntilWaiting2(t, m, "a", 2)
+
+	m.Release(1, "a")
+	if err := <-done2; err != nil {
+		t.Fatalf("owner 2 in chain: %v", err)
+	}
+	m.Release(2, "a")
+	if err := <-done3; err != nil {
+		t.Fatalf("owner 3 in chain: %v", err)
+	}
+}
+
+// TestDeadlockStress: many owners locking pairs of resources in
+// conflicting orders; every acquire must terminate quickly with either a
+// grant or ErrDeadlock, and the system must make progress.
+func TestDeadlockStress(t *testing.T) {
+	m := New(WithTimeout(5 * time.Second))
+	ctx := context.Background()
+	const owners = 6
+	const rounds = 50
+	var wg sync.WaitGroup
+	var granted, deadlocked, timedOut int
+	var mu sync.Mutex
+	resources := []string{"x", "y"}
+	for o := 1; o <= owners; o++ {
+		owner := Owner(o)
+		order := o % 2 // half lock x->y, half y->x
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				first, second := resources[order], resources[1-order]
+				if err := m.Acquire(ctx, owner, first, Exclusive); err != nil {
+					continue
+				}
+				err := m.Acquire(ctx, owner, second, Exclusive)
+				mu.Lock()
+				switch {
+				case err == nil:
+					granted++
+				case errors.Is(err, ErrDeadlock):
+					deadlocked++
+				case errors.Is(err, ErrTimeout):
+					timedOut++
+				}
+				mu.Unlock()
+				m.ReleaseAll(owner)
+			}
+		}()
+	}
+	wg.Wait()
+	if granted == 0 {
+		t.Error("no progress under contention")
+	}
+	if timedOut > 0 {
+		t.Errorf("%d timeouts: detector missed cycles (granted=%d deadlocked=%d)",
+			timedOut, granted, deadlocked)
+	}
+	t.Logf("granted=%d deadlocked=%d", granted, deadlocked)
+}
+
+// waitUntilWaiting spins until res has at least one queued waiter.
+func waitUntilWaiting(t *testing.T, m *Manager, res Resource) {
+	t.Helper()
+	waitUntilWaiting2(t, m, res, 1)
+}
+
+func waitUntilWaiting2(t *testing.T, m *Manager, res Resource, n int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		m.mu.Lock()
+		st := m.locks[res]
+		waiting := 0
+		if st != nil {
+			waiting = len(st.waiters)
+		}
+		m.mu.Unlock()
+		if waiting >= n {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("resource %v never reached %d waiters", res, n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,290 @@
+// Package memento defines the value-object layer shared by every tier of
+// the system: entity keys, typed field values, mementos (serializable
+// snapshots of entity-bean state), commit sets, and predicate queries.
+//
+// The paper's caching framework cannot ship EJBs between address spaces
+// (the EJB specification forbids serializing entity beans), so it ships
+// "mementos" instead: value objects that carry the bean's identity and
+// state. The memento captured when a transaction first touches a bean is
+// its before-image; the memento captured at commit time is its
+// after-image. This package is deliberately free of any storage or
+// network dependency so that every tier (edge server, back-end server,
+// database server) can exchange these values.
+package memento
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Key identifies an entity instance: the table (entity type) it belongs
+// to plus its primary key within that table.
+type Key struct {
+	Table string
+	ID    string
+}
+
+// String renders the key as "table/id".
+func (k Key) String() string { return k.Table + "/" + k.ID }
+
+// Kind enumerates the dynamic type of a Value.
+type Kind int
+
+// Supported value kinds. Enums start at one so that the zero Value is
+// distinguishable from a deliberately-stored value.
+const (
+	KindString Kind = iota + 1
+	KindInt
+	KindFloat
+	KindBool
+)
+
+// String returns the kind's name.
+func (k Kind) String() string {
+	switch k {
+	case KindString:
+		return "string"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindBool:
+		return "bool"
+	default:
+		return "invalid"
+	}
+}
+
+// Value is a typed field value. Exactly one of the payload fields is
+// meaningful, selected by Kind. Values are small and copied freely; they
+// are encodable by encoding/gob without interface registration.
+type Value struct {
+	Kind Kind
+	Str  string
+	Int  int64
+	F    float64
+	Bool bool
+}
+
+// String constructs a string Value.
+func String(s string) Value { return Value{Kind: KindString, Str: s} }
+
+// Int constructs an integer Value.
+func Int(i int64) Value { return Value{Kind: KindInt, Int: i} }
+
+// Float constructs a floating-point Value.
+func Float(f float64) Value { return Value{Kind: KindFloat, F: f} }
+
+// Bool constructs a boolean Value.
+func Bool(b bool) Value { return Value{Kind: KindBool, Bool: b} }
+
+// IsZero reports whether v is the zero Value (no kind set).
+func (v Value) IsZero() bool { return v.Kind == 0 }
+
+// Equal reports whether two values have the same kind and payload.
+func (v Value) Equal(o Value) bool { return v == o }
+
+// Compare orders two values of the same kind. It returns -1, 0, or +1.
+// Values of different kinds compare by kind so that ordering is total.
+func (v Value) Compare(o Value) int {
+	if v.Kind != o.Kind {
+		if v.Kind < o.Kind {
+			return -1
+		}
+		return 1
+	}
+	switch v.Kind {
+	case KindString:
+		return strings.Compare(v.Str, o.Str)
+	case KindInt:
+		switch {
+		case v.Int < o.Int:
+			return -1
+		case v.Int > o.Int:
+			return 1
+		}
+	case KindFloat:
+		switch {
+		case v.F < o.F:
+			return -1
+		case v.F > o.F:
+			return 1
+		}
+	case KindBool:
+		switch {
+		case !v.Bool && o.Bool:
+			return -1
+		case v.Bool && !o.Bool:
+			return 1
+		}
+	}
+	return 0
+}
+
+// GoString renders the value for debugging output.
+func (v Value) GoString() string {
+	switch v.Kind {
+	case KindString:
+		return strconv.Quote(v.Str)
+	case KindInt:
+		return strconv.FormatInt(v.Int, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case KindBool:
+		return strconv.FormatBool(v.Bool)
+	default:
+		return "<zero>"
+	}
+}
+
+// Fields maps field names to values: the state portion of a memento.
+type Fields map[string]Value
+
+// Clone returns a deep copy of the field map. A nil map clones to nil.
+func (f Fields) Clone() Fields {
+	if f == nil {
+		return nil
+	}
+	out := make(Fields, len(f))
+	for k, v := range f {
+		out[k] = v
+	}
+	return out
+}
+
+// Equal reports whether two field maps hold exactly the same entries.
+func (f Fields) Equal(o Fields) bool {
+	if len(f) != len(o) {
+		return false
+	}
+	for k, v := range f {
+		ov, ok := o[k]
+		if !ok || !v.Equal(ov) {
+			return false
+		}
+	}
+	return true
+}
+
+// Names returns the sorted field names, for deterministic rendering.
+func (f Fields) Names() []string {
+	names := make([]string, 0, len(f))
+	for k := range f {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Memento is a serializable snapshot of one entity's state. Version is
+// the persistent store's row version at the time the snapshot was taken;
+// version 0 means the entity has never been persisted (a create).
+//
+// Mementos share the entity's notion of identity: two mementos with the
+// same Key describe the same logical entity, possibly at different
+// points in time.
+type Memento struct {
+	Key     Key
+	Version uint64
+	Fields  Fields
+}
+
+// Clone returns a deep copy of the memento.
+func (m Memento) Clone() Memento {
+	m.Fields = m.Fields.Clone()
+	return m
+}
+
+// Equal reports whether two mementos have the same key, version, and
+// state.
+func (m Memento) Equal(o Memento) bool {
+	return m.Key == o.Key && m.Version == o.Version && m.Fields.Equal(o.Fields)
+}
+
+// String renders the memento for debugging.
+func (m Memento) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s@v%d{", m.Key, m.Version)
+	for i, name := range m.Fields.Names() {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "%s: %s", name, m.Fields[name].GoString())
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// ReadProof records that a transaction observed an entity at a given
+// version. At commit time the server verifies that the row is still at
+// that version (or, for Absent proofs, that it still does not exist).
+type ReadProof struct {
+	Key     Key
+	Version uint64
+	// Absent marks a proof that the key did NOT exist when read. The
+	// commit must fail if the key has since been created.
+	Absent bool
+}
+
+// CommitSet carries an entire optimistic transaction to the validator:
+// the versions it read, the after-images it wrote, the entities it
+// created, and the entities it removed. In the split-servers
+// configuration the whole set crosses the high-latency path in a single
+// round trip; in the combined-servers configuration each element costs
+// its own database access.
+type CommitSet struct {
+	// Reads are entities accessed but not modified. Each must still be
+	// at the recorded version for the transaction to commit.
+	Reads []ReadProof
+	// Writes are after-images of modified entities. Each carries the
+	// version observed at read time; the store bumps it on success.
+	Writes []Memento
+	// Creates are after-images of entities created by the transaction.
+	// Each key must not exist at commit time.
+	Creates []Memento
+	// Removes are entities deleted by the transaction. Each must still
+	// exist at the recorded version.
+	Removes []ReadProof
+}
+
+// IsEmpty reports whether the commit set carries no work at all.
+func (cs CommitSet) IsEmpty() bool {
+	return len(cs.Reads) == 0 && len(cs.Writes) == 0 &&
+		len(cs.Creates) == 0 && len(cs.Removes) == 0
+}
+
+// Mutations counts the elements that modify the persistent store.
+func (cs CommitSet) Mutations() int {
+	return len(cs.Writes) + len(cs.Creates) + len(cs.Removes)
+}
+
+// Size counts every element in the commit set; the combined-servers
+// commit path performs roughly this many database accesses.
+func (cs CommitSet) Size() int {
+	return len(cs.Reads) + cs.Mutations()
+}
+
+// TouchedKeys returns the keys of every mutated entity, in a
+// deterministic order. The store broadcasts these in commit notices so
+// that edge caches can invalidate stale entries.
+func (cs CommitSet) TouchedKeys() []Key {
+	keys := make([]Key, 0, cs.Mutations())
+	for _, m := range cs.Writes {
+		keys = append(keys, m.Key)
+	}
+	for _, m := range cs.Creates {
+		keys = append(keys, m.Key)
+	}
+	for _, r := range cs.Removes {
+		keys = append(keys, r.Key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Table != keys[j].Table {
+			return keys[i].Table < keys[j].Table
+		}
+		return keys[i].ID < keys[j].ID
+	})
+	return keys
+}

@@ -1,0 +1,177 @@
+package memento
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Op enumerates predicate comparison operators.
+type Op int
+
+// Comparison operators supported by predicate queries. These are the
+// operators the Trade application's custom finders need (equality plus
+// ordered comparisons); they are deliberately a conjunction-only subset
+// of SQL so the same predicate can be evaluated by the persistent store
+// and by the transient (cached) home.
+const (
+	OpEq Op = iota + 1
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpPrefix
+)
+
+// String returns the operator's SQL-ish spelling.
+func (o Op) String() string {
+	switch o {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "!="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	case OpPrefix:
+		return "LIKE-prefix"
+	default:
+		return "invalid"
+	}
+}
+
+// Predicate is one field comparison. A missing field never matches.
+type Predicate struct {
+	Field string
+	Op    Op
+	Value Value
+}
+
+// Matches evaluates the predicate against a field map.
+func (p Predicate) Matches(f Fields) bool {
+	v, ok := f[p.Field]
+	if !ok {
+		return false
+	}
+	if p.Op == OpPrefix {
+		return v.Kind == KindString && p.Value.Kind == KindString &&
+			strings.HasPrefix(v.Str, p.Value.Str)
+	}
+	c := v.Compare(p.Value)
+	switch p.Op {
+	case OpEq:
+		return c == 0
+	case OpNe:
+		return c != 0
+	case OpLt:
+		return c < 0
+	case OpLe:
+		return c <= 0
+	case OpGt:
+		return c > 0
+	case OpGe:
+		return c >= 0
+	default:
+		return false
+	}
+}
+
+// Query is a predicate query ("custom finder") against one table. All
+// predicates must match (conjunction). A zero Limit means unlimited.
+// OrderBy, when set, sorts results by that field (ties and missing
+// fields fall back to primary-key order); otherwise results are in
+// primary-key order.
+type Query struct {
+	Table   string
+	Where   []Predicate
+	OrderBy string
+	Desc    bool
+	Limit   int
+}
+
+// Matches reports whether a memento from the query's table satisfies
+// every predicate.
+func (q Query) Matches(m Memento) bool {
+	if m.Key.Table != q.Table {
+		return false
+	}
+	for _, p := range q.Where {
+		if !p.Matches(m.Fields) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the query for logs and debugging.
+func (q Query) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "SELECT * FROM %s", q.Table)
+	for i, p := range q.Where {
+		if i == 0 {
+			sb.WriteString(" WHERE ")
+		} else {
+			sb.WriteString(" AND ")
+		}
+		fmt.Fprintf(&sb, "%s %s %s", p.Field, p.Op, p.Value.GoString())
+	}
+	if q.OrderBy != "" {
+		fmt.Fprintf(&sb, " ORDER BY %s", q.OrderBy)
+		if q.Desc {
+			sb.WriteString(" DESC")
+		}
+	}
+	if q.Limit > 0 {
+		fmt.Fprintf(&sb, " LIMIT %d", q.Limit)
+	}
+	return sb.String()
+}
+
+// Sort orders mementos according to the query: by OrderBy field when
+// set (missing fields sort first ascending), breaking ties — and
+// ordering entirely when OrderBy is empty — by primary key. Sorting is
+// deterministic so that finder results are reproducible across the
+// persistent store and the transient home.
+func (q Query) Sort(ms []Memento) {
+	sort.Slice(ms, func(i, j int) bool {
+		if q.OrderBy != "" {
+			vi, okI := ms[i].Fields[q.OrderBy]
+			vj, okJ := ms[j].Fields[q.OrderBy]
+			var c int
+			switch {
+			case okI && okJ:
+				c = vi.Compare(vj)
+			case okI:
+				c = 1
+			case okJ:
+				c = -1
+			}
+			if c != 0 {
+				if q.Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+		}
+		return ms[i].Key.ID < ms[j].Key.ID
+	})
+}
+
+// Cap truncates ms to the query's limit, if any.
+func (q Query) Cap(ms []Memento) []Memento {
+	if q.Limit > 0 && len(ms) > q.Limit {
+		return ms[:q.Limit]
+	}
+	return ms
+}
+
+// Where is a convenience constructor for an equality predicate.
+func Where(field string, v Value) Predicate {
+	return Predicate{Field: field, Op: OpEq, Value: v}
+}

@@ -1,0 +1,182 @@
+package memento
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPredicateMatches(t *testing.T) {
+	fields := Fields{
+		"name":  String("bravo"),
+		"count": Int(5),
+		"price": Float(9.5),
+		"open":  Bool(true),
+	}
+	tests := []struct {
+		name string
+		give Predicate
+		want bool
+	}{
+		{"eq hit", Predicate{"name", OpEq, String("bravo")}, true},
+		{"eq miss", Predicate{"name", OpEq, String("alpha")}, false},
+		{"ne", Predicate{"name", OpNe, String("alpha")}, true},
+		{"lt", Predicate{"count", OpLt, Int(6)}, true},
+		{"lt boundary", Predicate{"count", OpLt, Int(5)}, false},
+		{"le boundary", Predicate{"count", OpLe, Int(5)}, true},
+		{"gt", Predicate{"price", OpGt, Float(9.0)}, true},
+		{"ge boundary", Predicate{"price", OpGe, Float(9.5)}, true},
+		{"prefix hit", Predicate{"name", OpPrefix, String("bra")}, true},
+		{"prefix miss", Predicate{"name", OpPrefix, String("vo")}, false},
+		{"prefix non-string", Predicate{"count", OpPrefix, String("5")}, false},
+		{"missing field", Predicate{"ghost", OpEq, Int(1)}, false},
+		{"bool eq", Predicate{"open", OpEq, Bool(true)}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.give.Matches(fields); got != tt.want {
+				t.Errorf("Matches = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestQueryMatchesConjunction(t *testing.T) {
+	m := Memento{
+		Key:    Key{Table: "holding", ID: "h-1"},
+		Fields: Fields{"accountID": String("u1"), "quantity": Float(10)},
+	}
+	q := Query{
+		Table: "holding",
+		Where: []Predicate{
+			Where("accountID", String("u1")),
+			{Field: "quantity", Op: OpGt, Value: Float(5)},
+		},
+	}
+	if !q.Matches(m) {
+		t.Error("conjunction should match")
+	}
+	q.Where[1].Value = Float(50)
+	if q.Matches(m) {
+		t.Error("failing predicate should fail the conjunction")
+	}
+	other := m
+	other.Key.Table = "quote"
+	q.Where[1].Value = Float(5)
+	if q.Matches(other) {
+		t.Error("wrong table should never match")
+	}
+}
+
+func TestQueryEmptyWhereMatchesTable(t *testing.T) {
+	q := Query{Table: "t"}
+	if !q.Matches(Memento{Key: Key{Table: "t", ID: "1"}}) {
+		t.Error("empty WHERE should match any row of the table")
+	}
+}
+
+func TestQueryString(t *testing.T) {
+	q := Query{
+		Table: "holding",
+		Where: []Predicate{Where("accountID", String("u1"))},
+		Limit: 5,
+	}
+	want := `SELECT * FROM holding WHERE accountID = "u1" LIMIT 5`
+	if got := q.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+// Property: OpEq and OpNe partition the value space.
+func TestEqNePartitionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		v := randomValue(rng)
+		w := randomValue(rng)
+		fields := Fields{"f": v}
+		eq := Predicate{"f", OpEq, w}.Matches(fields)
+		ne := Predicate{"f", OpNe, w}.Matches(fields)
+		return eq != ne
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Lt is equivalent to Le-and-Ne for same-kind values.
+func TestOrderingConsistencyProperty(t *testing.T) {
+	f := func(a, b int64) bool {
+		fields := Fields{"f": Int(a)}
+		lt := Predicate{"f", OpLt, Int(b)}.Matches(fields)
+		le := Predicate{"f", OpLe, Int(b)}.Matches(fields)
+		ne := Predicate{"f", OpNe, Int(b)}.Matches(fields)
+		return lt == (le && ne)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuerySortAndCap(t *testing.T) {
+	rows := []Memento{
+		{Key: Key{Table: "t", ID: "c"}, Fields: Fields{"p": Int(2)}},
+		{Key: Key{Table: "t", ID: "a"}, Fields: Fields{"p": Int(3)}},
+		{Key: Key{Table: "t", ID: "b"}, Fields: Fields{"p": Int(1)}},
+		{Key: Key{Table: "t", ID: "d"}}, // missing field sorts first asc
+	}
+	q := Query{Table: "t", OrderBy: "p"}
+	q.Sort(rows)
+	gotIDs := []string{rows[0].Key.ID, rows[1].Key.ID, rows[2].Key.ID, rows[3].Key.ID}
+	want := []string{"d", "b", "c", "a"}
+	for i := range want {
+		if gotIDs[i] != want[i] {
+			t.Fatalf("ascending order = %v, want %v", gotIDs, want)
+		}
+	}
+	q.Desc = true
+	q.Sort(rows)
+	if rows[0].Key.ID != "a" || rows[3].Key.ID != "d" {
+		t.Fatalf("descending order = %v", rows)
+	}
+	q.Limit = 2
+	capped := q.Cap(rows)
+	if len(capped) != 2 {
+		t.Fatalf("cap = %d rows", len(capped))
+	}
+	q.Limit = 0
+	if got := q.Cap(rows); len(got) != 4 {
+		t.Fatalf("no-limit cap = %d rows", len(got))
+	}
+}
+
+func TestQuerySortTieBreaksByID(t *testing.T) {
+	rows := []Memento{
+		{Key: Key{Table: "t", ID: "z"}, Fields: Fields{"p": Int(1)}},
+		{Key: Key{Table: "t", ID: "a"}, Fields: Fields{"p": Int(1)}},
+	}
+	q := Query{Table: "t", OrderBy: "p"}
+	q.Sort(rows)
+	if rows[0].Key.ID != "a" {
+		t.Error("ties not broken by primary key")
+	}
+}
+
+func TestQueryStringWithOrderBy(t *testing.T) {
+	q := Query{Table: "t", OrderBy: "price", Desc: true, Limit: 3}
+	want := "SELECT * FROM t ORDER BY price DESC LIMIT 3"
+	if got := q.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	ops := map[Op]string{
+		OpEq: "=", OpNe: "!=", OpLt: "<", OpLe: "<=",
+		OpGt: ">", OpGe: ">=", OpPrefix: "LIKE-prefix", Op(99): "invalid",
+	}
+	for op, want := range ops {
+		if got := op.String(); got != want {
+			t.Errorf("Op(%d).String() = %q, want %q", op, got, want)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package slicache
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"edgeejb/internal/memento"
+	"edgeejb/internal/sqlstore"
+)
+
+// fakeClock is a controllable timestamp source.
+type fakeClock struct {
+	t time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 7, 6, 12, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func TestBoundedReadsSkipFreshValidation(t *testing.T) {
+	e := newEnv(t, WithShipping(WholeSet), WithTimeBoundedReads(10*time.Second))
+	clock := newFakeClock()
+	e.mgr.SetClock(clock.now)
+	e.store.Seed(row("1", 1))
+	ctx := context.Background()
+
+	// Warm the cache (the miss fetch itself costs one statement; the
+	// commit of a fresh-read-only transaction must cost zero).
+	dt := e.begin(t)
+	if _, err := dt.Load(ctx, key("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := dt.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	before := e.conn.Ops()
+	dt2 := e.begin(t)
+	if _, err := dt2.Load(ctx, key("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := dt2.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.conn.Ops() - before; got != 0 {
+		t.Errorf("fresh bounded read-only commit cost %d statements, want 0", got)
+	}
+	if e.mgr.Stats().BoundedReadsSkipped == 0 {
+		t.Error("no bounded reads recorded")
+	}
+}
+
+func TestBoundedReadsValidateOnceStale(t *testing.T) {
+	e := newEnv(t, WithShipping(WholeSet), WithTimeBoundedReads(10*time.Second))
+	clock := newFakeClock()
+	e.mgr.SetClock(clock.now)
+	e.store.Seed(row("1", 1))
+	ctx := context.Background()
+
+	dt := e.begin(t)
+	if _, err := dt.Load(ctx, key("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := dt.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Entry ages beyond the bound: validation resumes.
+	clock.advance(time.Minute)
+	before := e.conn.Ops()
+	dt2 := e.begin(t)
+	if _, err := dt2.Load(ctx, key("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := dt2.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.conn.Ops() - before; got != 1 {
+		t.Errorf("stale bounded read-only commit cost %d statements, want 1 (validation)", got)
+	}
+}
+
+func TestBoundedReadsCanObserveStaleData(t *testing.T) {
+	// The semantic cost of the relaxation: a bounded read can commit
+	// having observed a value that was concurrently overwritten — the
+	// "time-based guarantees" of §1.4, not ACID.
+	e := newEnv(t, WithShipping(WholeSet), WithTimeBoundedReads(time.Hour))
+	e.store.Seed(row("1", 10))
+	ctx := context.Background()
+
+	// Warm the cache with n=10.
+	dt := e.begin(t)
+	if _, err := dt.Load(ctx, key("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := dt.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Concurrent writer moves the row to n=99 (no invalidation
+	// subscription in this env).
+	if _, err := e.store.ApplyCommitSet(ctx, memento.CommitSet{
+		Writes: []memento.Memento{{Key: key("1"), Version: 1, Fields: memento.Fields{"n": memento.Int(99)}}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// A strict transaction would abort; the bounded one commits with the
+	// stale value.
+	dt2 := e.begin(t)
+	m, err := dt2.Load(ctx, key("1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Fields["n"].Int != 10 {
+		t.Fatalf("expected the stale cached value, got %v", m)
+	}
+	if err := dt2.Commit(ctx); err != nil {
+		t.Fatalf("bounded read-only commit should succeed despite staleness: %v", err)
+	}
+}
+
+func TestBoundedReadsNeverWeakenWrites(t *testing.T) {
+	e := newEnv(t, WithShipping(WholeSet), WithTimeBoundedReads(time.Hour))
+	e.store.Seed(row("1", 10))
+	ctx := context.Background()
+
+	// Warm, then concurrently overwrite.
+	dt := e.begin(t)
+	if _, err := dt.Load(ctx, key("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := dt.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.store.ApplyCommitSet(ctx, memento.CommitSet{
+		Writes: []memento.Memento{{Key: key("1"), Version: 1, Fields: memento.Fields{"n": memento.Int(99)}}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// A write based on the stale cached image MUST still conflict.
+	dt2 := e.begin(t)
+	m, err := dt2.Load(ctx, key("1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Fields["n"] = memento.Int(11)
+	if err := dt2.Store(ctx, m); err != nil {
+		t.Fatal(err)
+	}
+	if err := dt2.Commit(ctx); !errors.Is(err, sqlstore.ErrConflict) {
+		t.Fatalf("stale write committed under bounded reads: %v", err)
+	}
+}
+
+func TestStrictModeIsDefault(t *testing.T) {
+	e := newEnv(t, WithShipping(WholeSet))
+	e.store.Seed(row("1", 1))
+	ctx := context.Background()
+
+	dt := e.begin(t)
+	if _, err := dt.Load(ctx, key("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := dt.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if e.mgr.Stats().BoundedReadsSkipped != 0 {
+		t.Error("strict mode skipped read validation")
+	}
+}

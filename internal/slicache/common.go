@@ -1,0 +1,246 @@
+// Package slicache implements the paper's core contribution: the Single
+// Logical Image (SLI) EJB caching runtime. A cache-enhanced application
+// server keeps transactionally-consistent cached copies of entity state:
+//
+//   - a per-transaction transient store tracks every bean a transaction
+//     touches, with its before-image (the state and version first
+//     observed) and its current state;
+//   - a common transient store, shared across transactions, provides
+//     inter-transaction caching: beans cached by one transaction are
+//     visible to concurrent and subsequent transactions (§2.3);
+//   - concurrency control is optimistic (detection-based, deferred
+//     validity checking): at commit, the transaction's before-images are
+//     validated against the persistent store, and the after-images are
+//     applied only if no conflict exists;
+//   - the persistent store pushes invalidation notices after commits, and
+//     the runtime evicts the affected common-store entries.
+//
+// The runtime implements component.ResourceManager, so applications
+// written against the component container are cache-enabled without any
+// code change — the transparency requirement of §1.3.
+package slicache
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"edgeejb/internal/memento"
+)
+
+// CommonStore is the shared (inter-transaction) transient datastore of
+// memento instances. It is a cache of committed persistent state; it
+// never holds uncommitted data. When a capacity is configured, entries
+// are evicted in least-recently-used order — edge caches are
+// space-constrained, which is the problem the paper's related work on
+// edge data caches (§1.4, Amiri et al.) addresses.
+type CommonStore struct {
+	mu       sync.RWMutex
+	entries  map[memento.Key]*list.Element
+	lru      *list.List // front = most recently used
+	capacity int        // 0 = unlimited
+	enabled  bool
+	now      func() time.Time
+
+	hits          atomic.Uint64
+	misses        atomic.Uint64
+	invalidations atomic.Uint64
+	refreshes     atomic.Uint64
+	evictions     atomic.Uint64
+}
+
+// lruEntry is one cached memento plus its key for back-eviction and the
+// time its value was stored (for time-bounded read modes).
+type lruEntry struct {
+	key      memento.Key
+	mem      memento.Memento
+	storedAt time.Time
+}
+
+// CommonStoreStats is a snapshot of cache counters.
+type CommonStoreStats struct {
+	Hits          uint64
+	Misses        uint64
+	Invalidations uint64
+	Refreshes     uint64
+	Evictions     uint64
+	Entries       int
+}
+
+// NewCommonStore returns an empty, enabled, unbounded common store. A
+// disabled store (see SetEnabled) misses on every lookup, which is the
+// "no inter-transaction caching" ablation.
+func NewCommonStore() *CommonStore {
+	return &CommonStore{
+		entries: make(map[memento.Key]*list.Element),
+		lru:     list.New(),
+		enabled: true,
+		now:     time.Now,
+	}
+}
+
+// SetEnabled toggles inter-transaction caching. Disabling also drops the
+// current contents.
+func (c *CommonStore) SetEnabled(enabled bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.enabled = enabled
+	if !enabled {
+		c.entries = make(map[memento.Key]*list.Element)
+		c.lru.Init()
+	}
+}
+
+// SetCapacity bounds the number of cached entries; 0 means unlimited.
+// Shrinking below the current size evicts LRU entries immediately.
+func (c *CommonStore) SetCapacity(capacity int) {
+	if capacity < 0 {
+		capacity = 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.capacity = capacity
+	c.evictOverflowLocked()
+}
+
+// Capacity returns the configured bound (0 = unlimited).
+func (c *CommonStore) Capacity() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.capacity
+}
+
+// SetClock overrides the timestamp source; tests use it to control
+// entry ages deterministically.
+func (c *CommonStore) SetClock(now func() time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = now
+}
+
+// Get returns a copy of the cached memento for key, if present, marking
+// it most recently used.
+func (c *CommonStore) Get(key memento.Key) (memento.Memento, bool) {
+	m, _, ok := c.GetWithTime(key)
+	return m, ok
+}
+
+// GetWithTime is Get plus the instant the cached value was stored, which
+// time-bounded read modes use to decide whether an entry is fresh
+// enough to skip commit validation.
+func (c *CommonStore) GetWithTime(key memento.Key) (memento.Memento, time.Time, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.enabled {
+		c.misses.Add(1)
+		return memento.Memento{}, time.Time{}, false
+	}
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses.Add(1)
+		return memento.Memento{}, time.Time{}, false
+	}
+	c.lru.MoveToFront(el)
+	c.hits.Add(1)
+	entry := el.Value.(*lruEntry)
+	return entry.mem.Clone(), entry.storedAt, true
+}
+
+// Put caches a committed memento. Older versions never overwrite newer
+// ones, so racing fills and refreshes are safe in any order.
+func (c *CommonStore) Put(m memento.Memento) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.enabled {
+		return
+	}
+	if el, ok := c.entries[m.Key]; ok {
+		entry := el.Value.(*lruEntry)
+		if entry.mem.Version >= m.Version {
+			c.lru.MoveToFront(el)
+			return
+		}
+		entry.mem = m.Clone()
+		entry.storedAt = c.now()
+		c.lru.MoveToFront(el)
+		return
+	}
+	el := c.lru.PushFront(&lruEntry{key: m.Key, mem: m.Clone(), storedAt: c.now()})
+	c.entries[m.Key] = el
+	c.evictOverflowLocked()
+}
+
+// Refresh is Put plus accounting: the runtime calls it after its own
+// successful commits to keep entries warm instead of waiting for an
+// invalidation round trip.
+func (c *CommonStore) Refresh(m memento.Memento) {
+	c.refreshes.Add(1)
+	c.Put(m)
+}
+
+// Invalidate evicts the given keys (on server update notices, conflict
+// aborts, and removals).
+func (c *CommonStore) Invalidate(keys ...memento.Key) {
+	if len(keys) == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, k := range keys {
+		if el, ok := c.entries[k]; ok {
+			c.lru.Remove(el)
+			delete(c.entries, k)
+			c.invalidations.Add(1)
+		}
+	}
+}
+
+// Clear evicts every entry. The runtime clears the cache after the
+// invalidation stream is interrupted and re-established: notices may
+// have been missed, so every entry is suspect.
+func (c *CommonStore) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := len(c.entries)
+	c.entries = make(map[memento.Key]*list.Element)
+	c.lru.Init()
+	c.invalidations.Add(uint64(n))
+}
+
+// Len returns the number of cached entries.
+func (c *CommonStore) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.entries)
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *CommonStore) Stats() CommonStoreStats {
+	return CommonStoreStats{
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Invalidations: c.invalidations.Load(),
+		Refreshes:     c.refreshes.Load(),
+		Evictions:     c.evictions.Load(),
+		Entries:       c.Len(),
+	}
+}
+
+// evictOverflowLocked drops LRU entries until within capacity. Called
+// with c.mu held.
+func (c *CommonStore) evictOverflowLocked() {
+	if c.capacity <= 0 {
+		return
+	}
+	for len(c.entries) > c.capacity {
+		back := c.lru.Back()
+		if back == nil {
+			return
+		}
+		entry := back.Value.(*lruEntry)
+		c.lru.Remove(back)
+		delete(c.entries, entry.key)
+		c.evictions.Add(1)
+	}
+}

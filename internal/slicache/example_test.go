@@ -1,0 +1,51 @@
+package slicache_test
+
+import (
+	"context"
+	"fmt"
+
+	"edgeejb/internal/memento"
+	"edgeejb/internal/slicache"
+	"edgeejb/internal/sqlstore"
+	"edgeejb/internal/storeapi"
+)
+
+// Example walks the SLI cache through the paper's §2 lifecycle: a miss
+// populates the common transient store, a second transaction hits it,
+// and an optimistic commit validates before-images and applies
+// after-images.
+func Example() {
+	store := sqlstore.New()
+	defer store.Close()
+	store.Seed(memento.Memento{
+		Key:    memento.Key{Table: "account", ID: "uid-1"},
+		Fields: memento.Fields{"balance": memento.Int(100)},
+	})
+
+	mgr := slicache.NewManager(storeapi.Local(store),
+		slicache.WithShipping(slicache.WholeSet))
+	defer mgr.Close()
+	ctx := context.Background()
+	key := memento.Key{Table: "account", ID: "uid-1"}
+
+	// Transaction 1: miss, update, commit.
+	dt, _ := mgr.Begin(ctx)
+	m, _ := dt.Load(ctx, key) // cache miss -> fetched from the store
+	m.Fields["balance"] = memento.Int(150)
+	_ = dt.Store(ctx, m)
+	if err := dt.Commit(ctx); err != nil {
+		fmt.Println("commit 1:", err)
+	}
+
+	// Transaction 2: served from the common store, no fetch.
+	dt2, _ := mgr.Begin(ctx)
+	m2, _ := dt2.Load(ctx, key)
+	_ = dt2.Abort(ctx)
+
+	st := mgr.Stats()
+	fmt.Printf("balance=%d version=%d\n", m2.Fields["balance"].Int, m2.Version)
+	fmt.Printf("missFetches=%d cacheHits=%d\n", st.MissFetches, st.Cache.Hits)
+	// Output:
+	// balance=150 version=2
+	// missFetches=1 cacheHits=1
+}

@@ -1,0 +1,149 @@
+package slicache
+
+import (
+	"context"
+	"fmt"
+
+	"edgeejb/internal/memento"
+	"edgeejb/internal/storeapi"
+)
+
+// CommitShipping selects how a transaction's commit set reaches the
+// validator, which is the architectural difference between the paper's
+// two cache deployments (§2.4, §4.4):
+//
+//   - PerImage (combined-servers / ES/RDB): the edge server drives
+//     validation statement-by-statement against the database, paying one
+//     round trip per memento image plus begin/commit.
+//   - WholeSet (split-servers / ES/RBES): the edge server ships the
+//     entire commit set to the back-end server in a single round trip;
+//     the back-end performs the per-image work over its low-latency path
+//     to the database.
+type CommitShipping int
+
+// Shipping modes.
+const (
+	// PerImage drives optimistic validation one statement per memento
+	// image (combined-servers).
+	PerImage CommitShipping = iota + 1
+	// WholeSet ships the whole commit set in one round trip
+	// (split-servers).
+	WholeSet
+)
+
+// String names the shipping mode.
+func (s CommitShipping) String() string {
+	switch s {
+	case PerImage:
+		return "per-image"
+	case WholeSet:
+		return "whole-set"
+	default:
+		return "invalid"
+	}
+}
+
+// CommitOutcome reports a successful optimistic commit.
+type CommitOutcome struct {
+	// TxID identifies the datastore transaction that applied the set,
+	// used to filter the cache's own commits out of the invalidation
+	// stream.
+	TxID uint64
+	// NewVersions maps every mutated key to its new row version.
+	NewVersions map[memento.Key]uint64
+}
+
+// Loader is how the cache runtime reaches persistent state: cache-miss
+// fetches, custom-finder queries, and commit-set validation. Every
+// method is a short, independent datastore interaction, decoupled from
+// the application transaction (§2.3).
+type Loader struct {
+	conn     storeapi.Conn
+	shipping CommitShipping
+}
+
+// NewLoader builds a loader over a datastore handle. In the
+// combined-servers configuration conn reaches the database server; in
+// split-servers it reaches the back-end server.
+func NewLoader(conn storeapi.Conn, shipping CommitShipping) *Loader {
+	return &Loader{conn: conn, shipping: shipping}
+}
+
+// Shipping returns the loader's commit-shipping mode.
+func (l *Loader) Shipping() CommitShipping { return l.shipping }
+
+// FetchOne loads one entity's current persistent state (a cache miss).
+func (l *Loader) FetchOne(ctx context.Context, key memento.Key) (memento.Memento, error) {
+	return l.conn.AutoGet(ctx, key.Table, key.ID)
+}
+
+// RunQuery evaluates a custom finder against the persistent store, which
+// is the only store guaranteed to have the entire potential result set
+// (§2.2).
+func (l *Loader) RunQuery(ctx context.Context, q memento.Query) ([]memento.Memento, error) {
+	return l.conn.AutoQuery(ctx, q)
+}
+
+// Commit validates and applies a commit set according to the shipping
+// mode. On conflict it returns an error matching sqlstore.ErrConflict.
+func (l *Loader) Commit(ctx context.Context, cs memento.CommitSet) (CommitOutcome, error) {
+	switch l.shipping {
+	case WholeSet:
+		res, err := l.conn.ApplyCommitSet(ctx, cs)
+		if err != nil {
+			return CommitOutcome{}, err
+		}
+		return CommitOutcome{TxID: res.TxID, NewVersions: res.NewVersions}, nil
+	case PerImage:
+		return l.commitPerImage(ctx, cs)
+	default:
+		return CommitOutcome{}, fmt.Errorf("slicache: invalid shipping mode %d", l.shipping)
+	}
+}
+
+// commitPerImage is the combined-servers commit: one database access per
+// memento image. "The combined-servers configuration requires multiple
+// database server accesses, one per memento image" (§4.4).
+func (l *Loader) commitPerImage(ctx context.Context, cs memento.CommitSet) (CommitOutcome, error) {
+	txn, err := l.conn.Begin(ctx)
+	if err != nil {
+		return CommitOutcome{}, err
+	}
+	abort := func(err error) (CommitOutcome, error) {
+		_ = txn.Abort(ctx)
+		return CommitOutcome{}, err
+	}
+	for _, r := range cs.Reads {
+		want := r.Version
+		if r.Absent {
+			want = 0
+		}
+		if err := txn.CheckVersion(ctx, r.Key, want); err != nil {
+			return abort(err)
+		}
+	}
+	newVersions := make(map[memento.Key]uint64, len(cs.Writes)+len(cs.Creates))
+	for _, w := range cs.Writes {
+		if err := txn.CheckedPut(ctx, w); err != nil {
+			return abort(err)
+		}
+		newVersions[w.Key] = w.Version + 1
+	}
+	for _, c := range cs.Creates {
+		create := c
+		create.Version = 0
+		if err := txn.CheckedPut(ctx, create); err != nil {
+			return abort(err)
+		}
+		newVersions[c.Key] = 1
+	}
+	for _, r := range cs.Removes {
+		if err := txn.CheckedDelete(ctx, r.Key, r.Version); err != nil {
+			return abort(err)
+		}
+	}
+	if err := txn.Commit(ctx); err != nil {
+		return CommitOutcome{}, err
+	}
+	return CommitOutcome{TxID: txn.ID(), NewVersions: newVersions}, nil
+}

@@ -1,0 +1,141 @@
+package slicache
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"edgeejb/internal/memento"
+)
+
+func keyN(i int) memento.Key { return memento.Key{Table: "t", ID: fmt.Sprintf("%03d", i)} }
+
+func rowN(i int, version uint64) memento.Memento {
+	return memento.Memento{
+		Key:     keyN(i),
+		Version: version,
+		Fields:  memento.Fields{"n": memento.Int(int64(i))},
+	}
+}
+
+func TestLRUEvictsLeastRecentlyUsed(t *testing.T) {
+	cs := NewCommonStore()
+	cs.SetCapacity(3)
+	for i := 0; i < 3; i++ {
+		cs.Put(rowN(i, 1))
+	}
+	// Touch 0 so 1 becomes LRU.
+	if _, ok := cs.Get(keyN(0)); !ok {
+		t.Fatal("warm entry missing")
+	}
+	cs.Put(rowN(3, 1)) // evicts 1
+	if _, ok := cs.Get(keyN(1)); ok {
+		t.Error("LRU entry 1 not evicted")
+	}
+	for _, i := range []int{0, 2, 3} {
+		if _, ok := cs.Get(keyN(i)); !ok {
+			t.Errorf("entry %d wrongly evicted", i)
+		}
+	}
+	if got := cs.Stats().Evictions; got != 1 {
+		t.Errorf("evictions = %d, want 1", got)
+	}
+}
+
+func TestLRUShrinkCapacityEvictsImmediately(t *testing.T) {
+	cs := NewCommonStore()
+	for i := 0; i < 10; i++ {
+		cs.Put(rowN(i, 1))
+	}
+	cs.SetCapacity(4)
+	if got := cs.Len(); got != 4 {
+		t.Fatalf("len after shrink = %d, want 4", got)
+	}
+	// The four most recently inserted entries survive.
+	for i := 6; i < 10; i++ {
+		if _, ok := cs.Get(keyN(i)); !ok {
+			t.Errorf("recent entry %d evicted", i)
+		}
+	}
+	if cs.Capacity() != 4 {
+		t.Errorf("capacity = %d", cs.Capacity())
+	}
+}
+
+func TestLRUUnboundedByDefault(t *testing.T) {
+	cs := NewCommonStore()
+	for i := 0; i < 1000; i++ {
+		cs.Put(rowN(i, 1))
+	}
+	if got := cs.Len(); got != 1000 {
+		t.Fatalf("unbounded store evicted: len = %d", got)
+	}
+	if cs.Stats().Evictions != 0 {
+		t.Error("unbounded store recorded evictions")
+	}
+}
+
+func TestLRUPutRefreshesRecency(t *testing.T) {
+	cs := NewCommonStore()
+	cs.SetCapacity(2)
+	cs.Put(rowN(0, 1))
+	cs.Put(rowN(1, 1))
+	// Re-put 0 (same version: value kept, recency bumped).
+	cs.Put(rowN(0, 1))
+	cs.Put(rowN(2, 1)) // evicts 1, not 0
+	if _, ok := cs.Get(keyN(0)); !ok {
+		t.Error("re-put entry evicted")
+	}
+	if _, ok := cs.Get(keyN(1)); ok {
+		t.Error("stale-recency entry survived")
+	}
+}
+
+func TestLRUVersionMonotonicityPreserved(t *testing.T) {
+	cs := NewCommonStore()
+	cs.SetCapacity(2)
+	cs.Put(rowN(0, 5))
+	cs.Put(rowN(0, 3)) // stale: ignored for value, recency bumped
+	got, ok := cs.Get(keyN(0))
+	if !ok || got.Version != 5 {
+		t.Fatalf("got %v, want version 5", got)
+	}
+}
+
+// TestCapacityBoundedManagerRefetches: with a tiny cache, the manager
+// keeps working (correctness) but refetches evicted beans (more miss
+// fetches than with an unbounded cache).
+func TestCapacityBoundedManagerRefetches(t *testing.T) {
+	e := newEnv(t, WithCacheCapacity(2))
+	for i := 0; i < 8; i++ {
+		e.store.Seed(rowN(i, 0))
+	}
+	ctx := context.Background()
+
+	touchAll := func() {
+		for i := 0; i < 8; i++ {
+			dt := e.begin(t)
+			if _, err := dt.Load(ctx, keyN(i)); err != nil {
+				t.Fatal(err)
+			}
+			if err := dt.Commit(ctx); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	touchAll()
+	first := e.mgr.Stats().MissFetches
+	if first != 8 {
+		t.Fatalf("cold pass misses = %d, want 8", first)
+	}
+	touchAll()
+	second := e.mgr.Stats().MissFetches - first
+	// With capacity 2 and a working set of 8, the second pass must
+	// refetch most beans.
+	if second < 6 {
+		t.Errorf("bounded cache refetched only %d of 8; capacity not enforced", second)
+	}
+	if e.mgr.CommonStore().Len() > 2 {
+		t.Errorf("cache size %d exceeds capacity 2", e.mgr.CommonStore().Len())
+	}
+}

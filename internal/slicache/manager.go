@@ -1,0 +1,359 @@
+package slicache
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"edgeejb/internal/component"
+	"edgeejb/internal/memento"
+	"edgeejb/internal/sqlstore"
+	"edgeejb/internal/storeapi"
+)
+
+// Manager is the SLI Resource Manager: it replaces the pessimistic JDBC
+// resource manager with optimistic, cache-backed data access (§2.3). It
+// implements component.ResourceManager, so a container built over a
+// Manager runs unmodified application code against cached entity state.
+type Manager struct {
+	loader *Loader
+	common *CommonStore
+	conn   storeapi.Conn
+
+	invalidate    bool
+	localReadOnly bool
+	staleBound    time.Duration
+	now           func() time.Time
+
+	mu      sync.Mutex
+	ownTxs  map[uint64]struct{}
+	ownRing []uint64
+	cancel  func()
+	started bool
+	stop    chan struct{}
+	done    chan struct{}
+
+	stats struct {
+		begins, commits, conflicts atomic.Uint64
+		loads, queries             atomic.Uint64
+		missFetches                atomic.Uint64
+		noticesApplied             atomic.Uint64
+		boundedReadsSkipped        atomic.Uint64
+		resubscribes               atomic.Uint64
+	}
+}
+
+var _ component.ResourceManager = (*Manager)(nil)
+
+// ManagerStats is a snapshot of runtime counters.
+type ManagerStats struct {
+	Begins         uint64
+	Commits        uint64
+	Conflicts      uint64
+	Loads          uint64
+	Queries        uint64
+	MissFetches    uint64
+	NoticesApplied uint64
+	// BoundedReadsSkipped counts read proofs omitted from commit sets
+	// under WithTimeBoundedReads.
+	BoundedReadsSkipped uint64
+	// Resubscribes counts invalidation-stream reconnections.
+	Resubscribes uint64
+	Cache        CommonStoreStats
+}
+
+// ManagerOption configures a Manager.
+type ManagerOption interface {
+	apply(*managerConfig)
+}
+
+type managerConfig struct {
+	shipping      CommitShipping
+	commonStore   bool
+	invalidation  bool
+	localReadOnly bool
+	cacheCapacity int
+	staleBound    time.Duration
+}
+
+type shippingOption CommitShipping
+
+func (o shippingOption) apply(c *managerConfig) { c.shipping = CommitShipping(o) }
+
+// WithShipping selects the commit-shipping mode. The default is
+// PerImage (combined-servers).
+func WithShipping(s CommitShipping) ManagerOption { return shippingOption(s) }
+
+type commonStoreOption bool
+
+func (o commonStoreOption) apply(c *managerConfig) { c.commonStore = bool(o) }
+
+// WithCommonStore toggles inter-transaction caching (default on).
+// Disabling it is the "no common transient store" ablation: every
+// transaction starts cold and all direct accesses miss to the
+// persistent store.
+func WithCommonStore(enabled bool) ManagerOption { return commonStoreOption(enabled) }
+
+type invalidationOption bool
+
+func (o invalidationOption) apply(c *managerConfig) { c.invalidation = bool(o) }
+
+// WithInvalidation toggles subscription to the server's invalidation
+// stream (default on). With it off, stale common-store entries are only
+// discovered at commit-validation time.
+func WithInvalidation(enabled bool) ManagerOption { return invalidationOption(enabled) }
+
+type localReadOnlyOption bool
+
+func (o localReadOnlyOption) apply(c *managerConfig) { c.localReadOnly = bool(o) }
+
+type cacheCapacityOption int
+
+func (o cacheCapacityOption) apply(c *managerConfig) { c.cacheCapacity = int(o) }
+
+// WithCacheCapacity bounds the common store to n entries, evicted in
+// LRU order (0 = unlimited, the default). Edge caches are
+// space-constrained in practice; the capacity ablation quantifies the
+// latency cost of refetching evicted beans.
+func WithCacheCapacity(n int) ManagerOption { return cacheCapacityOption(n) }
+
+type staleBoundOption time.Duration
+
+func (o staleBoundOption) apply(c *managerConfig) { c.staleBound = time.Duration(o) }
+
+// WithTimeBoundedReads relaxes read validation the way the middle-tier
+// database caches the paper contrasts itself with do (§1.4, DBCache and
+// DBProxy): cached data are "only guaranteed to be up-to-date within
+// some specified time period". With a bound d > 0, a bean read from the
+// common store whose cached value is younger than d is NOT validated at
+// commit — its read proof is dropped from the commit set — so
+// read-mostly transactions over warm caches avoid the high-latency
+// validation round trip entirely. Mutations are always validated; this
+// weakens only the reads. Zero (the default) keeps the paper's strict
+// ACID semantics.
+func WithTimeBoundedReads(d time.Duration) ManagerOption { return staleBoundOption(d) }
+
+// WithLocalReadOnlyCommit lets read-only transactions commit locally
+// without a validation round trip. This is an ABLATION, not the paper's
+// behavior: the paper validates every accessed bean at commit, which is
+// why every client request costs at least one high-latency round trip
+// (§4.4). Enabling it shows how much of the edge architectures' latency
+// comes from read-set validation alone.
+func WithLocalReadOnlyCommit(enabled bool) ManagerOption { return localReadOnlyOption(enabled) }
+
+// NewManager builds an SLI resource manager over a datastore handle. In
+// the combined-servers configuration conn reaches the database server
+// directly; in split-servers it reaches the back-end server. Call Start
+// to begin consuming invalidation notices and Close to stop.
+func NewManager(conn storeapi.Conn, opts ...ManagerOption) *Manager {
+	cfg := managerConfig{
+		shipping:     PerImage,
+		commonStore:  true,
+		invalidation: true,
+	}
+	for _, o := range opts {
+		o.apply(&cfg)
+	}
+	common := NewCommonStore()
+	common.SetEnabled(cfg.commonStore)
+	common.SetCapacity(cfg.cacheCapacity)
+	return &Manager{
+		loader:        NewLoader(conn, cfg.shipping),
+		common:        common,
+		conn:          conn,
+		invalidate:    cfg.invalidation,
+		localReadOnly: cfg.localReadOnly,
+		staleBound:    cfg.staleBound,
+		now:           time.Now,
+		ownTxs:        make(map[uint64]struct{}),
+	}
+}
+
+// Name implements component.ResourceManager.
+func (m *Manager) Name() string { return "sli" }
+
+// SetClock overrides the manager's (and its common store's) timestamp
+// source; tests use it to control entry ages deterministically.
+func (m *Manager) SetClock(now func() time.Time) {
+	m.now = now
+	m.common.SetClock(now)
+}
+
+// CommonStore exposes the shared cache (for tests and diagnostics).
+func (m *Manager) CommonStore() *CommonStore { return m.common }
+
+// Shipping returns the commit-shipping mode in use.
+func (m *Manager) Shipping() CommitShipping { return m.loader.Shipping() }
+
+// Start subscribes to the datastore's invalidation stream and keeps it
+// alive: if the stream drops (back-end restart, network blip), the
+// manager clears the common store — notices may have been missed, so
+// every entry is suspect — and resubscribes with backoff. It is a no-op
+// when invalidation is disabled. Safe to call once; the initial
+// subscription failure is returned synchronously.
+func (m *Manager) Start(ctx context.Context) error {
+	if !m.invalidate {
+		return nil
+	}
+	m.mu.Lock()
+	if m.started {
+		m.mu.Unlock()
+		return nil
+	}
+	m.started = true
+	m.mu.Unlock()
+
+	ch, cancel, err := m.conn.Subscribe(ctx)
+	if err != nil {
+		m.mu.Lock()
+		m.started = false
+		m.mu.Unlock()
+		return err
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	m.mu.Lock()
+	m.stop = stop
+	m.done = done
+	m.cancel = cancel
+	m.mu.Unlock()
+
+	go m.invalidationLoop(ch, stop, done)
+	return nil
+}
+
+// invalidationLoop consumes notices and resubscribes after stream
+// interruptions until stopped.
+func (m *Manager) invalidationLoop(ch <-chan sqlstore.Notice, stop, done chan struct{}) {
+	defer close(done)
+	const (
+		initialBackoff = 50 * time.Millisecond
+		maxBackoff     = 2 * time.Second
+	)
+	for {
+		m.drainNotices(ch, stop)
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		// The stream dropped: anything cached could be stale now.
+		m.common.Clear()
+		backoff := initialBackoff
+		for {
+			newCh, cancel, err := m.conn.Subscribe(context.Background())
+			if err == nil {
+				m.mu.Lock()
+				m.cancel = cancel
+				m.mu.Unlock()
+				// Closed while we were resubscribing?
+				select {
+				case <-stop:
+					cancel()
+					return
+				default:
+				}
+				m.stats.resubscribes.Add(1)
+				ch = newCh
+				break
+			}
+			select {
+			case <-stop:
+				return
+			case <-time.After(backoff):
+			}
+			if backoff *= 2; backoff > maxBackoff {
+				backoff = maxBackoff
+			}
+		}
+	}
+}
+
+// drainNotices consumes one subscription channel until it closes or the
+// manager stops.
+func (m *Manager) drainNotices(ch <-chan sqlstore.Notice, stop chan struct{}) {
+	for {
+		select {
+		case n, ok := <-ch:
+			if !ok {
+				return
+			}
+			if m.isOwnTx(n.TxID) {
+				continue
+			}
+			m.common.Invalidate(n.Keys...)
+			m.stats.noticesApplied.Add(1)
+		case <-stop:
+			return
+		}
+	}
+}
+
+// Close stops the invalidation subscription, waiting for the consumer
+// goroutine to exit. It does not close the datastore handle.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	stop, done, cancel := m.stop, m.done, m.cancel
+	m.stop, m.done, m.cancel = nil, nil, nil
+	m.mu.Unlock()
+	if stop != nil {
+		close(stop)
+	}
+	if cancel != nil {
+		cancel()
+	}
+	if done != nil {
+		<-done
+	}
+}
+
+// Stats returns a snapshot of the manager's counters.
+func (m *Manager) Stats() ManagerStats {
+	return ManagerStats{
+		Begins:              m.stats.begins.Load(),
+		Commits:             m.stats.commits.Load(),
+		Conflicts:           m.stats.conflicts.Load(),
+		Loads:               m.stats.loads.Load(),
+		Queries:             m.stats.queries.Load(),
+		MissFetches:         m.stats.missFetches.Load(),
+		NoticesApplied:      m.stats.noticesApplied.Load(),
+		BoundedReadsSkipped: m.stats.boundedReadsSkipped.Load(),
+		Resubscribes:        m.stats.resubscribes.Load(),
+		Cache:               m.common.Stats(),
+	}
+}
+
+// Begin implements component.ResourceManager: it opens a per-transaction
+// transient store over the common store.
+func (m *Manager) Begin(ctx context.Context) (component.DataTx, error) {
+	m.stats.begins.Add(1)
+	return &sliTx{
+		mgr:     m,
+		entries: make(map[memento.Key]*entry),
+	}, nil
+}
+
+// recordOwnTx remembers a datastore transaction this manager committed,
+// so the invalidation consumer can skip the corresponding notice (the
+// common store was already refreshed with the after-images). The memory
+// is bounded: old entries are evicted FIFO.
+func (m *Manager) recordOwnTx(txID uint64) {
+	const ringSize = 1024
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.ownTxs[txID] = struct{}{}
+	m.ownRing = append(m.ownRing, txID)
+	if len(m.ownRing) > ringSize {
+		evict := m.ownRing[0]
+		m.ownRing = m.ownRing[1:]
+		delete(m.ownTxs, evict)
+	}
+}
+
+func (m *Manager) isOwnTx(txID uint64) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.ownTxs[txID]
+	return ok
+}

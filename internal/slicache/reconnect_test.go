@@ -1,0 +1,141 @@
+package slicache
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"edgeejb/internal/dbwire"
+	"edgeejb/internal/memento"
+	"edgeejb/internal/sqlstore"
+	"edgeejb/internal/storeapi"
+)
+
+// TestInvalidationStreamResubscribes: when the server carrying the
+// invalidation stream restarts, the manager must clear its cache (it
+// may have missed notices) and resubscribe, after which pushed
+// invalidations flow again.
+func TestInvalidationStreamResubscribes(t *testing.T) {
+	store := sqlstore.New()
+	defer store.Close()
+	store.Seed(row("1", 1))
+	ctx := context.Background()
+
+	srv := dbwire.NewServer(storeapi.Local(store))
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+
+	client := dbwire.Dial(addr)
+	defer client.Close()
+	mgr := NewManager(client, WithShipping(WholeSet))
+	defer mgr.Close()
+	if err := mgr.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Warm the cache.
+	dt, err := mgr.Begin(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dt.Load(ctx, key("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := dt.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if mgr.CommonStore().Len() != 1 {
+		t.Fatal("cache not warm")
+	}
+
+	// Kill the server: the subscription drops and the cache must clear.
+	srv.Close()
+	waitFor(t, 3*time.Second, func() bool { return mgr.CommonStore().Len() == 0 })
+
+	// Restart on the same address; the manager must resubscribe.
+	srv2 := dbwire.NewServer(storeapi.Local(store))
+	if err := srv2.Start(addr); err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	waitFor(t, 5*time.Second, func() bool { return mgr.Stats().Resubscribes >= 1 })
+
+	// Re-warm, then verify pushed invalidations flow on the new stream.
+	dt2, err := mgr.Begin(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dt2.Load(ctx, key("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := dt2.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if mgr.CommonStore().Len() != 1 {
+		t.Fatal("cache not re-warmed")
+	}
+	if _, err := store.ApplyCommitSet(ctx, memento.CommitSet{
+		Writes: []memento.Memento{{Key: key("1"), Version: currentVersion(t, store), Fields: memento.Fields{"n": memento.Int(99)}}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 3*time.Second, func() bool {
+		_, ok := mgr.CommonStore().Get(key("1"))
+		return !ok
+	})
+}
+
+func currentVersion(t *testing.T, s *sqlstore.Store) uint64 {
+	t.Helper()
+	v, err := s.CurrentVersion(key("1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// TestCloseDuringResubscribeBackoff: closing the manager while it is in
+// its retry loop (server still down) must not hang.
+func TestCloseDuringResubscribeBackoff(t *testing.T) {
+	store := sqlstore.New()
+	defer store.Close()
+
+	srv := dbwire.NewServer(storeapi.Local(store))
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	client := dbwire.Dial(srv.Addr())
+	defer client.Close()
+	mgr := NewManager(client)
+	if err := mgr.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close() // stream drops; manager enters retry loop
+
+	done := make(chan struct{})
+	go func() {
+		mgr.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung during resubscription backoff")
+	}
+}
+
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		if cond() {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached before deadline")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,0 +1,319 @@
+package slicache
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"edgeejb/internal/memento"
+	"edgeejb/internal/sqlstore"
+)
+
+// entryState tracks what a transaction has done to a cached bean.
+type entryState int
+
+const (
+	stateClean entryState = iota + 1
+	stateDirty
+	stateCreated
+	stateRemoved
+)
+
+// entry is one bean in the per-transaction transient store.
+type entry struct {
+	// before is the state first observed by this transaction (the
+	// before-image, §2.1); before.Version == 0 for created beans.
+	before memento.Memento
+	// current is the transaction's working state (becomes the
+	// after-image at commit).
+	current memento.Memento
+	state   entryState
+	// fetchedAt is when the before-image was known current at the
+	// persistent store (or stored into the common cache). Time-bounded
+	// read modes use it to decide whether the read proof may be skipped.
+	fetchedAt time.Time
+}
+
+// sliTx is the per-transaction transient store plus the optimistic
+// transaction logic of §2.2–2.3. It implements component.DataTx.
+type sliTx struct {
+	mgr     *Manager
+	entries map[memento.Key]*entry
+	done    bool
+}
+
+// Load implements the direct-access cache population path (§2.2 case 1):
+// per-transaction store, then common store, then the persistent store
+// via a short independent transaction.
+func (t *sliTx) Load(ctx context.Context, key memento.Key) (memento.Memento, error) {
+	if t.done {
+		return memento.Memento{}, sqlstore.ErrTxDone
+	}
+	t.mgr.stats.loads.Add(1)
+	if e, ok := t.entries[key]; ok {
+		if e.state == stateRemoved {
+			return memento.Memento{}, fmt.Errorf("%w: %s removed in transaction", sqlstore.ErrNotFound, key)
+		}
+		return e.current.Clone(), nil
+	}
+	if m, storedAt, ok := t.mgr.common.GetWithTime(key); ok {
+		t.entries[key] = &entry{
+			before:    m.Clone(),
+			current:   m.Clone(),
+			state:     stateClean,
+			fetchedAt: storedAt,
+		}
+		return m, nil
+	}
+	m, err := t.mgr.loader.FetchOne(ctx, key)
+	if err != nil {
+		return memento.Memento{}, err
+	}
+	t.mgr.stats.missFetches.Add(1)
+	t.mgr.common.Put(m)
+	t.entries[key] = &entry{
+		before:    m.Clone(),
+		current:   m.Clone(),
+		state:     stateClean,
+		fetchedAt: t.mgr.now(),
+	}
+	return m, nil
+}
+
+// Store registers an updated after-image. The bean must have been
+// loaded or created in this transaction (the container always finds
+// before it updates).
+func (t *sliTx) Store(ctx context.Context, m memento.Memento) error {
+	if t.done {
+		return sqlstore.ErrTxDone
+	}
+	e, ok := t.entries[m.Key]
+	if !ok || e.state == stateRemoved {
+		return fmt.Errorf("%w: %s not active in transaction", sqlstore.ErrNotFound, m.Key)
+	}
+	cur := m.Clone()
+	cur.Version = e.before.Version
+	e.current = cur
+	if e.state == stateClean {
+		e.state = stateDirty
+	}
+	return nil
+}
+
+// Create registers a new bean (§2.2 case 3). Existence of the key is
+// re-verified at commit time; the transaction fails fast only when its
+// own view already contains the key.
+func (t *sliTx) Create(ctx context.Context, m memento.Memento) error {
+	if t.done {
+		return sqlstore.ErrTxDone
+	}
+	if e, ok := t.entries[m.Key]; ok && e.state != stateRemoved {
+		return fmt.Errorf("%w: %s already active in transaction", sqlstore.ErrExists, m.Key)
+	}
+	if _, cached := t.mgr.common.Get(m.Key); cached {
+		if _, ok := t.entries[m.Key]; !ok {
+			return fmt.Errorf("%w: %s cached as existing", sqlstore.ErrExists, m.Key)
+		}
+	}
+	if e, ok := t.entries[m.Key]; ok && e.state == stateRemoved {
+		// Remove followed by create in one transaction is a logical
+		// update of the persistent row.
+		cur := m.Clone()
+		cur.Version = e.before.Version
+		e.current = cur
+		if e.before.Version == 0 {
+			e.state = stateCreated
+		} else {
+			e.state = stateDirty
+		}
+		return nil
+	}
+	cur := m.Clone()
+	cur.Version = 0
+	t.entries[m.Key] = &entry{
+		before:  memento.Memento{Key: m.Key},
+		current: cur,
+		state:   stateCreated,
+	}
+	return nil
+}
+
+// Remove registers deletion. The system verifies at commit time that
+// the current image still exists (§2.3). Removing a bean the
+// transaction has not touched loads it first to capture a before-image.
+func (t *sliTx) Remove(ctx context.Context, key memento.Key) error {
+	if t.done {
+		return sqlstore.ErrTxDone
+	}
+	e, ok := t.entries[key]
+	if !ok {
+		if _, err := t.Load(ctx, key); err != nil {
+			return err
+		}
+		e = t.entries[key]
+	}
+	switch e.state {
+	case stateRemoved:
+		return fmt.Errorf("%w: %s already removed in transaction", sqlstore.ErrNotFound, key)
+	case stateCreated:
+		// Never persisted: the create and remove annihilate.
+		delete(t.entries, key)
+		return nil
+	default:
+		e.state = stateRemoved
+		return nil
+	}
+}
+
+// Query implements the custom-finder population path (§2.2 case 2): run
+// the finder against the persistent store, populate the cache without
+// overlaying beans this transaction already holds (so the application
+// sees its prior updates), then evaluate the finder against the
+// transient store. The result is repeatable-read isolation: re-running
+// a finder may grow the result set (phantoms), but beans already read
+// keep the state this transaction first observed.
+func (t *sliTx) Query(ctx context.Context, q memento.Query) ([]memento.Memento, error) {
+	if t.done {
+		return nil, sqlstore.ErrTxDone
+	}
+	t.mgr.stats.queries.Add(1)
+	persisted, err := t.mgr.loader.RunQuery(ctx, q)
+	if err != nil {
+		return nil, err
+	}
+	now := t.mgr.now()
+	for _, m := range persisted {
+		t.mgr.common.Put(m)
+		if _, ok := t.entries[m.Key]; ok {
+			continue // never overlay the transaction's own view
+		}
+		t.entries[m.Key] = &entry{
+			before:    m.Clone(),
+			current:   m.Clone(),
+			state:     stateClean,
+			fetchedAt: now,
+		}
+	}
+	// Run the finder against the transient store.
+	var out []memento.Memento
+	for _, e := range t.entries {
+		if e.state == stateRemoved || e.current.Key.Table != q.Table {
+			continue
+		}
+		if q.Matches(e.current) {
+			out = append(out, e.current.Clone())
+		}
+	}
+	q.Sort(out)
+	return q.Cap(out), nil
+}
+
+// Commit builds the commit set (before-image proofs plus after-images)
+// and ships it to the validator. On success the common store is
+// refreshed with the new committed state; on conflict every key the
+// transaction touched is evicted, since the persistent state is known
+// to have moved.
+func (t *sliTx) Commit(ctx context.Context) error {
+	if t.done {
+		return sqlstore.ErrTxDone
+	}
+	t.done = true
+
+	cs := t.buildCommitSet()
+	if cs.IsEmpty() {
+		t.mgr.stats.commits.Add(1)
+		return nil
+	}
+	if cs.Mutations() == 0 && t.mgr.localReadOnly {
+		// Ablation only (not the paper's behavior): commit read-only
+		// transactions locally without validating the read set. The
+		// paper's runtime validates every accessed bean at commit, which
+		// is why "each client request involves at least one round-trip
+		// call to the back-end server" (§4.4).
+		t.mgr.stats.commits.Add(1)
+		return nil
+	}
+
+	outcome, err := t.mgr.loader.Commit(ctx, cs)
+	if err != nil {
+		t.mgr.stats.conflicts.Add(1)
+		// Conservatively evict everything this transaction touched: at
+		// least one entry is known stale.
+		keys := make([]memento.Key, 0, len(t.entries))
+		for k := range t.entries {
+			keys = append(keys, k)
+		}
+		t.mgr.common.Invalidate(keys...)
+		return err
+	}
+	t.mgr.recordOwnTx(outcome.TxID)
+	t.mgr.stats.commits.Add(1)
+
+	// Refresh the common store with committed after-images and evict
+	// removed beans.
+	for _, e := range t.entries {
+		switch e.state {
+		case stateDirty, stateCreated:
+			m := e.current.Clone()
+			if v, ok := outcome.NewVersions[m.Key]; ok {
+				m.Version = v
+				t.mgr.common.Refresh(m)
+			}
+		case stateRemoved:
+			t.mgr.common.Invalidate(e.current.Key)
+		}
+	}
+	return nil
+}
+
+// Abort discards the per-transaction store. Cached common-store entries
+// remain valid: they reflect committed state regardless of this
+// transaction's fate.
+func (t *sliTx) Abort(ctx context.Context) error {
+	t.done = true
+	t.entries = nil
+	return nil
+}
+
+// buildCommitSet converts the per-transaction store into the wire-level
+// commit set, with deterministic ordering for reproducible validation.
+func (t *sliTx) buildCommitSet() memento.CommitSet {
+	var cs memento.CommitSet
+	keys := make([]memento.Key, 0, len(t.entries))
+	for k := range t.entries {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Table != keys[j].Table {
+			return keys[i].Table < keys[j].Table
+		}
+		return keys[i].ID < keys[j].ID
+	})
+	now := t.mgr.now()
+	for _, k := range keys {
+		e := t.entries[k]
+		switch e.state {
+		case stateClean:
+			// Time-bounded read mode (§1.4 contrast): fresh-enough reads
+			// need no proof — they carry only the weak, time-based
+			// guarantee the bound declares.
+			if b := t.mgr.staleBound; b > 0 && now.Sub(e.fetchedAt) <= b {
+				t.mgr.stats.boundedReadsSkipped.Add(1)
+				continue
+			}
+			cs.Reads = append(cs.Reads, memento.ReadProof{Key: k, Version: e.before.Version})
+		case stateDirty:
+			after := e.current.Clone()
+			after.Version = e.before.Version
+			cs.Writes = append(cs.Writes, after)
+		case stateCreated:
+			after := e.current.Clone()
+			after.Version = 0
+			cs.Creates = append(cs.Creates, after)
+		case stateRemoved:
+			cs.Removes = append(cs.Removes, memento.ReadProof{Key: k, Version: e.before.Version})
+		}
+	}
+	return cs
+}

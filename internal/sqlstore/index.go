@@ -1,0 +1,230 @@
+package sqlstore
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"edgeejb/internal/memento"
+)
+
+// Secondary indexes. A single-field index accelerates equality probes
+// (the access path the Trade application's custom finders use — holdings
+// by accountID) and ordered range probes (price < x and friends). The
+// planner in scanTable prefers an indexed equality predicate, then an
+// indexed range predicate, then falls back to a full table scan,
+// re-checking every predicate on each candidate either way, so indexes
+// are purely an optimization and never change results.
+//
+// Indexes are maintained synchronously under the store mutex at commit
+// time (applyWrites) and at Seed, so they are always consistent with
+// committed state. Uncommitted (buffered) writes are invisible to
+// indexes, exactly as they are invisible to scans.
+
+// index is a secondary index over one field of one table. It maintains
+// two structures in lockstep: a hash map for O(1) equality probes and a
+// value-ordered list for range probes (OpLt/OpLe/OpGt/OpGe). The ordered
+// list is a sorted slice with binary-search lookup and O(n) insertion —
+// the right trade-off for an in-memory store whose tables are bounded by
+// RAM and whose reads far outnumber writes; swap in a balanced tree if a
+// table's write rate ever makes insertion the bottleneck.
+type index struct {
+	field string
+	// byValue maps an encoded field value to the set of row IDs whose
+	// committed image holds that value.
+	byValue map[string]map[string]struct{}
+	// ordered holds one entry per distinct value, sorted by
+	// memento.Value ordering; each points at the same ID set as byValue.
+	ordered []*orderedBucket
+}
+
+// orderedBucket is one distinct indexed value and its row IDs.
+type orderedBucket struct {
+	value memento.Value
+	ids   map[string]struct{}
+}
+
+// valueHash encodes a Value into a map key. Kind-prefixed so that, for
+// example, Int(1) and Float(1) never collide.
+func valueHash(v memento.Value) string {
+	switch v.Kind {
+	case memento.KindString:
+		return "s\x00" + v.Str
+	case memento.KindInt:
+		return "i\x00" + strconv.FormatInt(v.Int, 10)
+	case memento.KindFloat:
+		return "f\x00" + strconv.FormatFloat(v.F, 'b', -1, 64)
+	case memento.KindBool:
+		return "b\x00" + strconv.FormatBool(v.Bool)
+	default:
+		return "z\x00"
+	}
+}
+
+func newIndex(field string) *index {
+	return &index{field: field, byValue: make(map[string]map[string]struct{})}
+}
+
+func (ix *index) insert(id string, fields memento.Fields) {
+	v, ok := fields[ix.field]
+	if !ok {
+		return // rows without the field are unindexed; scans still find them
+	}
+	h := valueHash(v)
+	set := ix.byValue[h]
+	if set == nil {
+		set = make(map[string]struct{})
+		ix.byValue[h] = set
+		ix.insertOrdered(v, set)
+	}
+	set[id] = struct{}{}
+}
+
+func (ix *index) remove(id string, fields memento.Fields) {
+	v, ok := fields[ix.field]
+	if !ok {
+		return
+	}
+	h := valueHash(v)
+	if set := ix.byValue[h]; set != nil {
+		delete(set, id)
+		if len(set) == 0 {
+			delete(ix.byValue, h)
+			ix.removeOrdered(v)
+		}
+	}
+}
+
+// lookup returns the row IDs whose indexed field equals v.
+func (ix *index) lookup(v memento.Value) map[string]struct{} {
+	return ix.byValue[valueHash(v)]
+}
+
+// insertOrdered places a new distinct value's bucket into the sorted
+// list. Called only when the value was not present.
+func (ix *index) insertOrdered(v memento.Value, ids map[string]struct{}) {
+	pos := sort.Search(len(ix.ordered), func(i int) bool {
+		return ix.ordered[i].value.Compare(v) >= 0
+	})
+	ix.ordered = append(ix.ordered, nil)
+	copy(ix.ordered[pos+1:], ix.ordered[pos:])
+	ix.ordered[pos] = &orderedBucket{value: v, ids: ids}
+}
+
+// removeOrdered drops a now-empty value bucket from the sorted list.
+func (ix *index) removeOrdered(v memento.Value) {
+	pos := sort.Search(len(ix.ordered), func(i int) bool {
+		return ix.ordered[i].value.Compare(v) >= 0
+	})
+	if pos < len(ix.ordered) && ix.ordered[pos].value.Equal(v) {
+		ix.ordered = append(ix.ordered[:pos], ix.ordered[pos+1:]...)
+	}
+}
+
+// lookupRange returns the buckets satisfying `field op v` for an
+// ordered comparison operator. Bucket order follows
+// memento.Value.Compare — the same total order Predicate.Matches
+// evaluates with — so the probe returns exactly the matching buckets;
+// the caller still re-checks every predicate on each candidate row, so
+// indexes can never change query results.
+func (ix *index) lookupRange(op memento.Op, v memento.Value) []*orderedBucket {
+	n := len(ix.ordered)
+	// Find the boundary positions around value v in the total order used
+	// by Value.Compare (which is also what Predicate.Matches uses).
+	lo := sort.Search(n, func(i int) bool { return ix.ordered[i].value.Compare(v) >= 0 })
+	hi := sort.Search(n, func(i int) bool { return ix.ordered[i].value.Compare(v) > 0 })
+	switch op {
+	case memento.OpLt:
+		return ix.ordered[:lo]
+	case memento.OpLe:
+		return ix.ordered[:hi]
+	case memento.OpGt:
+		return ix.ordered[hi:]
+	case memento.OpGe:
+		return ix.ordered[lo:]
+	default:
+		return nil
+	}
+}
+
+// CreateIndex builds a hash index on table.field from the current
+// committed rows and maintains it across future commits. Creating the
+// same index twice is a no-op; the table need not exist yet.
+func (s *Store) CreateIndex(tableName, field string) error {
+	if tableName == "" || field == "" {
+		return fmt.Errorf("sqlstore: index needs table and field")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	t := s.tables[tableName]
+	if t == nil {
+		t = newTable()
+		s.tables[tableName] = t
+	}
+	if _, exists := t.indexes[field]; exists {
+		return nil
+	}
+	ix := newIndex(field)
+	for id, m := range t.rows {
+		ix.insert(id, m.Fields)
+	}
+	t.indexes[field] = ix
+	return nil
+}
+
+// Indexes lists the indexed fields of a table, for diagnostics.
+func (s *Store) Indexes(tableName string) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t := s.tables[tableName]
+	if t == nil {
+		return nil
+	}
+	out := make([]string, 0, len(t.indexes))
+	for f := range t.indexes {
+		out = append(out, f)
+	}
+	return out
+}
+
+// plan selects an access path for q: an indexed equality probe if any
+// equality predicate has an index (most selective), else an indexed
+// range probe, else nil (full scan). Called with s.mu held (read).
+// Every predicate is re-checked on the candidates regardless, so the
+// planner affects cost only, never results.
+func (t *table) plan(q memento.Query) func(yield func(id string)) {
+	for _, p := range q.Where {
+		if p.Op != memento.OpEq {
+			continue
+		}
+		if ix, ok := t.indexes[p.Field]; ok {
+			set := ix.lookup(p.Value)
+			return func(yield func(id string)) {
+				for id := range set {
+					yield(id)
+				}
+			}
+		}
+	}
+	for _, p := range q.Where {
+		switch p.Op {
+		case memento.OpLt, memento.OpLe, memento.OpGt, memento.OpGe:
+		default:
+			continue
+		}
+		if ix, ok := t.indexes[p.Field]; ok {
+			buckets := ix.lookupRange(p.Op, p.Value)
+			return func(yield func(id string)) {
+				for _, b := range buckets {
+					for id := range b.ids {
+						yield(id)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}

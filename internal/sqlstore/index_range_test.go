@@ -1,0 +1,200 @@
+package sqlstore
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"edgeejb/internal/memento"
+)
+
+func qtyQuery(op memento.Op, qty int64) memento.Query {
+	return memento.Query{
+		Table: "h",
+		Where: []memento.Predicate{{Field: "qty", Op: op, Value: memento.Int(qty)}},
+	}
+}
+
+func TestRangeProbeMatchesScan(t *testing.T) {
+	plain := New()
+	defer plain.Close()
+	indexed := New()
+	defer indexed.Close()
+	if err := indexed.CreateIndex("h", "qty"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		row := acctRow(fmt.Sprintf("%02d", i), "a", int64(i%10))
+		plain.Seed(row)
+		indexed.Seed(row)
+	}
+
+	for _, op := range []memento.Op{memento.OpLt, memento.OpLe, memento.OpGt, memento.OpGe} {
+		for _, qty := range []int64{-1, 0, 5, 9, 50} {
+			q := qtyQuery(op, qty)
+			want := queryAll(t, plain, q)
+			got := queryAll(t, indexed, q)
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("%s %d: indexed range differs\nscan:  %d rows\nprobe: %d rows",
+					op, qty, len(want), len(got))
+			}
+		}
+	}
+	if indexed.Stats().IndexProbes == 0 {
+		t.Error("range queries never probed the index")
+	}
+	if plain.Stats().IndexProbes != 0 {
+		t.Error("unindexed store probed an index")
+	}
+}
+
+func TestRangeProbeMaintainedUnderChurn(t *testing.T) {
+	s := New()
+	defer s.Close()
+	ctx := context.Background()
+	if err := s.CreateIndex("h", "qty"); err != nil {
+		t.Fatal(err)
+	}
+	s.Seed(acctRow("1", "a", 5), acctRow("2", "a", 7), acctRow("3", "a", 9))
+
+	// Move row 1's qty from 5 to 20, delete row 2, insert row 4 at 1.
+	tx := mustBegin(t, s)
+	if err := tx.Put(ctx, acctRow("1", "a", 20)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Delete(ctx, "h", "2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Insert(ctx, acctRow("4", "a", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	got := queryAll(t, s, qtyQuery(memento.OpLt, 10))
+	if len(got) != 2 || got[0].Key.ID != "3" || got[1].Key.ID != "4" {
+		t.Fatalf("qty<10 after churn = %v, want h/3 and h/4", got)
+	}
+	got = queryAll(t, s, qtyQuery(memento.OpGe, 10))
+	if len(got) != 1 || got[0].Key.ID != "1" {
+		t.Fatalf("qty>=10 after churn = %v, want h/1", got)
+	}
+}
+
+// TestEqualityPreferredOverRange: with both an equality and a range
+// predicate indexed, the planner probes equality (more selective).
+func TestEqualityPreferredOverRange(t *testing.T) {
+	s := New()
+	defer s.Close()
+	if err := s.CreateIndex("h", "acct"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CreateIndex("h", "qty"); err != nil {
+		t.Fatal(err)
+	}
+	s.Seed(acctRow("1", "a", 5), acctRow("2", "b", 5), acctRow("3", "a", 9))
+
+	q := memento.Query{
+		Table: "h",
+		Where: []memento.Predicate{
+			{Field: "qty", Op: memento.OpGe, Value: memento.Int(0)},
+			memento.Where("acct", memento.String("a")),
+		},
+	}
+	got := queryAll(t, s, q)
+	if len(got) != 2 {
+		t.Fatalf("conjunction = %v", got)
+	}
+	// Both access paths must agree; exercised above. The preference is
+	// structural (plan scans equality predicates first) — assert via the
+	// planner directly.
+	s.mu.RLock()
+	probe := s.tables["h"].plan(q)
+	s.mu.RUnlock()
+	if probe == nil {
+		t.Fatal("planner fell back to a scan despite two indexes")
+	}
+	n := 0
+	probe(func(id string) { n++ })
+	if n != 2 { // acct=a equality bucket has 2 rows; qty>=0 range has 3
+		t.Errorf("planner candidates = %d, want 2 (equality bucket)", n)
+	}
+}
+
+// Property: indexed range queries equal scans for random data and
+// random churn.
+func TestRangeEquivalenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		plain := New()
+		defer plain.Close()
+		indexed := New()
+		defer indexed.Close()
+		if err := indexed.CreateIndex("h", "qty"); err != nil {
+			return false
+		}
+		ctx := context.Background()
+		// Random initial rows.
+		for i := 0; i < 20; i++ {
+			row := acctRow(fmt.Sprintf("%02d", i), "a", rng.Int63n(8))
+			plain.Seed(row)
+			indexed.Seed(row)
+		}
+		// Random churn applied identically to both stores. Draw the
+		// random choices once so the two stores stay in lockstep.
+		for i := 0; i < 15; i++ {
+			id := fmt.Sprintf("%02d", rng.Intn(20))
+			val := rng.Int63n(8)
+			kind := rng.Intn(3)
+			churn := func(s *Store) {
+				tx, err := s.Begin(ctx)
+				if err != nil {
+					return
+				}
+				defer tx.Abort()
+				switch kind {
+				case 0:
+					if tx.Put(ctx, acctRow(id, "a", val)) == nil {
+						_ = tx.Commit()
+					}
+				case 1:
+					if tx.Delete(ctx, "h", id) == nil {
+						_ = tx.Commit()
+					}
+				default:
+					if tx.Insert(ctx, acctRow(id, "a", val)) == nil {
+						_ = tx.Commit()
+					}
+				}
+			}
+			churn(plain)
+			churn(indexed)
+		}
+		ops := []memento.Op{memento.OpLt, memento.OpLe, memento.OpGt, memento.OpGe}
+		op := ops[rng.Intn(len(ops))]
+		qty := rng.Int63n(10)
+		want := queryAllErrless(plain, qtyQuery(op, qty))
+		got := queryAllErrless(indexed, qtyQuery(op, qty))
+		return reflect.DeepEqual(want, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func queryAllErrless(s *Store, q memento.Query) []memento.Memento {
+	tx, err := s.Begin(context.Background())
+	if err != nil {
+		return nil
+	}
+	defer tx.Abort()
+	out, err := tx.Query(context.Background(), q)
+	if err != nil {
+		return nil
+	}
+	return out
+}

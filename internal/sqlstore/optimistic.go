@@ -1,0 +1,88 @@
+package sqlstore
+
+import (
+	"context"
+	"fmt"
+
+	"edgeejb/internal/memento"
+)
+
+// ApplyResult reports the outcome of an optimistic commit.
+type ApplyResult struct {
+	// TxID is the internal datastore transaction that applied the set.
+	TxID uint64
+	// NewVersions maps every written or created key to its new row
+	// version, so callers (edge caches) can refresh their copies instead
+	// of invalidating them.
+	NewVersions map[memento.Key]uint64
+}
+
+// ApplyCommitSet validates and applies an optimistic transaction's
+// commit set atomically: every read proof must still hold (the row is at
+// the recorded version, or still absent), every create key must be
+// absent, every remove target must still exist at its recorded version.
+// On any violation the whole set is rejected with ErrConflict and the
+// store is unchanged.
+//
+// This is the "optimistic commit logic" that runs on the back-end server
+// in the split-servers configuration, and directly inside the database
+// tier for combined-servers commits; in the latter case the edge server
+// instead drives the same validation statement-by-statement over the
+// wire (Tx.CheckVersion / Tx.CheckedPut / Tx.CheckedDelete), paying one
+// round trip per memento image.
+func (s *Store) ApplyCommitSet(ctx context.Context, cs memento.CommitSet) (ApplyResult, error) {
+	tx, err := s.Begin(ctx)
+	if err != nil {
+		return ApplyResult{}, err
+	}
+	res, err := s.applyCommitSetTx(ctx, tx, cs)
+	if err != nil {
+		tx.Abort()
+		s.stats.optFail.Add(1)
+		return ApplyResult{}, err
+	}
+	if err := tx.Commit(); err != nil {
+		return ApplyResult{}, err
+	}
+	s.stats.optOK.Add(1)
+	res.TxID = tx.ID()
+	return res, nil
+}
+
+func (s *Store) applyCommitSetTx(ctx context.Context, tx *Tx, cs memento.CommitSet) (ApplyResult, error) {
+	// Validate reads first: cheapest failures first, and reads take only
+	// shared locks.
+	for _, r := range cs.Reads {
+		want := r.Version
+		if r.Absent {
+			want = 0
+		}
+		if err := tx.CheckVersion(ctx, r.Key, want); err != nil {
+			return ApplyResult{}, err
+		}
+	}
+	newVersions := make(map[memento.Key]uint64, len(cs.Writes)+len(cs.Creates))
+	for _, w := range cs.Writes {
+		if err := tx.CheckedPut(ctx, w); err != nil {
+			return ApplyResult{}, err
+		}
+		newVersions[w.Key] = w.Version + 1
+	}
+	for _, c := range cs.Creates {
+		create := c
+		create.Version = 0 // creates must observe key absence
+		if err := tx.CheckedPut(ctx, create); err != nil {
+			return ApplyResult{}, err
+		}
+		newVersions[c.Key] = 1
+	}
+	for _, r := range cs.Removes {
+		if r.Version == 0 {
+			return ApplyResult{}, fmt.Errorf("%w: remove of never-persisted %s", ErrConflict, r.Key)
+		}
+		if err := tx.CheckedDelete(ctx, r.Key, r.Version); err != nil {
+			return ApplyResult{}, err
+		}
+	}
+	return ApplyResult{NewVersions: newVersions}, nil
+}

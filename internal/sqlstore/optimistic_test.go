@@ -1,0 +1,329 @@
+package sqlstore
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"edgeejb/internal/memento"
+)
+
+func TestApplyCommitSetHappyPath(t *testing.T) {
+	s := New()
+	defer s.Close()
+	ctx := context.Background()
+	s.Seed(
+		mem("t", "r", 0, intFields(1)),
+		mem("t", "w", 0, intFields(1)),
+		mem("t", "d", 0, intFields(1)),
+	)
+
+	cs := memento.CommitSet{
+		Reads:   []memento.ReadProof{{Key: memento.Key{Table: "t", ID: "r"}, Version: 1}},
+		Writes:  []memento.Memento{mem("t", "w", 1, intFields(2))},
+		Creates: []memento.Memento{mem("t", "c", 0, intFields(3))},
+		Removes: []memento.ReadProof{{Key: memento.Key{Table: "t", ID: "d"}, Version: 1}},
+	}
+	res, err := s.ApplyCommitSet(ctx, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TxID == 0 {
+		t.Error("missing TxID")
+	}
+	if got := res.NewVersions[memento.Key{Table: "t", ID: "w"}]; got != 2 {
+		t.Errorf("write new version = %d, want 2", got)
+	}
+	if got := res.NewVersions[memento.Key{Table: "t", ID: "c"}]; got != 1 {
+		t.Errorf("create new version = %d, want 1", got)
+	}
+	if v, _ := s.CurrentVersion(memento.Key{Table: "t", ID: "w"}); v != 2 {
+		t.Errorf("committed write version = %d, want 2", v)
+	}
+	if v, _ := s.CurrentVersion(memento.Key{Table: "t", ID: "c"}); v != 1 {
+		t.Errorf("created row version = %d, want 1", v)
+	}
+	if _, err := s.CurrentVersion(memento.Key{Table: "t", ID: "d"}); !errors.Is(err, ErrNotFound) {
+		t.Error("removed row still present")
+	}
+}
+
+func TestApplyCommitSetConflicts(t *testing.T) {
+	ctx := context.Background()
+	key := func(id string) memento.Key { return memento.Key{Table: "t", ID: id} }
+
+	tests := []struct {
+		name string
+		cs   memento.CommitSet
+	}{
+		{"stale read", memento.CommitSet{
+			Reads: []memento.ReadProof{{Key: key("a"), Version: 99}},
+		}},
+		{"absent read now present", memento.CommitSet{
+			Reads: []memento.ReadProof{{Key: key("a"), Absent: true}},
+		}},
+		{"stale write", memento.CommitSet{
+			Writes: []memento.Memento{mem("t", "a", 42, intFields(0))},
+		}},
+		{"create over existing", memento.CommitSet{
+			Creates: []memento.Memento{mem("t", "a", 0, intFields(0))},
+		}},
+		{"remove of missing", memento.CommitSet{
+			Removes: []memento.ReadProof{{Key: key("gone"), Version: 1}},
+		}},
+		{"remove with stale version", memento.CommitSet{
+			Removes: []memento.ReadProof{{Key: key("a"), Version: 9}},
+		}},
+		{"remove never persisted", memento.CommitSet{
+			Removes: []memento.ReadProof{{Key: key("a"), Version: 0}},
+		}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			s := New()
+			defer s.Close()
+			s.Seed(mem("t", "a", 0, intFields(1))) // version 1
+			if _, err := s.ApplyCommitSet(ctx, tt.cs); !errors.Is(err, ErrConflict) {
+				t.Fatalf("got %v, want ErrConflict", err)
+			}
+			// The store must be unchanged.
+			if v, _ := s.CurrentVersion(key("a")); v != 1 {
+				t.Errorf("row version changed to %d after rejected commit", v)
+			}
+			if s.RowCount("t") != 1 {
+				t.Error("row count changed after rejected commit")
+			}
+		})
+	}
+}
+
+func TestApplyCommitSetAtomicOnPartialConflict(t *testing.T) {
+	s := New()
+	defer s.Close()
+	ctx := context.Background()
+	s.Seed(mem("t", "w", 0, intFields(1)))
+
+	// The write is valid, the remove conflicts; nothing must apply.
+	cs := memento.CommitSet{
+		Writes:  []memento.Memento{mem("t", "w", 1, intFields(2))},
+		Removes: []memento.ReadProof{{Key: memento.Key{Table: "t", ID: "gone"}, Version: 1}},
+	}
+	if _, err := s.ApplyCommitSet(ctx, cs); !errors.Is(err, ErrConflict) {
+		t.Fatalf("got %v, want ErrConflict", err)
+	}
+	if v, _ := s.CurrentVersion(memento.Key{Table: "t", ID: "w"}); v != 1 {
+		t.Errorf("partial commit leaked: version = %d, want 1", v)
+	}
+}
+
+func TestFirstCommitterWins(t *testing.T) {
+	s := New()
+	defer s.Close()
+	ctx := context.Background()
+	s.Seed(mem("t", "x", 0, intFields(0)))
+
+	// Two optimistic transactions that both read version 1 and write.
+	w1 := memento.CommitSet{Writes: []memento.Memento{mem("t", "x", 1, intFields(1))}}
+	w2 := memento.CommitSet{Writes: []memento.Memento{mem("t", "x", 1, intFields(2))}}
+	if _, err := s.ApplyCommitSet(ctx, w1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ApplyCommitSet(ctx, w2); !errors.Is(err, ErrConflict) {
+		t.Fatalf("second committer: got %v, want ErrConflict", err)
+	}
+}
+
+func TestCommitNotices(t *testing.T) {
+	s := New()
+	defer s.Close()
+	ctx := context.Background()
+	s.Seed(mem("t", "a", 0, intFields(1)))
+
+	ch, cancel := s.Subscribe(8)
+	defer cancel()
+
+	res, err := s.ApplyCommitSet(ctx, memento.CommitSet{
+		Writes: []memento.Memento{mem("t", "a", 1, intFields(2))},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case n := <-ch:
+		if n.TxID != res.TxID {
+			t.Errorf("notice TxID = %d, want %d", n.TxID, res.TxID)
+		}
+		if len(n.Keys) != 1 || n.Keys[0] != (memento.Key{Table: "t", ID: "a"}) {
+			t.Errorf("notice keys = %v", n.Keys)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("no notice delivered")
+	}
+
+	// Read-only transactions produce no notices.
+	tx := mustBegin(t, s)
+	if _, err := tx.Get(ctx, "t", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case n := <-ch:
+		t.Fatalf("unexpected notice %v for read-only commit", n)
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func TestSubscribeCancelClosesChannel(t *testing.T) {
+	s := New()
+	defer s.Close()
+	ch, cancel := s.Subscribe(1)
+	cancel()
+	cancel() // idempotent
+	if _, ok := <-ch; ok {
+		t.Fatal("channel should be closed after cancel")
+	}
+}
+
+func TestCloseClosesSubscribers(t *testing.T) {
+	s := New()
+	ch, _ := s.Subscribe(1)
+	s.Close()
+	if _, ok := <-ch; ok {
+		t.Fatal("channel should be closed after store close")
+	}
+}
+
+// TestConcurrentTransfersConserveBalance is the classic serializability
+// invariant: concurrent optimistic transfers between accounts, with
+// retries on conflict, must conserve the total balance.
+func TestConcurrentTransfersConserveBalance(t *testing.T) {
+	s := New()
+	defer s.Close()
+	ctx := context.Background()
+	const (
+		accounts  = 4
+		transfers = 30
+		workers   = 4
+		initial   = 1000
+	)
+	for i := 0; i < accounts; i++ {
+		s.Seed(mem("acct", fmt.Sprintf("%d", i), 0, intFields(initial)))
+	}
+
+	read := func(id string) (memento.Memento, error) {
+		tx, err := s.Begin(ctx)
+		if err != nil {
+			return memento.Memento{}, err
+		}
+		defer tx.Abort()
+		m, err := tx.Get(ctx, "acct", id)
+		if err != nil {
+			return memento.Memento{}, err
+		}
+		return m, tx.Commit()
+	}
+
+	transfer := func(rng *rand.Rand) error {
+		for attempt := 0; attempt < 50; attempt++ {
+			from := fmt.Sprintf("%d", rng.Intn(accounts))
+			to := fmt.Sprintf("%d", rng.Intn(accounts))
+			if from == to {
+				continue
+			}
+			mFrom, err := read(from)
+			if err != nil {
+				return err
+			}
+			mTo, err := read(to)
+			if err != nil {
+				return err
+			}
+			amount := int64(1 + rng.Intn(10))
+			cs := memento.CommitSet{Writes: []memento.Memento{
+				mem("acct", from, mFrom.Version, intFields(mFrom.Fields["v"].Int-amount)),
+				mem("acct", to, mTo.Version, intFields(mTo.Fields["v"].Int+amount)),
+			}}
+			_, err = s.ApplyCommitSet(ctx, cs)
+			if err == nil {
+				return nil
+			}
+			if !errors.Is(err, ErrConflict) {
+				return err
+			}
+		}
+		return errors.New("transfer starved")
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		seed := int64(w)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < transfers; i++ {
+				if err := transfer(rng); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	var total int64
+	for i := 0; i < accounts; i++ {
+		m, err := read(fmt.Sprintf("%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += m.Fields["v"].Int
+	}
+	if total != accounts*initial {
+		t.Fatalf("balance not conserved: total = %d, want %d", total, accounts*initial)
+	}
+}
+
+// Property: applying a commit set built from a read of the current state
+// always succeeds, and bumps exactly the written versions.
+func TestApplyCurrentStateProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := New()
+		defer s.Close()
+		ctx := context.Background()
+		n := 1 + rng.Intn(5)
+		for i := 0; i < n; i++ {
+			s.Seed(mem("t", fmt.Sprintf("%d", i), 0, intFields(rng.Int63n(100))))
+		}
+		id := fmt.Sprintf("%d", rng.Intn(n))
+		key := memento.Key{Table: "t", ID: id}
+		v, err := s.CurrentVersion(key)
+		if err != nil {
+			return false
+		}
+		res, err := s.ApplyCommitSet(ctx, memento.CommitSet{
+			Writes: []memento.Memento{mem("t", id, v, intFields(rng.Int63n(100)))},
+		})
+		if err != nil {
+			return false
+		}
+		nv, err := s.CurrentVersion(key)
+		return err == nil && nv == v+1 && res.NewVersions[key] == v+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

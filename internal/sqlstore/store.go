@@ -1,0 +1,392 @@
+// Package sqlstore implements the persistent datastore that plays the
+// role of the paper's DB2 database server: a multi-table, in-memory
+// relational store with ACID transactions, multi-granularity pessimistic
+// locking (row S/X locks under table intention locks), predicate
+// queries, and per-row versions.
+//
+// Two access paths exist, mirroring the paper:
+//
+//   - Pessimistic transactions (Begin / Tx) hold strict two-phase locks
+//     until commit. The JDBC and vanilla-EJB resource managers use this
+//     path, one wire round trip per statement.
+//   - Optimistic commit-set application (ApplyCommitSet) validates a
+//     whole transaction's read versions and applies its after-images in
+//     one internal pessimistic transaction. The back-end server of the
+//     split-servers configuration uses this path.
+//
+// Every committed mutation is broadcast as a Notice so that
+// cache-enhanced application servers can invalidate stale entries
+// ("invalidation when notified by the server about an update", §1.4).
+package sqlstore
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"edgeejb/internal/lockmgr"
+	"edgeejb/internal/memento"
+)
+
+// Sentinel errors. ErrConflict and ErrNotFound are part of the public
+// contract of every tier above the store: resource managers translate
+// them into transaction aborts and entity-not-found conditions.
+var (
+	// ErrNotFound reports that no row exists for the requested key.
+	ErrNotFound = errors.New("sqlstore: row not found")
+	// ErrExists reports an insert of a key that already has a row.
+	ErrExists = errors.New("sqlstore: row already exists")
+	// ErrConflict reports an optimistic validation failure: the row
+	// changed since the transaction read it.
+	ErrConflict = errors.New("sqlstore: version conflict")
+	// ErrTxDone reports use of a transaction after Commit or Abort.
+	ErrTxDone = errors.New("sqlstore: transaction already finished")
+	// ErrClosed reports use of a closed store.
+	ErrClosed = errors.New("sqlstore: store closed")
+)
+
+// Notice announces a committed transaction's mutated keys. Edge caches
+// subscribe to notices and invalidate the listed entries.
+type Notice struct {
+	// TxID is the committing transaction's store-assigned identifier.
+	TxID uint64
+	// Keys lists every row the transaction created, updated or removed.
+	Keys []memento.Key
+}
+
+// Stats counts store activity; all fields are monotonically increasing.
+type Stats struct {
+	Begins         uint64
+	Commits        uint64
+	Aborts         uint64
+	Gets           uint64
+	Puts           uint64
+	Inserts        uint64
+	Deletes        uint64
+	Queries        uint64
+	OptimisticOK   uint64
+	OptimisticFail uint64
+	NoticesSent    uint64
+	VersionChecks  uint64
+	LockTimeouts   uint64
+	IndexProbes    uint64
+	TableScans     uint64
+	RowsLive       uint64 // gauge, not a counter
+	TablesLive     uint64 // gauge, not a counter
+}
+
+type table struct {
+	rows    map[string]memento.Memento
+	indexes map[string]*index
+}
+
+func newTable() *table {
+	return &table{
+		rows:    make(map[string]memento.Memento),
+		indexes: make(map[string]*index),
+	}
+}
+
+// Store is the persistent datastore. It is safe for concurrent use.
+type Store struct {
+	lm *lockmgr.Manager
+
+	mu     sync.RWMutex
+	tables map[string]*table
+	closed bool
+
+	nextTx atomic.Uint64
+
+	subMu   sync.Mutex
+	subs    map[int]chan Notice
+	nextSub int
+
+	stats struct {
+		begins, commits, aborts               atomic.Uint64
+		gets, puts, inserts, deletes, queries atomic.Uint64
+		optOK, optFail, notices, vchecks      atomic.Uint64
+		lockTimeouts                          atomic.Uint64
+		indexProbes, tableScans               atomic.Uint64
+	}
+}
+
+// Option configures a Store.
+type Option interface {
+	apply(*config)
+}
+
+type config struct {
+	lockTimeout time.Duration
+}
+
+type lockTimeoutOption time.Duration
+
+func (o lockTimeoutOption) apply(c *config) { c.lockTimeout = time.Duration(o) }
+
+// WithLockTimeout sets the lock-wait timeout used for deadlock
+// resolution. The default is one second.
+func WithLockTimeout(d time.Duration) Option { return lockTimeoutOption(d) }
+
+// New returns an empty store.
+func New(opts ...Option) *Store {
+	cfg := config{lockTimeout: time.Second}
+	for _, o := range opts {
+		o.apply(&cfg)
+	}
+	return &Store{
+		lm:     lockmgr.New(lockmgr.WithTimeout(cfg.lockTimeout)),
+		tables: make(map[string]*table),
+		subs:   make(map[int]chan Notice),
+	}
+}
+
+// Close shuts the store down: future operations fail and subscribers are
+// drained. Close is idempotent.
+func (s *Store) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.lm.Close()
+	s.subMu.Lock()
+	for id, ch := range s.subs {
+		close(ch)
+		delete(s.subs, id)
+	}
+	s.subMu.Unlock()
+}
+
+// Subscribe registers for commit notices. The returned channel receives
+// a Notice for every committed mutation until cancel is called or the
+// store closes; the channel is closed on either event. Slow subscribers
+// never block commits: when the channel's buffer is full the notice is
+// coalesced by dropping it, which is safe because notices are
+// invalidation hints, not state transfer — a dropped hint only means a
+// subsequent optimistic commit discovers staleness at validation time.
+func (s *Store) Subscribe(buffer int) (<-chan Notice, func()) {
+	if buffer < 1 {
+		buffer = 64
+	}
+	ch := make(chan Notice, buffer)
+	s.subMu.Lock()
+	id := s.nextSub
+	s.nextSub++
+	s.subs[id] = ch
+	s.subMu.Unlock()
+
+	var once sync.Once
+	cancel := func() {
+		once.Do(func() {
+			s.subMu.Lock()
+			if c, ok := s.subs[id]; ok {
+				delete(s.subs, id)
+				close(c)
+			}
+			s.subMu.Unlock()
+		})
+	}
+	return ch, cancel
+}
+
+func (s *Store) broadcast(n Notice) {
+	if len(n.Keys) == 0 {
+		return
+	}
+	s.subMu.Lock()
+	defer s.subMu.Unlock()
+	for _, ch := range s.subs {
+		select {
+		case ch <- n:
+			s.stats.notices.Add(1)
+		default:
+			// Drop rather than block the committer; see Subscribe.
+		}
+	}
+}
+
+// Stats returns a snapshot of the store's activity counters.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	var rows uint64
+	for _, t := range s.tables {
+		rows += uint64(len(t.rows))
+	}
+	ntables := uint64(len(s.tables))
+	s.mu.RUnlock()
+	return Stats{
+		Begins:         s.stats.begins.Load(),
+		Commits:        s.stats.commits.Load(),
+		Aborts:         s.stats.aborts.Load(),
+		Gets:           s.stats.gets.Load(),
+		Puts:           s.stats.puts.Load(),
+		Inserts:        s.stats.inserts.Load(),
+		Deletes:        s.stats.deletes.Load(),
+		Queries:        s.stats.queries.Load(),
+		OptimisticOK:   s.stats.optOK.Load(),
+		OptimisticFail: s.stats.optFail.Load(),
+		NoticesSent:    s.stats.notices.Load(),
+		VersionChecks:  s.stats.vchecks.Load(),
+		LockTimeouts:   s.stats.lockTimeouts.Load(),
+		IndexProbes:    s.stats.indexProbes.Load(),
+		TableScans:     s.stats.tableScans.Load(),
+		RowsLive:       rows,
+		TablesLive:     ntables,
+	}
+}
+
+// readRow returns the committed row for key, if any.
+func (s *Store) readRow(key memento.Key) (memento.Memento, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t := s.tables[key.Table]
+	if t == nil {
+		return memento.Memento{}, false
+	}
+	m, ok := t.rows[key.ID]
+	return m, ok
+}
+
+// scanTable returns every committed row of a table matching q, in the
+// query's order. When an equality predicate is indexed, the planner
+// probes the index and re-checks the remaining predicates on the
+// candidates; otherwise it scans the whole table.
+func (s *Store) scanTable(q memento.Query) []memento.Memento {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t := s.tables[q.Table]
+	if t == nil {
+		return nil
+	}
+	var out []memento.Memento
+	if probe := t.plan(q); probe != nil {
+		s.stats.indexProbes.Add(1)
+		probe(func(id string) {
+			m, exists := t.rows[id]
+			if exists && q.Matches(m) {
+				out = append(out, m.Clone())
+			}
+		})
+	} else {
+		s.stats.tableScans.Add(1)
+		for _, m := range t.rows {
+			if q.Matches(m) {
+				out = append(out, m.Clone())
+			}
+		}
+	}
+	q.Sort(out)
+	return q.Cap(out)
+}
+
+// applyWrites installs a transaction's buffered writes under the store
+// mutex, bumping row versions. It assumes the caller holds the required
+// locks and has already validated.
+func (s *Store) applyWrites(writes map[memento.Key]pendingWrite) []memento.Key {
+	if len(writes) == 0 {
+		return nil
+	}
+	keys := make([]memento.Key, 0, len(writes))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for key, w := range writes {
+		t := s.tables[key.Table]
+		if t == nil {
+			t = newTable()
+			s.tables[key.Table] = t
+		}
+		prev, hadPrev := t.rows[key.ID]
+		if w.remove {
+			delete(t.rows, key.ID)
+		} else {
+			m := w.mem.Clone()
+			if hadPrev {
+				m.Version = prev.Version + 1
+			} else {
+				m.Version = 1
+			}
+			t.rows[key.ID] = m
+		}
+		for _, ix := range t.indexes {
+			if hadPrev {
+				ix.remove(key.ID, prev.Fields)
+			}
+			if !w.remove {
+				ix.insert(key.ID, t.rows[key.ID].Fields)
+			}
+		}
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Table != keys[j].Table {
+			return keys[i].Table < keys[j].Table
+		}
+		return keys[i].ID < keys[j].ID
+	})
+	return keys
+}
+
+// Seed installs rows directly, without locking or notices. It is meant
+// for test fixtures and initial database population before the store is
+// shared; each memento's version is forced to 1.
+func (s *Store) Seed(mems ...memento.Memento) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, m := range mems {
+		t := s.tables[m.Key.Table]
+		if t == nil {
+			t = newTable()
+			s.tables[m.Key.Table] = t
+		}
+		prev, hadPrev := t.rows[m.Key.ID]
+		mm := m.Clone()
+		mm.Version = 1
+		t.rows[m.Key.ID] = mm
+		for _, ix := range t.indexes {
+			if hadPrev {
+				ix.remove(m.Key.ID, prev.Fields)
+			}
+			ix.insert(m.Key.ID, mm.Fields)
+		}
+	}
+}
+
+// RowCount returns the number of live rows in a table.
+func (s *Store) RowCount(tableName string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t := s.tables[tableName]
+	if t == nil {
+		return 0
+	}
+	return len(t.rows)
+}
+
+// CurrentVersion returns the committed version of a row, or 0 with
+// ErrNotFound if it does not exist. It performs a dirty read and is
+// intended for tests and diagnostics.
+func (s *Store) CurrentVersion(key memento.Key) (uint64, error) {
+	m, ok := s.readRow(key)
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	return m.Version, nil
+}
+
+func (s *Store) isClosed() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.closed
+}
+
+func translateLockErr(err error) error {
+	if errors.Is(err, lockmgr.ErrTimeout) || errors.Is(err, lockmgr.ErrDeadlock) {
+		return fmt.Errorf("%w: %v", ErrConflict, err)
+	}
+	return err
+}

@@ -1,0 +1,428 @@
+package sqlstore
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"edgeejb/internal/memento"
+)
+
+func mem(table, id string, version uint64, fields memento.Fields) memento.Memento {
+	return memento.Memento{
+		Key:     memento.Key{Table: table, ID: id},
+		Version: version,
+		Fields:  fields,
+	}
+}
+
+func intFields(v int64) memento.Fields { return memento.Fields{"v": memento.Int(v)} }
+
+func mustBegin(t *testing.T, s *Store) *Tx {
+	t.Helper()
+	tx, err := s.Begin(context.Background())
+	if err != nil {
+		t.Fatalf("begin: %v", err)
+	}
+	return tx
+}
+
+func TestSeedAndGet(t *testing.T) {
+	s := New()
+	defer s.Close()
+	s.Seed(mem("t", "1", 0, intFields(10)))
+
+	tx := mustBegin(t, s)
+	defer tx.Abort()
+	m, err := tx.Get(context.Background(), "t", "1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Version != 1 {
+		t.Errorf("seeded version = %d, want 1", m.Version)
+	}
+	if m.Fields["v"].Int != 10 {
+		t.Errorf("field v = %d, want 10", m.Fields["v"].Int)
+	}
+}
+
+func TestGetNotFound(t *testing.T) {
+	s := New()
+	defer s.Close()
+	tx := mustBegin(t, s)
+	defer tx.Abort()
+	if _, err := tx.Get(context.Background(), "t", "missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("expected ErrNotFound, got %v", err)
+	}
+}
+
+func TestPutCommitBumpsVersion(t *testing.T) {
+	s := New()
+	defer s.Close()
+	ctx := context.Background()
+	s.Seed(mem("t", "1", 0, intFields(1)))
+
+	for want := uint64(2); want <= 4; want++ {
+		tx := mustBegin(t, s)
+		if err := tx.Put(ctx, mem("t", "1", 0, intFields(int64(want)))); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		v, err := s.CurrentVersion(memento.Key{Table: "t", ID: "1"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != want {
+			t.Fatalf("version = %d, want %d", v, want)
+		}
+	}
+}
+
+func TestWritesInvisibleUntilCommit(t *testing.T) {
+	s := New(WithLockTimeout(50 * time.Millisecond))
+	defer s.Close()
+	ctx := context.Background()
+	s.Seed(mem("t", "1", 0, intFields(1)))
+
+	writer := mustBegin(t, s)
+	if err := writer.Put(ctx, mem("t", "1", 0, intFields(2))); err != nil {
+		t.Fatal(err)
+	}
+	// Writer sees its own buffered write.
+	m, err := writer.Get(ctx, "t", "1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Fields["v"].Int != 2 {
+		t.Errorf("writer sees v=%d, want its own write 2", m.Fields["v"].Int)
+	}
+	// A concurrent reader blocks on the X lock (no dirty reads) and
+	// times out.
+	reader := mustBegin(t, s)
+	defer reader.Abort()
+	if _, err := reader.Get(ctx, "t", "1"); !errors.Is(err, ErrConflict) {
+		t.Fatalf("expected lock-timeout conflict, got %v", err)
+	}
+	if err := writer.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	reader2 := mustBegin(t, s)
+	defer reader2.Abort()
+	m, err = reader2.Get(ctx, "t", "1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Fields["v"].Int != 2 {
+		t.Errorf("after commit v=%d, want 2", m.Fields["v"].Int)
+	}
+}
+
+func TestAbortDiscardsWrites(t *testing.T) {
+	s := New()
+	defer s.Close()
+	ctx := context.Background()
+	s.Seed(mem("t", "1", 0, intFields(1)))
+
+	tx := mustBegin(t, s)
+	if err := tx.Put(ctx, mem("t", "1", 0, intFields(99))); err != nil {
+		t.Fatal(err)
+	}
+	tx.Abort()
+
+	tx2 := mustBegin(t, s)
+	defer tx2.Abort()
+	m, err := tx2.Get(ctx, "t", "1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Fields["v"].Int != 1 {
+		t.Errorf("after abort v=%d, want 1", m.Fields["v"].Int)
+	}
+}
+
+func TestInsertSemantics(t *testing.T) {
+	s := New()
+	defer s.Close()
+	ctx := context.Background()
+	s.Seed(mem("t", "exists", 0, intFields(1)))
+
+	tx := mustBegin(t, s)
+	defer tx.Abort()
+	if err := tx.Insert(ctx, mem("t", "exists", 0, intFields(2))); !errors.Is(err, ErrExists) {
+		t.Fatalf("insert over committed row: got %v, want ErrExists", err)
+	}
+	if err := tx.Insert(ctx, mem("t", "new", 0, intFields(3))); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Insert(ctx, mem("t", "new", 0, intFields(4))); !errors.Is(err, ErrExists) {
+		t.Fatalf("insert over buffered insert: got %v, want ErrExists", err)
+	}
+	// Delete-then-insert in one transaction is allowed.
+	if err := tx.Delete(ctx, "t", "exists"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Insert(ctx, mem("t", "exists", 0, intFields(5))); err != nil {
+		t.Fatalf("insert after delete: %v", err)
+	}
+}
+
+func TestDeleteSemantics(t *testing.T) {
+	s := New()
+	defer s.Close()
+	ctx := context.Background()
+	s.Seed(mem("t", "1", 0, intFields(1)))
+
+	tx := mustBegin(t, s)
+	if err := tx.Delete(ctx, "t", "missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("delete missing: got %v, want ErrNotFound", err)
+	}
+	if err := tx.Delete(ctx, "t", "1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Get(ctx, "t", "1"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("get after buffered delete: got %v, want ErrNotFound", err)
+	}
+	if err := tx.Delete(ctx, "t", "1"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double delete: got %v, want ErrNotFound", err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if s.RowCount("t") != 0 {
+		t.Error("row survived committed delete")
+	}
+}
+
+func TestQueryWithBufferedWrites(t *testing.T) {
+	s := New()
+	defer s.Close()
+	ctx := context.Background()
+	s.Seed(
+		mem("h", "1", 0, memento.Fields{"acct": memento.String("u1")}),
+		mem("h", "2", 0, memento.Fields{"acct": memento.String("u1")}),
+		mem("h", "3", 0, memento.Fields{"acct": memento.String("u2")}),
+	)
+	q := memento.Query{
+		Table: "h",
+		Where: []memento.Predicate{memento.Where("acct", memento.String("u1"))},
+	}
+
+	tx := mustBegin(t, s)
+	defer tx.Abort()
+	// Delete one match, update another out of the result set, insert a
+	// fresh match.
+	if err := tx.Delete(ctx, "h", "1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Put(ctx, mem("h", "2", 0, memento.Fields{"acct": memento.String("u9")})); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Insert(ctx, mem("h", "4", 0, memento.Fields{"acct": memento.String("u1")})); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tx.Query(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Key.ID != "4" {
+		t.Fatalf("query = %v, want only h/4", got)
+	}
+}
+
+func TestQueryLimitAndOrder(t *testing.T) {
+	s := New()
+	defer s.Close()
+	ctx := context.Background()
+	for i := 9; i >= 0; i-- {
+		s.Seed(mem("t", fmt.Sprintf("%02d", i), 0, intFields(int64(i))))
+	}
+	tx := mustBegin(t, s)
+	defer tx.Abort()
+	got, err := tx.Query(ctx, memento.Query{Table: "t", Limit: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("limit ignored: %d rows", len(got))
+	}
+	for i, m := range got {
+		if want := fmt.Sprintf("%02d", i); m.Key.ID != want {
+			t.Errorf("row %d = %s, want %s (sorted)", i, m.Key.ID, want)
+		}
+	}
+}
+
+func TestQueryBlocksConcurrentWriter(t *testing.T) {
+	s := New(WithLockTimeout(50 * time.Millisecond))
+	defer s.Close()
+	ctx := context.Background()
+	s.Seed(mem("t", "1", 0, intFields(1)))
+
+	q := mustBegin(t, s)
+	defer q.Abort()
+	if _, err := q.Query(ctx, memento.Query{Table: "t"}); err != nil {
+		t.Fatal(err)
+	}
+	// A writer needs table IX, incompatible with the query's table S:
+	// phantom protection for pessimistic transactions.
+	w := mustBegin(t, s)
+	defer w.Abort()
+	if err := w.Insert(ctx, mem("t", "2", 0, intFields(2))); !errors.Is(err, ErrConflict) {
+		t.Fatalf("expected writer to block on table lock, got %v", err)
+	}
+}
+
+func TestTxDoneSemantics(t *testing.T) {
+	s := New()
+	defer s.Close()
+	ctx := context.Background()
+	tx := mustBegin(t, s)
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); !errors.Is(err, ErrTxDone) {
+		t.Fatalf("double commit: got %v", err)
+	}
+	if _, err := tx.Get(ctx, "t", "1"); !errors.Is(err, ErrTxDone) {
+		t.Fatalf("get after commit: got %v", err)
+	}
+	tx.Abort() // must be a no-op, not a panic
+}
+
+func TestLocksReleasedOnCommitAndAbort(t *testing.T) {
+	s := New(WithLockTimeout(50 * time.Millisecond))
+	defer s.Close()
+	ctx := context.Background()
+	s.Seed(mem("t", "1", 0, intFields(1)))
+
+	tx1 := mustBegin(t, s)
+	if _, err := tx1.GetForUpdate(ctx, "t", "1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	tx2 := mustBegin(t, s)
+	if _, err := tx2.GetForUpdate(ctx, "t", "1"); err != nil {
+		t.Fatalf("lock leaked past commit: %v", err)
+	}
+	tx2.Abort()
+	tx3 := mustBegin(t, s)
+	defer tx3.Abort()
+	if _, err := tx3.GetForUpdate(ctx, "t", "1"); err != nil {
+		t.Fatalf("lock leaked past abort: %v", err)
+	}
+}
+
+func TestCheckVersion(t *testing.T) {
+	s := New()
+	defer s.Close()
+	ctx := context.Background()
+	s.Seed(mem("t", "1", 0, intFields(1))) // version 1
+
+	tx := mustBegin(t, s)
+	defer tx.Abort()
+	key := memento.Key{Table: "t", ID: "1"}
+	if err := tx.CheckVersion(ctx, key, 1); err != nil {
+		t.Errorf("matching version: %v", err)
+	}
+	if err := tx.CheckVersion(ctx, key, 2); !errors.Is(err, ErrConflict) {
+		t.Errorf("stale version: got %v, want ErrConflict", err)
+	}
+	if err := tx.CheckVersion(ctx, key, 0); !errors.Is(err, ErrConflict) {
+		t.Errorf("absence proof over existing row: got %v, want ErrConflict", err)
+	}
+	missing := memento.Key{Table: "t", ID: "nope"}
+	if err := tx.CheckVersion(ctx, missing, 0); err != nil {
+		t.Errorf("absence proof over missing row: %v", err)
+	}
+	if err := tx.CheckVersion(ctx, missing, 1); !errors.Is(err, ErrConflict) {
+		t.Errorf("existence proof over missing row: got %v, want ErrConflict", err)
+	}
+}
+
+func TestCheckedPutAndDelete(t *testing.T) {
+	s := New()
+	defer s.Close()
+	ctx := context.Background()
+	s.Seed(mem("t", "1", 0, intFields(1))) // version 1
+	key := memento.Key{Table: "t", ID: "1"}
+
+	// Stale write rejected.
+	tx := mustBegin(t, s)
+	if err := tx.CheckedPut(ctx, mem("t", "1", 99, intFields(2))); !errors.Is(err, ErrConflict) {
+		t.Fatalf("stale CheckedPut: got %v", err)
+	}
+	tx.Abort()
+
+	// Current write accepted; version bumps.
+	tx = mustBegin(t, s)
+	if err := tx.CheckedPut(ctx, mem("t", "1", 1, intFields(2))); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := s.CurrentVersion(key); v != 2 {
+		t.Fatalf("version = %d, want 2", v)
+	}
+
+	// Checked insert (version 0) over existing row rejected.
+	tx = mustBegin(t, s)
+	if err := tx.CheckedPut(ctx, mem("t", "1", 0, intFields(3))); !errors.Is(err, ErrConflict) {
+		t.Fatalf("checked insert over row: got %v", err)
+	}
+	tx.Abort()
+
+	// Checked delete with stale version rejected; with current version
+	// applied.
+	tx = mustBegin(t, s)
+	if err := tx.CheckedDelete(ctx, key, 1); !errors.Is(err, ErrConflict) {
+		t.Fatalf("stale CheckedDelete: got %v", err)
+	}
+	tx.Abort()
+	tx = mustBegin(t, s)
+	if err := tx.CheckedDelete(ctx, key, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if s.RowCount("t") != 0 {
+		t.Error("checked delete did not remove row")
+	}
+}
+
+func TestClosedStore(t *testing.T) {
+	s := New()
+	s.Close()
+	s.Close() // idempotent
+	if _, err := s.Begin(context.Background()); !errors.Is(err, ErrClosed) {
+		t.Fatalf("begin on closed store: got %v", err)
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	s := New()
+	defer s.Close()
+	ctx := context.Background()
+	s.Seed(mem("t", "1", 0, intFields(1)))
+
+	tx := mustBegin(t, s)
+	_, _ = tx.Get(ctx, "t", "1")
+	_ = tx.Put(ctx, mem("t", "1", 0, intFields(2)))
+	_, _ = tx.Query(ctx, memento.Query{Table: "t"})
+	_ = tx.Commit()
+
+	st := s.Stats()
+	if st.Begins != 1 || st.Commits != 1 || st.Gets != 1 || st.Puts != 1 || st.Queries != 1 {
+		t.Errorf("unexpected stats: %+v", st)
+	}
+	if st.RowsLive != 1 || st.TablesLive != 1 {
+		t.Errorf("unexpected gauges: %+v", st)
+	}
+}

@@ -1,0 +1,200 @@
+// Package stats provides the small statistics toolkit the evaluation
+// needs: ordinary least-squares linear fits (for the latency-sensitivity
+// slopes of Table 2 and the "R² = 99%" fit quality the paper reports),
+// summaries, and batch means.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Fit is an ordinary least-squares line y = Slope*x + Intercept.
+type Fit struct {
+	Slope     float64
+	Intercept float64
+	// R2 is the coefficient of determination of the fit (1 = perfect).
+	R2 float64
+}
+
+// ErrInsufficientData is returned when a computation needs more points.
+var ErrInsufficientData = errors.New("stats: insufficient data")
+
+// LinearFit fits a least-squares line through (xs[i], ys[i]). The slope
+// is the paper's "latency sensitivity": the increase in client latency
+// per unit increase in injected one-way delay.
+func LinearFit(xs, ys []float64) (Fit, error) {
+	if len(xs) != len(ys) {
+		return Fit{}, errors.New("stats: mismatched series lengths")
+	}
+	if len(xs) < 2 {
+		return Fit{}, ErrInsufficientData
+	}
+	n := float64(len(xs))
+	var sumX, sumY float64
+	for i := range xs {
+		sumX += xs[i]
+		sumY += ys[i]
+	}
+	meanX, meanY := sumX/n, sumY/n
+	var sxx, sxy, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-meanX, ys[i]-meanY
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return Fit{}, errors.New("stats: degenerate x series")
+	}
+	slope := sxy / sxx
+	intercept := meanY - slope*meanX
+	r2 := 1.0
+	if syy > 0 {
+		var ssRes float64
+		for i := range xs {
+			resid := ys[i] - (slope*xs[i] + intercept)
+			ssRes += resid * resid
+		}
+		r2 = 1 - ssRes/syy
+	}
+	return Fit{Slope: slope, Intercept: intercept, R2: r2}, nil
+}
+
+// Summary describes one sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Stddev float64
+	Min    float64
+	Max    float64
+	P50    float64
+	P95    float64
+}
+
+// Summarize computes a Summary. An empty sample yields a zero Summary.
+func Summarize(values []float64) Summary {
+	if len(values) == 0 {
+		return Summary{}
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	var sum float64
+	for _, v := range sorted {
+		sum += v
+	}
+	mean := sum / float64(len(sorted))
+	var ss float64
+	for _, v := range sorted {
+		d := v - mean
+		ss += d * d
+	}
+	stddev := 0.0
+	if len(sorted) > 1 {
+		stddev = math.Sqrt(ss / float64(len(sorted)-1))
+	}
+	return Summary{
+		N:      len(sorted),
+		Mean:   mean,
+		Stddev: stddev,
+		Min:    sorted[0],
+		Max:    sorted[len(sorted)-1],
+		P50:    percentile(sorted, 0.50),
+		P95:    percentile(sorted, 0.95),
+	}
+}
+
+// percentile interpolates the p-th percentile of a sorted sample.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// BatchMeans splits values into batches contiguous groups and returns
+// each group's mean — the paper reports "the batched (over 20 batches)
+// average" of its runs. Fewer values than batches yields one batch per
+// value.
+func BatchMeans(values []float64, batches int) []float64 {
+	if len(values) == 0 || batches < 1 {
+		return nil
+	}
+	if batches > len(values) {
+		batches = len(values)
+	}
+	out := make([]float64, 0, batches)
+	size := len(values) / batches
+	rem := len(values) % batches
+	idx := 0
+	for b := 0; b < batches; b++ {
+		n := size
+		if b < rem {
+			n++
+		}
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += values[idx]
+			idx++
+		}
+		out = append(out, sum/float64(n))
+	}
+	return out
+}
+
+// Mean returns the arithmetic mean (0 for an empty sample).
+func Mean(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range values {
+		sum += v
+	}
+	return sum / float64(len(values))
+}
+
+// ConfidenceInterval95 returns the half-width of the 95% confidence
+// interval for the mean of the given batch means, using the Student-t
+// distribution — the standard batch-means method, and the reason the
+// paper reports "the batched (over 20 batches) average". It returns 0
+// for fewer than two batches.
+func ConfidenceInterval95(batchMeans []float64) float64 {
+	n := len(batchMeans)
+	if n < 2 {
+		return 0
+	}
+	s := Summarize(batchMeans)
+	t := tCritical95(n - 1)
+	return t * s.Stddev / math.Sqrt(float64(n))
+}
+
+// tCritical95 returns the two-sided 95% Student-t critical value for
+// the given degrees of freedom (exact table through 30, the normal
+// approximation beyond).
+func tCritical95(df int) float64 {
+	table := []float64{
+		// df = 1..30
+		12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+		2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+		2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+	}
+	if df < 1 {
+		return math.NaN()
+	}
+	if df <= len(table) {
+		return table[df-1]
+	}
+	return 1.960
+}

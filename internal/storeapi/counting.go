@@ -1,0 +1,131 @@
+package storeapi
+
+import (
+	"context"
+	"sync/atomic"
+
+	"edgeejb/internal/memento"
+	"edgeejb/internal/sqlstore"
+)
+
+// CountingConn wraps a Conn and counts every statement that would be a
+// wire round trip on a remote implementation: Begin, each transaction
+// operation, Commit/Abort, the auto operations, and ApplyCommitSet.
+// The evaluation uses it to verify the per-algorithm access counts that
+// drive the paper's latency sensitivities without standing up a network.
+type CountingConn struct {
+	inner Conn
+	ops   atomic.Uint64
+}
+
+var _ Conn = (*CountingConn)(nil)
+
+// NewCountingConn wraps conn.
+func NewCountingConn(conn Conn) *CountingConn {
+	return &CountingConn{inner: conn}
+}
+
+// Ops returns the number of statements issued so far.
+func (c *CountingConn) Ops() uint64 { return c.ops.Load() }
+
+// ResetOps zeroes the statement counter.
+func (c *CountingConn) ResetOps() { c.ops.Store(0) }
+
+// Begin implements Conn.
+func (c *CountingConn) Begin(ctx context.Context) (Txn, error) {
+	c.ops.Add(1)
+	txn, err := c.inner.Begin(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &countingTxn{inner: txn, ops: &c.ops}, nil
+}
+
+// AutoGet implements Conn.
+func (c *CountingConn) AutoGet(ctx context.Context, table, id string) (memento.Memento, error) {
+	c.ops.Add(1)
+	return c.inner.AutoGet(ctx, table, id)
+}
+
+// AutoQuery implements Conn.
+func (c *CountingConn) AutoQuery(ctx context.Context, q memento.Query) ([]memento.Memento, error) {
+	c.ops.Add(1)
+	return c.inner.AutoQuery(ctx, q)
+}
+
+// ApplyCommitSet implements Conn.
+func (c *CountingConn) ApplyCommitSet(ctx context.Context, cs memento.CommitSet) (sqlstore.ApplyResult, error) {
+	c.ops.Add(1)
+	return c.inner.ApplyCommitSet(ctx, cs)
+}
+
+// Subscribe implements Conn. Subscriptions are push streams, not
+// request/response statements, so they are not counted.
+func (c *CountingConn) Subscribe(ctx context.Context) (<-chan sqlstore.Notice, func(), error) {
+	return c.inner.Subscribe(ctx)
+}
+
+// Close implements Conn.
+func (c *CountingConn) Close() error { return c.inner.Close() }
+
+type countingTxn struct {
+	inner Txn
+	ops   *atomic.Uint64
+}
+
+func (t *countingTxn) ID() uint64 { return t.inner.ID() }
+
+func (t *countingTxn) Get(ctx context.Context, table, id string) (memento.Memento, error) {
+	t.ops.Add(1)
+	return t.inner.Get(ctx, table, id)
+}
+
+func (t *countingTxn) GetForUpdate(ctx context.Context, table, id string) (memento.Memento, error) {
+	t.ops.Add(1)
+	return t.inner.GetForUpdate(ctx, table, id)
+}
+
+func (t *countingTxn) Put(ctx context.Context, m memento.Memento) error {
+	t.ops.Add(1)
+	return t.inner.Put(ctx, m)
+}
+
+func (t *countingTxn) Insert(ctx context.Context, m memento.Memento) error {
+	t.ops.Add(1)
+	return t.inner.Insert(ctx, m)
+}
+
+func (t *countingTxn) Delete(ctx context.Context, table, id string) error {
+	t.ops.Add(1)
+	return t.inner.Delete(ctx, table, id)
+}
+
+func (t *countingTxn) Query(ctx context.Context, q memento.Query) ([]memento.Memento, error) {
+	t.ops.Add(1)
+	return t.inner.Query(ctx, q)
+}
+
+func (t *countingTxn) CheckVersion(ctx context.Context, key memento.Key, version uint64) error {
+	t.ops.Add(1)
+	return t.inner.CheckVersion(ctx, key, version)
+}
+
+func (t *countingTxn) CheckedPut(ctx context.Context, m memento.Memento) error {
+	t.ops.Add(1)
+	return t.inner.CheckedPut(ctx, m)
+}
+
+func (t *countingTxn) CheckedDelete(ctx context.Context, key memento.Key, version uint64) error {
+	t.ops.Add(1)
+	return t.inner.CheckedDelete(ctx, key, version)
+}
+
+func (t *countingTxn) Commit(ctx context.Context) error {
+	t.ops.Add(1)
+	return t.inner.Commit(ctx)
+}
+
+func (t *countingTxn) Abort(ctx context.Context) error {
+	t.ops.Add(1)
+	return t.inner.Abort(ctx)
+}

@@ -1,0 +1,174 @@
+// Package storeapi defines the datastore access interface shared by the
+// local (in-process) store and the remote (wire) driver. Application
+// servers are written against these interfaces so that the same resource
+// managers run unchanged whether the database is colocated (Clients/RAS,
+// the back-end server's store) or across the high-latency path (ES/RDB).
+package storeapi
+
+import (
+	"context"
+
+	"edgeejb/internal/memento"
+	"edgeejb/internal/sqlstore"
+)
+
+// Txn is one datastore transaction. Implementations: the local adapter
+// in this package (no network) and dbwire's remote transaction (one
+// round trip per call — the property that makes per-statement access
+// latency-sensitive).
+type Txn interface {
+	// ID returns the datastore-assigned transaction identifier. It is
+	// stable across tiers: a transaction driven through the back-end
+	// server reports the database server's identifier, so commit notices
+	// can be matched against a cache's own commits.
+	ID() uint64
+	// Get reads a row under a shared lock; sqlstore.ErrNotFound if absent.
+	Get(ctx context.Context, table, id string) (memento.Memento, error)
+	// GetForUpdate reads a row under an exclusive lock.
+	GetForUpdate(ctx context.Context, table, id string) (memento.Memento, error)
+	// Put upserts a row (pessimistic; version assigned at commit).
+	Put(ctx context.Context, m memento.Memento) error
+	// Insert creates a row; sqlstore.ErrExists if present.
+	Insert(ctx context.Context, m memento.Memento) error
+	// Delete removes a row; sqlstore.ErrNotFound if absent.
+	Delete(ctx context.Context, table, id string) error
+	// Query runs a predicate query under a table shared lock.
+	Query(ctx context.Context, q memento.Query) ([]memento.Memento, error)
+	// CheckVersion verifies a row is still at version (0 = still absent).
+	CheckVersion(ctx context.Context, key memento.Key, version uint64) error
+	// CheckedPut updates a row iff it is still at m.Version (0 = insert).
+	CheckedPut(ctx context.Context, m memento.Memento) error
+	// CheckedDelete removes a row iff it is still at version.
+	CheckedDelete(ctx context.Context, key memento.Key, version uint64) error
+	// Commit atomically installs buffered writes and releases locks.
+	Commit(ctx context.Context) error
+	// Abort discards buffered writes and releases locks.
+	Abort(ctx context.Context) error
+}
+
+// Conn is a handle to a datastore (local or remote).
+type Conn interface {
+	// Begin starts a transaction.
+	Begin(ctx context.Context) (Txn, error)
+	// AutoGet reads one row in an autocommit transaction: the "separate
+	// (non-nested) short transaction ... committed immediately after the
+	// access completes" that the cache runtime uses for misses (§2.3).
+	// On remote implementations it costs exactly one round trip.
+	AutoGet(ctx context.Context, table, id string) (memento.Memento, error)
+	// AutoQuery runs one predicate query in an autocommit transaction —
+	// one round trip on remote implementations.
+	AutoQuery(ctx context.Context, q memento.Query) ([]memento.Memento, error)
+	// ApplyCommitSet validates and applies a whole optimistic commit set
+	// atomically — a single round trip on remote implementations.
+	ApplyCommitSet(ctx context.Context, cs memento.CommitSet) (sqlstore.ApplyResult, error)
+	// Subscribe streams commit notices until cancel is called; the
+	// channel closes on cancel or connection loss.
+	Subscribe(ctx context.Context) (<-chan sqlstore.Notice, func(), error)
+	// Close releases the handle's resources.
+	Close() error
+}
+
+// local adapts an in-process *sqlstore.Store to Conn.
+type local struct {
+	store *sqlstore.Store
+}
+
+// Local wraps an in-process store as a Conn. Closing the Conn does not
+// close the underlying store (the store may be shared).
+func Local(s *sqlstore.Store) Conn { return &local{store: s} }
+
+func (l *local) Begin(ctx context.Context) (Txn, error) {
+	tx, err := l.store.Begin(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &localTxn{tx: tx}, nil
+}
+
+func (l *local) ApplyCommitSet(ctx context.Context, cs memento.CommitSet) (sqlstore.ApplyResult, error) {
+	return l.store.ApplyCommitSet(ctx, cs)
+}
+
+func (l *local) AutoGet(ctx context.Context, table, id string) (memento.Memento, error) {
+	tx, err := l.store.Begin(ctx)
+	if err != nil {
+		return memento.Memento{}, err
+	}
+	m, err := tx.Get(ctx, table, id)
+	if err != nil {
+		tx.Abort()
+		return memento.Memento{}, err
+	}
+	if err := tx.Commit(); err != nil {
+		return memento.Memento{}, err
+	}
+	return m, nil
+}
+
+func (l *local) AutoQuery(ctx context.Context, q memento.Query) ([]memento.Memento, error) {
+	tx, err := l.store.Begin(ctx)
+	if err != nil {
+		return nil, err
+	}
+	mems, err := tx.Query(ctx, q)
+	if err != nil {
+		tx.Abort()
+		return nil, err
+	}
+	if err := tx.Commit(); err != nil {
+		return nil, err
+	}
+	return mems, nil
+}
+
+func (l *local) Subscribe(ctx context.Context) (<-chan sqlstore.Notice, func(), error) {
+	ch, cancel := l.store.Subscribe(0)
+	return ch, cancel, nil
+}
+
+func (l *local) Close() error { return nil }
+
+type localTxn struct {
+	tx *sqlstore.Tx
+}
+
+func (t *localTxn) ID() uint64 { return t.tx.ID() }
+
+func (t *localTxn) Get(ctx context.Context, table, id string) (memento.Memento, error) {
+	return t.tx.Get(ctx, table, id)
+}
+
+func (t *localTxn) GetForUpdate(ctx context.Context, table, id string) (memento.Memento, error) {
+	return t.tx.GetForUpdate(ctx, table, id)
+}
+
+func (t *localTxn) Put(ctx context.Context, m memento.Memento) error { return t.tx.Put(ctx, m) }
+
+func (t *localTxn) Insert(ctx context.Context, m memento.Memento) error { return t.tx.Insert(ctx, m) }
+
+func (t *localTxn) Delete(ctx context.Context, table, id string) error {
+	return t.tx.Delete(ctx, table, id)
+}
+
+func (t *localTxn) Query(ctx context.Context, q memento.Query) ([]memento.Memento, error) {
+	return t.tx.Query(ctx, q)
+}
+
+func (t *localTxn) CheckVersion(ctx context.Context, key memento.Key, version uint64) error {
+	return t.tx.CheckVersion(ctx, key, version)
+}
+
+func (t *localTxn) CheckedPut(ctx context.Context, m memento.Memento) error {
+	return t.tx.CheckedPut(ctx, m)
+}
+
+func (t *localTxn) CheckedDelete(ctx context.Context, key memento.Key, version uint64) error {
+	return t.tx.CheckedDelete(ctx, key, version)
+}
+
+func (t *localTxn) Commit(ctx context.Context) error { return t.tx.Commit() }
+
+func (t *localTxn) Abort(ctx context.Context) error {
+	t.tx.Abort()
+	return nil
+}

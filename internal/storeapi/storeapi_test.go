@@ -1,0 +1,122 @@
+package storeapi
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"edgeejb/internal/memento"
+	"edgeejb/internal/sqlstore"
+)
+
+func seedOne(s *sqlstore.Store, table, id string, v int64) {
+	s.Seed(memento.Memento{
+		Key:    memento.Key{Table: table, ID: id},
+		Fields: memento.Fields{"v": memento.Int(v)},
+	})
+}
+
+func TestLocalTxnLifecycle(t *testing.T) {
+	store := sqlstore.New()
+	defer store.Close()
+	seedOne(store, "t", "1", 10)
+	conn := Local(store)
+	defer conn.Close()
+	ctx := context.Background()
+
+	txn, err := conn.Begin(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if txn.ID() == 0 {
+		t.Error("local txn should expose the store transaction id")
+	}
+	m, err := txn.Get(ctx, "t", "1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Fields["v"] = memento.Int(11)
+	if err := txn.Put(ctx, m); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := store.CurrentVersion(memento.Key{Table: "t", ID: "1"}); v != 2 {
+		t.Errorf("version = %d, want 2", v)
+	}
+}
+
+func TestLocalAutoGet(t *testing.T) {
+	store := sqlstore.New()
+	defer store.Close()
+	seedOne(store, "t", "1", 10)
+	conn := Local(store)
+	ctx := context.Background()
+
+	m, err := conn.AutoGet(ctx, "t", "1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Fields["v"].Int != 10 {
+		t.Errorf("v = %d, want 10", m.Fields["v"].Int)
+	}
+	if _, err := conn.AutoGet(ctx, "t", "missing"); !errors.Is(err, sqlstore.ErrNotFound) {
+		t.Fatalf("got %v, want ErrNotFound", err)
+	}
+	// The autocommit transaction must not leak locks or transactions.
+	st := store.Stats()
+	if st.Begins != st.Commits+st.Aborts {
+		t.Errorf("leaked transactions: %+v", st)
+	}
+}
+
+func TestLocalAutoQuery(t *testing.T) {
+	store := sqlstore.New()
+	defer store.Close()
+	seedOne(store, "t", "1", 1)
+	seedOne(store, "t", "2", 2)
+	conn := Local(store)
+	ctx := context.Background()
+
+	mems, err := conn.AutoQuery(ctx, memento.Query{Table: "t"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mems) != 2 {
+		t.Fatalf("got %d rows, want 2", len(mems))
+	}
+	st := store.Stats()
+	if st.Begins != st.Commits+st.Aborts {
+		t.Errorf("leaked transactions: %+v", st)
+	}
+}
+
+func TestLocalApplyCommitSetAndSubscribe(t *testing.T) {
+	store := sqlstore.New()
+	defer store.Close()
+	seedOne(store, "t", "1", 1)
+	conn := Local(store)
+	ctx := context.Background()
+
+	ch, cancel, err := conn.Subscribe(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+
+	res, err := conn.ApplyCommitSet(ctx, memento.CommitSet{
+		Writes: []memento.Memento{{
+			Key:     memento.Key{Table: "t", ID: "1"},
+			Version: 1,
+			Fields:  memento.Fields{"v": memento.Int(2)},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := <-ch
+	if n.TxID != res.TxID {
+		t.Errorf("notice TxID = %d, want %d", n.TxID, res.TxID)
+	}
+}

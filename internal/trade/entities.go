@@ -1,0 +1,268 @@
+// Package trade reimplements the Trade2 benchmark application the paper
+// evaluates: "an online brokerage firm providing web-based services such
+// as login, buy, sell, get quote and more". The entity beans, the
+// per-action CMP operations and the per-action database activity follow
+// Table 1 of the paper exactly; the session logic drives one
+// transaction per trade action, and the workload generator produces
+// random sessions of about 11 actions bracketed by login and logout.
+package trade
+
+import (
+	"fmt"
+
+	"edgeejb/internal/component"
+	"edgeejb/internal/memento"
+)
+
+// Table names for the five entity-bean types.
+const (
+	TableAccount  = "account"
+	TableProfile  = "profile"
+	TableHolding  = "holding"
+	TableQuote    = "quote"
+	TableRegistry = "registry"
+)
+
+// Account is the brokerage account entity (cash balance, login
+// bookkeeping).
+type Account struct {
+	UserID      string
+	Balance     float64
+	OpenBalance float64
+	LoginCount  int64
+	LastLogin   string
+}
+
+var _ component.Entity = (*Account)(nil)
+
+// PrimaryKey implements component.Entity.
+func (a *Account) PrimaryKey() memento.Key {
+	return memento.Key{Table: TableAccount, ID: a.UserID}
+}
+
+// ToMemento implements component.Entity.
+func (a *Account) ToMemento() memento.Memento {
+	return memento.Memento{
+		Key: a.PrimaryKey(),
+		Fields: memento.Fields{
+			"balance":     memento.Float(a.Balance),
+			"openBalance": memento.Float(a.OpenBalance),
+			"loginCount":  memento.Int(a.LoginCount),
+			"lastLogin":   memento.String(a.LastLogin),
+		},
+	}
+}
+
+// LoadMemento implements component.Entity.
+func (a *Account) LoadMemento(m memento.Memento) error {
+	if m.Key.Table != TableAccount {
+		return fmt.Errorf("trade: memento %s is not an account", m.Key)
+	}
+	a.UserID = m.Key.ID
+	a.Balance = m.Fields["balance"].F
+	a.OpenBalance = m.Fields["openBalance"].F
+	a.LoginCount = m.Fields["loginCount"].Int
+	a.LastLogin = m.Fields["lastLogin"].Str
+	return nil
+}
+
+// Profile is the user-profile entity.
+type Profile struct {
+	UserID     string
+	FullName   string
+	Address    string
+	Email      string
+	CreditCard string
+	Password   string
+}
+
+var _ component.Entity = (*Profile)(nil)
+
+// PrimaryKey implements component.Entity.
+func (p *Profile) PrimaryKey() memento.Key {
+	return memento.Key{Table: TableProfile, ID: p.UserID}
+}
+
+// ToMemento implements component.Entity.
+func (p *Profile) ToMemento() memento.Memento {
+	return memento.Memento{
+		Key: p.PrimaryKey(),
+		Fields: memento.Fields{
+			"fullName":   memento.String(p.FullName),
+			"address":    memento.String(p.Address),
+			"email":      memento.String(p.Email),
+			"creditCard": memento.String(p.CreditCard),
+			"password":   memento.String(p.Password),
+		},
+	}
+}
+
+// LoadMemento implements component.Entity.
+func (p *Profile) LoadMemento(m memento.Memento) error {
+	if m.Key.Table != TableProfile {
+		return fmt.Errorf("trade: memento %s is not a profile", m.Key)
+	}
+	p.UserID = m.Key.ID
+	p.FullName = m.Fields["fullName"].Str
+	p.Address = m.Fields["address"].Str
+	p.Email = m.Fields["email"].Str
+	p.CreditCard = m.Fields["creditCard"].Str
+	p.Password = m.Fields["password"].Str
+	return nil
+}
+
+// Quote is the security-quote entity.
+type Quote struct {
+	Symbol  string
+	Company string
+	Price   float64
+	Open    float64
+	Low     float64
+	High    float64
+	Volume  float64
+}
+
+var _ component.Entity = (*Quote)(nil)
+
+// PrimaryKey implements component.Entity.
+func (q *Quote) PrimaryKey() memento.Key {
+	return memento.Key{Table: TableQuote, ID: q.Symbol}
+}
+
+// ToMemento implements component.Entity.
+func (q *Quote) ToMemento() memento.Memento {
+	return memento.Memento{
+		Key: q.PrimaryKey(),
+		Fields: memento.Fields{
+			"company": memento.String(q.Company),
+			"price":   memento.Float(q.Price),
+			"open":    memento.Float(q.Open),
+			"low":     memento.Float(q.Low),
+			"high":    memento.Float(q.High),
+			"volume":  memento.Float(q.Volume),
+		},
+	}
+}
+
+// LoadMemento implements component.Entity.
+func (q *Quote) LoadMemento(m memento.Memento) error {
+	if m.Key.Table != TableQuote {
+		return fmt.Errorf("trade: memento %s is not a quote", m.Key)
+	}
+	q.Symbol = m.Key.ID
+	q.Company = m.Fields["company"].Str
+	q.Price = m.Fields["price"].F
+	q.Open = m.Fields["open"].F
+	q.Low = m.Fields["low"].F
+	q.High = m.Fields["high"].F
+	q.Volume = m.Fields["volume"].F
+	return nil
+}
+
+// Holding is one position in a user's portfolio.
+type Holding struct {
+	HoldingID     string
+	AccountID     string
+	Symbol        string
+	Quantity      float64
+	PurchasePrice float64
+	PurchaseDate  string
+}
+
+var _ component.Entity = (*Holding)(nil)
+
+// PrimaryKey implements component.Entity.
+func (h *Holding) PrimaryKey() memento.Key {
+	return memento.Key{Table: TableHolding, ID: h.HoldingID}
+}
+
+// ToMemento implements component.Entity.
+func (h *Holding) ToMemento() memento.Memento {
+	return memento.Memento{
+		Key: h.PrimaryKey(),
+		Fields: memento.Fields{
+			"accountID":     memento.String(h.AccountID),
+			"symbol":        memento.String(h.Symbol),
+			"quantity":      memento.Float(h.Quantity),
+			"purchasePrice": memento.Float(h.PurchasePrice),
+			"purchaseDate":  memento.String(h.PurchaseDate),
+		},
+	}
+}
+
+// LoadMemento implements component.Entity.
+func (h *Holding) LoadMemento(m memento.Memento) error {
+	if m.Key.Table != TableHolding {
+		return fmt.Errorf("trade: memento %s is not a holding", m.Key)
+	}
+	h.HoldingID = m.Key.ID
+	h.AccountID = m.Fields["accountID"].Str
+	h.Symbol = m.Fields["symbol"].Str
+	h.Quantity = m.Fields["quantity"].F
+	h.PurchasePrice = m.Fields["purchasePrice"].F
+	h.PurchaseDate = m.Fields["purchaseDate"].Str
+	return nil
+}
+
+// Registry is the HTTP-session registry entity: Trade2 keeps session
+// state (login/logout bookkeeping) in a registry bean.
+type Registry struct {
+	UserID    string
+	SessionID string
+	Active    bool
+	Created   string
+	Visits    int64
+}
+
+var _ component.Entity = (*Registry)(nil)
+
+// PrimaryKey implements component.Entity.
+func (r *Registry) PrimaryKey() memento.Key {
+	return memento.Key{Table: TableRegistry, ID: r.UserID}
+}
+
+// ToMemento implements component.Entity.
+func (r *Registry) ToMemento() memento.Memento {
+	return memento.Memento{
+		Key: r.PrimaryKey(),
+		Fields: memento.Fields{
+			"sessionID": memento.String(r.SessionID),
+			"active":    memento.Bool(r.Active),
+			"created":   memento.String(r.Created),
+			"visits":    memento.Int(r.Visits),
+		},
+	}
+}
+
+// LoadMemento implements component.Entity.
+func (r *Registry) LoadMemento(m memento.Memento) error {
+	if m.Key.Table != TableRegistry {
+		return fmt.Errorf("trade: memento %s is not a registry entry", m.Key)
+	}
+	r.UserID = m.Key.ID
+	r.SessionID = m.Fields["sessionID"].Str
+	r.Active = m.Fields["active"].Bool
+	r.Created = m.Fields["created"].Str
+	r.Visits = m.Fields["visits"].Int
+	return nil
+}
+
+// NewEntityRegistry returns the component registry describing all five
+// Trade entity types.
+func NewEntityRegistry() (*component.Registry, error) {
+	return component.NewRegistry(
+		component.Descriptor{Table: TableAccount, New: func() component.Entity { return &Account{} }},
+		component.Descriptor{Table: TableProfile, New: func() component.Entity { return &Profile{} }},
+		component.Descriptor{Table: TableHolding, New: func() component.Entity { return &Holding{} }},
+		component.Descriptor{Table: TableQuote, New: func() component.Entity { return &Quote{} }},
+		component.Descriptor{Table: TableRegistry, New: func() component.Entity { return &Registry{} }},
+	)
+}
+
+// HoldingsByAccount is the custom finder used by Portfolio and Sell.
+func HoldingsByAccount(accountID string) memento.Query {
+	return memento.Query{
+		Table: TableHolding,
+		Where: []memento.Predicate{memento.Where("accountID", memento.String(accountID))},
+	}
+}

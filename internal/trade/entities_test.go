@@ -1,0 +1,151 @@
+package trade
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"edgeejb/internal/component"
+	"edgeejb/internal/memento"
+)
+
+// TestEntityMementoRoundTrip: every entity type must survive
+// ToMemento -> LoadMemento unchanged (property-based).
+func TestEntityMementoRoundTrip(t *testing.T) {
+	tests := []struct {
+		name  string
+		make  func(rng *rand.Rand) component.Entity
+		blank func() component.Entity
+	}{
+		{
+			name: "account",
+			make: func(rng *rand.Rand) component.Entity {
+				return &Account{
+					UserID:      UserID(rng.Intn(100)),
+					Balance:     rng.Float64() * 1000,
+					OpenBalance: rng.Float64() * 1000,
+					LoginCount:  rng.Int63n(50),
+					LastLogin:   "2004-11-15T10:00:00Z",
+				}
+			},
+			blank: func() component.Entity { return &Account{} },
+		},
+		{
+			name: "profile",
+			make: func(rng *rand.Rand) component.Entity {
+				return &Profile{
+					UserID:     UserID(rng.Intn(100)),
+					FullName:   "Full Name",
+					Address:    "1 Main St",
+					Email:      "x@example.test",
+					CreditCard: "4111",
+					Password:   "pw",
+				}
+			},
+			blank: func() component.Entity { return &Profile{} },
+		},
+		{
+			name: "quote",
+			make: func(rng *rand.Rand) component.Entity {
+				return &Quote{
+					Symbol:  SymbolID(rng.Intn(100)),
+					Company: "ACME",
+					Price:   rng.Float64() * 200,
+					Open:    rng.Float64() * 200,
+					Low:     rng.Float64() * 200,
+					High:    rng.Float64() * 200,
+					Volume:  float64(rng.Intn(1000)),
+				}
+			},
+			blank: func() component.Entity { return &Quote{} },
+		},
+		{
+			name: "holding",
+			make: func(rng *rand.Rand) component.Entity {
+				return &Holding{
+					HoldingID:     "h-1",
+					AccountID:     UserID(rng.Intn(100)),
+					Symbol:        SymbolID(rng.Intn(100)),
+					Quantity:      float64(rng.Intn(50)),
+					PurchasePrice: rng.Float64() * 200,
+					PurchaseDate:  "2004-11-01",
+				}
+			},
+			blank: func() component.Entity { return &Holding{} },
+		},
+		{
+			name: "registry",
+			make: func(rng *rand.Rand) component.Entity {
+				return &Registry{
+					UserID:    UserID(rng.Intn(100)),
+					SessionID: "sess-1",
+					Active:    rng.Intn(2) == 0,
+					Created:   "2004-11-01",
+					Visits:    rng.Int63n(100),
+				}
+			},
+			blank: func() component.Entity { return &Registry{} },
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			f := func(seed int64) bool {
+				rng := rand.New(rand.NewSource(seed))
+				orig := tt.make(rng)
+				m := orig.ToMemento()
+				restored := tt.blank()
+				if err := restored.LoadMemento(m); err != nil {
+					return false
+				}
+				return reflect.DeepEqual(orig, restored)
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+func TestLoadMementoRejectsWrongTable(t *testing.T) {
+	wrong := memento.Memento{Key: memento.Key{Table: "quote", ID: "x"}}
+	entities := []component.Entity{&Account{}, &Profile{}, &Holding{}, &Registry{}}
+	for _, e := range entities {
+		if err := e.LoadMemento(wrong); err == nil {
+			t.Errorf("%T accepted a quote memento", e)
+		}
+	}
+	if err := (&Quote{}).LoadMemento(memento.Memento{Key: memento.Key{Table: "account", ID: "x"}}); err == nil {
+		t.Error("Quote accepted an account memento")
+	}
+}
+
+func TestNewEntityRegistryCoversAllTables(t *testing.T) {
+	r, err := NewEntityRegistry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, table := range []string{TableAccount, TableProfile, TableHolding, TableQuote, TableRegistry} {
+		d, err := r.Lookup(table)
+		if err != nil {
+			t.Errorf("missing descriptor for %s", table)
+			continue
+		}
+		e := d.New()
+		if e.PrimaryKey().Table != table {
+			t.Errorf("descriptor for %s constructs %s entities", table, e.PrimaryKey().Table)
+		}
+	}
+}
+
+func TestHoldingsByAccountFinder(t *testing.T) {
+	q := HoldingsByAccount("uid-3")
+	h := &Holding{HoldingID: "h-1", AccountID: "uid-3"}
+	if !q.Matches(h.ToMemento()) {
+		t.Error("finder missed a matching holding")
+	}
+	other := &Holding{HoldingID: "h-2", AccountID: "uid-4"}
+	if q.Matches(other.ToMemento()) {
+		t.Error("finder matched a different account's holding")
+	}
+}

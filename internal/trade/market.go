@@ -1,0 +1,58 @@
+package trade
+
+import (
+	"context"
+	"fmt"
+
+	"edgeejb/internal/component"
+	"edgeejb/internal/memento"
+)
+
+// MarketSummaryResult is the market-overview block Trade renders on its
+// home page ("personalized home page including current market
+// conditions").
+type MarketSummaryResult struct {
+	// Top holds the most expensive securities, descending by price.
+	Top []Quote
+	// Volume is the total traded volume across the summary.
+	Volume float64
+}
+
+// TopQuotes is the ordered custom finder behind the market summary: the
+// n highest-priced securities.
+func TopQuotes(n int) memento.Query {
+	return memento.Query{
+		Table:   TableQuote,
+		OrderBy: "price",
+		Desc:    true,
+		Limit:   n,
+	}
+}
+
+// MarketSummary returns the top-n securities by price. It is a separate
+// action rather than part of Home so the Table 1 per-action database
+// activity stays exactly as the paper specifies; the workload generator
+// does not include it in the default mix for the same reason.
+func (s *Service) MarketSummary(ctx context.Context, n int) (MarketSummaryResult, error) {
+	if n < 1 {
+		n = 5
+	}
+	var out MarketSummaryResult
+	err := s.container.ExecuteRetry(ctx, s.attempts, func(tx *component.Tx) error {
+		out = MarketSummaryResult{}
+		ents, err := tx.FindWhere(TopQuotes(n))
+		if err != nil {
+			return fmt.Errorf("market summary: %w", err)
+		}
+		for _, e := range ents {
+			q, ok := e.(*Quote)
+			if !ok {
+				return fmt.Errorf("market summary: unexpected entity %T", e)
+			}
+			out.Top = append(out.Top, *q)
+			out.Volume += q.Volume
+		}
+		return nil
+	})
+	return out, err
+}

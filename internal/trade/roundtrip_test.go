@@ -1,0 +1,231 @@
+package trade
+
+import (
+	"context"
+	"testing"
+
+	"edgeejb/internal/backend"
+	"edgeejb/internal/component"
+	"edgeejb/internal/dbwire"
+	"edgeejb/internal/slicache"
+	"edgeejb/internal/sqlstore"
+	"edgeejb/internal/storeapi"
+)
+
+// These tests pin the per-action wire round-trip counts that produce the
+// paper's latency sensitivities: every round trip on the high-latency
+// path costs two one-way delays, so the measured Table 2 slopes are
+// (approximately) twice the weighted-average round trips per
+// interaction. If a refactor changes these counts, the figures change —
+// so the counts are pinned here, per algorithm, over a REAL dbwire
+// connection.
+
+// rtEnv wires a trade service over a real wire client so round trips
+// can be counted.
+type rtEnv struct {
+	svc    *Service
+	client *dbwire.Client
+	mgr    *slicache.Manager
+}
+
+func newRTEnv(t *testing.T, algo string) *rtEnv {
+	t.Helper()
+	store := sqlstore.New()
+	t.Cleanup(store.Close)
+	Populate(store, PopulateConfig{Users: 4, Symbols: 8, HoldingsPerUser: 2, OpenBalance: 100_000})
+
+	dbSrv := dbwire.NewServer(storeapi.Local(store))
+	if err := dbSrv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(dbSrv.Close)
+
+	var (
+		client *dbwire.Client
+		rm     component.ResourceManager
+		mgr    *slicache.Manager
+	)
+	switch algo {
+	case "jdbc":
+		client = dbwire.Dial(dbSrv.Addr())
+		rm = component.NewJDBCManager(client)
+	case "bmp":
+		client = dbwire.Dial(dbSrv.Addr())
+		rm = component.NewBMPManager(client)
+	case "sli-combined":
+		client = dbwire.Dial(dbSrv.Addr())
+		mgr = slicache.NewManager(client, slicache.WithShipping(slicache.PerImage))
+		rm = mgr
+	case "sli-split":
+		// The edge counts round trips to the BACK-END; the back-end's
+		// own database accesses are on the low-latency path.
+		dbClient := dbwire.Dial(dbSrv.Addr())
+		t.Cleanup(func() { _ = dbClient.Close() })
+		be := backend.NewServer(dbClient)
+		if err := be.Start("127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(be.Close)
+		client = dbwire.Dial(be.Addr())
+		mgr = slicache.NewManager(client, slicache.WithShipping(slicache.WholeSet))
+		rm = mgr
+	default:
+		t.Fatalf("unknown algo %s", algo)
+	}
+	t.Cleanup(func() { _ = client.Close() })
+	if mgr != nil {
+		t.Cleanup(mgr.Close)
+	}
+
+	reg, err := NewEntityRegistry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &rtEnv{
+		svc:    NewService(component.NewContainer(reg, rm)),
+		client: client,
+		mgr:    mgr,
+	}
+}
+
+// measure returns the wire round trips consumed by fn.
+func (e *rtEnv) measure(t *testing.T, fn func(ctx context.Context) error) uint64 {
+	t.Helper()
+	ctx := context.Background()
+	before := e.client.RoundTrips()
+	if err := fn(ctx); err != nil {
+		t.Fatal(err)
+	}
+	return e.client.RoundTrips() - before
+}
+
+func TestRoundTripsHomeAction(t *testing.T) {
+	user := UserID(0)
+	home := func(e *rtEnv) func(context.Context) error {
+		return func(ctx context.Context) error { _, err := e.svc.Home(ctx, user); return err }
+	}
+
+	// JDBC: begin + select + commit.
+	jdbc := newRTEnv(t, "jdbc")
+	if got := jdbc.measure(t, home(jdbc)); got != 3 {
+		t.Errorf("jdbc home = %d RTs, want 3", got)
+	}
+	// Vanilla EJB: begin + find + ejbLoad + ejbStore + commit.
+	bmp := newRTEnv(t, "bmp")
+	if got := bmp.measure(t, home(bmp)); got != 5 {
+		t.Errorf("bmp home = %d RTs, want 5", got)
+	}
+	// Cached (split), warm: a single whole-set validation round trip.
+	sli := newRTEnv(t, "sli-split")
+	cold := sli.measure(t, home(sli)) // warms the cache
+	if got := sli.measure(t, home(sli)); got != 1 {
+		t.Errorf("sli-split warm home = %d RTs, want 1 (cold was %d)", got, cold)
+	}
+	if cold != 2 { // miss fetch + commit validation
+		t.Errorf("sli-split cold home = %d RTs, want 2", cold)
+	}
+	// Cached (combined), warm: begin + CheckVersion + commit.
+	slic := newRTEnv(t, "sli-combined")
+	_ = slic.measure(t, home(slic))
+	if got := slic.measure(t, home(slic)); got != 3 {
+		t.Errorf("sli-combined warm home = %d RTs, want 3", got)
+	}
+}
+
+func TestRoundTripsPortfolioAction(t *testing.T) {
+	user := UserID(1) // seeded with 2 holdings
+	portfolio := func(e *rtEnv) func(context.Context) error {
+		return func(ctx context.Context) error { _, err := e.svc.Portfolio(ctx, user); return err }
+	}
+
+	// JDBC: begin + select + commit = 3 regardless of result size.
+	jdbc := newRTEnv(t, "jdbc")
+	if got := jdbc.measure(t, portfolio(jdbc)); got != 3 {
+		t.Errorf("jdbc portfolio = %d RTs, want 3", got)
+	}
+	// Vanilla EJB: begin + finder + N ejbLoads + N ejbStores + commit =
+	// 3 + 2N with N = 2 holdings: the N+1 pattern that makes vanilla the
+	// most latency-sensitive algorithm.
+	bmp := newRTEnv(t, "bmp")
+	if got := bmp.measure(t, portfolio(bmp)); got != 7 {
+		t.Errorf("bmp portfolio = %d RTs, want 7", got)
+	}
+	// Cached (split): finder query + whole-set commit = 2, every time
+	// (the finder must always consult the persistent store, §2.2).
+	sli := newRTEnv(t, "sli-split")
+	_ = sli.measure(t, portfolio(sli))
+	if got := sli.measure(t, portfolio(sli)); got != 2 {
+		t.Errorf("sli-split portfolio = %d RTs, want 2", got)
+	}
+	// Cached (combined): finder query + begin + N validations (N = 2
+	// holdings) + commit.
+	slic := newRTEnv(t, "sli-combined")
+	_ = slic.measure(t, portfolio(slic))
+	if got := slic.measure(t, portfolio(slic)); got != 1+1+2+1 {
+		t.Errorf("sli-combined portfolio = %d RTs, want 5", got)
+	}
+}
+
+// TestRoundTripsOrderingAcrossAlgorithms drives one full session per
+// algorithm and pins the qualitative ordering: split-cached ≪ jdbc ≤
+// combined-cached < vanilla.
+func TestRoundTripsOrderingAcrossAlgorithms(t *testing.T) {
+	session := []Step{
+		{Action: ActionLogin, UserID: UserID(2), SessionID: "rt"},
+		{Action: ActionHome, UserID: UserID(2)},
+		{Action: ActionQuote, UserID: UserID(2), Symbol: SymbolID(1)},
+		{Action: ActionPortfolio, UserID: UserID(2)},
+		{Action: ActionBuy, UserID: UserID(2), Symbol: SymbolID(1), Quantity: 2},
+		{Action: ActionSell, UserID: UserID(2)},
+		{Action: ActionLogout, UserID: UserID(2)},
+	}
+	runSession := func(e *rtEnv) uint64 {
+		return e.measure(t, func(ctx context.Context) error {
+			for _, s := range session {
+				var err error
+				switch s.Action {
+				case ActionLogin:
+					_, err = e.svc.Login(ctx, s.UserID, s.SessionID)
+				case ActionHome:
+					_, err = e.svc.Home(ctx, s.UserID)
+				case ActionQuote:
+					_, err = e.svc.GetQuote(ctx, s.Symbol)
+				case ActionPortfolio:
+					_, err = e.svc.Portfolio(ctx, s.UserID)
+				case ActionBuy:
+					_, err = e.svc.Buy(ctx, s.UserID, s.Symbol, s.Quantity)
+				case ActionSell:
+					_, err = e.svc.Sell(ctx, s.UserID)
+				case ActionLogout:
+					err = e.svc.Logout(ctx, s.UserID)
+				}
+				if err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	}
+
+	counts := make(map[string]uint64)
+	for _, algo := range []string{"jdbc", "bmp", "sli-combined", "sli-split"} {
+		e := newRTEnv(t, algo)
+		_ = runSession(e) // warm caches / sessions
+		counts[algo] = runSession(e)
+	}
+	t.Logf("session round trips: %v", counts)
+
+	if !(counts["sli-split"] < counts["jdbc"]) {
+		t.Errorf("split-cached (%d) should beat jdbc (%d)", counts["sli-split"], counts["jdbc"])
+	}
+	if !(counts["jdbc"] < counts["bmp"]) {
+		t.Errorf("jdbc (%d) should beat vanilla (%d)", counts["jdbc"], counts["bmp"])
+	}
+	if !(counts["sli-combined"] < counts["bmp"]) {
+		t.Errorf("combined-cached (%d) should beat vanilla (%d)", counts["sli-combined"], counts["bmp"])
+	}
+	// The split/combined gap is the architectural point of Figure 6.
+	if !(2*counts["sli-split"] <= counts["sli-combined"]) {
+		t.Errorf("split (%d) should be at most half of combined (%d)", counts["sli-split"], counts["sli-combined"])
+	}
+}
