@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/gob"
 	"fmt"
+	"sync"
 	"testing"
 
 	"edgeejb/internal/backend"
@@ -15,6 +16,7 @@ import (
 	"edgeejb/internal/sqlstore"
 	"edgeejb/internal/storeapi"
 	"edgeejb/internal/trade"
+	"edgeejb/internal/wire"
 )
 
 // --- Value layer -------------------------------------------------------
@@ -227,6 +229,97 @@ func BenchmarkSLIWriteCommit(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- Wire transport ----------------------------------------------------
+
+// echoReq/echoHandler exercise the bare transport: framing, gob
+// streaming, multiplexing and stats, with a trivial handler so the
+// numbers isolate transport cost.
+type echoReq struct {
+	Payload string
+}
+
+func (r *echoReq) WireLabel() string { return "echo" }
+
+type echoResp struct {
+	Payload string
+}
+
+type echoHandler struct{}
+
+func (echoHandler) NewRequest() any { return new(echoReq) }
+
+func (echoHandler) Handle(ctx context.Context, sess *wire.Session, id uint64, req any) any {
+	return &echoResp{Payload: req.(*echoReq).Payload}
+}
+
+func (echoHandler) Close() {}
+
+func startEchoServer(b *testing.B) *wire.Server {
+	b.Helper()
+	srv := wire.NewServer(func() wire.ConnHandler { return echoHandler{} })
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(srv.Close)
+	return srv
+}
+
+// BenchmarkWireRoundTrip is the floor for every remote call in the
+// system: one request/response frame pair over loopback on a warm
+// connection.
+func BenchmarkWireRoundTrip(b *testing.B) {
+	srv := startEchoServer(b)
+	client := wire.NewClient(srv.Addr())
+	defer client.Close()
+	ctx := context.Background()
+	if err := client.Call(ctx, &echoReq{Payload: "warm"}, new(echoResp)); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp := new(echoResp)
+		if err := client.Call(ctx, &echoReq{Payload: "x"}, resp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWireMultiplexed measures concurrent calls sharing one
+// connection — the transport's win over the seed's lock-the-socket
+// design.
+func BenchmarkWireMultiplexed(b *testing.B) {
+	srv := startEchoServer(b)
+	client := wire.NewClient(srv.Addr(), wire.WithMaxConns(1))
+	defer client.Close()
+	ctx := context.Background()
+	if err := client.Call(ctx, &echoReq{Payload: "warm"}, new(echoResp)); err != nil {
+		b.Fatal(err)
+	}
+	const workers = 16
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	each := b.N / workers
+	if each == 0 {
+		each = 1
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				resp := new(echoResp)
+				if err := client.Call(ctx, &echoReq{Payload: "x"}, resp); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // --- Wire protocol -----------------------------------------------------

@@ -1,15 +1,13 @@
 package appserver
 
 import (
-	"bufio"
 	"context"
-	"encoding/gob"
 	"errors"
 	"fmt"
 	"net"
-	"sync"
 
 	"edgeejb/internal/trade"
+	"edgeejb/internal/wire"
 )
 
 // DialFunc opens a connection to an application server; the harness
@@ -19,96 +17,54 @@ type DialFunc func(ctx context.Context, addr string) (net.Conn, error)
 
 // Client is the web-browser stand-in: it sends trade requests to an
 // application server and receives rendered pages. A client keeps one
-// persistent connection, like a browser with HTTP keep-alive.
+// persistent connection, like a browser with HTTP keep-alive; a
+// transport error invalidates it and the next call redials. There is
+// deliberately no retry — a browser surfaces the failed page load.
 type Client struct {
-	addr string
-	dial DialFunc
-
-	mu   sync.Mutex
-	conn net.Conn
-	bw   *bufio.Writer
-	enc  *gob.Encoder
-	dec  *gob.Decoder
+	w *wire.Client
 }
 
 // ClientOption configures a Client.
 type ClientOption interface {
-	apply(*Client)
+	apply(*clientConfig)
+}
+
+type clientConfig struct {
+	wopts []wire.Option
 }
 
 type clientDialerOption DialFunc
 
-func (d clientDialerOption) apply(c *Client) { c.dial = DialFunc(d) }
+func (d clientDialerOption) apply(cfg *clientConfig) {
+	cfg.wopts = append(cfg.wopts, wire.WithDialer(wire.DialFunc(d)))
+}
 
 // WithDialer overrides how the client connects.
 func WithDialer(d DialFunc) ClientOption { return clientDialerOption(d) }
 
 // NewClient creates a client for the application server at addr.
 func NewClient(addr string, opts ...ClientOption) *Client {
-	c := &Client{
-		addr: addr,
-		dial: func(ctx context.Context, addr string) (net.Conn, error) {
-			var d net.Dialer
-			return d.DialContext(ctx, "tcp", addr)
-		},
-	}
+	cfg := &clientConfig{wopts: []wire.Option{wire.WithMaxConns(1)}}
 	for _, o := range opts {
-		o.apply(c)
+		o.apply(cfg)
 	}
-	return c
+	return &Client{w: wire.NewClient(addr, cfg.wopts...)}
 }
+
+// WireStats returns the transport counters (bytes, round trips, per-op
+// latency) for this client's connection.
+func (c *Client) WireStats() wire.Stats { return c.w.Stats() }
 
 // Close drops the client's connection.
-func (c *Client) Close() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.conn != nil {
-		err := c.conn.Close()
-		c.conn = nil
-		return err
-	}
-	return nil
-}
+func (c *Client) Close() error { return c.w.Close() }
 
-func (c *Client) ensureConn(ctx context.Context) error {
-	if c.conn != nil {
-		return nil
-	}
-	conn, err := c.dial(ctx, c.addr)
-	if err != nil {
-		return fmt.Errorf("appserver: dial %s: %w", c.addr, err)
-	}
-	c.conn = conn
-	c.bw = bufio.NewWriter(conn)
-	c.enc = gob.NewEncoder(c.bw)
-	c.dec = gob.NewDecoder(bufio.NewReader(conn))
-	return nil
-}
-
-// Do performs one interaction. A transport error invalidates the
-// connection; the next call redials.
+// Do performs one interaction.
 func (c *Client) Do(ctx context.Context, req *Request) (*Response, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if err := c.ensureConn(ctx); err != nil {
-		return nil, err
+	resp := new(Response)
+	if err := c.w.Call(ctx, req, resp); err != nil {
+		return nil, fmt.Errorf("appserver: %w", err)
 	}
-	drop := func(err error) (*Response, error) {
-		_ = c.conn.Close()
-		c.conn = nil
-		return nil, err
-	}
-	if err := c.enc.Encode(req); err != nil {
-		return drop(fmt.Errorf("appserver: send: %w", err))
-	}
-	if err := c.bw.Flush(); err != nil {
-		return drop(fmt.Errorf("appserver: flush: %w", err))
-	}
-	var resp Response
-	if err := c.dec.Decode(&resp); err != nil {
-		return drop(fmt.Errorf("appserver: recv: %w", err))
-	}
-	return &resp, nil
+	return resp, nil
 }
 
 // DoStep converts a workload step into a request and performs it.

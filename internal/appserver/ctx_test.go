@@ -1,0 +1,47 @@
+package appserver
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestDoHonorsDeadlineOnStalledServer: the regression for the old
+// client ignoring ctx once its connection was up — an in-flight Do
+// against a stalled server must return by the context deadline.
+func TestDoHonorsDeadlineOnStalledServer(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close() // accept and never answer
+		}
+	}()
+
+	client := NewClient(ln.Addr().String())
+	defer client.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = client.Do(ctx, &Request{Action: "home", Params: map[string]string{"user": "u"}})
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("Do against stalled server succeeded")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("Do hung %v past its 150ms deadline", elapsed)
+	}
+}

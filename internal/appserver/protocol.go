@@ -25,6 +25,9 @@ type Request struct {
 	Params map[string]string
 }
 
+// WireLabel names the request's action for per-op transport stats.
+func (r *Request) WireLabel() string { return r.Action }
+
 // Response is the rendered result of one interaction.
 type Response struct {
 	// OK is false when the action failed; Err carries the message.

@@ -1,30 +1,24 @@
 package appserver
 
 import (
-	"bufio"
 	"context"
-	"encoding/gob"
 	"errors"
-	"net"
 	"strconv"
-	"sync"
 	"sync/atomic"
 
 	"edgeejb/internal/trade"
+	"edgeejb/internal/wire"
 )
 
 // Server hosts the trade application over the client protocol. One
 // instance stands in for an "HTTP server + application server" box in
 // Figures 3–5; the harness deploys it as an edge server or as the
-// remote application server depending on the architecture.
+// remote application server depending on the architecture. Framing,
+// accept loops, and graceful drain live in the shared transport
+// (package wire).
 type Server struct {
-	svc *trade.Service
-
-	mu     sync.Mutex
-	ln     net.Listener
-	conns  map[net.Conn]struct{}
-	closed bool
-	wg     sync.WaitGroup
+	svc   *trade.Service
+	inner *wire.Server
 
 	requests atomic.Uint64
 	failures atomic.Uint64
@@ -32,10 +26,9 @@ type Server struct {
 
 // NewServer wraps a trade service.
 func NewServer(svc *trade.Service) *Server {
-	return &Server{
-		svc:   svc,
-		conns: make(map[net.Conn]struct{}),
-	}
+	s := &Server{svc: svc}
+	s.inner = wire.NewServer(func() wire.ConnHandler { return appHandler{s: s} })
+	return s
 }
 
 // Requests returns the number of requests served.
@@ -44,105 +37,32 @@ func (s *Server) Requests() uint64 { return s.requests.Load() }
 // Failures returns the number of requests that returned an error.
 func (s *Server) Failures() uint64 { return s.failures.Load() }
 
+// WireStats returns the server-side transport counters.
+func (s *Server) WireStats() wire.Stats { return s.inner.Stats() }
+
 // Start listens on addr and serves in the background until Close.
-func (s *Server) Start(addr string) error {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return err
-	}
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		_ = ln.Close()
-		return errors.New("appserver: server closed")
-	}
-	s.ln = ln
-	s.mu.Unlock()
-	s.wg.Add(1)
-	go s.acceptLoop(ln)
-	return nil
-}
+func (s *Server) Start(addr string) error { return s.inner.Start(addr) }
 
 // Addr returns the listen address. It panics if Start has not been
 // called.
-func (s *Server) Addr() string { return s.ln.Addr().String() }
+func (s *Server) Addr() string { return s.inner.Addr() }
 
-// Close stops the listener and tears down connections.
-func (s *Server) Close() {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		s.wg.Wait()
-		return
-	}
-	s.closed = true
-	ln := s.ln
-	for c := range s.conns {
-		_ = c.Close()
-	}
-	s.mu.Unlock()
-	if ln != nil {
-		_ = ln.Close()
-	}
-	s.wg.Wait()
+// Close drains in-flight requests, then tears down connections.
+func (s *Server) Close() { s.inner.Close() }
+
+// appHandler adapts the stateless dispatch to the transport's
+// per-connection handler shape.
+type appHandler struct {
+	s *Server
 }
 
-func (s *Server) acceptLoop(ln net.Listener) {
-	defer s.wg.Done()
-	for {
-		conn, err := ln.Accept()
-		if err != nil {
-			return
-		}
-		if !s.track(conn) {
-			_ = conn.Close()
-			return
-		}
-		s.wg.Add(1)
-		go s.serveConn(conn)
-	}
+func (h appHandler) NewRequest() any { return new(Request) }
+
+func (h appHandler) Handle(ctx context.Context, _ *wire.Session, _ uint64, req any) any {
+	return h.s.dispatch(ctx, req.(*Request))
 }
 
-func (s *Server) track(c net.Conn) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return false
-	}
-	s.conns[c] = struct{}{}
-	return true
-}
-
-func (s *Server) untrack(c net.Conn) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	delete(s.conns, c)
-}
-
-func (s *Server) serveConn(conn net.Conn) {
-	defer s.wg.Done()
-	defer s.untrack(conn)
-	defer conn.Close()
-
-	bw := bufio.NewWriter(conn)
-	dec := gob.NewDecoder(bufio.NewReader(conn))
-	enc := gob.NewEncoder(bw)
-	ctx := context.Background()
-
-	for {
-		var req Request
-		if err := dec.Decode(&req); err != nil {
-			return
-		}
-		resp := s.dispatch(ctx, &req)
-		if err := enc.Encode(resp); err != nil {
-			return
-		}
-		if err := bw.Flush(); err != nil {
-			return
-		}
-	}
-}
+func (h appHandler) Close() {}
 
 // dispatch maps one request to the trade service.
 func (s *Server) dispatch(ctx context.Context, req *Request) *Response {

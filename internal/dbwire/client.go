@@ -1,18 +1,14 @@
 package dbwire
 
 import (
-	"bufio"
 	"context"
-	"encoding/gob"
-	"errors"
 	"fmt"
 	"net"
-	"sync"
-	"sync/atomic"
 
 	"edgeejb/internal/memento"
 	"edgeejb/internal/sqlstore"
 	"edgeejb/internal/storeapi"
+	"edgeejb/internal/wire"
 )
 
 // DialFunc opens a connection to the database tier. The experiment
@@ -21,167 +17,74 @@ import (
 type DialFunc func(ctx context.Context, addr string) (net.Conn, error)
 
 // Client is the application-server-side driver: the JDBC-driver
-// equivalent. It maintains a small connection pool; a transaction pins
-// one connection for its lifetime (JDBC session semantics) and every
+// equivalent, built on the shared wire transport. One-shot (autocommit)
+// operations multiplex over shared connections; a transaction pins one
+// connection for its lifetime (JDBC session semantics) and every
 // statement is one round trip.
 //
 // Client implements storeapi.Conn.
 type Client struct {
-	addr string
-	dial DialFunc
-
-	mu     sync.Mutex
-	idle   []*wireConn
-	subs   []net.Conn
-	closed bool
-
-	roundTrips atomic.Uint64
+	w *wire.Client
 }
 
 var _ storeapi.Conn = (*Client)(nil)
 
 // Option configures a Client.
 type Option interface {
-	apply(*Client)
+	apply(*clientConfig)
+}
+
+type clientConfig struct {
+	wopts []wire.Option
 }
 
 type dialerOption DialFunc
 
-func (d dialerOption) apply(c *Client) { c.dial = DialFunc(d) }
+func (d dialerOption) apply(cfg *clientConfig) {
+	cfg.wopts = append(cfg.wopts, wire.WithDialer(wire.DialFunc(d)))
+}
 
 // WithDialer overrides how connections are opened (e.g. to inject byte
 // counting on the measured path).
 func WithDialer(d DialFunc) Option { return dialerOption(d) }
 
 // Dial creates a client for the database server at addr. Connections are
-// opened lazily.
+// opened lazily. One-shot operations retry once on a fresh connection
+// when a previously-used one turns out stale (server restart).
 func Dial(addr string, opts ...Option) *Client {
-	c := &Client{
-		addr: addr,
-		dial: func(ctx context.Context, addr string) (net.Conn, error) {
-			var d net.Dialer
-			return d.DialContext(ctx, "tcp", addr)
-		},
-	}
+	cfg := &clientConfig{wopts: []wire.Option{wire.WithRetry()}}
 	for _, o := range opts {
-		o.apply(c)
+		o.apply(cfg)
 	}
-	return c
+	return &Client{w: wire.NewClient(addr, cfg.wopts...)}
 }
 
 // RoundTrips returns the number of request/response round trips the
 // client has performed. Tests use it to verify the per-algorithm access
-// counts that drive the paper's latency-sensitivity results.
-func (c *Client) RoundTrips() uint64 { return c.roundTrips.Load() }
-
-// Close closes idle pooled connections and subscription connections.
-// Connections pinned by in-flight transactions close when those
-// transactions finish.
-func (c *Client) Close() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.closed = true
-	for _, wc := range c.idle {
-		_ = wc.c.Close()
-	}
-	c.idle = nil
-	for _, sc := range c.subs {
-		_ = sc.Close()
-	}
-	c.subs = nil
-	return nil
+// counts that drive the paper's latency-sensitivity results. The
+// subscription handshake is excluded: it opens a push stream rather
+// than performing a data access.
+func (c *Client) RoundTrips() uint64 {
+	s := c.w.Stats()
+	return s.RoundTrips - s.Ops[OpSubscribe.String()].Count
 }
 
-// wireConn is one pooled connection with its codec state.
-type wireConn struct {
-	c   net.Conn
-	bw  *bufio.Writer
-	enc *gob.Encoder
-	dec *gob.Decoder
-}
+// WireStats returns the transport counters (bytes, round trips, per-op
+// latency) for every connection this client has opened.
+func (c *Client) WireStats() wire.Stats { return c.w.Stats() }
 
-// checkout returns a connection plus whether it came from the idle pool
-// (a pooled connection may have gone stale — e.g. the server restarted —
-// so one-shot operations retry once on a fresh dial when a pooled
-// connection fails).
-func (c *Client) checkout(ctx context.Context) (*wireConn, bool, error) {
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
-		return nil, false, errors.New("dbwire: client closed")
-	}
-	if n := len(c.idle); n > 0 {
-		wc := c.idle[n-1]
-		c.idle = c.idle[:n-1]
-		c.mu.Unlock()
-		return wc, true, nil
-	}
-	c.mu.Unlock()
+// Close tears down every connection, including ones pinned by
+// in-flight transactions and subscriptions.
+func (c *Client) Close() error { return c.w.Close() }
 
-	conn, err := c.dial(ctx, c.addr)
-	if err != nil {
-		return nil, false, fmt.Errorf("dbwire: dial %s: %w", c.addr, err)
-	}
-	bw := bufio.NewWriter(conn)
-	return &wireConn{
-		c:   conn,
-		bw:  bw,
-		enc: gob.NewEncoder(bw),
-		dec: gob.NewDecoder(bufio.NewReader(conn)),
-	}, false, nil
-}
-
-// oneShot runs a single request/response exchange on a pooled
-// connection, retrying once on a fresh connection if a pooled one turns
-// out to be stale.
+// oneShot runs a single request/response exchange on a shared
+// multiplexed connection (retry-once semantics live in the transport).
 func (c *Client) oneShot(ctx context.Context, req *Request) (*Response, error) {
-	for attempt := 0; ; attempt++ {
-		wc, reused, err := c.checkout(ctx)
-		if err != nil {
-			return nil, err
-		}
-		resp, err := c.roundTrip(wc, req)
-		c.checkin(wc, err != nil)
-		if err != nil {
-			if reused && attempt == 0 {
-				continue // stale pooled connection; retry fresh
-			}
-			return nil, err
-		}
-		return resp, nil
+	resp := new(Response)
+	if err := c.w.Call(ctx, req, resp); err != nil {
+		return nil, fmt.Errorf("dbwire: %s: %w", req.Op, err)
 	}
-}
-
-// checkin returns a healthy connection to the pool; broken connections
-// are closed instead.
-func (c *Client) checkin(wc *wireConn, broken bool) {
-	if broken {
-		_ = wc.c.Close()
-		return
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.closed || len(c.idle) >= 4 {
-		_ = wc.c.Close()
-		return
-	}
-	c.idle = append(c.idle, wc)
-}
-
-// roundTrip performs one request/response exchange.
-func (c *Client) roundTrip(wc *wireConn, req *Request) (*Response, error) {
-	if err := wc.enc.Encode(req); err != nil {
-		return nil, fmt.Errorf("dbwire: send %s: %w", req.Op, err)
-	}
-	if err := wc.bw.Flush(); err != nil {
-		return nil, fmt.Errorf("dbwire: flush %s: %w", req.Op, err)
-	}
-	var resp Response
-	if err := wc.dec.Decode(&resp); err != nil {
-		return nil, fmt.Errorf("dbwire: recv %s: %w", req.Op, err)
-	}
-	c.roundTrips.Add(1)
-	return &resp, nil
+	return resp, nil
 }
 
 // Ping verifies connectivity with one round trip.
@@ -198,38 +101,39 @@ func (c *Client) Ping(ctx context.Context) error {
 // once on a fresh dial.
 func (c *Client) Begin(ctx context.Context) (storeapi.Txn, error) {
 	for attempt := 0; ; attempt++ {
-		wc, reused, err := c.checkout(ctx)
+		st, err := c.w.OpenStream(ctx)
 		if err != nil {
 			return nil, err
 		}
-		resp, err := c.roundTrip(wc, &Request{Op: OpBegin})
-		if err != nil {
-			c.checkin(wc, true)
-			if reused && attempt == 0 {
+		resp := new(Response)
+		if err := st.Call(ctx, &Request{Op: OpBegin}, resp); err != nil {
+			reused := st.Reused()
+			st.Hangup()
+			if reused && attempt == 0 && ctx.Err() == nil {
 				continue
 			}
-			return nil, err
+			return nil, fmt.Errorf("dbwire: %s: %w", OpBegin, err)
 		}
 		if err := decodeErr(resp.Code, resp.Msg); err != nil {
-			c.checkin(wc, false)
+			st.Close()
 			return nil, err
 		}
-		return &remoteTxn{client: c, wc: wc, id: resp.Tx}, nil
+		return &remoteTxn{st: st, id: resp.Tx}, nil
 	}
 }
 
 // ApplyCommitSet ships a whole optimistic commit set in ONE round trip —
 // the split-servers commit path.
 //
-// Retry safety: oneShot retries only when a POOLED connection fails —
-// the "went bad while idle" case (server restarted under the pool), in
-// which the request never reached a live server. In the rare window
-// where a server dies after applying but before replying, a retry would
-// re-submit the set; version validation then rejects the duplicate with
-// a conflict (every write's expected version has already been bumped),
-// so the store is never corrupted — the caller sees a spurious conflict
-// and re-runs its transaction, which is exactly the optimistic
-// programming model.
+// Retry safety: the transport retries only when a PREVIOUSLY-USED
+// connection fails — the "went bad while idle" case (server restarted
+// under the pool), in which the request never reached a live server. In
+// the rare window where a server dies after applying but before
+// replying, a retry would re-submit the set; version validation then
+// rejects the duplicate with a conflict (every write's expected version
+// has already been bumped), so the store is never corrupted — the
+// caller sees a spurious conflict and re-runs its transaction, which is
+// exactly the optimistic programming model.
 func (c *Client) ApplyCommitSet(ctx context.Context, cs memento.CommitSet) (sqlstore.ApplyResult, error) {
 	resp, err := c.oneShot(ctx, &Request{Op: OpApplyCommitSet, Set: cs})
 	if err != nil {
@@ -266,69 +170,49 @@ func (c *Client) AutoQuery(ctx context.Context, q memento.Query) ([]memento.Meme
 	return resp.Mems, nil
 }
 
-// Subscribe opens a dedicated connection carrying the server-push
+// Subscribe opens a pinned connection carrying the server-push
 // invalidation stream. The returned channel closes when cancel is called
 // or the connection drops.
 func (c *Client) Subscribe(ctx context.Context) (<-chan sqlstore.Notice, func(), error) {
-	conn, err := c.dial(ctx, c.addr)
-	if err != nil {
-		return nil, nil, fmt.Errorf("dbwire: dial %s: %w", c.addr, err)
-	}
-	bw := bufio.NewWriter(conn)
-	enc := gob.NewEncoder(bw)
-	dec := gob.NewDecoder(bufio.NewReader(conn))
-	if err := enc.Encode(&Request{Op: OpSubscribe}); err != nil {
-		_ = conn.Close()
-		return nil, nil, err
-	}
-	if err := bw.Flush(); err != nil {
-		_ = conn.Close()
-		return nil, nil, err
-	}
-	var ack Response
-	if err := dec.Decode(&ack); err != nil {
-		_ = conn.Close()
-		return nil, nil, err
-	}
-	if err := decodeErr(ack.Code, ack.Msg); err != nil {
-		_ = conn.Close()
-		return nil, nil, err
-	}
-
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
-		_ = conn.Close()
-		return nil, nil, errors.New("dbwire: client closed")
-	}
-	c.subs = append(c.subs, conn)
-	c.mu.Unlock()
-
-	ch := make(chan sqlstore.Notice, 64)
-	var once sync.Once
-	cancel := func() { once.Do(func() { _ = conn.Close() }) }
-	go func() {
-		defer close(ch)
-		defer cancel()
-		for {
-			var resp Response
-			if err := dec.Decode(&resp); err != nil {
-				return
-			}
-			select {
-			case ch <- resp.Notice:
-			default:
-				// Drop rather than stall the stream; notices are hints.
-			}
+	for attempt := 0; ; attempt++ {
+		st, err := c.w.OpenStream(ctx)
+		if err != nil {
+			return nil, nil, err
 		}
-	}()
-	return ch, cancel, nil
+		ch := make(chan sqlstore.Notice, 64)
+		// The sink must be in place before the subscribe call: the
+		// server may push a notice immediately after the ack.
+		st.OnPush(
+			func() any { return new(Response) },
+			func(v any) {
+				select {
+				case ch <- v.(*Response).Notice:
+				default:
+					// Drop rather than stall the stream; notices are hints.
+				}
+			},
+			func() { close(ch) },
+		)
+		resp := new(Response)
+		if err := st.Call(ctx, &Request{Op: OpSubscribe}, resp); err != nil {
+			reused := st.Reused()
+			st.Hangup()
+			if reused && attempt == 0 && ctx.Err() == nil {
+				continue
+			}
+			return nil, nil, fmt.Errorf("dbwire: %s: %w", OpSubscribe, err)
+		}
+		if err := decodeErr(resp.Code, resp.Msg); err != nil {
+			st.Hangup()
+			return nil, nil, err
+		}
+		return ch, st.Hangup, nil
+	}
 }
 
-// remoteTxn drives one server-side transaction over a pinned connection.
+// remoteTxn drives one server-side transaction over a pinned stream.
 type remoteTxn struct {
-	client *Client
-	wc     *wireConn
+	st     *wire.Stream
 	id     uint64
 	done   bool
 	broken bool
@@ -339,18 +223,18 @@ var _ storeapi.Txn = (*remoteTxn)(nil)
 // ID returns the datastore transaction identifier assigned at Begin.
 func (t *remoteTxn) ID() uint64 { return t.id }
 
-func (t *remoteTxn) call(req *Request) (*Response, error) {
+func (t *remoteTxn) call(ctx context.Context, req *Request) (*Response, error) {
 	if t.done {
 		return nil, sqlstore.ErrTxDone
 	}
 	req.Tx = t.id
-	resp, err := t.client.roundTrip(t.wc, req)
-	if err != nil {
+	resp := new(Response)
+	if err := t.st.Call(ctx, req, resp); err != nil {
 		// The connection is unusable; the server aborts the transaction
 		// when it notices the drop.
 		t.broken = true
 		t.finish()
-		return nil, err
+		return nil, fmt.Errorf("dbwire: %s: %w", req.Op, err)
 	}
 	if derr := decodeErr(resp.Code, resp.Msg); derr != nil {
 		return nil, derr
@@ -363,11 +247,15 @@ func (t *remoteTxn) finish() {
 		return
 	}
 	t.done = true
-	t.client.checkin(t.wc, t.broken)
+	if t.broken {
+		t.st.Hangup()
+	} else {
+		t.st.Close()
+	}
 }
 
 func (t *remoteTxn) Get(ctx context.Context, table, id string) (memento.Memento, error) {
-	resp, err := t.call(&Request{Op: OpGet, Table: table, ID: id})
+	resp, err := t.call(ctx, &Request{Op: OpGet, Table: table, ID: id})
 	if err != nil {
 		return memento.Memento{}, err
 	}
@@ -375,7 +263,7 @@ func (t *remoteTxn) Get(ctx context.Context, table, id string) (memento.Memento,
 }
 
 func (t *remoteTxn) GetForUpdate(ctx context.Context, table, id string) (memento.Memento, error) {
-	resp, err := t.call(&Request{Op: OpGetForUpdate, Table: table, ID: id})
+	resp, err := t.call(ctx, &Request{Op: OpGetForUpdate, Table: table, ID: id})
 	if err != nil {
 		return memento.Memento{}, err
 	}
@@ -383,22 +271,22 @@ func (t *remoteTxn) GetForUpdate(ctx context.Context, table, id string) (memento
 }
 
 func (t *remoteTxn) Put(ctx context.Context, m memento.Memento) error {
-	_, err := t.call(&Request{Op: OpPut, Mem: m})
+	_, err := t.call(ctx, &Request{Op: OpPut, Mem: m})
 	return err
 }
 
 func (t *remoteTxn) Insert(ctx context.Context, m memento.Memento) error {
-	_, err := t.call(&Request{Op: OpInsert, Mem: m})
+	_, err := t.call(ctx, &Request{Op: OpInsert, Mem: m})
 	return err
 }
 
 func (t *remoteTxn) Delete(ctx context.Context, table, id string) error {
-	_, err := t.call(&Request{Op: OpDelete, Table: table, ID: id})
+	_, err := t.call(ctx, &Request{Op: OpDelete, Table: table, ID: id})
 	return err
 }
 
 func (t *remoteTxn) Query(ctx context.Context, q memento.Query) ([]memento.Memento, error) {
-	resp, err := t.call(&Request{Op: OpQuery, Query: q})
+	resp, err := t.call(ctx, &Request{Op: OpQuery, Query: q})
 	if err != nil {
 		return nil, err
 	}
@@ -406,28 +294,28 @@ func (t *remoteTxn) Query(ctx context.Context, q memento.Query) ([]memento.Memen
 }
 
 func (t *remoteTxn) CheckVersion(ctx context.Context, key memento.Key, version uint64) error {
-	_, err := t.call(&Request{Op: OpCheckVersion, Key: key, Version: version})
+	_, err := t.call(ctx, &Request{Op: OpCheckVersion, Key: key, Version: version})
 	return err
 }
 
 func (t *remoteTxn) CheckedPut(ctx context.Context, m memento.Memento) error {
-	_, err := t.call(&Request{Op: OpCheckedPut, Mem: m})
+	_, err := t.call(ctx, &Request{Op: OpCheckedPut, Mem: m})
 	return err
 }
 
 func (t *remoteTxn) CheckedDelete(ctx context.Context, key memento.Key, version uint64) error {
-	_, err := t.call(&Request{Op: OpCheckedDelete, Key: key, Version: version})
+	_, err := t.call(ctx, &Request{Op: OpCheckedDelete, Key: key, Version: version})
 	return err
 }
 
 func (t *remoteTxn) Commit(ctx context.Context) error {
-	_, err := t.call(&Request{Op: OpCommit})
+	_, err := t.call(ctx, &Request{Op: OpCommit})
 	t.finish()
 	return err
 }
 
 func (t *remoteTxn) Abort(ctx context.Context) error {
-	_, err := t.call(&Request{Op: OpAbort})
+	_, err := t.call(ctx, &Request{Op: OpAbort})
 	t.finish()
 	return err
 }

@@ -1,6 +1,7 @@
 // Package dbwire implements the network protocol between application
-// servers and the database tier: a length-delimited gob RPC in which
-// every statement is one request/response round trip. This mirrors the
+// servers and the database tier: a gob RPC over the shared transport
+// in package wire, in which every statement is one request/response
+// round trip. This mirrors the
 // role of the JDBC driver protocol in the paper — the per-statement
 // round trip is precisely what makes the ES/RDB architecture sensitive
 // to path latency, and the single-message ApplyCommitSet operation is
@@ -97,6 +98,9 @@ type Request struct {
 	Query   memento.Query
 	Set     memento.CommitSet
 }
+
+// WireLabel names the request for per-op transport stats.
+func (r *Request) WireLabel() string { return r.Op.String() }
 
 // ErrCode classifies a response outcome so sentinel errors survive the
 // wire: the client reconstructs an error for which errors.Is matches the

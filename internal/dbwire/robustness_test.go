@@ -1,9 +1,7 @@
 package dbwire
 
 import (
-	"bufio"
 	"context"
-	"encoding/gob"
 	"net"
 	"testing"
 	"time"
@@ -11,23 +9,42 @@ import (
 	"edgeejb/internal/sqlstore"
 	"edgeejb/internal/storeapi"
 	"edgeejb/internal/trade"
+	"edgeejb/internal/wire"
 )
+
+// startServer starts a dbwire server over a fresh store.
+func startServer(t *testing.T) (*sqlstore.Store, *Server) {
+	t.Helper()
+	store := sqlstore.New()
+	srv := NewServer(storeapi.Local(store))
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		srv.Close()
+		store.Close()
+	})
+	return store, srv
+}
 
 // TestServerSurvivesGarbageFrames: raw garbage on the wire must close
 // that connection cleanly without disturbing other clients.
 func TestServerSurvivesGarbageFrames(t *testing.T) {
-	store, client := newPair(t)
+	store, srv := startServer(t)
 	seed(store, "t", "1", 1)
+	client := Dial(srv.Addr())
+	t.Cleanup(func() { _ = client.Close() })
 	ctx := context.Background()
 
-	// Blast garbage at the server on raw connections.
-	srvAddr := client.addr
+	// Blast garbage at the server on raw connections. "GET / HTTP/1.1"
+	// parses as an absurd length prefix; the zero payload parses as a
+	// zero-length frame; both are protocol violations.
 	for _, payload := range [][]byte{
 		[]byte("GET / HTTP/1.1\r\n\r\n"),
 		{0x00, 0x01, 0x02, 0x03, 0xff, 0xfe},
 		make([]byte, 4096), // zeros
 	} {
-		raw, err := net.Dial("tcp", srvAddr)
+		raw, err := net.Dial("tcp", srv.Addr())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -50,50 +67,26 @@ func TestServerSurvivesGarbageFrames(t *testing.T) {
 // TestServerRejectsUnknownOp: a syntactically valid request with a bogus
 // op code gets a BadRequest response, and the connection stays usable.
 func TestServerRejectsUnknownOp(t *testing.T) {
-	store, _ := newPair(t)
+	store, srv := startServer(t)
 	seed(store, "t", "1", 1)
+	ctx := context.Background()
 
-	srv := NewServer(storeapi.Local(store))
-	if err := srv.Start("127.0.0.1:0"); err != nil {
-		t.Fatal(err)
-	}
-	defer srv.Close()
+	// A raw wire client speaks correct framing but sends an op the
+	// protocol dispatch does not know.
+	w := wire.NewClient(srv.Addr())
+	defer w.Close()
 
-	conn, err := net.Dial("tcp", srv.Addr())
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer conn.Close()
-	bw := bufio.NewWriter(conn)
-	enc := gob.NewEncoder(bw)
-	dec := gob.NewDecoder(bufio.NewReader(conn))
-
-	if err := enc.Encode(&Request{Op: OpCode(200)}); err != nil {
-		t.Fatal(err)
-	}
-	if err := bw.Flush(); err != nil {
-		t.Fatal(err)
-	}
-	var resp Response
-	if err := dec.Decode(&resp); err != nil {
+	resp := new(Response)
+	if err := w.Call(ctx, &Request{Op: OpCode(200)}, resp); err != nil {
 		t.Fatal(err)
 	}
 	if resp.Code != CodeBadRequest {
 		t.Fatalf("code = %v, want BadRequest", resp.Code)
 	}
 
-	// Same connection keeps working for valid requests. (Decode into a
-	// FRESH struct: gob omits zero-valued fields, so reusing resp would
-	// leave the previous non-zero Code behind — the same reason the
-	// client's roundTrip allocates a new Response per call.)
-	if err := enc.Encode(&Request{Op: OpPing}); err != nil {
-		t.Fatal(err)
-	}
-	if err := bw.Flush(); err != nil {
-		t.Fatal(err)
-	}
-	var resp2 Response
-	if err := dec.Decode(&resp2); err != nil {
+	// Same client (and its connection) keeps working for valid requests.
+	resp2 := new(Response)
+	if err := w.Call(ctx, &Request{Op: OpPing}, resp2); err != nil {
 		t.Fatal(err)
 	}
 	if resp2.Code != CodeOK {
@@ -104,32 +97,16 @@ func TestServerRejectsUnknownOp(t *testing.T) {
 // TestUnknownTransactionRejected: operating on a transaction id that was
 // never begun (or was already finished) is a BadRequest, not a crash.
 func TestUnknownTransactionRejected(t *testing.T) {
-	store, _ := newPair(t)
+	store, srv := startServer(t)
 	seed(store, "t", "1", 1)
-	srv := NewServer(storeapi.Local(store))
-	if err := srv.Start("127.0.0.1:0"); err != nil {
-		t.Fatal(err)
-	}
-	defer srv.Close()
+	ctx := context.Background()
 
-	conn, err := net.Dial("tcp", srv.Addr())
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer conn.Close()
-	bw := bufio.NewWriter(conn)
-	enc := gob.NewEncoder(bw)
-	dec := gob.NewDecoder(bufio.NewReader(conn))
+	w := wire.NewClient(srv.Addr())
+	defer w.Close()
 
 	for _, op := range []OpCode{OpGet, OpPut, OpCommit, OpAbort, OpQuery} {
-		if err := enc.Encode(&Request{Op: op, Tx: 424242, Table: "t", ID: "1"}); err != nil {
-			t.Fatal(err)
-		}
-		if err := bw.Flush(); err != nil {
-			t.Fatal(err)
-		}
-		var resp Response
-		if err := dec.Decode(&resp); err != nil {
+		resp := new(Response)
+		if err := w.Call(ctx, &Request{Op: op, Tx: 424242, Table: "t", ID: "1"}, resp); err != nil {
 			t.Fatal(err)
 		}
 		if resp.Code != CodeBadRequest {

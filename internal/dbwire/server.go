@@ -1,214 +1,136 @@
 package dbwire
 
 import (
-	"bufio"
 	"context"
-	"encoding/gob"
-	"errors"
-	"net"
 	"sync"
 
 	"edgeejb/internal/storeapi"
+	"edgeejb/internal/wire"
 )
 
 // Server exposes any storeapi.Conn over the wire protocol. Serving a
 // local store (storeapi.Local) yields the paper's "database server";
 // serving a composed Conn yields middle tiers such as the back-end
 // server of the split-servers configuration (see package backend).
+//
+// Framing, accept loops, and graceful drain live in the shared
+// transport (package wire); this file is only the protocol dispatch.
 type Server struct {
-	backend storeapi.Conn
-
-	mu     sync.Mutex
-	ln     net.Listener
-	conns  map[net.Conn]struct{}
-	closed bool
-	wg     sync.WaitGroup
+	inner *wire.Server
 }
 
 // NewServer wraps a datastore handle. Call Start to begin listening.
 func NewServer(backend storeapi.Conn) *Server {
-	return &Server{
-		backend: backend,
-		conns:   make(map[net.Conn]struct{}),
-	}
+	s := &Server{}
+	s.inner = wire.NewServer(func() wire.ConnHandler {
+		return &connHandler{backend: backend, txs: make(map[uint64]storeapi.Txn)}
+	})
+	return s
 }
 
 // Start listens on addr ("127.0.0.1:0" for an ephemeral port) and
 // serves connections in the background until Close.
-func (s *Server) Start(addr string) error {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return err
-	}
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		_ = ln.Close()
-		return errors.New("dbwire: server closed")
-	}
-	s.ln = ln
-	s.mu.Unlock()
-	s.wg.Add(1)
-	go s.acceptLoop(ln)
-	return nil
-}
+func (s *Server) Start(addr string) error { return s.inner.Start(addr) }
 
 // Addr returns the server's listen address. It panics if Start has not
 // been called.
-func (s *Server) Addr() string { return s.ln.Addr().String() }
+func (s *Server) Addr() string { return s.inner.Addr() }
 
-// Close stops the listener, tears down every connection (aborting any
-// in-flight transactions), and waits for the handlers to exit. It does
-// not close the wrapped datastore handle.
-func (s *Server) Close() {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		s.wg.Wait()
-		return
-	}
-	s.closed = true
-	ln := s.ln
-	for c := range s.conns {
-		_ = c.Close()
-	}
-	s.mu.Unlock()
-	if ln != nil {
-		_ = ln.Close()
-	}
-	s.wg.Wait()
+// WireStats returns the server-side transport counters.
+func (s *Server) WireStats() wire.Stats { return s.inner.Stats() }
+
+// Close drains the server: stop accepting, finish in-flight requests
+// (bounded), then tear down every connection, aborting any transactions
+// still open on them. It does not close the wrapped datastore handle.
+func (s *Server) Close() { s.inner.Close() }
+
+// connHandler holds one connection's protocol state. Transactions begun
+// on a connection belong to it; if the connection drops they are
+// aborted, mirroring a JDBC connection's session semantics. Requests on
+// one connection may execute concurrently (the client multiplexes), so
+// the transaction table is locked.
+type connHandler struct {
+	backend storeapi.Conn
+
+	mu  sync.Mutex
+	txs map[uint64]storeapi.Txn
+
+	pushers sync.WaitGroup
 }
 
-func (s *Server) acceptLoop(ln net.Listener) {
-	defer s.wg.Done()
-	for {
-		conn, err := ln.Accept()
-		if err != nil {
-			return
-		}
-		if !s.track(conn) {
-			_ = conn.Close()
-			return
-		}
-		s.wg.Add(1)
-		go s.serveConn(conn)
+func (h *connHandler) NewRequest() any { return new(Request) }
+
+func (h *connHandler) Handle(ctx context.Context, sess *wire.Session, id uint64, req any) any {
+	r := req.(*Request)
+	if r.Op == OpSubscribe {
+		return h.subscribe(ctx, sess, id)
 	}
+	return h.handle(ctx, r)
 }
 
-func (s *Server) track(c net.Conn) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return false
-	}
-	s.conns[c] = struct{}{}
-	return true
-}
-
-func (s *Server) untrack(c net.Conn) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	delete(s.conns, c)
-}
-
-// serveConn handles one connection's request/response loop. Transactions
-// begun on a connection belong to it; if the connection drops they are
-// aborted, mirroring a JDBC connection's session semantics.
-func (s *Server) serveConn(conn net.Conn) {
-	defer s.wg.Done()
-	defer s.untrack(conn)
-	defer conn.Close()
-
-	bw := bufio.NewWriter(conn)
-	dec := gob.NewDecoder(bufio.NewReader(conn))
-	enc := gob.NewEncoder(bw)
-
+// Close aborts the connection's open transactions and reaps its push
+// goroutines. The wire server calls it after the last in-flight Handle
+// has returned and the session context is cancelled.
+func (h *connHandler) Close() {
+	h.pushers.Wait()
+	h.mu.Lock()
+	txs := h.txs
+	h.txs = make(map[uint64]storeapi.Txn)
+	h.mu.Unlock()
 	ctx := context.Background()
-	txs := make(map[uint64]storeapi.Txn)
-	defer func() {
-		for _, tx := range txs {
-			_ = tx.Abort(ctx)
-		}
-	}()
-
-	for {
-		var req Request
-		if err := dec.Decode(&req); err != nil {
-			return
-		}
-		if req.Op == OpSubscribe {
-			s.serveSubscription(ctx, conn, enc, bw)
-			return
-		}
-		resp := s.handle(ctx, txs, &req)
-		if err := enc.Encode(resp); err != nil {
-			return
-		}
-		if err := bw.Flush(); err != nil {
-			return
-		}
+	for _, tx := range txs {
+		_ = tx.Abort(ctx)
 	}
 }
 
-// serveSubscription switches the connection into push mode: every commit
-// notice is forwarded until the client closes the connection or the
-// server shuts down.
-func (s *Server) serveSubscription(ctx context.Context, conn net.Conn, enc *gob.Encoder, bw *bufio.Writer) {
-	ch, cancel, err := s.backend.Subscribe(ctx)
+// subscribe switches the connection into push mode: every commit notice
+// is forwarded until the client hangs up or the server drains.
+func (h *connHandler) subscribe(ctx context.Context, sess *wire.Session, id uint64) *Response {
+	ch, cancel, err := h.backend.Subscribe(ctx)
 	if err != nil {
-		code, msg := encodeErr(err)
-		_ = enc.Encode(&Response{Code: code, Msg: msg})
-		_ = bw.Flush()
-		return
-	}
-	defer cancel()
-
-	// Acknowledge the subscription so the client knows push mode began.
-	if err := enc.Encode(&Response{Code: CodeOK}); err != nil {
-		return
-	}
-	if err := bw.Flush(); err != nil {
-		return
-	}
-
-	// Detect client departure: the client never sends again, so any read
-	// completion means the connection is gone.
-	connClosed := make(chan struct{})
-	go func() {
-		defer close(connClosed)
-		var buf [1]byte
-		_, _ = conn.Read(buf[:])
-	}()
-
-	for {
-		select {
-		case n, ok := <-ch:
-			if !ok {
-				return
-			}
-			if err := enc.Encode(&Response{Code: CodeOK, Notice: n}); err != nil {
-				return
-			}
-			if err := bw.Flush(); err != nil {
-				return
-			}
-		case <-connClosed:
-			return
-		}
-	}
-}
-
-func (s *Server) handle(ctx context.Context, txs map[uint64]storeapi.Txn, req *Request) *Response {
-	fail := func(err error) *Response {
 		code, msg := encodeErr(err)
 		return &Response{Code: code, Msg: msg}
 	}
-	lookup := func() (storeapi.Txn, *Response) {
-		tx, ok := txs[req.Tx]
-		if !ok {
-			return nil, &Response{Code: CodeBadRequest, Msg: "unknown transaction"}
+	h.pushers.Add(1)
+	go func() {
+		defer h.pushers.Done()
+		defer cancel()
+		for {
+			select {
+			case n, ok := <-ch:
+				if !ok {
+					return
+				}
+				if err := sess.Push(id, &Response{Code: CodeOK, Notice: n}); err != nil {
+					return
+				}
+			case <-ctx.Done():
+				return
+			}
 		}
-		return tx, nil
+	}()
+	return &Response{Code: CodeOK}
+}
+
+// lookup resolves a transaction handle; remove also unregisters it
+// (commit/abort ends the pin).
+func (h *connHandler) lookup(id uint64, remove bool) (storeapi.Txn, *Response) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	tx, ok := h.txs[id]
+	if !ok {
+		return nil, &Response{Code: CodeBadRequest, Msg: "unknown transaction"}
+	}
+	if remove {
+		delete(h.txs, id)
+	}
+	return tx, nil
+}
+
+func (h *connHandler) handle(ctx context.Context, req *Request) *Response {
+	fail := func(err error) *Response {
+		code, msg := encodeErr(err)
+		return &Response{Code: code, Msg: msg}
 	}
 
 	switch req.Op {
@@ -216,15 +138,17 @@ func (s *Server) handle(ctx context.Context, txs map[uint64]storeapi.Txn, req *R
 		return &Response{Code: CodeOK}
 
 	case OpBegin:
-		tx, err := s.backend.Begin(ctx)
+		tx, err := h.backend.Begin(ctx)
 		if err != nil {
 			return fail(err)
 		}
-		txs[tx.ID()] = tx
+		h.mu.Lock()
+		h.txs[tx.ID()] = tx
+		h.mu.Unlock()
 		return &Response{Code: CodeOK, Tx: tx.ID()}
 
 	case OpGet, OpGetForUpdate:
-		tx, errResp := lookup()
+		tx, errResp := h.lookup(req.Tx, false)
 		if errResp != nil {
 			return errResp
 		}
@@ -239,7 +163,7 @@ func (s *Server) handle(ctx context.Context, txs map[uint64]storeapi.Txn, req *R
 		return &Response{Code: CodeOK, Mem: m}
 
 	case OpPut, OpInsert, OpCheckedPut:
-		tx, errResp := lookup()
+		tx, errResp := h.lookup(req.Tx, false)
 		if errResp != nil {
 			return errResp
 		}
@@ -258,7 +182,7 @@ func (s *Server) handle(ctx context.Context, txs map[uint64]storeapi.Txn, req *R
 		return &Response{Code: CodeOK}
 
 	case OpDelete:
-		tx, errResp := lookup()
+		tx, errResp := h.lookup(req.Tx, false)
 		if errResp != nil {
 			return errResp
 		}
@@ -268,7 +192,7 @@ func (s *Server) handle(ctx context.Context, txs map[uint64]storeapi.Txn, req *R
 		return &Response{Code: CodeOK}
 
 	case OpCheckedDelete:
-		tx, errResp := lookup()
+		tx, errResp := h.lookup(req.Tx, false)
 		if errResp != nil {
 			return errResp
 		}
@@ -278,7 +202,7 @@ func (s *Server) handle(ctx context.Context, txs map[uint64]storeapi.Txn, req *R
 		return &Response{Code: CodeOK}
 
 	case OpCheckVersion:
-		tx, errResp := lookup()
+		tx, errResp := h.lookup(req.Tx, false)
 		if errResp != nil {
 			return errResp
 		}
@@ -288,7 +212,7 @@ func (s *Server) handle(ctx context.Context, txs map[uint64]storeapi.Txn, req *R
 		return &Response{Code: CodeOK}
 
 	case OpQuery:
-		tx, errResp := lookup()
+		tx, errResp := h.lookup(req.Tx, false)
 		if errResp != nil {
 			return errResp
 		}
@@ -299,43 +223,41 @@ func (s *Server) handle(ctx context.Context, txs map[uint64]storeapi.Txn, req *R
 		return &Response{Code: CodeOK, Mems: mems}
 
 	case OpCommit:
-		tx, errResp := lookup()
+		tx, errResp := h.lookup(req.Tx, true)
 		if errResp != nil {
 			return errResp
 		}
-		delete(txs, req.Tx)
 		if err := tx.Commit(ctx); err != nil {
 			return fail(err)
 		}
 		return &Response{Code: CodeOK, Tx: req.Tx}
 
 	case OpAbort:
-		tx, errResp := lookup()
+		tx, errResp := h.lookup(req.Tx, true)
 		if errResp != nil {
 			return errResp
 		}
-		delete(txs, req.Tx)
 		if err := tx.Abort(ctx); err != nil {
 			return fail(err)
 		}
 		return &Response{Code: CodeOK}
 
 	case OpApplyCommitSet:
-		res, err := s.backend.ApplyCommitSet(ctx, req.Set)
+		res, err := h.backend.ApplyCommitSet(ctx, req.Set)
 		if err != nil {
 			return fail(err)
 		}
 		return &Response{Code: CodeOK, Tx: res.TxID, NewVersions: res.NewVersions}
 
 	case OpAutoGet:
-		m, err := s.backend.AutoGet(ctx, req.Table, req.ID)
+		m, err := h.backend.AutoGet(ctx, req.Table, req.ID)
 		if err != nil {
 			return fail(err)
 		}
 		return &Response{Code: CodeOK, Mem: m}
 
 	case OpAutoQuery:
-		mems, err := s.backend.AutoQuery(ctx, req.Query)
+		mems, err := h.backend.AutoQuery(ctx, req.Query)
 		if err != nil {
 			return fail(err)
 		}

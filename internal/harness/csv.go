@@ -14,7 +14,7 @@ import (
 //	fig6.csv    delay_ms, <series...>        (architecture comparison)
 //	fig7.csv    delay_ms, <series...>        (ES/RDB algorithms)
 //	table2.csv  algorithm, architecture, sensitivity, r2
-//	fig8.csv    configuration, bytes_per_interaction
+//	fig8.csv    configuration, bytes_per_interaction, wire_round_trips_per_interaction
 func (e *Evaluation) WriteCSV(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("harness: csv dir: %w", err)
@@ -97,11 +97,16 @@ func (e *Evaluation) writeFig8CSV(path string) error {
 	}
 	defer f.Close()
 	w := csv.NewWriter(f)
-	if err := w.Write([]string{"configuration", "bytes_per_interaction"}); err != nil {
+	if err := w.Write([]string{"configuration", "bytes_per_interaction", "wire_round_trips_per_interaction"}); err != nil {
 		return err
 	}
 	for _, row := range e.Fig8Rows() {
-		if err := w.Write([]string{row.Pair.String(), formatFloat(row.BytesPerInteraction)}); err != nil {
+		rec := []string{
+			row.Pair.String(),
+			formatFloat(row.BytesPerInteraction),
+			formatFloat(row.RoundTripsPerInteraction),
+		}
+		if err := w.Write(rec); err != nil {
 			return err
 		}
 	}

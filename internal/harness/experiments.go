@@ -152,6 +152,9 @@ type BandwidthRow struct {
 	// BytesPerInteraction is traffic on the shared (high-latency) path
 	// per client interaction, averaged over the sweep's points.
 	BytesPerInteraction float64
+	// RoundTripsPerInteraction is the number of wire round trips on the
+	// shared path per client interaction, averaged the same way.
+	RoundTripsPerInteraction float64
 }
 
 // Fig8Rows reports shared-path bandwidth for the three Figure 6
@@ -168,11 +171,16 @@ func (e *Evaluation) Fig8Rows() []BandwidthRow {
 		if !ok {
 			continue
 		}
-		var vals []float64
+		var bytesVals, rtVals []float64
 		for _, p := range s.Points {
-			vals = append(vals, p.SharedBytesPerInteraction)
+			bytesVals = append(bytesVals, p.SharedBytesPerInteraction)
+			rtVals = append(rtVals, p.SharedRoundTripsPerInteraction)
 		}
-		rows = append(rows, BandwidthRow{Pair: pair, BytesPerInteraction: stats.Mean(vals)})
+		rows = append(rows, BandwidthRow{
+			Pair:                     pair,
+			BytesPerInteraction:      stats.Mean(bytesVals),
+			RoundTripsPerInteraction: stats.Mean(rtVals),
+		})
 	}
 	return rows
 }
@@ -214,7 +222,8 @@ func (e *Evaluation) WriteTable2(w io.Writer) {
 func (e *Evaluation) WriteFig8(w io.Writer) {
 	fmt.Fprintln(w, "Figure 8: Bandwidth (bytes on the shared path per client interaction)")
 	for _, row := range e.Fig8Rows() {
-		fmt.Fprintf(w, "%-28s %8.0f bytes/interaction\n", row.Pair, row.BytesPerInteraction)
+		fmt.Fprintf(w, "%-28s %8.0f bytes/interaction %8.1f wire-RTs/interaction\n",
+			row.Pair, row.BytesPerInteraction, row.RoundTripsPerInteraction)
 	}
 }
 

@@ -49,8 +49,13 @@ type Point struct {
 	// y-axis).
 	MeanLatencyMs float64
 	// SharedBytesPerInteraction is the traffic on the shared
-	// (high-latency) path divided by measured interactions (Figure 8).
+	// (high-latency) path divided by measured interactions (Figure 8),
+	// as counted by the wire transport on the sending side of that path.
 	SharedBytesPerInteraction float64
+	// SharedRoundTripsPerInteraction is the number of wire round trips
+	// on the shared path per client interaction — the "communication
+	// cost" the paper's algorithms compete on.
+	SharedRoundTripsPerInteraction float64
 	// Load is the full measurement for this point.
 	Load loadgen.Result
 }
@@ -107,10 +112,9 @@ func RunSweepOn(ctx context.Context, topo *Topology, run RunOptions) (Sweep, err
 	}
 
 	sweep := Sweep{Arch: topo.Arch, Algo: topo.Algo}
-	counter := topo.SharedPathCounter()
 	for _, d := range run.Delays {
 		topo.SetDelay(d)
-		before := counter.Total()
+		before := topo.SharedPathStats()
 		res, err := loadgen.Run(ctx, loadgen.Config{
 			Client:    client,
 			Generator: gen,
@@ -120,14 +124,17 @@ func RunSweepOn(ctx context.Context, topo *Topology, run RunOptions) (Sweep, err
 		if err != nil {
 			return Sweep{}, fmt.Errorf("harness: delay %v: %w", d, err)
 		}
-		bytesUsed := float64(counter.Total() - before)
+		after := topo.SharedPathStats()
 		point := Point{
 			OneWayDelayMs: float64(d) / float64(time.Millisecond),
 			MeanLatencyMs: res.MeanLatencyMs(),
 			Load:          res,
 		}
 		if res.Interactions > 0 {
-			point.SharedBytesPerInteraction = bytesUsed / float64(res.Interactions)
+			point.SharedBytesPerInteraction =
+				float64(after.Bytes()-before.Bytes()) / float64(res.Interactions)
+			point.SharedRoundTripsPerInteraction =
+				float64(after.RoundTrips-before.RoundTrips) / float64(res.Interactions)
 		}
 		sweep.Points = append(sweep.Points, point)
 	}

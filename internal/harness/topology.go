@@ -10,6 +10,7 @@ import (
 	"context"
 	"fmt"
 	"net"
+	"sync"
 	"time"
 
 	"edgeejb/internal/appserver"
@@ -21,6 +22,7 @@ import (
 	"edgeejb/internal/sqlstore"
 	"edgeejb/internal/storeapi"
 	"edgeejb/internal/trade"
+	"edgeejb/internal/wire"
 )
 
 // Architecture selects where the high-latency path sits (§3).
@@ -136,6 +138,12 @@ type Topology struct {
 	clientAddr string
 	clientDial appserver.DialFunc
 	closers    []func()
+
+	// webMu guards webClients: every client handed out by NewWebClient
+	// (and NewWebClientFor under Clients/RAS) is tracked so the shared
+	// client↔server path can be measured from wire.Stats.
+	webMu      sync.Mutex
+	webClients []*appserver.Client
 }
 
 // Build assembles and starts a topology. Callers must Close it.
@@ -284,11 +292,36 @@ func (t *Topology) SetDelay(d time.Duration) { t.Proxy.SetDelay(d) }
 // (high-latency) path — the quantity Figure 8 reports.
 func (t *Topology) SharedPathCounter() *latency.Counter { return t.Proxy.Counter() }
 
+// SharedPathStats aggregates transport statistics for the clients on
+// the architecture's shared (high-latency) path: web clients for
+// Clients/RAS, the edge servers' datastore clients otherwise. Unlike
+// SharedPathCounter it also carries round trips and per-op latency.
+func (t *Topology) SharedPathStats() wire.Stats {
+	var snaps []wire.Stats
+	switch t.Arch {
+	case ClientsRAS:
+		t.webMu.Lock()
+		for _, c := range t.webClients {
+			snaps = append(snaps, c.WireStats())
+		}
+		t.webMu.Unlock()
+	default:
+		for _, c := range t.DBClients {
+			snaps = append(snaps, c.WireStats())
+		}
+	}
+	return wire.MergeStats(snaps...)
+}
+
 // NewWebClient returns a client wired to the architecture's client
 // entry point (through the proxy for Clients/RAS, to edge server 0
 // otherwise).
 func (t *Topology) NewWebClient() *appserver.Client {
-	return appserver.NewClient(t.clientAddr, appserver.WithDialer(t.clientDial))
+	c := appserver.NewClient(t.clientAddr, appserver.WithDialer(t.clientDial))
+	t.webMu.Lock()
+	t.webClients = append(t.webClients, c)
+	t.webMu.Unlock()
+	return c
 }
 
 // NewWebClientFor returns a client pinned to a specific edge server

@@ -1,0 +1,205 @@
+package wire
+
+import (
+	"math/bits"
+	"sync"
+	"time"
+)
+
+// histBuckets is the number of power-of-two latency buckets; bucket i
+// counts round trips with latency < 1µs<<i, the last bucket overflows.
+const histBuckets = 22
+
+// OpStats aggregates one operation label (e.g. "AutoGet", "buy").
+type OpStats struct {
+	Count         uint64 // completed round trips
+	Errors        uint64 // failed calls (transport error, deadline, cancel)
+	BytesSent     uint64
+	BytesReceived uint64
+	TotalDur      time.Duration
+	MaxDur        time.Duration
+	Hist          [histBuckets]uint64
+}
+
+// MeanDur returns the mean round-trip latency.
+func (o OpStats) MeanDur() time.Duration {
+	if o.Count == 0 {
+		return 0
+	}
+	return o.TotalDur / time.Duration(o.Count)
+}
+
+// PercentileDur returns an upper-bound estimate of the p-th percentile
+// latency (0 < p <= 1) from the histogram.
+func (o OpStats) PercentileDur(p float64) time.Duration {
+	if o.Count == 0 {
+		return 0
+	}
+	target := uint64(p * float64(o.Count))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, n := range o.Hist {
+		cum += n
+		if cum >= target {
+			if i == histBuckets-1 {
+				return o.MaxDur
+			}
+			return time.Microsecond << i
+		}
+	}
+	return o.MaxDur
+}
+
+// Stats is a point-in-time snapshot of a transport endpoint's counters.
+// Bytes include the 4-byte length prefix of every frame, so client and
+// server snapshots of the same path agree with on-the-wire traffic.
+type Stats struct {
+	Dials         uint64
+	RoundTrips    uint64 // completed request/response exchanges
+	Pushes        uint64 // unsolicited frames (invalidation notices)
+	BytesSent     uint64
+	BytesReceived uint64
+	Errors        uint64 // failed calls
+	Ops           map[string]OpStats
+}
+
+// Bytes returns total traffic in both directions.
+func (s Stats) Bytes() uint64 { return s.BytesSent + s.BytesReceived }
+
+// MergeStats sums endpoint snapshots — the harness uses it to total
+// the shared-path traffic of every client on one side of a topology.
+func MergeStats(snaps ...Stats) Stats {
+	var out Stats
+	out.Ops = make(map[string]OpStats)
+	for _, s := range snaps {
+		out.Dials += s.Dials
+		out.RoundTrips += s.RoundTrips
+		out.Pushes += s.Pushes
+		out.BytesSent += s.BytesSent
+		out.BytesReceived += s.BytesReceived
+		out.Errors += s.Errors
+		for label, op := range s.Ops {
+			agg := out.Ops[label]
+			agg.Count += op.Count
+			agg.Errors += op.Errors
+			agg.BytesSent += op.BytesSent
+			agg.BytesReceived += op.BytesReceived
+			agg.TotalDur += op.TotalDur
+			if op.MaxDur > agg.MaxDur {
+				agg.MaxDur = op.MaxDur
+			}
+			for i := range op.Hist {
+				agg.Hist[i] += op.Hist[i]
+			}
+			out.Ops[label] = agg
+		}
+	}
+	return out
+}
+
+// collector is the mutable counterpart of Stats shared by the
+// connections of one Client or Server.
+type collector struct {
+	mu            sync.Mutex
+	dials         uint64
+	roundTrips    uint64
+	pushes        uint64
+	bytesSent     uint64
+	bytesReceived uint64
+	errors        uint64
+	ops           map[string]*OpStats
+}
+
+func newCollector() *collector {
+	return &collector{ops: make(map[string]*OpStats)}
+}
+
+// op returns the aggregate for label; callers hold c.mu.
+func (c *collector) op(label string) *OpStats {
+	o := c.ops[label]
+	if o == nil {
+		o = &OpStats{}
+		c.ops[label] = o
+	}
+	return o
+}
+
+func (c *collector) dial() {
+	c.mu.Lock()
+	c.dials++
+	c.mu.Unlock()
+}
+
+func (c *collector) sent(label string, n int) {
+	c.mu.Lock()
+	c.bytesSent += uint64(n)
+	c.op(label).BytesSent += uint64(n)
+	c.mu.Unlock()
+}
+
+func (c *collector) received(label string, n int) {
+	c.mu.Lock()
+	c.bytesReceived += uint64(n)
+	c.op(label).BytesReceived += uint64(n)
+	c.mu.Unlock()
+}
+
+func (c *collector) roundTrip(label string, d time.Duration) {
+	idx := bits.Len64(uint64(d / time.Microsecond))
+	if idx >= histBuckets {
+		idx = histBuckets - 1
+	}
+	c.mu.Lock()
+	c.roundTrips++
+	o := c.op(label)
+	o.Count++
+	o.TotalDur += d
+	if d > o.MaxDur {
+		o.MaxDur = d
+	}
+	o.Hist[idx]++
+	c.mu.Unlock()
+}
+
+// push records an unsolicited frame; sent selects which byte direction
+// the frame counts toward (true on the server, false on the client).
+func (c *collector) push(label string, n int, sent bool) {
+	c.mu.Lock()
+	c.pushes++
+	o := c.op(label)
+	if sent {
+		c.bytesSent += uint64(n)
+		o.BytesSent += uint64(n)
+	} else {
+		c.bytesReceived += uint64(n)
+		o.BytesReceived += uint64(n)
+	}
+	c.mu.Unlock()
+}
+
+func (c *collector) failure(label string) {
+	c.mu.Lock()
+	c.errors++
+	c.op(label).Errors++
+	c.mu.Unlock()
+}
+
+func (c *collector) snapshot() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := Stats{
+		Dials:         c.dials,
+		RoundTrips:    c.roundTrips,
+		Pushes:        c.pushes,
+		BytesSent:     c.bytesSent,
+		BytesReceived: c.bytesReceived,
+		Errors:        c.errors,
+		Ops:           make(map[string]OpStats, len(c.ops)),
+	}
+	for label, o := range c.ops {
+		s.Ops[label] = *o
+	}
+	return s
+}

@@ -1,0 +1,85 @@
+// Package wire is the shared transport layer under every TCP protocol
+// in this repository: the database driver protocol (package dbwire, and
+// package backend riding on it) and the application-server client
+// protocol (package appserver). Each previously carried its own framing,
+// dialing, pooling, and accept-loop code; every byte the experiments
+// measure crosses this one implementation instead, so the edge↔origin
+// RPC path can be optimized and instrumented in a single place.
+//
+// The transport is a length-prefixed, gob-framed request/response
+// protocol:
+//
+//   - Client multiplexes concurrent requests over a small set of shared
+//     connections using per-request IDs (pipelining: N concurrent
+//     one-shot calls cost ~1 round-trip wall time on a high-latency
+//     path, instead of N connections or N serialized round trips).
+//   - Stream pins one connection exclusively, for protocols whose
+//     server-side state is per-connection (transactions) or that switch
+//     the connection into server-push mode (invalidation
+//     subscriptions).
+//   - Context deadlines and cancellation propagate to the socket:
+//     writes run under SetWriteDeadline, and the per-connection reader
+//     holds a SetReadDeadline at the earliest pending deadline, so a
+//     call against a stalled server returns by its deadline.
+//   - Server drains gracefully on Close: stop accepting, finish
+//     in-flight requests, bounded by a drain timeout, then force-close.
+//   - Both ends keep counters and per-op latency histograms, exposed as
+//     a Stats snapshot, so byte accounting on the shared path no longer
+//     depends on the delay proxy alone.
+package wire
+
+import (
+	"context"
+	"errors"
+	"net"
+)
+
+// DialFunc opens a connection to a server. The experiment harness
+// supplies dialers that route through the delay proxy or wrap
+// connections in byte counters.
+type DialFunc func(ctx context.Context, addr string) (net.Conn, error)
+
+// Labeler lets request bodies name themselves for per-op stats. Bodies
+// that do not implement it are accounted under "call".
+type Labeler interface {
+	WireLabel() string
+}
+
+// ErrClosed is returned by operations on a closed Client or Server.
+var ErrClosed = errors.New("wire: closed")
+
+// Frame kinds. A request expects exactly one response with the same ID;
+// push frames are unsolicited server-to-client messages tagged with the
+// ID of the request that opened the push stream.
+const (
+	kindRequest  uint8 = 1
+	kindResponse uint8 = 2
+	kindPush     uint8 = 3
+)
+
+// frameHeader precedes every body on the wire, inside the same frame.
+type frameHeader struct {
+	ID   uint64
+	Kind uint8
+}
+
+// labelOf resolves the stats label for a message body.
+func labelOf(body any) string {
+	if l, ok := body.(Labeler); ok {
+		if s := l.WireLabel(); s != "" {
+			return s
+		}
+	}
+	return "call"
+}
+
+// isTimeout reports whether err is a deadline-induced I/O timeout.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+func defaultDial(ctx context.Context, addr string) (net.Conn, error) {
+	var d net.Dialer
+	return d.DialContext(ctx, "tcp", addr)
+}
