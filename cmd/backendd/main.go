@@ -16,6 +16,7 @@ import (
 
 	"edgeejb/internal/backend"
 	"edgeejb/internal/dbwire"
+	"edgeejb/internal/wire"
 )
 
 func main() {
@@ -28,8 +29,9 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("backendd", flag.ContinueOnError)
 	var (
-		addr = fs.String("addr", "127.0.0.1:7001", "listen address for edge servers")
-		db   = fs.String("db", "127.0.0.1:7000", "database server address")
+		addr   = fs.String("addr", "127.0.0.1:7001", "listen address for edge servers")
+		db     = fs.String("db", "127.0.0.1:7000", "database server address")
+		dbWait = fs.Duration("db-wait", 15*time.Second, "how long to keep retrying the database at boot (crash-restart recovery)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -37,11 +39,8 @@ func run(args []string) error {
 
 	dbClient := dbwire.Dial(*db)
 	defer dbClient.Close()
-	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-	err := dbClient.Ping(ctx)
-	cancel()
-	if err != nil {
-		return fmt.Errorf("database %s unreachable: %w", *db, err)
+	if err := waitForDB(dbClient, *dbWait); err != nil {
+		return fmt.Errorf("database %s unreachable after %v: %w", *db, *dbWait, err)
 	}
 
 	srv := backend.NewServer(dbClient)
@@ -57,4 +56,26 @@ func run(args []string) error {
 	fmt.Printf("backendd: shutting down (commits applied=%d rejected=%d)\n",
 		srv.CommitsApplied(), srv.CommitsRejected())
 	return nil
+}
+
+// waitForDB pings the database with jittered exponential backoff until
+// it answers or the budget runs out, so a back-end restarted alongside
+// (or slightly before) its database comes up without operator help.
+func waitForDB(c *dbwire.Client, budget time.Duration) error {
+	deadline := time.Now().Add(budget)
+	backoff := wire.Backoff{Base: 100 * time.Millisecond, Max: 2 * time.Second, Jitter: 0.5}
+	var err error
+	for attempt := 0; ; attempt++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		err = c.Ping(ctx)
+		cancel()
+		if err == nil {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "backendd: waiting for database: %v\n", err)
+		time.Sleep(backoff.Delay(attempt))
+	}
 }

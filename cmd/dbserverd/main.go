@@ -38,6 +38,7 @@ func run(args []string) error {
 		lockTimeout = fs.Duration("lock-timeout", 5*time.Second, "lock-wait timeout (deadlock resolution)")
 		statsEvery  = fs.Duration("stats", 0, "print store stats at this interval (0 = off)")
 		snapshot    = fs.String("snapshot", "", "snapshot file: restored at boot if present, written on shutdown")
+		snapEvery   = fs.Duration("snapshot-every", 0, "also write the snapshot at this interval, bounding data lost to a crash (0 = shutdown only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -85,25 +86,34 @@ func run(args []string) error {
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 
+	// Optional tickers stay nil channels (never ready) when disabled.
+	var statsC, snapC <-chan time.Time
 	if *statsEvery > 0 {
 		ticker := time.NewTicker(*statsEvery)
 		defer ticker.Stop()
-		for {
-			select {
-			case <-ticker.C:
-				st := store.Stats()
-				fmt.Printf("dbserverd: commits=%d aborts=%d gets=%d puts=%d queries=%d optOK=%d optFail=%d rows=%d\n",
-					st.Commits, st.Aborts, st.Gets, st.Puts, st.Queries,
-					st.OptimisticOK, st.OptimisticFail, st.RowsLive)
-			case <-stop:
-				fmt.Println("dbserverd: shutting down")
-				saveSnapshot()
-				return nil
-			}
+		statsC = ticker.C
+	}
+	if *snapEvery > 0 {
+		if *snapshot == "" {
+			return fmt.Errorf("-snapshot-every requires -snapshot")
+		}
+		ticker := time.NewTicker(*snapEvery)
+		defer ticker.Stop()
+		snapC = ticker.C
+	}
+	for {
+		select {
+		case <-statsC:
+			st := store.Stats()
+			fmt.Printf("dbserverd: commits=%d aborts=%d gets=%d puts=%d queries=%d optOK=%d optFail=%d rows=%d\n",
+				st.Commits, st.Aborts, st.Gets, st.Puts, st.Queries,
+				st.OptimisticOK, st.OptimisticFail, st.RowsLive)
+		case <-snapC:
+			saveSnapshot()
+		case <-stop:
+			fmt.Println("dbserverd: shutting down")
+			saveSnapshot()
+			return nil
 		}
 	}
-	<-stop
-	fmt.Println("dbserverd: shutting down")
-	saveSnapshot()
-	return nil
 }

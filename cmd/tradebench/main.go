@@ -20,10 +20,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"edgeejb/internal/harness"
+	"edgeejb/internal/latency"
 	"edgeejb/internal/trade"
 )
 
@@ -45,7 +47,21 @@ func run(args []string) error {
 		table2  = fs.Bool("table2", false, "reproduce Table 2 (latency sensitivity)")
 		thru    = fs.Bool("throughput", false, "extension: throughput under concurrent clients")
 		actions = fs.Bool("actions", false, "print per-action latency breakdown for the Figure 6 configurations")
+		faults  = fs.Bool("faults", false, "extension: resilience under fault injection on the Figure 6 configurations")
 		csvDir  = fs.String("csv", "", "also export figures/tables as CSV files into this directory")
+
+		faultReset      = fs.Float64("fault-reset", 0.08, "per-connection probability of an abrupt reset (with -faults)")
+		faultResetAfter = fs.Int("fault-reset-after", 64*1024, "max bytes a doomed connection forwards before the reset")
+		faultStall      = fs.Float64("fault-stall", 0.01, "per-chunk stall probability (with -faults)")
+		faultStallDur   = fs.Duration("fault-stall-dur", 25*time.Millisecond, "duration of each injected stall")
+		faultTruncate   = fs.Float64("fault-truncate", 0.005, "per-chunk partial-frame truncation probability (with -faults)")
+		faultBlackEvery = fs.Duration("fault-blackhole-every", 0, "blackhole window period (0 disables; with -faults)")
+		faultBlackFor   = fs.Duration("fault-blackhole-for", 0, "blackhole window length (with -faults)")
+		faultSeed       = fs.Int64("fault-seed", 1, "fault schedule random seed")
+		faultSessions   = fs.Int("fault-sessions", 80, "sessions per pass in the fault experiment")
+		sessionRetries  = fs.Int("session-retries", 5, "extra attempts a failed session gets (with -faults)")
+		stepTimeout     = fs.Duration("step-timeout", 10*time.Second, "per-interaction timeout (with -faults)")
+		degradeBound    = fs.Duration("degrade-bound", 5*time.Second, "slicache degraded-read staleness bound (0 disables; with -faults)")
 
 		sessions = fs.Int("sessions", 25, "measured sessions per delay point (paper: 300)")
 		warmup   = fs.Int("warmup", 8, "warmup sessions before measurement (paper: 400)")
@@ -60,21 +76,17 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if !*all && !*table1 && !*fig6 && !*fig7 && !*fig8 && !*table2 && !*thru && !*actions {
+	if !*all && !*table1 && !*fig6 && !*fig7 && !*fig8 && !*table2 && !*thru && !*actions && !*faults {
 		fs.Usage()
-		return fmt.Errorf("select at least one experiment (-all, -table1, -fig6, -fig7, -fig8, -table2, -throughput, -actions)")
+		return fmt.Errorf("select at least one experiment (-all, -table1, -fig6, -fig7, -fig8, -table2, -throughput, -actions, -faults)")
 	}
 	if *all {
-		*table1, *fig6, *fig7, *fig8, *table2, *thru, *actions = true, true, true, true, true, true, true
+		*table1, *fig6, *fig7, *fig8, *table2, *thru, *actions, *faults = true, true, true, true, true, true, true, true
 	}
 
 	if *table1 {
 		harness.WriteTable1(os.Stdout)
 		fmt.Println()
-	}
-	needsMeasurement := *fig6 || *fig7 || *fig8 || *table2 || *thru || *actions
-	if !needsMeasurement {
-		return nil
 	}
 
 	delayList, err := parseDelays(*delays)
@@ -106,6 +118,37 @@ func run(args []string) error {
 	if *quiet {
 		logf = nil
 	}
+
+	if *faults {
+		fopts := harness.FaultOptions{
+			Populate:    cfg.Populate,
+			OneWayDelay: delayList[0],
+			Sessions:    *faultSessions,
+			Plan: latency.FaultPlan{
+				Seed:           *faultSeed,
+				ResetRate:      *faultReset,
+				ResetAfterMax:  *faultResetAfter,
+				StallRate:      *faultStall,
+				StallFor:       *faultStallDur,
+				TruncateRate:   *faultTruncate,
+				BlackholeEvery: *faultBlackEvery,
+				BlackholeFor:   *faultBlackFor,
+			},
+			SessionRetries: *sessionRetries,
+			StepTimeout:    *stepTimeout,
+			DegradeBound:   *degradeBound,
+		}
+		if err := runFaults(fopts, logf); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+
+	needsMeasurement := *fig6 || *fig7 || *fig8 || *table2 || *thru || *actions
+	if !needsMeasurement {
+		return nil
+	}
+
 	eval, err := harness.RunEvaluation(context.Background(), cfg, logf)
 	if err != nil {
 		return err
@@ -142,6 +185,39 @@ func run(args []string) error {
 			return err
 		}
 	}
+	return nil
+}
+
+// runFaults measures resilience under fault injection for the three
+// Figure 6 configurations, then verifies the experiment left no hung
+// goroutines behind (the chaos run's leak check).
+func runFaults(opts harness.FaultOptions, logf func(string, ...any)) error {
+	before := runtime.NumGoroutine()
+	reports, err := harness.RunFaultExperiment(context.Background(), opts, logf)
+	if err != nil {
+		return err
+	}
+	harness.WriteFaultReport(os.Stdout, reports)
+
+	var succeeded, attempted int
+	for _, r := range reports {
+		succeeded += r.Faulted.Succeeded
+		attempted += r.Faulted.Succeeded + r.Faulted.Failed
+	}
+	if attempted > 0 {
+		fmt.Printf("overall: %d/%d faulted sessions succeeded (%.1f%%)\n",
+			succeeded, attempted, 100*float64(succeeded)/float64(attempted))
+	}
+
+	// Every topology is closed; the goroutine count must settle back.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before+2 && time.Now().Before(deadline) {
+		time.Sleep(50 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before+2 {
+		return fmt.Errorf("fault experiment leaked goroutines: %d before, %d after", before, n)
+	}
+	fmt.Println("goroutine check: clean (no hung goroutines)")
 	return nil
 }
 

@@ -16,12 +16,15 @@ package backend
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"time"
 
 	"edgeejb/internal/dbwire"
 	"edgeejb/internal/memento"
 	"edgeejb/internal/sqlstore"
 	"edgeejb/internal/storeapi"
+	"edgeejb/internal/wire"
 )
 
 // Server is the back-end application server. It serves the dbwire
@@ -86,10 +89,32 @@ func (l *logic) Subscribe(ctx context.Context) (<-chan sqlstore.Notice, func(), 
 
 func (l *logic) Close() error { return nil }
 
+// beginRetry opens a database transaction, retrying transient failures
+// (a database server restarting under the back-end) under a short
+// jittered backoff. Conflicts and context cancellation are surfaced
+// immediately — only transport-level begin failures are worth waiting
+// out, and the edge's own retry budget bounds the total wait.
+func (l *logic) beginRetry(ctx context.Context) (storeapi.Txn, error) {
+	backoff := wire.Backoff{Base: 10 * time.Millisecond, Max: 250 * time.Millisecond, Jitter: 0.5}
+	const attempts = 3
+	for i := 0; ; i++ {
+		txn, err := l.db.Begin(ctx)
+		if err == nil {
+			return txn, nil
+		}
+		if errors.Is(err, sqlstore.ErrConflict) || ctx.Err() != nil || i+1 >= attempts {
+			return nil, err
+		}
+		if !backoff.Sleep(i, ctx.Done()) {
+			return nil, err
+		}
+	}
+}
+
 // ApplyCommitSet validates and applies a whole commit set by driving the
 // database statement-by-statement over the low-latency path.
 func (l *logic) ApplyCommitSet(ctx context.Context, cs memento.CommitSet) (sqlstore.ApplyResult, error) {
-	txn, err := l.db.Begin(ctx)
+	txn, err := l.beginRetry(ctx)
 	if err != nil {
 		return sqlstore.ApplyResult{}, fmt.Errorf("backend: begin: %w", err)
 	}

@@ -138,21 +138,36 @@ func NewContainer(registry *Registry, rm ResourceManager) *Container {
 func (c *Container) Algorithm() string { return c.rm.Name() }
 
 // Execute runs fn inside one transaction. The transaction commits when
-// fn returns nil; any error aborts it. ErrRollback aborts silently.
+// fn returns nil; any error aborts it. ErrRollback aborts silently. A
+// panic in fn aborts the transaction before propagating — resource
+// managers may pin a connection at Begin (the JDBC manager does), and
+// an unwound transaction must not leak its pin.
 func (c *Container) Execute(ctx context.Context, fn func(tx *Tx) error) error {
 	dt, err := c.rm.Begin(ctx)
 	if err != nil {
 		return fmt.Errorf("component: begin: %w", err)
 	}
 	tx := &Tx{ctx: ctx, dt: dt, registry: c.registry}
+	settled := false
+	defer func() {
+		if !settled {
+			_ = dt.Abort(ctx)
+		}
+	}()
 	if err := fn(tx); err != nil {
+		settled = true
 		_ = dt.Abort(ctx)
 		if errors.Is(err, ErrRollback) {
 			return nil
 		}
 		return err
 	}
+	settled = true
 	if err := dt.Commit(ctx); err != nil {
+		// A failed commit may leave the manager's transaction open (e.g.
+		// a transport error before the commit round trip completed);
+		// abort to release whatever it pinned.
+		_ = dt.Abort(ctx)
 		return err
 	}
 	return nil

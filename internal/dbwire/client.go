@@ -2,6 +2,7 @@ package dbwire
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net"
 
@@ -48,9 +49,23 @@ func (d dialerOption) apply(cfg *clientConfig) {
 // counting on the measured path).
 func WithDialer(d DialFunc) Option { return dialerOption(d) }
 
-// Dial creates a client for the database server at addr. Connections are
-// opened lazily. One-shot operations retry once on a fresh connection
-// when a previously-used one turns out stale (server restart).
+type retryOption wire.RetryPolicy
+
+func (o retryOption) apply(cfg *clientConfig) {
+	cfg.wopts = append(cfg.wopts, wire.WithRetryPolicy(wire.RetryPolicy(o)))
+}
+
+// WithRetryPolicy overrides the retry budget for one-shot operations
+// and the Begin/Subscribe handshakes. The dbwire protocol is safe to
+// retry: reads are idempotent and commit sets are duplicate-rejected by
+// version validation (see ApplyCommitSet).
+func WithRetryPolicy(p wire.RetryPolicy) Option { return retryOption(p) }
+
+// Dial creates a client for the database server at addr. Connections
+// are opened lazily. Failed one-shot operations and pinned-stream
+// handshakes are retried on fresh connections under a bounded, jittered
+// backoff budget (wire.DefaultRetryPolicy unless overridden); the
+// retries consumed are surfaced in WireStats().Retries.
 func Dial(addr string, opts ...Option) *Client {
 	cfg := &clientConfig{wopts: []wire.Option{wire.WithRetry()}}
 	for _, o := range opts {
@@ -72,6 +87,11 @@ func (c *Client) RoundTrips() uint64 {
 // WireStats returns the transport counters (bytes, round trips, per-op
 // latency) for every connection this client has opened.
 func (c *Client) WireStats() wire.Stats { return c.w.Stats() }
+
+// NumConns returns the number of TCP connections currently open,
+// including pooled idle ones. Leak tests use it to prove that aborted
+// and panicked transactions release their pinned connections.
+func (c *Client) NumConns() int { return c.w.NumConns() }
 
 // Close tears down every connection, including ones pinned by
 // in-flight transactions and subscriptions.
@@ -96,20 +116,57 @@ func (c *Client) Ping(ctx context.Context) error {
 	return decodeErr(resp.Code, resp.Msg)
 }
 
+// handshakeRetry drives the bounded retry loop of the pinned-stream
+// handshakes (Begin, Subscribe), which the transport's one-shot retry
+// cannot cover. Stale pooled streams are retried for free — the
+// request never reached a live server — while fresh failures consume
+// the client's policy budget with jittered backoff between attempts.
+type handshakeRetry struct {
+	pol     wire.RetryPolicy
+	attempt int
+	free    int
+}
+
+// next reports whether the handshake may run again after a failure.
+// reused marks a failure on a pooled (possibly stale) stream.
+func (r *handshakeRetry) next(ctx context.Context, c *Client, op OpCode, reused bool, err error) bool {
+	if errors.Is(err, wire.ErrClosed) || ctx.Err() != nil {
+		return false
+	}
+	if reused && r.free < 8 {
+		r.free++
+		c.w.RecordRetry(op.String())
+		return true
+	}
+	if r.attempt+1 >= max(1, r.pol.MaxAttempts) {
+		return false
+	}
+	if !r.pol.Backoff.Sleep(r.attempt, ctx.Done()) {
+		return false
+	}
+	r.attempt++
+	c.w.RecordRetry(op.String())
+	return true
+}
+
 // Begin starts a remote transaction, pinning a connection until the
-// transaction commits or aborts. A stale pooled connection is retried
-// once on a fresh dial.
+// transaction commits or aborts. Stale pooled connections and transient
+// transport failures are retried under the client's policy.
 func (c *Client) Begin(ctx context.Context) (storeapi.Txn, error) {
-	for attempt := 0; ; attempt++ {
+	retry := handshakeRetry{pol: c.w.RetryPolicy()}
+	for {
 		st, err := c.w.OpenStream(ctx)
 		if err != nil {
+			if retry.next(ctx, c, OpBegin, false, err) {
+				continue
+			}
 			return nil, err
 		}
 		resp := new(Response)
 		if err := st.Call(ctx, &Request{Op: OpBegin}, resp); err != nil {
 			reused := st.Reused()
 			st.Hangup()
-			if reused && attempt == 0 && ctx.Err() == nil {
+			if retry.next(ctx, c, OpBegin, reused, err) {
 				continue
 			}
 			return nil, fmt.Errorf("dbwire: %s: %w", OpBegin, err)
@@ -172,11 +229,16 @@ func (c *Client) AutoQuery(ctx context.Context, q memento.Query) ([]memento.Meme
 
 // Subscribe opens a pinned connection carrying the server-push
 // invalidation stream. The returned channel closes when cancel is called
-// or the connection drops.
+// or the connection drops. Stale pooled connections and transient
+// transport failures are retried under the client's policy.
 func (c *Client) Subscribe(ctx context.Context) (<-chan sqlstore.Notice, func(), error) {
-	for attempt := 0; ; attempt++ {
+	retry := handshakeRetry{pol: c.w.RetryPolicy()}
+	for {
 		st, err := c.w.OpenStream(ctx)
 		if err != nil {
+			if retry.next(ctx, c, OpSubscribe, false, err) {
+				continue
+			}
 			return nil, nil, err
 		}
 		ch := make(chan sqlstore.Notice, 64)
@@ -197,7 +259,7 @@ func (c *Client) Subscribe(ctx context.Context) (<-chan sqlstore.Notice, func(),
 		if err := st.Call(ctx, &Request{Op: OpSubscribe}, resp); err != nil {
 			reused := st.Reused()
 			st.Hangup()
-			if reused && attempt == 0 && ctx.Err() == nil {
+			if retry.next(ctx, c, OpSubscribe, reused, err) {
 				continue
 			}
 			return nil, nil, fmt.Errorf("dbwire: %s: %w", OpSubscribe, err)

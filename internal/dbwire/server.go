@@ -99,6 +99,14 @@ func (h *connHandler) subscribe(ctx context.Context, sess *wire.Session, id uint
 			select {
 			case n, ok := <-ch:
 				if !ok {
+					// The upstream notice source died (e.g. the database
+					// behind a back-end server restarted). Sever this
+					// connection too: a silent stop would leave the
+					// subscriber trusting a stream that will never
+					// deliver again, serving stale cache entries forever.
+					// The hangup makes the edge clear its cache and
+					// resubscribe.
+					sess.Hangup()
 					return
 				}
 				if err := sess.Push(id, &Response{Code: CodeOK, Notice: n}); err != nil {

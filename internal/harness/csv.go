@@ -3,6 +3,7 @@ package harness
 import (
 	"encoding/csv"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -115,5 +116,10 @@ func (e *Evaluation) writeFig8CSV(path string) error {
 }
 
 func formatFloat(v float64) string {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		// Undefined cells (e.g. the fit of a single-delay sweep) export
+		// as "n/a" rather than a literal NaN that breaks CSV consumers.
+		return "n/a"
+	}
 	return strconv.FormatFloat(v, 'f', 4, 64)
 }

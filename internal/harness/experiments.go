@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"math"
 	"strings"
 	"time"
 
@@ -239,7 +240,7 @@ func (e *Evaluation) WriteAll(w io.Writer) {
 }
 
 func formatCell(c Table2Cell) string {
-	if c.NA {
+	if c.NA || math.IsNaN(c.Sensitivity) {
 		return "N/A"
 	}
 	return fmt.Sprintf("%.1f", c.Sensitivity)
@@ -267,7 +268,11 @@ func writeSweepTable(w io.Writer, sweeps []Sweep) {
 	}
 	foot := fmt.Sprintf("%-14s", "sensitivity")
 	for _, s := range sweeps {
-		foot += fmt.Sprintf(" %17.1f (R²%.2f)", s.Sensitivity(), s.Fit.R2)
+		if math.IsNaN(s.Sensitivity()) {
+			foot += fmt.Sprintf(" %17s %7s", "n/a", "")
+		} else {
+			foot += fmt.Sprintf(" %17.1f (R²%.2f)", s.Sensitivity(), s.Fit.R2)
+		}
 	}
 	fmt.Fprintln(w, foot)
 	fmt.Fprintln(w, strings.Repeat("-", len(header)))

@@ -1,0 +1,230 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"edgeejb/internal/latency"
+	"edgeejb/internal/loadgen"
+	"edgeejb/internal/slicache"
+	"edgeejb/internal/trade"
+)
+
+// FaultOptions configures a fault-injection experiment: the Figure 6
+// workload re-run with the delay proxy flipped into fault mode, so the
+// question changes from "how slow is the edge?" to "does the edge
+// survive the wide-area path misbehaving?".
+type FaultOptions struct {
+	// Pairs are the cells to harden-test; nil means the Figure 6 trio.
+	Pairs []Pair
+	// Populate sizes the Trade database.
+	Populate trade.PopulateConfig
+	// OneWayDelay is the baseline delay on the shared path.
+	OneWayDelay time.Duration
+	// Sessions per measured pass (default 80).
+	Sessions int
+	// WarmupSessions before the clean pass (default 20).
+	WarmupSessions int
+	// Plan is the fault schedule applied during the faulted pass. A
+	// zero-value plan gets a moderate default schedule.
+	Plan latency.FaultPlan
+	// SessionRetries and StepTimeout configure the resilient load
+	// generator (see loadgen.ResilientConfig).
+	SessionRetries int
+	StepTimeout    time.Duration
+	// DegradeBound, when > 0, enables slicache degraded reads with that
+	// staleness bound on cached-algorithm pairs.
+	DegradeBound time.Duration
+}
+
+// DefaultFaultPlan returns a moderate schedule: occasional connection
+// dooms, rare stalls, rare truncations. Severe enough that a run
+// without retries visibly fails, mild enough that bounded backoff
+// recovers nearly every session.
+func DefaultFaultPlan(seed int64) latency.FaultPlan {
+	return latency.FaultPlan{
+		Seed:          seed,
+		ResetRate:     0.08,
+		ResetAfterMax: 64 * 1024,
+		StallRate:     0.01,
+		StallFor:      25 * time.Millisecond,
+		TruncateRate:  0.005,
+	}
+}
+
+// FaultReport is the outcome for one (architecture, algorithm) cell.
+type FaultReport struct {
+	Pair Pair
+	// Clean is the resilient run with no faults injected.
+	Clean loadgen.ResilientResult
+	// Faulted is the same workload under the fault schedule.
+	Faulted loadgen.ResilientResult
+	// WireRetries is the transport-level retry count consumed on the
+	// shared path during the faulted pass.
+	WireRetries uint64
+	// Faults are the proxy's injection counters for the faulted pass.
+	Faults latency.FaultStats
+	// Resubscribes/Degradations/StaleServes aggregate the edge cache
+	// managers' recovery counters over the faulted pass (cached
+	// algorithm only).
+	Resubscribes uint64
+	Degradations uint64
+	StaleServes  uint64
+}
+
+// LatencyOverheadPct is the faulted pass's mean-latency overhead over
+// the clean pass, in percent.
+func (r FaultReport) LatencyOverheadPct() float64 {
+	if r.Clean.Latency.Mean == 0 {
+		return 0
+	}
+	return 100 * (r.Faulted.Latency.Mean - r.Clean.Latency.Mean) / r.Clean.Latency.Mean
+}
+
+// RunFaultExperiment measures each pair twice on one topology — a clean
+// pass, then the same workload with the fault plan active — and reports
+// session survival, retry consumption, and latency overhead. logf, if
+// non-nil, receives progress lines.
+func RunFaultExperiment(ctx context.Context, opts FaultOptions, logf func(format string, args ...any)) ([]FaultReport, error) {
+	pairs := opts.Pairs
+	if pairs == nil {
+		pairs = []Pair{
+			{ClientsRAS, AlgJDBC},
+			{ESRBES, AlgCachedEJB},
+			{ESRDB, AlgJDBC},
+		}
+	}
+	if opts.Sessions < 1 {
+		opts.Sessions = 80
+	}
+	if opts.WarmupSessions == 0 {
+		opts.WarmupSessions = 20
+	}
+	if !opts.Plan.Active() {
+		opts.Plan = DefaultFaultPlan(1)
+	}
+
+	var reports []FaultReport
+	for _, pair := range pairs {
+		rep, err := runFaultPair(ctx, pair, opts, logf)
+		if err != nil {
+			return reports, fmt.Errorf("harness: faults %s: %w", pair, err)
+		}
+		reports = append(reports, rep)
+	}
+	return reports, nil
+}
+
+func runFaultPair(ctx context.Context, pair Pair, opts FaultOptions, logf func(string, ...any)) (FaultReport, error) {
+	var cacheOpts []slicache.ManagerOption
+	if opts.DegradeBound > 0 {
+		cacheOpts = append(cacheOpts, slicache.WithDegradedReads(opts.DegradeBound))
+	}
+	topo, err := Build(Options{
+		Arch:         pair.Arch,
+		Algo:         pair.Algo,
+		OneWayDelay:  opts.OneWayDelay,
+		Populate:     opts.Populate,
+		CacheOptions: cacheOpts,
+	})
+	if err != nil {
+		return FaultReport{}, err
+	}
+	defer topo.Close()
+
+	client := topo.NewWebClient()
+	gen := trade.NewGenerator(trade.GeneratorConfig{
+		Seed:    opts.Plan.Seed,
+		Users:   opts.Populate.Users,
+		Symbols: opts.Populate.Symbols,
+	})
+	rcfg := loadgen.ResilientConfig{
+		Client:         client,
+		Generator:      gen,
+		Sessions:       opts.Sessions,
+		SessionRetries: opts.SessionRetries,
+		StepTimeout:    opts.StepTimeout,
+	}
+
+	// Warmup + clean pass.
+	warm := rcfg
+	warm.Sessions = opts.WarmupSessions
+	if opts.WarmupSessions > 0 {
+		if _, err := loadgen.RunResilient(ctx, warm); err != nil {
+			return FaultReport{}, fmt.Errorf("warmup: %w", err)
+		}
+	}
+	clean, err := loadgen.RunResilient(ctx, rcfg)
+	if err != nil {
+		return FaultReport{}, fmt.Errorf("clean pass: %w", err)
+	}
+	if logf != nil {
+		logf("  %s clean: %d/%d sessions, mean %.2f ms",
+			pair, clean.Succeeded, clean.Succeeded+clean.Failed, clean.Latency.Mean)
+	}
+
+	// Faulted pass: count retries consumed during this pass only.
+	retriesBefore := topo.SharedPathStats().Retries
+	mgrBefore := sumManagerStats(topo)
+	topo.Proxy.SetFaults(&opts.Plan)
+	faulted, err := loadgen.RunResilient(ctx, rcfg)
+	faultStats := topo.Proxy.FaultStats()
+	topo.Proxy.SetFaults(nil)
+	if err != nil {
+		return FaultReport{}, fmt.Errorf("faulted pass: %w", err)
+	}
+	mgrAfter := sumManagerStats(topo)
+
+	rep := FaultReport{
+		Pair:         pair,
+		Clean:        clean,
+		Faulted:      faulted,
+		WireRetries:  topo.SharedPathStats().Retries - retriesBefore,
+		Faults:       faultStats,
+		Resubscribes: mgrAfter.Resubscribes - mgrBefore.Resubscribes,
+		Degradations: mgrAfter.Degradations - mgrBefore.Degradations,
+		StaleServes:  mgrAfter.StaleServes - mgrBefore.StaleServes,
+	}
+	if logf != nil {
+		logf("  %s faulted: %d/%d sessions (%.1f%%), %d wire retries, %d session retries, +%.1f%% latency",
+			pair, faulted.Succeeded, faulted.Succeeded+faulted.Failed,
+			100*faulted.SuccessRate(), rep.WireRetries, faulted.SessionRetries,
+			rep.LatencyOverheadPct())
+	}
+	return rep, nil
+}
+
+// WriteFaultReport renders the fault experiment as a table.
+func WriteFaultReport(w io.Writer, reports []FaultReport) {
+	fmt.Fprintln(w, "Fault injection: Figure 6 workload under a faulted shared path")
+	fmt.Fprintf(w, "%-26s %9s %12s %12s %10s %12s %12s\n",
+		"configuration", "success", "wire-retry", "sess-retry", "overhead", "resubscribe", "stale-serve")
+	for _, r := range reports {
+		total := r.Faulted.Succeeded + r.Faulted.Failed
+		fmt.Fprintf(w, "%-26s %8.1f%% %12d %12d %9.1f%% %12d %12d\n",
+			r.Pair.String(), 100*r.Faulted.SuccessRate(), r.WireRetries,
+			r.Faulted.SessionRetries, r.LatencyOverheadPct(),
+			r.Resubscribes, r.StaleServes)
+		fmt.Fprintf(w, "%-26s   (%d/%d sessions; faults: %d resets, %d truncations, %d stalls)\n",
+			"", r.Faulted.Succeeded, total,
+			r.Faults.ConnResets, r.Faults.Truncations, r.Faults.Stalls)
+	}
+}
+
+// sumManagerStats aggregates the cache managers' counters (zero value
+// for non-cached algorithms).
+func sumManagerStats(t *Topology) slicache.ManagerStats {
+	var out slicache.ManagerStats
+	for _, m := range t.Managers {
+		if m == nil {
+			continue
+		}
+		s := m.Stats()
+		out.Resubscribes += s.Resubscribes
+		out.Degradations += s.Degradations
+		out.StaleServes += s.StaleServes
+	}
+	return out
+}

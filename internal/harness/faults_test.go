@@ -1,0 +1,76 @@
+package harness
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+
+	"edgeejb/internal/latency"
+	"edgeejb/internal/trade"
+)
+
+// TestFaultExperimentSurvives runs the split-servers cell under an
+// aggressive fault schedule and checks the resilience machinery holds:
+// sessions overwhelmingly succeed via retries, faults were actually
+// injected, and the topology tears down without leaking goroutines.
+func TestFaultExperimentSurvives(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault experiment is seconds-long")
+	}
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	reports, err := RunFaultExperiment(ctx, FaultOptions{
+		Pairs:    []Pair{{ESRBES, AlgCachedEJB}},
+		Populate: trade.PopulateConfig{Users: 20, Symbols: 40, HoldingsPerUser: 2, OpenBalance: 1_000_000},
+		Sessions: 40,
+		Plan: latency.FaultPlan{
+			Seed:          11,
+			ResetRate:     0.5,
+			ResetAfterMax: 32 * 1024,
+			StallRate:     0.02,
+			StallFor:      10 * time.Millisecond,
+			TruncateRate:  0.01,
+		},
+		DegradeBound:   5 * time.Second,
+		SessionRetries: 5,
+		StepTimeout:    15 * time.Second,
+	}, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 1 {
+		t.Fatalf("got %d reports, want 1", len(reports))
+	}
+	r := reports[0]
+
+	if total := r.Faulted.Succeeded + r.Faulted.Failed; total != 40 {
+		t.Fatalf("attempted %d sessions, want 40", total)
+	}
+	if rate := r.Faulted.SuccessRate(); rate < 0.95 {
+		t.Fatalf("faulted success rate %.2f, want >= 0.95 (%+v)", rate, r.Faulted)
+	}
+	if r.Faults == (latency.FaultStats{}) {
+		t.Fatal("no faults were injected")
+	}
+	if r.Faults.ConnResets > 0 && r.WireRetries == 0 && r.Faulted.SessionRetries == 0 {
+		t.Fatalf("connections were reset but nothing retried: %+v", r)
+	}
+	if r.Clean.SuccessRate() != 1.0 {
+		t.Fatalf("clean pass lost sessions: %+v", r.Clean)
+	}
+
+	// Everything is closed: goroutine count must settle back. A couple
+	// of runtime-internal goroutines may linger.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before+3 && time.Now().Before(deadline) {
+		time.Sleep(50 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before+3 {
+		buf := make([]byte, 1<<20)
+		t.Fatalf("goroutines leaked: %d before, %d after\n%s",
+			before, n, buf[:runtime.Stack(buf, true)])
+	}
+}

@@ -1,0 +1,29 @@
+package harness
+
+import (
+	"math"
+	"testing"
+)
+
+// TestFormatFloatNA: undefined values export as "n/a" instead of
+// literal NaN/Inf strings, which downstream CSV consumers choke on.
+func TestFormatFloatNA(t *testing.T) {
+	if got := formatFloat(math.NaN()); got != "n/a" {
+		t.Errorf("formatFloat(NaN) = %q, want n/a", got)
+	}
+	if got := formatFloat(math.Inf(1)); got != "n/a" {
+		t.Errorf("formatFloat(+Inf) = %q, want n/a", got)
+	}
+	if got := formatFloat(1.5); got != "1.5000" {
+		t.Errorf("formatFloat(1.5) = %q", got)
+	}
+}
+
+// TestFormatCellNaNSensitivity: a sweep whose fit is undefined renders
+// its Table 2 cell as N/A.
+func TestFormatCellNaNSensitivity(t *testing.T) {
+	c := Table2Cell{Sensitivity: math.NaN()}
+	if got := formatCell(c); got != "N/A" {
+		t.Errorf("formatCell(NaN) = %q, want N/A", got)
+	}
+}

@@ -2,7 +2,9 @@ package harness
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"math"
 	"time"
 
 	"edgeejb/internal/loadgen"
@@ -147,10 +149,19 @@ func RunSweepOn(ctx context.Context, topo *Topology, run RunOptions) (Sweep, err
 	}
 	if len(xs) >= 2 {
 		fit, err := stats.LinearFit(xs, ys)
-		if err != nil {
+		switch {
+		case err == nil:
+			sweep.Fit = fit
+		case errors.Is(err, stats.ErrDegenerate) || errors.Is(err, stats.ErrInsufficientData):
+			// A single-delay sweep (or repeated delay points) has no
+			// sensitivity to fit. The measured points are still valid —
+			// mark the fit undefined instead of failing the whole sweep;
+			// report writers render NaN as "n/a".
+			nan := math.NaN()
+			sweep.Fit = stats.Fit{Slope: nan, Intercept: nan, R2: nan}
+		default:
 			return Sweep{}, fmt.Errorf("harness: fit: %w", err)
 		}
-		sweep.Fit = fit
 	}
 	return sweep, nil
 }

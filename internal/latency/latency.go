@@ -89,11 +89,13 @@ type Proxy struct {
 	target  string
 	delay   atomic.Int64 // one-way delay in nanoseconds
 	counter *Counter
+	faults  atomic.Pointer[injector]
 
 	ln     net.Listener
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
 	closed bool
+	done   chan struct{}
 	wg     sync.WaitGroup
 }
 
@@ -104,6 +106,7 @@ func NewProxy(target string, oneWayDelay time.Duration) *Proxy {
 		target:  target,
 		counter: &Counter{},
 		conns:   make(map[net.Conn]struct{}),
+		done:    make(chan struct{}),
 	}
 	p.delay.Store(int64(oneWayDelay))
 	return p
@@ -119,6 +122,28 @@ func (p *Proxy) SetDelay(d time.Duration) { p.delay.Store(int64(d)) }
 
 // Delay returns the current one-way delay.
 func (p *Proxy) Delay() time.Duration { return time.Duration(p.delay.Load()) }
+
+// SetFaults switches the proxy into (or out of) fault-injection mode.
+// A nil or inactive plan disables injection; a live plan applies to
+// connections and chunks forwarded after the call. Each SetFaults call
+// starts a fresh schedule (new seed state, new blackhole phase, zeroed
+// FaultStats).
+func (p *Proxy) SetFaults(plan *FaultPlan) {
+	if plan == nil || !plan.Active() {
+		p.faults.Store(nil)
+		return
+	}
+	p.faults.Store(newInjector(*plan))
+}
+
+// FaultStats returns the counters of the current fault plan (zero when
+// fault injection is off).
+func (p *Proxy) FaultStats() FaultStats {
+	if f := p.faults.Load(); f != nil {
+		return f.stats()
+	}
+	return FaultStats{}
+}
 
 // Start begins listening on addr (use "127.0.0.1:0" for an ephemeral
 // port) and serving connections in the background.
@@ -154,6 +179,7 @@ func (p *Proxy) Close() {
 		return
 	}
 	p.closed = true
+	close(p.done)
 	ln := p.ln
 	for c := range p.conns {
 		_ = c.Close()
@@ -202,6 +228,16 @@ func (p *Proxy) serve(client net.Conn) {
 	defer p.untrack(client)
 	defer client.Close()
 
+	inj := p.faults.Load()
+	if inj != nil && inj.blackholeWait() > 0 {
+		// The path is blackholed: refuse the connection abruptly.
+		inj.blackholedConns.Add(1)
+		if tc, ok := client.(*net.TCPConn); ok {
+			_ = tc.SetLinger(0)
+		}
+		return
+	}
+
 	target, err := net.Dial("tcp", p.target)
 	if err != nil {
 		return
@@ -214,9 +250,11 @@ func (p *Proxy) serve(client net.Conn) {
 	defer target.Close()
 	p.counter.conns.Add(1)
 
+	fh := &faultHolder{p: p, client: client, target: target}
+
 	done := make(chan struct{}, 2)
 	go func() {
-		p.pump(target, client, p.counter.AddToTarget)
+		p.pump(target, client, p.counter.AddToTarget, fh)
 		// Half-close toward the target so request streams terminate.
 		if tc, ok := target.(*net.TCPConn); ok {
 			_ = tc.CloseWrite()
@@ -224,7 +262,7 @@ func (p *Proxy) serve(client net.Conn) {
 		done <- struct{}{}
 	}()
 	go func() {
-		p.pump(client, target, p.counter.AddFromTarget)
+		p.pump(client, target, p.counter.AddFromTarget, fh)
 		if cc, ok := client.(*net.TCPConn); ok {
 			_ = cc.CloseWrite()
 		}
@@ -262,21 +300,44 @@ func sleepUntil(due time.Time) {
 // chunk is delivered delay after it was read, but chunks overlap in
 // flight (pipelining), so a large message spanning several TCP segments
 // pays the delay once, not once per segment — the behavior of a real
-// wide-area path, and of the paper's delay proxy.
-func (p *Proxy) pump(dst io.Writer, src io.Reader, account func(int)) {
+// wide-area path, and of the paper's delay proxy. cf, when non-nil,
+// injects the fault plan on the delivery side: stalls and blackhole
+// windows hold chunks back, truncation delivers a partial chunk, and a
+// doomed byte budget resets the connection pair mid-stream. The fault
+// state is re-resolved per chunk via fh, so plans installed after the
+// connection was accepted still apply to it.
+func (p *Proxy) pump(dst io.Writer, src io.Reader, account func(int), fh *faultHolder) {
 	inflight := make(chan chunk, 256)
 	writerDone := make(chan struct{})
 	go func() {
 		defer close(writerDone)
+		drain := func() {
+			for range inflight {
+			}
+		}
 		for c := range inflight {
 			sleepUntil(c.due)
-			if _, err := dst.Write(c.data); err != nil {
-				// Drain remaining chunks so the reader never blocks.
-				for range inflight {
+			data := c.data
+			kill := false
+			cf := fh.current()
+			if cf != nil {
+				var allowed int
+				allowed, kill = cf.admit(len(data), p.done)
+				data = data[:allowed]
+			}
+			if len(data) > 0 {
+				if _, err := dst.Write(data); err != nil {
+					// Drain remaining chunks so the reader never blocks.
+					drain()
+					return
 				}
+				account(len(data))
+			}
+			if kill {
+				cf.abort()
+				drain()
 				return
 			}
-			account(len(c.data))
 		}
 	}()
 	buf := make([]byte, 32*1024)

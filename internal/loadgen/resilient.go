@@ -1,0 +1,144 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"edgeejb/internal/appserver"
+	"edgeejb/internal/stats"
+	"edgeejb/internal/trade"
+)
+
+// ResilientConfig describes a run under fault injection. Unlike Run,
+// transport errors do not abort the whole run: a failed step fails its
+// session, and a failed session is retried from the top (sessions are
+// generated fresh each attempt, so replays are new work, not duplicate
+// commits).
+type ResilientConfig struct {
+	Client    *appserver.Client
+	Generator *trade.Generator
+	// Sessions is the number of sessions that must be attempted.
+	Sessions int
+	// SessionRetries is how many extra attempts a failed session gets
+	// (default 3).
+	SessionRetries int
+	// StepTimeout bounds each individual interaction (default 10s), so
+	// a blackholed path stalls one step, not the whole run.
+	StepTimeout time.Duration
+}
+
+// ResilientResult is the outcome of a faulted run.
+type ResilientResult struct {
+	// Succeeded counts sessions that completed every step.
+	Succeeded int
+	// Failed counts sessions abandoned after exhausting retries.
+	Failed int
+	// SessionRetries counts session-level retry attempts consumed.
+	SessionRetries int
+	// StepErrors counts individual step failures (transport errors or
+	// step timeouts), including ones later recovered by a retry.
+	StepErrors int
+	// Interactions is the number of completed client interactions.
+	Interactions int
+	// Latency summarizes completed-interaction latency in milliseconds
+	// (failed steps are excluded; their cost shows up as retries).
+	Latency stats.Summary
+	// Elapsed is the run's wall-clock duration.
+	Elapsed time.Duration
+}
+
+// SuccessRate returns the fraction of sessions that completed.
+func (r ResilientResult) SuccessRate() float64 {
+	total := r.Succeeded + r.Failed
+	if total == 0 {
+		return 0
+	}
+	return float64(r.Succeeded) / float64(total)
+}
+
+// RunResilient drives sessions under fault injection, retrying failed
+// sessions instead of aborting the run. Only context cancellation stops
+// it early.
+func RunResilient(ctx context.Context, cfg ResilientConfig) (ResilientResult, error) {
+	if cfg.Client == nil || cfg.Generator == nil {
+		return ResilientResult{}, fmt.Errorf("loadgen: client and generator are required")
+	}
+	if cfg.Sessions < 1 {
+		cfg.Sessions = 1
+	}
+	if cfg.SessionRetries < 0 {
+		cfg.SessionRetries = 0
+	} else if cfg.SessionRetries == 0 {
+		cfg.SessionRetries = 3
+	}
+	if cfg.StepTimeout <= 0 {
+		cfg.StepTimeout = 10 * time.Second
+	}
+
+	var res ResilientResult
+	var latencies []float64
+	start := time.Now()
+	for i := 0; i < cfg.Sessions; i++ {
+		if ctx.Err() != nil {
+			return res, ctx.Err()
+		}
+		var ok bool
+		for attempt := 0; attempt <= cfg.SessionRetries; attempt++ {
+			if attempt > 0 {
+				res.SessionRetries++
+			}
+			lats, err := runSessionResilient(ctx, cfg, &res)
+			latencies = append(latencies, lats...)
+			if err == nil {
+				ok = true
+				break
+			}
+			if ctx.Err() != nil {
+				return res, ctx.Err()
+			}
+		}
+		if ok {
+			res.Succeeded++
+		} else {
+			res.Failed++
+		}
+	}
+	res.Elapsed = time.Since(start)
+	res.Interactions = len(latencies)
+	res.Latency = stats.Summarize(latencies)
+	return res, nil
+}
+
+// runSessionResilient runs one session attempt with per-step timeouts,
+// returning the latencies of the steps that completed.
+func runSessionResilient(ctx context.Context, cfg ResilientConfig, res *ResilientResult) ([]float64, error) {
+	steps := cfg.Generator.Session()
+	latencies := make([]float64, 0, len(steps))
+	for _, step := range steps {
+		lat, err := doStepTimeout(ctx, cfg.Client, step, cfg.StepTimeout)
+		if err != nil {
+			res.StepErrors++
+			return latencies, fmt.Errorf("step %s: %w", step.Action, err)
+		}
+		latencies = append(latencies, lat)
+	}
+	return latencies, nil
+}
+
+func doStepTimeout(ctx context.Context, client *appserver.Client, step trade.Step, d time.Duration) (float64, error) {
+	sctx, cancel := context.WithTimeout(ctx, d)
+	defer cancel()
+	begin := time.Now()
+	resp, err := client.DoStep(sctx, step)
+	if err != nil {
+		return 0, err
+	}
+	if !resp.OK {
+		// Application-level failure (e.g. retries exhausted on a
+		// conflicting commit under the fault schedule): the step
+		// round-tripped but the session's work did not land.
+		return 0, fmt.Errorf("application error: %s", resp.Err)
+	}
+	return float64(time.Since(begin)) / float64(time.Millisecond), nil
+}

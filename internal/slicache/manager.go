@@ -10,6 +10,7 @@ import (
 	"edgeejb/internal/memento"
 	"edgeejb/internal/sqlstore"
 	"edgeejb/internal/storeapi"
+	"edgeejb/internal/wire"
 )
 
 // Manager is the SLI Resource Manager: it replaces the pessimistic JDBC
@@ -24,7 +25,13 @@ type Manager struct {
 	invalidate    bool
 	localReadOnly bool
 	staleBound    time.Duration
+	degradeBound  time.Duration
 	now           func() time.Time
+
+	// degraded is set while the invalidation stream is down and
+	// WithDegradedReads is enabled: cached entries may be stale, and
+	// reads are served from cache only within the degrade bound.
+	degraded atomic.Bool
 
 	mu      sync.Mutex
 	ownTxs  map[uint64]struct{}
@@ -41,6 +48,8 @@ type Manager struct {
 		noticesApplied             atomic.Uint64
 		boundedReadsSkipped        atomic.Uint64
 		resubscribes               atomic.Uint64
+		degradations               atomic.Uint64
+		staleServes                atomic.Uint64
 	}
 }
 
@@ -60,7 +69,13 @@ type ManagerStats struct {
 	BoundedReadsSkipped uint64
 	// Resubscribes counts invalidation-stream reconnections.
 	Resubscribes uint64
-	Cache        CommonStoreStats
+	// Degradations counts entries into degraded mode (invalidation
+	// stream lost while WithDegradedReads is enabled).
+	Degradations uint64
+	// StaleServes counts cache hits served while degraded, i.e. reads
+	// answered from possibly-stale entries under the degrade bound.
+	StaleServes uint64
+	Cache       CommonStoreStats
 }
 
 // ManagerOption configures a Manager.
@@ -75,6 +90,7 @@ type managerConfig struct {
 	localReadOnly bool
 	cacheCapacity int
 	staleBound    time.Duration
+	degradeBound  time.Duration
 }
 
 type shippingOption CommitShipping
@@ -134,6 +150,22 @@ func (o staleBoundOption) apply(c *managerConfig) { c.staleBound = time.Duration
 // ACID semantics.
 func WithTimeBoundedReads(d time.Duration) ManagerOption { return staleBoundOption(d) }
 
+type degradeOption time.Duration
+
+func (o degradeOption) apply(c *managerConfig) { c.degradeBound = time.Duration(o) }
+
+// WithDegradedReads lets the edge keep serving reads from its cache for
+// up to maxAge after the invalidation stream drops, instead of clearing
+// the cache immediately. While degraded, a cache hit is served only if
+// the entry is younger than maxAge (counted in StaleServes); older
+// entries and misses fall through to the (likely unreachable) store, so
+// staleness stays time-bounded. Time-bounded read-proof skipping is
+// suspended while degraded — commits that do reach the store validate
+// their full read set. The cache is cleared and the flag dropped once
+// the stream resubscribes, restoring strict semantics. Zero (default)
+// keeps today's behavior: clear on drop.
+func WithDegradedReads(maxAge time.Duration) ManagerOption { return degradeOption(maxAge) }
+
 // WithLocalReadOnlyCommit lets read-only transactions commit locally
 // without a validation round trip. This is an ABLATION, not the paper's
 // behavior: the paper validates every accessed bean at commit, which is
@@ -165,6 +197,7 @@ func NewManager(conn storeapi.Conn, opts ...ManagerOption) *Manager {
 		invalidate:    cfg.invalidation,
 		localReadOnly: cfg.localReadOnly,
 		staleBound:    cfg.staleBound,
+		degradeBound:  cfg.degradeBound,
 		now:           time.Now,
 		ownTxs:        make(map[uint64]struct{}),
 	}
@@ -182,6 +215,10 @@ func (m *Manager) SetClock(now func() time.Time) {
 
 // CommonStore exposes the shared cache (for tests and diagnostics).
 func (m *Manager) CommonStore() *CommonStore { return m.common }
+
+// Degraded reports whether the manager is serving time-bounded stale
+// reads because its invalidation stream is down (see WithDegradedReads).
+func (m *Manager) Degraded() bool { return m.degraded.Load() }
 
 // Shipping returns the commit-shipping mode in use.
 func (m *Manager) Shipping() CommitShipping { return m.loader.Shipping() }
@@ -227,10 +264,7 @@ func (m *Manager) Start(ctx context.Context) error {
 // interruptions until stopped.
 func (m *Manager) invalidationLoop(ch <-chan sqlstore.Notice, stop, done chan struct{}) {
 	defer close(done)
-	const (
-		initialBackoff = 50 * time.Millisecond
-		maxBackoff     = 2 * time.Second
-	)
+	backoff := wire.Backoff{Base: 50 * time.Millisecond, Max: 2 * time.Second, Jitter: 0.5}
 	for {
 		m.drainNotices(ch, stop)
 		select {
@@ -238,10 +272,17 @@ func (m *Manager) invalidationLoop(ch <-chan sqlstore.Notice, stop, done chan st
 			return
 		default:
 		}
-		// The stream dropped: anything cached could be stale now.
-		m.common.Clear()
-		backoff := initialBackoff
-		for {
+		// The stream dropped: anything cached could be stale now. With
+		// degraded reads enabled the cache is kept and served under the
+		// degrade bound; otherwise it is cleared immediately.
+		if m.degradeBound > 0 {
+			if !m.degraded.Swap(true) {
+				m.stats.degradations.Add(1)
+			}
+		} else {
+			m.common.Clear()
+		}
+		for attempt := 0; ; attempt++ {
 			newCh, cancel, err := m.conn.Subscribe(context.Background())
 			if err == nil {
 				m.mu.Lock()
@@ -254,17 +295,18 @@ func (m *Manager) invalidationLoop(ch <-chan sqlstore.Notice, stop, done chan st
 					return
 				default:
 				}
+				// Notices were missed during the outage; the cache must
+				// start over before strict semantics resume.
+				if m.degraded.Load() {
+					m.common.Clear()
+					m.degraded.Store(false)
+				}
 				m.stats.resubscribes.Add(1)
 				ch = newCh
 				break
 			}
-			select {
-			case <-stop:
+			if !backoff.Sleep(attempt, stop) {
 				return
-			case <-time.After(backoff):
-			}
-			if backoff *= 2; backoff > maxBackoff {
-				backoff = maxBackoff
 			}
 		}
 	}
@@ -320,6 +362,8 @@ func (m *Manager) Stats() ManagerStats {
 		NoticesApplied:      m.stats.noticesApplied.Load(),
 		BoundedReadsSkipped: m.stats.boundedReadsSkipped.Load(),
 		Resubscribes:        m.stats.resubscribes.Load(),
+		Degradations:        m.stats.degradations.Load(),
+		StaleServes:         m.stats.staleServes.Load(),
 		Cache:               m.common.Stats(),
 	}
 }

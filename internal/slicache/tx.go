@@ -58,13 +58,25 @@ func (t *sliTx) Load(ctx context.Context, key memento.Key) (memento.Memento, err
 		return e.current.Clone(), nil
 	}
 	if m, storedAt, ok := t.mgr.common.GetWithTime(key); ok {
-		t.entries[key] = &entry{
-			before:    m.Clone(),
-			current:   m.Clone(),
-			state:     stateClean,
-			fetchedAt: storedAt,
+		if t.mgr.degraded.Load() {
+			// The invalidation stream is down: this entry may be stale.
+			// Serve it only within the degrade bound; older entries fall
+			// through to the store so staleness stays time-bounded.
+			if t.mgr.now().Sub(storedAt) > t.mgr.degradeBound {
+				ok = false
+			} else {
+				t.mgr.stats.staleServes.Add(1)
+			}
 		}
-		return m, nil
+		if ok {
+			t.entries[key] = &entry{
+				before:    m.Clone(),
+				current:   m.Clone(),
+				state:     stateClean,
+				fetchedAt: storedAt,
+			}
+			return m, nil
+		}
 	}
 	m, err := t.mgr.loader.FetchOne(ctx, key)
 	if err != nil {
@@ -298,7 +310,9 @@ func (t *sliTx) buildCommitSet() memento.CommitSet {
 			// Time-bounded read mode (§1.4 contrast): fresh-enough reads
 			// need no proof — they carry only the weak, time-based
 			// guarantee the bound declares.
-			if b := t.mgr.staleBound; b > 0 && now.Sub(e.fetchedAt) <= b {
+			// Suspended while degraded: stale serves already weakened the
+			// reads, so any commit that reaches the store must prove them.
+			if b := t.mgr.staleBound; b > 0 && !t.mgr.degraded.Load() && now.Sub(e.fetchedAt) <= b {
 				t.mgr.stats.boundedReadsSkipped.Add(1)
 				continue
 			}

@@ -1,0 +1,32 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// TestTCriticalClampsLowDF: out-of-domain degrees of freedom must yield
+// the widest tabulated critical value, never NaN. Pre-fix, df < 1
+// returned NaN, which poisoned every confidence interval it reached.
+func TestTCriticalClampsLowDF(t *testing.T) {
+	for _, df := range []int{0, -1, -100} {
+		got := tCritical95(df)
+		if math.IsNaN(got) {
+			t.Fatalf("tCritical95(%d) = NaN", df)
+		}
+		if got != 12.706 {
+			t.Fatalf("tCritical95(%d) = %v, want 12.706 (df=1 clamp)", df, got)
+		}
+	}
+}
+
+// TestLinearFitDegenerateError: a spread-free x series must fail with
+// the sentinel error so callers can distinguish "no sensitivity to fit"
+// from real failures.
+func TestLinearFitDegenerateError(t *testing.T) {
+	_, err := LinearFit([]float64{5, 5, 5}, []float64{1, 2, 3})
+	if !errors.Is(err, ErrDegenerate) {
+		t.Fatalf("err = %v, want ErrDegenerate", err)
+	}
+}

@@ -21,6 +21,10 @@ type Fit struct {
 // ErrInsufficientData is returned when a computation needs more points.
 var ErrInsufficientData = errors.New("stats: insufficient data")
 
+// ErrDegenerate is returned when a fit is undefined for the given data
+// (e.g. an x series with no spread).
+var ErrDegenerate = errors.New("stats: degenerate x series")
+
 // LinearFit fits a least-squares line through (xs[i], ys[i]). The slope
 // is the paper's "latency sensitivity": the increase in client latency
 // per unit increase in injected one-way delay.
@@ -46,7 +50,7 @@ func LinearFit(xs, ys []float64) (Fit, error) {
 		syy += dy * dy
 	}
 	if sxx == 0 {
-		return Fit{}, errors.New("stats: degenerate x series")
+		return Fit{}, ErrDegenerate
 	}
 	slope := sxy / sxx
 	intercept := meanY - slope*meanX
@@ -191,7 +195,10 @@ func tCritical95(df int) float64 {
 		2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
 	}
 	if df < 1 {
-		return math.NaN()
+		// Out-of-domain callers get the most conservative (widest)
+		// interval rather than a NaN that poisons every downstream
+		// aggregate it is multiplied into.
+		return table[0]
 	}
 	if df <= len(table) {
 		return table[df-1]

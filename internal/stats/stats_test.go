@@ -194,8 +194,8 @@ func TestConfidenceInterval95(t *testing.T) {
 }
 
 func TestTCriticalMonotonic(t *testing.T) {
-	if !math.IsNaN(tCritical95(0)) {
-		t.Error("df=0 should be NaN")
+	if got := tCritical95(0); got != 12.706 {
+		t.Errorf("df=0 should clamp to the df=1 critical value, got %v", got)
 	}
 	prev := math.Inf(1)
 	for df := 1; df <= 60; df++ {

@@ -3,6 +3,7 @@ package trade
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 )
 
 // Action enumerates the Trade actions of Table 1.
@@ -192,6 +193,12 @@ func (m Mix) total() int {
 // mid-session actions (mean ActionsPerSession-2), and a logout — "a
 // single session consists of about 11 individual trade actions" (§4.2).
 type Generator struct {
+	// mu serializes session generation: the load generator calls Session
+	// from many client goroutines against one shared Generator, and
+	// *rand.Rand is not safe for concurrent use. (An unguarded rng
+	// silently corrupts its state under races — torn session IDs and a
+	// skewed action mix — rather than crashing.)
+	mu    sync.Mutex
 	rng   *rand.Rand
 	mix   Mix
 	users int
@@ -248,8 +255,11 @@ func UserID(n int) string { return fmt.Sprintf("uid-%d", n) }
 // SymbolID returns the canonical ID of pre-seeded symbol n.
 func SymbolID(n int) string { return fmt.Sprintf("s-%d", n) }
 
-// Session generates the steps of one client session.
+// Session generates the steps of one client session. It is safe for
+// concurrent use.
 func (g *Generator) Session() []Step {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	user := UserID(g.rng.Intn(g.users))
 	g.nextSession++
 	sessionID := fmt.Sprintf("sess-%d", g.nextSession)

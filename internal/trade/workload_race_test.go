@@ -1,0 +1,59 @@
+package trade
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestChaosConcurrentSessionGeneration drives one shared Generator from
+// many goroutines, the way the load generator does. Pre-fix the shared
+// *rand.Rand and session counters were unguarded: the race detector
+// flagged it and concurrent sessions could draw duplicate session IDs.
+func TestChaosConcurrentSessionGeneration(t *testing.T) {
+	const (
+		workers  = 8
+		sessions = 200
+	)
+	g := NewGenerator(GeneratorConfig{Seed: 42, Users: 50, Symbols: 100})
+
+	var mu sync.Mutex
+	seen := make(map[string]int, workers*sessions)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < sessions; i++ {
+				steps := g.Session()
+				if len(steps) < 3 {
+					t.Errorf("session too short: %d steps", len(steps))
+					return
+				}
+				login := steps[0]
+				if login.Action != ActionLogin || login.SessionID == "" {
+					t.Errorf("malformed login step: %+v", login)
+					return
+				}
+				mu.Lock()
+				seen[login.SessionID]++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	if len(seen) != workers*sessions {
+		t.Fatalf("got %d distinct session IDs, want %d", len(seen), workers*sessions)
+	}
+	for id, n := range seen {
+		if n != 1 {
+			t.Fatalf("session ID %s issued %d times", id, n)
+		}
+	}
+	// The counter must have advanced exactly once per session.
+	last := fmt.Sprintf("sess-%d", workers*sessions)
+	if seen[last] != 1 {
+		t.Fatalf("session counter skipped: %s never issued", last)
+	}
+}

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"reflect"
@@ -20,7 +21,7 @@ type Client struct {
 	maxShared     int
 	maxPinnedIdle int
 	maxFrame      int
-	retry         bool
+	retry         RetryPolicy
 	stats         *collector
 
 	mu         sync.Mutex
@@ -48,11 +49,17 @@ func WithMaxConns(n int) Option {
 	}
 }
 
-// WithRetry makes Call retry once on a fresh connection when the
-// failure happened on a previously-used connection — the
-// stale-pooled-connection case after a server restart. Context
-// cancellation and deadline expiry are never retried.
-func WithRetry() Option { return func(c *Client) { c.retry = true } }
+// WithRetry enables the default bounded retry schedule (see
+// DefaultRetryPolicy). Kept as the short spelling of WithRetryPolicy;
+// context cancellation and deadline expiry are never retried.
+func WithRetry() Option { return WithRetryPolicy(DefaultRetryPolicy()) }
+
+// WithRetryPolicy makes Call retry failed exchanges on fresh
+// connections under the given budget, sleeping the policy's jittered
+// backoff between attempts. The default is no retry: a protocol must
+// opt in, and must only do so when its requests are idempotent or
+// duplicate-rejected (see RetryPolicy).
+func WithRetryPolicy(p RetryPolicy) Option { return func(c *Client) { c.retry = p } }
 
 // WithMaxFrame overrides the maximum accepted frame size.
 func WithMaxFrame(n int) Option {
@@ -84,6 +91,26 @@ func NewClient(addr string, opts ...Option) *Client {
 // Stats returns a snapshot of this client's transport counters.
 func (c *Client) Stats() Stats { return c.stats.snapshot() }
 
+// RetryPolicy returns the client's retry schedule, so protocol layers
+// driving their own loops (pinned-stream opens, subscriptions) share
+// one budget with the transport's one-shot calls.
+func (c *Client) RetryPolicy() RetryPolicy { return c.retry }
+
+// RecordRetry accounts one retry attempt against label in Stats.
+// Protocol layers that drive their own retry loops (the stream
+// handshakes the transport cannot retry for them) use it so
+// Stats.Retries reflects the whole retry budget spent on a path.
+func (c *Client) RecordRetry(label string) { c.stats.retry(label) }
+
+// NumConns reports the connections currently owned by the client —
+// shared, idle-pinned, and checked-out streams. Leak tests use it to
+// assert that abort paths release their pinned connections.
+func (c *Client) NumConns() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.conns)
+}
+
 // Close tears down every connection, including pinned streams.
 func (c *Client) Close() error {
 	c.mu.Lock()
@@ -106,21 +133,33 @@ func (c *Client) Close() error {
 }
 
 // Call performs one request/response exchange on a shared connection,
-// decoding the reply into resp (which must be a pointer).
+// decoding the reply into resp (which must be a pointer). Under a
+// retry policy, failed exchanges (including failed dials) are retried
+// on fresh connections with jittered backoff; a first failure on a
+// previously-used pooled connection — the stale-pool case after a
+// server restart — is retried immediately without consuming backoff.
 func (c *Client) Call(ctx context.Context, req, resp any) error {
+	budget := c.retry.attempts()
 	for attempt := 0; ; attempt++ {
 		cn, err := c.sharedConn(ctx, attempt > 0)
-		if err != nil {
-			return err
-		}
-		wasUsed := cn.isUsed()
-		err = cn.roundTrip(ctx, req, resp)
 		if err == nil {
-			return nil
+			wasUsed := cn.isUsed()
+			err = cn.roundTrip(ctx, req, resp)
+			if err == nil {
+				return nil
+			}
+			if attempt == 0 && wasUsed && budget > 1 && ctx.Err() == nil {
+				c.stats.retry(labelOf(req))
+				continue
+			}
 		}
-		if !c.retry || attempt > 0 || !wasUsed || ctx.Err() != nil {
+		if errors.Is(err, ErrClosed) || ctx.Err() != nil || attempt+1 >= budget {
 			return err
 		}
+		if !c.retry.Backoff.Sleep(attempt, ctx.Done()) {
+			return err
+		}
+		c.stats.retry(labelOf(req))
 	}
 }
 

@@ -52,6 +52,14 @@ func (s *Session) Push(id uint64, body any) error {
 	return nil
 }
 
+// Hangup severs the connection. Push-mode handlers use it when the
+// upstream source feeding their pushes dies: silently stopping would
+// leave the client listening on a healthy-looking stream that will
+// never deliver again, whereas a hangup makes the client's teardown
+// and resubscribe machinery run. Safe for concurrent use; the reader
+// goroutine observes the closed socket and performs the full teardown.
+func (s *Session) Hangup() { _ = s.sc.nc.Close() }
+
 // ServerOption configures a Server.
 type ServerOption func(*Server)
 

@@ -14,6 +14,7 @@ const histBuckets = 22
 type OpStats struct {
 	Count         uint64 // completed round trips
 	Errors        uint64 // failed calls (transport error, deadline, cancel)
+	Retries       uint64 // retry attempts consumed by the retry policy
 	BytesSent     uint64
 	BytesReceived uint64
 	TotalDur      time.Duration
@@ -62,6 +63,7 @@ type Stats struct {
 	BytesSent     uint64
 	BytesReceived uint64
 	Errors        uint64 // failed calls
+	Retries       uint64 // retry attempts consumed by retry policies
 	Ops           map[string]OpStats
 }
 
@@ -80,10 +82,12 @@ func MergeStats(snaps ...Stats) Stats {
 		out.BytesSent += s.BytesSent
 		out.BytesReceived += s.BytesReceived
 		out.Errors += s.Errors
+		out.Retries += s.Retries
 		for label, op := range s.Ops {
 			agg := out.Ops[label]
 			agg.Count += op.Count
 			agg.Errors += op.Errors
+			agg.Retries += op.Retries
 			agg.BytesSent += op.BytesSent
 			agg.BytesReceived += op.BytesReceived
 			agg.TotalDur += op.TotalDur
@@ -109,6 +113,7 @@ type collector struct {
 	bytesSent     uint64
 	bytesReceived uint64
 	errors        uint64
+	retries       uint64
 	ops           map[string]*OpStats
 }
 
@@ -179,6 +184,13 @@ func (c *collector) push(label string, n int, sent bool) {
 	c.mu.Unlock()
 }
 
+func (c *collector) retry(label string) {
+	c.mu.Lock()
+	c.retries++
+	c.op(label).Retries++
+	c.mu.Unlock()
+}
+
 func (c *collector) failure(label string) {
 	c.mu.Lock()
 	c.errors++
@@ -196,6 +208,7 @@ func (c *collector) snapshot() Stats {
 		BytesSent:     c.bytesSent,
 		BytesReceived: c.bytesReceived,
 		Errors:        c.errors,
+		Retries:       c.retries,
 		Ops:           make(map[string]OpStats, len(c.ops)),
 	}
 	for label, o := range c.ops {
