@@ -16,6 +16,7 @@ import (
 
 	"edgeejb/internal/backend"
 	"edgeejb/internal/dbwire"
+	"edgeejb/internal/obs"
 	"edgeejb/internal/wire"
 )
 
@@ -32,9 +33,19 @@ func run(args []string) error {
 		addr   = fs.String("addr", "127.0.0.1:7001", "listen address for edge servers")
 		db     = fs.String("db", "127.0.0.1:7000", "database server address")
 		dbWait = fs.Duration("db-wait", 15*time.Second, "how long to keep retrying the database at boot (crash-restart recovery)")
+		debug  = fs.String("debug-addr", "", "serve /metrics, /healthz and /debug/pprof on this address")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *debug != "" {
+		dbg, err := obs.StartDebug(*debug, obs.DebugOptions{})
+		if err != nil {
+			return err
+		}
+		defer dbg.Close()
+		fmt.Printf("backendd: debug endpoints on http://%s/metrics\n", dbg.Addr())
 	}
 
 	dbClient := dbwire.Dial(*db)

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"edgeejb/internal/dbwire"
+	"edgeejb/internal/obs"
 	"edgeejb/internal/sqlstore"
 	"edgeejb/internal/storeapi"
 	"edgeejb/internal/trade"
@@ -39,9 +40,19 @@ func run(args []string) error {
 		statsEvery  = fs.Duration("stats", 0, "print store stats at this interval (0 = off)")
 		snapshot    = fs.String("snapshot", "", "snapshot file: restored at boot if present, written on shutdown")
 		snapEvery   = fs.Duration("snapshot-every", 0, "also write the snapshot at this interval, bounding data lost to a crash (0 = shutdown only)")
+		debug       = fs.String("debug-addr", "", "serve /metrics, /healthz and /debug/pprof on this address")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *debug != "" {
+		dbg, err := obs.StartDebug(*debug, obs.DebugOptions{})
+		if err != nil {
+			return err
+		}
+		defer dbg.Close()
+		fmt.Printf("dbserverd: debug endpoints on http://%s/metrics\n", dbg.Addr())
 	}
 
 	store := sqlstore.New(sqlstore.WithLockTimeout(*lockTimeout))

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"edgeejb/internal/latency"
+	"edgeejb/internal/obs"
 )
 
 func main() {
@@ -31,9 +32,19 @@ func run(args []string) error {
 		target     = fs.String("target", "127.0.0.1:7000", "forward target address")
 		delay      = fs.Duration("delay", 10*time.Millisecond, "one-way delay to inject")
 		statsEvery = fs.Duration("stats", 10*time.Second, "print byte counters at this interval (0 = off)")
+		debug      = fs.String("debug-addr", "", "serve /metrics, /healthz and /debug/pprof on this address")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *debug != "" {
+		dbg, err := obs.StartDebug(*debug, obs.DebugOptions{})
+		if err != nil {
+			return err
+		}
+		defer dbg.Close()
+		fmt.Printf("delayproxy: debug endpoints on http://%s/metrics\n", dbg.Addr())
 	}
 
 	p := latency.NewProxy(*target, *delay)

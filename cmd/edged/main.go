@@ -23,6 +23,7 @@ import (
 	"edgeejb/internal/appserver"
 	"edgeejb/internal/component"
 	"edgeejb/internal/dbwire"
+	"edgeejb/internal/obs"
 	"edgeejb/internal/slicache"
 	"edgeejb/internal/trade"
 )
@@ -41,9 +42,19 @@ func run(args []string) error {
 		httpAddr = fs.String("http", "", "also serve plain HTTP on this address (GET /trade/{action})")
 		target   = fs.String("target", "127.0.0.1:7000", "database or back-end server address")
 		algo     = fs.String("algo", "sli-backend", "data access: jdbc | bmp | sli-db | sli-backend")
+		debug    = fs.String("debug-addr", "", "serve /metrics, /healthz and /debug/pprof on this address")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *debug != "" {
+		dbg, err := obs.StartDebug(*debug, obs.DebugOptions{})
+		if err != nil {
+			return err
+		}
+		defer dbg.Close()
+		fmt.Printf("edged: debug endpoints on http://%s/metrics\n", dbg.Addr())
 	}
 
 	dbClient := dbwire.Dial(*target)

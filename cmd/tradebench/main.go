@@ -26,6 +26,7 @@ import (
 
 	"edgeejb/internal/harness"
 	"edgeejb/internal/latency"
+	"edgeejb/internal/obs"
 	"edgeejb/internal/trade"
 )
 
@@ -49,6 +50,9 @@ func run(args []string) error {
 		actions = fs.Bool("actions", false, "print per-action latency breakdown for the Figure 6 configurations")
 		faults  = fs.Bool("faults", false, "extension: resilience under fault injection on the Figure 6 configurations")
 		csvDir  = fs.String("csv", "", "also export figures/tables as CSV files into this directory")
+
+		metrics   = fs.Bool("metrics", false, "print per-phase process metrics and span-derived latency breakdowns")
+		debugAddr = fs.String("debug-addr", "", "serve /metrics, /healthz and /debug/pprof on this address while running")
 
 		faultReset      = fs.Float64("fault-reset", 0.08, "per-connection probability of an abrupt reset (with -faults)")
 		faultResetAfter = fs.Int("fault-reset-after", 64*1024, "max bytes a doomed connection forwards before the reset")
@@ -119,6 +123,32 @@ func run(args []string) error {
 		logf = nil
 	}
 
+	if *debugAddr != "" {
+		dbg, err := obs.StartDebug(*debugAddr, obs.DebugOptions{})
+		if err != nil {
+			return err
+		}
+		defer dbg.Close()
+		fmt.Fprintf(os.Stderr, "debug endpoints on http://%s/metrics\n", dbg.Addr())
+	}
+
+	// phase runs one experiment phase and, with -metrics, prints the
+	// process metrics it accumulated (a diff, so phases don't bleed into
+	// each other).
+	phase := func(name string, f func() error) error {
+		before := obs.Default.Snapshot()
+		if err := f(); err != nil {
+			return err
+		}
+		if *metrics {
+			fmt.Printf("\nMetrics accumulated by the %s phase:\n", name)
+			if err := obs.Default.Snapshot().Sub(before).WriteText(os.Stdout); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
 	if *faults {
 		fopts := harness.FaultOptions{
 			Populate:    cfg.Populate,
@@ -138,7 +168,7 @@ func run(args []string) error {
 			StepTimeout:    *stepTimeout,
 			DegradeBound:   *degradeBound,
 		}
-		if err := runFaults(fopts, logf); err != nil {
+		if err := phase("fault", func() error { return runFaults(fopts, logf) }); err != nil {
 			return err
 		}
 		fmt.Println()
@@ -149,14 +179,27 @@ func run(args []string) error {
 		return nil
 	}
 
-	eval, err := harness.RunEvaluation(context.Background(), cfg, logf)
-	if err != nil {
+	var eval *harness.Evaluation
+	if err := phase("evaluation", func() error {
+		var err error
+		eval, err = harness.RunEvaluation(context.Background(), cfg, logf)
 		return err
+	}); err != nil {
+		return err
+	}
+	if *metrics {
+		fmt.Println()
 	}
 
 	if *fig6 {
 		eval.WriteFig6(os.Stdout)
 		fmt.Println()
+		if *metrics {
+			for _, s := range eval.Fig6Series() {
+				harness.WriteLatencyBreakdown(os.Stdout, s)
+				fmt.Println()
+			}
+		}
 	}
 	if *fig7 {
 		eval.WriteFig7(os.Stdout)
@@ -181,7 +224,7 @@ func run(args []string) error {
 	}
 	if *thru {
 		fmt.Println()
-		if err := runThroughput(cfg, logf); err != nil {
+		if err := phase("throughput", func() error { return runThroughput(cfg, logf) }); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,20 @@
+// Package appserver implements the application-server tier: the process
+// that receives client trade requests, runs the corresponding session
+// logic (one transaction per request), renders the result page, and
+// returns it. In the paper's setups this tier is Tomcat + servlets/JSPs
+// over the EJB container; here it is a TCP request/response server over
+// the trade service.
+//
+// The rendered page carries the presentation portion (HTML chrome) of
+// the application. In the Clients/RAS architecture the full page crosses
+// the high-latency path to the client, which is exactly what makes that
+// architecture's bandwidth demand (> 7000 bytes per interaction in the
+// paper) so much higher than the edge architectures', where the page is
+// rendered at the edge and only entity data crosses the shared path.
+//
+// Paper mapping: one Server is one "HTTP server + application server"
+// box of Figures 3–5 — an edge server under ES/RDB and ES/RBES, the
+// remote application server under Clients/RAS. Each dispatched action is
+// timed as an "edge.request" trace span and counted by the
+// appserver.requests / appserver.failures metrics (see OBSERVABILITY.md).
+package appserver

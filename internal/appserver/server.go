@@ -6,8 +6,16 @@ import (
 	"strconv"
 	"sync/atomic"
 
+	"edgeejb/internal/obs"
 	"edgeejb/internal/trade"
 	"edgeejb/internal/wire"
+)
+
+// Process-wide obs mirrors of request outcomes, summed across every
+// Server in the process. Names are documented in OBSERVABILITY.md.
+var (
+	obsRequests = obs.Default.Counter("appserver.requests")
+	obsFailures = obs.Default.Counter("appserver.failures")
 )
 
 // Server hosts the trade application over the client protocol. One
@@ -67,8 +75,12 @@ func (h appHandler) Close() {}
 // dispatch maps one request to the trade service.
 func (s *Server) dispatch(ctx context.Context, req *Request) *Response {
 	s.requests.Add(1)
+	obsRequests.Inc()
+	ctx, sp := obs.StartSpan(ctx, "edge.request")
+	defer sp.End()
 	fail := func(err error) *Response {
 		s.failures.Add(1)
+		obsFailures.Inc()
 		return &Response{Err: err.Error()}
 	}
 	p := func(k string) string { return req.Params[k] }

@@ -1,17 +1,3 @@
-// Package backend implements the back-end application server of the
-// split-servers configuration (§2.4, Figure 1): a process deployed next
-// to the database that hosts the cache-miss and optimistic-commit logic
-// on behalf of cache-enhanced edge application servers.
-//
-// The edge servers talk to the back-end over the dbwire protocol across
-// the high-latency path: one round trip for a cache-miss fetch, one
-// round trip for a finder query, and — crucially — one round trip for an
-// entire transaction commit (ApplyCommitSet). The back-end then performs
-// the per-image validation work against the database server over its
-// low-latency path, statement by statement, exactly as the paper
-// describes: "the back-end server will, in turn, perform multiple
-// accesses to the database server. However, these occur over a
-// low-latency path" (§4.4).
 package backend
 
 import (
@@ -22,6 +8,7 @@ import (
 
 	"edgeejb/internal/dbwire"
 	"edgeejb/internal/memento"
+	"edgeejb/internal/obs"
 	"edgeejb/internal/sqlstore"
 	"edgeejb/internal/storeapi"
 	"edgeejb/internal/wire"
@@ -114,6 +101,8 @@ func (l *logic) beginRetry(ctx context.Context) (storeapi.Txn, error) {
 // ApplyCommitSet validates and applies a whole commit set by driving the
 // database statement-by-statement over the low-latency path.
 func (l *logic) ApplyCommitSet(ctx context.Context, cs memento.CommitSet) (sqlstore.ApplyResult, error) {
+	ctx, sp := obs.StartSpan(ctx, "backend.apply")
+	defer sp.End()
 	txn, err := l.beginRetry(ctx)
 	if err != nil {
 		return sqlstore.ApplyResult{}, fmt.Errorf("backend: begin: %w", err)
@@ -121,6 +110,7 @@ func (l *logic) ApplyCommitSet(ctx context.Context, cs memento.CommitSet) (sqlst
 	abort := func(err error) (sqlstore.ApplyResult, error) {
 		_ = txn.Abort(ctx)
 		l.rejected.Add(1)
+		obsCommitsRejected.Inc()
 		return sqlstore.ApplyResult{}, err
 	}
 	for _, r := range cs.Reads {
@@ -157,8 +147,10 @@ func (l *logic) ApplyCommitSet(ctx context.Context, cs memento.CommitSet) (sqlst
 	}
 	if err := txn.Commit(ctx); err != nil {
 		l.rejected.Add(1)
+		obsCommitsRejected.Inc()
 		return sqlstore.ApplyResult{}, err
 	}
 	l.applied.Add(1)
+	obsCommitsApplied.Inc()
 	return sqlstore.ApplyResult{TxID: txn.ID(), NewVersions: newVersions}, nil
 }

@@ -1,6 +1,10 @@
 package backend
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"edgeejb/internal/obs"
+)
 
 // counter is a tiny alias-free wrapper so the logic struct reads well.
 type counter struct {
@@ -9,3 +13,10 @@ type counter struct {
 
 func (c *counter) Add(n uint64) { c.v.Add(n) }
 func (c *counter) Load() uint64 { return c.v.Load() }
+
+// Process-wide obs mirrors of the commit-set validation outcomes,
+// summed across every backend logic instance in the process.
+var (
+	obsCommitsApplied  = obs.Default.Counter("backend.commits_applied")
+	obsCommitsRejected = obs.Default.Counter("backend.commits_rejected")
+)

@@ -1,0 +1,19 @@
+// Package backend implements the back-end application server of the
+// split-servers configuration (§2.4, Figure 1): a process deployed next
+// to the database that hosts the cache-miss and optimistic-commit logic
+// on behalf of cache-enhanced edge application servers.
+//
+// The edge servers talk to the back-end over the dbwire protocol across
+// the high-latency path: one round trip for a cache-miss fetch, one
+// round trip for a finder query, and — crucially — one round trip for an
+// entire transaction commit (ApplyCommitSet). The back-end then performs
+// the per-image validation work against the database server over its
+// low-latency path, statement by statement, exactly as the paper
+// describes: "the back-end server will, in turn, perform multiple
+// accesses to the database server. However, these occur over a
+// low-latency path" (§4.4).
+//
+// Whole-set validation is timed as a "backend.apply" trace span and
+// counted by backend.commits_applied / backend.commits_rejected (see
+// OBSERVABILITY.md).
+package backend

@@ -1,0 +1,19 @@
+// Package component implements the enterprise-component model that
+// stands in for EJB entity beans: entities with identity and
+// memento-serializable state, homes keyed by table, and a container that
+// brackets business logic in transactions and delegates data access to a
+// pluggable resource manager.
+//
+// Three resource managers exist, matching the paper's three algorithms:
+//
+//   - JDBC (this package): hand-optimized direct access with a
+//     per-transaction statement cache, pessimistic locking.
+//   - Vanilla EJB / BMP (this package): bean-managed persistence with
+//     the classic container behaviors — ejbLoad on every access,
+//     unconditional ejbStore at commit, and N+1 loads after finders.
+//   - Cached EJB / SLI (package slicache): the paper's contribution.
+//
+// Application code is written once against Container/Tx and runs
+// unchanged under any resource manager — the "transparent
+// cache-enabling" requirement of §1.3.
+package component

@@ -1,14 +1,3 @@
-// Package dbwire implements the network protocol between application
-// servers and the database tier: a gob RPC over the shared transport
-// in package wire, in which every statement is one request/response
-// round trip. This mirrors the
-// role of the JDBC driver protocol in the paper — the per-statement
-// round trip is precisely what makes the ES/RDB architecture sensitive
-// to path latency, and the single-message ApplyCommitSet operation is
-// what lets the split-servers configuration commit in one round trip.
-//
-// The same protocol also carries the server-push invalidation stream
-// that cache-enhanced application servers subscribe to.
 package dbwire
 
 import (

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sort"
 	"strings"
 	"time"
 
@@ -276,6 +277,50 @@ func writeSweepTable(w io.Writer, sweeps []Sweep) {
 	}
 	fmt.Fprintln(w, foot)
 	fmt.Fprintln(w, strings.Repeat("-", len(header)))
+}
+
+// WriteLatencyBreakdown renders where one sweep's client latency is
+// spent, derived from the trace spans collected at each delay point:
+// each span's mean duration (ms) and how many of that span a client
+// interaction caused on average. Reading down a column shows which
+// hops absorb the injected delay — a cache hit leaves slicache.miss_fetch
+// flat while vanilla EJBs drag sqlstore.apply up with every ms.
+func WriteLatencyBreakdown(w io.Writer, s Sweep) {
+	names := make(map[string]struct{})
+	for _, p := range s.Points {
+		for n := range p.Spans {
+			names[n] = struct{}{}
+		}
+	}
+	if len(names) == 0 {
+		return
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+	fmt.Fprintf(w, "Latency breakdown: %s %s\n", s.Arch, s.Algo)
+	fmt.Fprintln(w, "(per delay point: mean span duration in ms × spans per interaction)")
+	header := fmt.Sprintf("%-10s", "delay(ms)")
+	for _, n := range sorted {
+		header += fmt.Sprintf(" %22s", n)
+	}
+	fmt.Fprintln(w, header)
+	for _, p := range s.Points {
+		line := fmt.Sprintf("%-10.1f", p.OneWayDelayMs)
+		for _, n := range sorted {
+			h, ok := p.Spans[n]
+			if !ok || h.Count == 0 || p.Load.Interactions == 0 {
+				line += fmt.Sprintf(" %22s", "-")
+				continue
+			}
+			meanMs := float64(h.Mean()) / float64(time.Millisecond)
+			perIxn := float64(h.Count) / float64(p.Load.Interactions)
+			line += fmt.Sprintf(" %14.2f ×%6.2f", meanMs, perIxn)
+		}
+		fmt.Fprintln(w, line)
+	}
 }
 
 // WriteTable1 renders Table 1 (the Trade runtime and database usage

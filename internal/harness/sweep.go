@@ -5,9 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"strings"
 	"time"
 
 	"edgeejb/internal/loadgen"
+	"edgeejb/internal/obs"
 	"edgeejb/internal/stats"
 	"edgeejb/internal/trade"
 )
@@ -60,6 +62,13 @@ type Point struct {
 	SharedRoundTripsPerInteraction float64
 	// Load is the full measurement for this point.
 	Load loadgen.Result
+	// Spans maps span names (client.interaction, edge.request,
+	// slicache.commit, backend.apply, ...) to the latency histograms
+	// they accumulated during this point, diffed from the process-wide
+	// obs registry. The harness runs every tier in-process, so the map
+	// covers the whole edge → backend → store path and decomposes
+	// MeanLatencyMs into per-hop time.
+	Spans map[string]obs.HistSnapshot
 }
 
 // Sweep is one (architecture, algorithm) latency curve.
@@ -117,6 +126,7 @@ func RunSweepOn(ctx context.Context, topo *Topology, run RunOptions) (Sweep, err
 	for _, d := range run.Delays {
 		topo.SetDelay(d)
 		before := topo.SharedPathStats()
+		obsBefore := obs.Default.Snapshot()
 		res, err := loadgen.Run(ctx, loadgen.Config{
 			Client:    client,
 			Generator: gen,
@@ -131,6 +141,7 @@ func RunSweepOn(ctx context.Context, topo *Topology, run RunOptions) (Sweep, err
 			OneWayDelayMs: float64(d) / float64(time.Millisecond),
 			MeanLatencyMs: res.MeanLatencyMs(),
 			Load:          res,
+			Spans:         spanDiff(obsBefore, obs.Default.Snapshot()),
 		}
 		if res.Interactions > 0 {
 			point.SharedBytesPerInteraction =
@@ -164,4 +175,17 @@ func RunSweepOn(ctx context.Context, topo *Topology, run RunOptions) (Sweep, err
 		}
 	}
 	return sweep, nil
+}
+
+// spanDiff extracts the span latency histograms that accumulated
+// between two registry snapshots, keyed by bare span name.
+func spanDiff(before, after obs.Snapshot) map[string]obs.HistSnapshot {
+	diff := after.Sub(before)
+	spans := make(map[string]obs.HistSnapshot)
+	for name, h := range diff.Histograms {
+		if rest, ok := strings.CutPrefix(name, "span."); ok {
+			spans[rest] = h
+		}
+	}
+	return spans
 }

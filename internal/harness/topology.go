@@ -1,9 +1,3 @@
-// Package harness assembles the three high-latency architectures of §3
-// on loopback TCP — edge servers sharing a remote database (ES/RDB),
-// edge servers sharing a remote back-end server (ES/RBES), and clients
-// talking to a remote application server (Clients/RAS) — with the delay
-// proxy interposed on the architecture's high-latency path, and runs the
-// paper's experiments against them.
 package harness
 
 import (

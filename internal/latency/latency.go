@@ -1,8 +1,3 @@
-// Package latency provides the experiment plumbing the paper calls the
-// "delay proxy": a TCP proxy that interposes a configurable one-way
-// delay on a designated communication path, transparently to both
-// endpoints, plus byte-counting connection wrappers used to measure the
-// bandwidth consumed on the shared (high-latency) path.
 package latency
 
 import (
@@ -232,6 +227,7 @@ func (p *Proxy) serve(client net.Conn) {
 	if inj != nil && inj.blackholeWait() > 0 {
 		// The path is blackholed: refuse the connection abruptly.
 		inj.blackholedConns.Add(1)
+		obsFaultBlackholedConns.Inc()
 		if tc, ok := client.(*net.TCPConn); ok {
 			_ = tc.SetLinger(0)
 		}
@@ -249,6 +245,7 @@ func (p *Proxy) serve(client net.Conn) {
 	defer p.untrack(target)
 	defer target.Close()
 	p.counter.conns.Add(1)
+	obsProxyConns.Inc()
 
 	fh := &faultHolder{p: p, client: client, target: target}
 

@@ -1,0 +1,12 @@
+// Package loadgen drives the Trade workload against an application
+// server the way the paper's load-generation program does: a single
+// virtual client (a "low-load situation so as to factor out queuing
+// delay effects", §4.3) running complete sessions, with a warmup period
+// before measurement and batched latency reporting (the paper's 20
+// batches, for the confidence intervals of §4.3).
+//
+// The load generator is also the system's trace source: every measured
+// interaction runs under a fresh trace ID and a "client.interaction"
+// span, so its journey through the tiers reconstructs as one span tree
+// (see OBSERVABILITY.md).
+package loadgen

@@ -1,8 +1,3 @@
-// Package loadgen drives the Trade workload against an application
-// server the way the paper's load-generation program does: a single
-// virtual client (a "low-load situation so as to factor out queuing
-// delay effects", §4.3) running complete sessions, with a warmup period
-// before measurement and batched latency reporting.
 package loadgen
 
 import (
@@ -11,9 +6,14 @@ import (
 	"time"
 
 	"edgeejb/internal/appserver"
+	"edgeejb/internal/obs"
 	"edgeejb/internal/stats"
 	"edgeejb/internal/trade"
 )
+
+// obsInteractions mirrors the measured interaction count into the
+// process-wide obs registry; documented in OBSERVABILITY.md.
+var obsInteractions = obs.Default.Counter("loadgen.interactions")
 
 // Config describes one measurement run.
 type Config struct {
@@ -114,11 +114,18 @@ func runSession(ctx context.Context, client *appserver.Client, gen *trade.Genera
 	latencies := make([]float64, 0, len(steps))
 	failures := 0
 	for _, step := range steps {
+		// Each interaction gets its own trace so its spans — the edge
+		// dispatch and any cache-miss or commit round trips it caused —
+		// reconstruct as one tree in the span log.
+		tctx, _ := obs.WithNewTrace(ctx)
+		sctx, span := obs.StartSpan(tctx, "client.interaction")
 		begin := time.Now()
-		resp, err := client.DoStep(ctx, step)
+		resp, err := client.DoStep(sctx, step)
+		span.End()
 		if err != nil {
 			return nil, 0, fmt.Errorf("step %s: %w", step.Action, err)
 		}
+		obsInteractions.Inc()
 		ms := float64(time.Since(begin)) / float64(time.Millisecond)
 		latencies = append(latencies, ms)
 		if perAction != nil {

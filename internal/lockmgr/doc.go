@@ -1,0 +1,14 @@
+// Package lockmgr implements the lock manager used by the persistent
+// datastore for pessimistic (two-phase) concurrency control. It supports
+// the classic multi-granularity mode lattice (S, IX, SIX, X) on
+// arbitrary comparable resources, lock upgrades, FIFO-fair waiting,
+// wait-for-graph deadlock detection, and timeout-based deadlock
+// resolution — the standard design described in Gray & Reuter that the
+// paper's pessimistic "JDBC Resource Manager" relies on. Lock
+// contention is observable through the lockmgr.* metrics, including a
+// queue-time histogram (see OBSERVABILITY.md).
+//
+// A single owner (transaction) is assumed to issue lock requests
+// serially, never concurrently from multiple goroutines; different
+// owners may of course contend concurrently.
+package lockmgr

@@ -1,14 +1,3 @@
-// Package lockmgr implements the lock manager used by the persistent
-// datastore for pessimistic (two-phase) concurrency control. It supports
-// the classic multi-granularity mode lattice (S, IX, SIX, X) on
-// arbitrary comparable resources, lock upgrades, FIFO-fair waiting, and
-// timeout-based deadlock resolution — the standard design described in
-// Gray & Reuter that the paper's pessimistic "JDBC Resource Manager"
-// relies on.
-//
-// A single owner (transaction) is assumed to issue lock requests
-// serially, never concurrently from multiple goroutines; different
-// owners may of course contend concurrently.
 package lockmgr
 
 import (
@@ -164,6 +153,7 @@ func (m *Manager) Acquire(ctx context.Context, owner Owner, res Resource, mode M
 	if !mode.valid() {
 		return fmt.Errorf("lockmgr: invalid mode %d", mode)
 	}
+	obsAcquires.Inc()
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
@@ -191,11 +181,16 @@ func (m *Manager) Acquire(ctx context.Context, owner Owner, res Resource, mode M
 	}
 	if m.wouldDeadlock(owner, res, want) {
 		m.mu.Unlock()
+		obsDeadlocks.Inc()
 		return ErrDeadlock
 	}
 	req := &request{owner: owner, mode: want, ready: make(chan struct{})}
 	st.waiters = append(st.waiters, req)
 	m.mu.Unlock()
+
+	obsWaits.Inc()
+	waitStart := time.Now()
+	defer func() { obsWait.Observe(time.Since(waitStart)) }()
 
 	timeout := m.defaultTimeout
 	if dl, ok := ctx.Deadline(); ok {
@@ -216,6 +211,7 @@ func (m *Manager) Acquire(ctx context.Context, owner Owner, res Resource, mode M
 		if m.abandon(res, req) {
 			return nil
 		}
+		obsTimeouts.Inc()
 		return ErrTimeout
 	}
 }

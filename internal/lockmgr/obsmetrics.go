@@ -1,0 +1,16 @@
+package lockmgr
+
+import "edgeejb/internal/obs"
+
+// Process-wide obs mirrors of lock-manager activity, summed across every
+// Manager in the process. obsWait records only the blocking waits — the
+// queue time of requests that could not be granted immediately — so its
+// count matches lockmgr.waits, not lockmgr.acquires. Names are
+// documented in OBSERVABILITY.md.
+var (
+	obsAcquires  = obs.Default.Counter("lockmgr.acquires")
+	obsWaits     = obs.Default.Counter("lockmgr.waits")
+	obsTimeouts  = obs.Default.Counter("lockmgr.timeouts")
+	obsDeadlocks = obs.Default.Counter("lockmgr.deadlocks")
+	obsWait      = obs.Default.Histogram("lockmgr.wait")
+)

@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+)
+
+// DebugOptions configures a debug listener. The zero value serves the
+// Default registry and span log and always reports healthy.
+type DebugOptions struct {
+	// Registry served by /metrics (Default when nil).
+	Registry *Registry
+	// Spans served by /debug/spans (DefaultSpans when nil).
+	Spans *SpanLog
+	// Healthy decides /healthz (always healthy when nil).
+	Healthy func() bool
+}
+
+// NewDebugMux builds the debug HTTP handler:
+//
+//	/metrics       text snapshot of the registry (?format=json for JSON)
+//	/healthz       200 "ok" while Healthy() (503 otherwise)
+//	/debug/spans   recent spans (?trace=ID for one trace, ?n=N to limit)
+//	/debug/pprof/  the standard pprof handlers
+func NewDebugMux(opts DebugOptions) *http.ServeMux {
+	reg := opts.Registry
+	if reg == nil {
+		reg = Default
+	}
+	spans := opts.Spans
+	if spans == nil {
+		spans = DefaultSpans
+	}
+	healthy := opts.Healthy
+	if healthy == nil {
+		healthy = func() bool { return true }
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		snap := reg.Snapshot()
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			_ = snap.WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = snap.WriteText(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if !healthy() {
+			http.Error(w, "unhealthy", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/spans", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		q := r.URL.Query()
+		if t := q.Get("trace"); t != "" {
+			id, err := strconv.ParseUint(t, 10, 64)
+			if err != nil {
+				http.Error(w, "bad trace id", http.StatusBadRequest)
+				return
+			}
+			_ = WriteTrace(w, spans.Trace(id))
+			return
+		}
+		if q.Get("last") != "" {
+			_ = WriteTrace(w, spans.Trace(spans.LastTrace()))
+			return
+		}
+		n := 100
+		if s := q.Get("n"); s != "" {
+			if v, err := strconv.Atoi(s); err == nil && v > 0 {
+				n = v
+			}
+		}
+		for _, rec := range spans.Recent(n) {
+			fmt.Fprintf(w, "trace=%d span=%d parent=%d %-24s %s\n",
+				rec.Trace, rec.Span, rec.Parent, rec.Name, fmtDur(rec.Dur))
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// DebugServer is a running debug listener.
+type DebugServer struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// StartDebug serves the debug mux on addr (e.g. "127.0.0.1:6060" or
+// ":0") in the background. The returned server reports its bound Addr
+// and must be Closed by the caller.
+func StartDebug(addr string, opts DebugOptions) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug listen %s: %w", addr, err)
+	}
+	d := &DebugServer{
+		srv: &http.Server{Handler: NewDebugMux(opts), ReadHeaderTimeout: 5 * time.Second},
+		ln:  ln,
+	}
+	go func() { _ = d.srv.Serve(ln) }()
+	return d, nil
+}
+
+// Addr returns the bound listen address.
+func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
+
+// Close stops the listener and closes open debug connections.
+func (d *DebugServer) Close() error { return d.srv.Close() }

@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestDebugEndpointsSmoke starts a real debug listener and exercises
+// every endpoint the daemons expose behind -debug-addr.
+func TestDebugEndpointsSmoke(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("smoke.requests").Add(3)
+	reg.Histogram("smoke.latency").Observe(2 * time.Millisecond)
+	spans := NewSpanLog(16)
+	ctx, id := WithNewTrace(context.Background())
+	_, sp := StartSpan(ctx, "smoke.root")
+	sp.End()
+	spans.add(sp.rec)
+
+	healthy := true
+	srv, err := StartDebug("127.0.0.1:0", DebugOptions{
+		Registry: reg,
+		Spans:    spans,
+		Healthy:  func() bool { return healthy },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	get := func(path string, wantStatus int) string {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != wantStatus {
+			t.Fatalf("GET %s: status %d, want %d\n%s", path, resp.StatusCode, wantStatus, body)
+		}
+		return string(body)
+	}
+
+	if out := get("/metrics", 200); !strings.Contains(out, "counter smoke.requests 3") ||
+		!strings.Contains(out, "hist smoke.latency count=1") {
+		t.Fatalf("/metrics missing expected lines:\n%s", out)
+	}
+	if out := get("/metrics?format=json", 200); !strings.Contains(out, `"smoke.requests": 3`) {
+		t.Fatalf("/metrics json missing counter:\n%s", out)
+	}
+	if out := get("/healthz", 200); !strings.Contains(out, "ok") {
+		t.Fatalf("/healthz = %q", out)
+	}
+	healthy = false
+	get("/healthz", 503)
+	healthy = true
+
+	if out := get("/debug/spans", 200); !strings.Contains(out, "smoke.root") {
+		t.Fatalf("/debug/spans missing span:\n%s", out)
+	}
+	if out := get("/debug/spans?trace="+strconv.FormatUint(id, 10), 200); !strings.Contains(out, "smoke.root") {
+		t.Fatalf("/debug/spans?trace missing span:\n%s", out)
+	}
+	if out := get("/debug/pprof/", 200); !strings.Contains(out, "goroutine") {
+		t.Fatalf("/debug/pprof/ index unexpected:\n%s", out)
+	}
+}

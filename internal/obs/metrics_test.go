@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	s := h.Snapshot()
+	if s.Count != 0 || s.Sum != 0 || s.Max != 0 {
+		t.Fatalf("empty snapshot not zero: %+v", s)
+	}
+	if got := s.Mean(); got != 0 {
+		t.Fatalf("empty Mean = %v, want 0", got)
+	}
+	for _, p := range []float64{0.5, 0.95, 0.99, 1} {
+		if got := s.Quantile(p); got != 0 {
+			t.Fatalf("empty Quantile(%v) = %v, want 0", p, got)
+		}
+	}
+}
+
+func TestHistogramSingleSample(t *testing.T) {
+	var h Histogram
+	h.Observe(3 * time.Millisecond)
+	s := h.Snapshot()
+	if s.Count != 1 || s.Sum != 3*time.Millisecond || s.Max != 3*time.Millisecond {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if got := s.Mean(); got != 3*time.Millisecond {
+		t.Fatalf("Mean = %v", got)
+	}
+	// Every quantile of a single sample lands in its bucket; the answer
+	// is that bucket's upper edge, which must bracket the sample within
+	// the 2x bucket resolution.
+	for _, p := range []float64{0.01, 0.5, 0.99, 1} {
+		q := s.Quantile(p)
+		if q < 3*time.Millisecond || q > 8*time.Millisecond {
+			t.Fatalf("Quantile(%v) = %v, want in [3ms, 8ms]", p, q)
+		}
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	var h Histogram
+	huge := 90 * time.Second // beyond the last bucket edge (~67s)
+	h.Observe(huge)
+	h.Observe(2 * huge)
+	s := h.Snapshot()
+	if s.Buckets[HistBuckets-1] != 2 {
+		t.Fatalf("overflow bucket = %d, want 2", s.Buckets[HistBuckets-1])
+	}
+	// Quantiles that land in the overflow bucket report the true max,
+	// not a bucket edge.
+	if got := s.Quantile(0.99); got != 2*huge {
+		t.Fatalf("Quantile(0.99) = %v, want %v", got, 2*huge)
+	}
+	if s.Max != 2*huge {
+		t.Fatalf("Max = %v, want %v", s.Max, 2*huge)
+	}
+}
+
+func TestHistogramNegativeCountsAsZero(t *testing.T) {
+	var h Histogram
+	h.Observe(-time.Second)
+	s := h.Snapshot()
+	if s.Count != 1 || s.Sum != 0 || s.Buckets[0] != 1 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+}
+
+func TestHistogramQuantileOrdering(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	s := h.Snapshot()
+	p50, p95, p99 := s.Quantile(0.50), s.Quantile(0.95), s.Quantile(0.99)
+	if !(p50 <= p95 && p95 <= p99 && p99 <= s.Max) {
+		t.Fatalf("quantiles not monotone: p50=%v p95=%v p99=%v max=%v", p50, p95, p99, s.Max)
+	}
+	// The median sample (~50ms) lands in the 32.768–65.536ms bucket, so
+	// the reported upper bound is that bucket's 65.536ms edge.
+	if p50 < 32*time.Millisecond || p50 > 66*time.Millisecond {
+		t.Fatalf("p50 = %v, want the 65.536ms bucket edge region", p50)
+	}
+}
+
+func TestHistSnapshotSub(t *testing.T) {
+	var h Histogram
+	h.Observe(time.Millisecond)
+	before := h.Snapshot()
+	h.Observe(2 * time.Millisecond)
+	h.Observe(4 * time.Millisecond)
+	diff := h.Snapshot().Sub(before)
+	if diff.Count != 2 {
+		t.Fatalf("diff.Count = %d, want 2", diff.Count)
+	}
+	if diff.Sum != 6*time.Millisecond {
+		t.Fatalf("diff.Sum = %v, want 6ms", diff.Sum)
+	}
+	// Sub against a fresher snapshot (counter reset) clamps at zero.
+	clamped := before.Sub(h.Snapshot())
+	if clamped.Count != 0 || clamped.Sum != 0 {
+		t.Fatalf("clamped = %+v", clamped)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(5)
+	g.Add(-2)
+	if got := g.Value(); got != 3 {
+		t.Fatalf("gauge = %d, want 3", got)
+	}
+}

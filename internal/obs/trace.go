@@ -1,0 +1,245 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Trace IDs are minted once per client interaction at the edge of the
+// system and ride along the context; the wire transport copies them
+// into an optional frame-header field so they cross process boundaries.
+// Span IDs are process-local.
+type (
+	traceKey struct{}
+	spanKey  struct{}
+)
+
+// traceIDs is seeded at init with the wall clock so IDs from separately
+// started processes (the daemons of a distributed deployment) do not
+// collide in a merged span log.
+var traceIDs, spanIDs atomic.Uint64
+
+func init() {
+	traceIDs.Store(uint64(time.Now().UnixNano()) << 16)
+}
+
+// NewTraceID mints a fresh nonzero trace ID.
+func NewTraceID() uint64 {
+	for {
+		if id := traceIDs.Add(1); id != 0 {
+			return id
+		}
+	}
+}
+
+// WithTrace returns ctx carrying the given trace ID. A zero ID returns
+// ctx unchanged (zero means "no trace").
+func WithTrace(ctx context.Context, id uint64) context.Context {
+	if id == 0 {
+		return ctx
+	}
+	return context.WithValue(ctx, traceKey{}, id)
+}
+
+// WithNewTrace plants a fresh trace ID in ctx and returns both.
+func WithNewTrace(ctx context.Context) (context.Context, uint64) {
+	id := NewTraceID()
+	return context.WithValue(ctx, traceKey{}, id), id
+}
+
+// TraceID extracts the context's trace ID (zero if none).
+func TraceID(ctx context.Context) uint64 {
+	id, _ := ctx.Value(traceKey{}).(uint64)
+	return id
+}
+
+// Span is one timed hop of a traced interaction. A nil *Span (returned
+// by StartSpan on an untraced context) is valid and End on it is a
+// no-op, so call sites need no conditionals.
+type Span struct {
+	rec SpanRecord
+}
+
+// StartSpan opens a span named name under the context's current span
+// and returns the child context callers should pass downward. On a
+// context without a trace it returns ctx unchanged and a nil span —
+// untraced hot paths pay only the context lookup.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	trace := TraceID(ctx)
+	if trace == 0 {
+		return ctx, nil
+	}
+	parent, _ := ctx.Value(spanKey{}).(uint64)
+	s := &Span{rec: SpanRecord{
+		Trace:  trace,
+		Span:   spanIDs.Add(1),
+		Parent: parent,
+		Name:   name,
+		Start:  time.Now(),
+	}}
+	return context.WithValue(ctx, spanKey{}, s.rec.Span), s
+}
+
+// End closes the span: its duration feeds the "span.<name>" histogram
+// in the Default registry and its record lands in DefaultSpans.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.rec.Dur = time.Since(s.rec.Start)
+	Default.Histogram("span." + s.rec.Name).Observe(s.rec.Dur)
+	DefaultSpans.add(s.rec)
+}
+
+// SpanRecord is one finished span.
+type SpanRecord struct {
+	Trace  uint64        `json:"trace"`
+	Span   uint64        `json:"span"`
+	Parent uint64        `json:"parent,omitempty"`
+	Name   string        `json:"name"`
+	Start  time.Time     `json:"start"`
+	Dur    time.Duration `json:"dur_ns"`
+}
+
+// SpanLog is a bounded ring of recently finished spans — enough to
+// reconstruct recent interactions without unbounded memory. The zero
+// capacity of a NewSpanLog(0) defaults to 4096 records.
+type SpanLog struct {
+	mu   sync.Mutex
+	ring []SpanRecord
+	next int
+	full bool
+}
+
+// DefaultSpans is the process-wide span log; Span.End records into it
+// and the /debug/spans endpoint serves it.
+var DefaultSpans = NewSpanLog(4096)
+
+// NewSpanLog returns a ring holding the last n spans (4096 if n <= 0).
+func NewSpanLog(n int) *SpanLog {
+	if n <= 0 {
+		n = 4096
+	}
+	return &SpanLog{ring: make([]SpanRecord, n)}
+}
+
+func (l *SpanLog) add(rec SpanRecord) {
+	l.mu.Lock()
+	l.ring[l.next] = rec
+	l.next++
+	if l.next == len(l.ring) {
+		l.next = 0
+		l.full = true
+	}
+	l.mu.Unlock()
+}
+
+// snapshot copies the ring oldest-first.
+func (l *SpanLog) snapshot() []SpanRecord {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []SpanRecord
+	if l.full {
+		out = append(out, l.ring[l.next:]...)
+	}
+	out = append(out, l.ring[:l.next]...)
+	return out
+}
+
+// Trace returns every logged span of one trace, sorted by start time.
+func (l *SpanLog) Trace(id uint64) []SpanRecord {
+	all := l.snapshot()
+	out := all[:0:0]
+	for _, r := range all {
+		if r.Trace == id {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
+	return out
+}
+
+// Recent returns the last n finished spans, oldest first.
+func (l *SpanLog) Recent(n int) []SpanRecord {
+	all := l.snapshot()
+	if n > 0 && len(all) > n {
+		all = all[len(all)-n:]
+	}
+	return all
+}
+
+// LastTrace returns the ID of the most recently finished root span's
+// trace (zero when the log is empty) — a convenient handle for "show me
+// the latest interaction".
+func (l *SpanLog) LastTrace() uint64 {
+	all := l.snapshot()
+	for i := len(all) - 1; i >= 0; i-- {
+		if all[i].Parent == 0 {
+			return all[i].Trace
+		}
+	}
+	if len(all) > 0 {
+		return all[len(all)-1].Trace
+	}
+	return 0
+}
+
+// WriteTrace renders one trace as an indented tree with per-hop
+// durations and offsets from the trace's first span:
+//
+//	trace 42 (2 spans, 3.1ms)
+//	  +0s       client.interaction  3.1ms
+//	    +0.2ms  edge.request        2.7ms
+func WriteTrace(w io.Writer, spans []SpanRecord) error {
+	if len(spans) == 0 {
+		_, err := fmt.Fprintln(w, "trace: no spans")
+		return err
+	}
+	t0 := spans[0].Start
+	var total time.Duration
+	for _, s := range spans {
+		if end := s.Start.Add(s.Dur).Sub(t0); end > total {
+			total = end
+		}
+	}
+	if _, err := fmt.Fprintf(w, "trace %d (%d spans, %s)\n",
+		spans[0].Trace, len(spans), fmtDur(total)); err != nil {
+		return err
+	}
+	depth := make(map[uint64]int, len(spans))
+	byID := make(map[uint64]SpanRecord, len(spans))
+	for _, s := range spans {
+		byID[s.Span] = s
+	}
+	var depthOf func(id uint64) int
+	depthOf = func(id uint64) int {
+		if d, ok := depth[id]; ok {
+			return d
+		}
+		s, ok := byID[id]
+		if !ok || s.Parent == 0 {
+			depth[id] = 0
+			return 0
+		}
+		depth[id] = -1 // cycle guard while recursing
+		d := depthOf(s.Parent) + 1
+		if d <= 0 {
+			d = 0
+		}
+		depth[id] = d
+		return d
+	}
+	for _, s := range spans {
+		indent := 2 * (depthOf(s.Span) + 1)
+		if _, err := fmt.Fprintf(w, "%*s+%-9s %-24s %s\n",
+			indent, "", fmtDur(s.Start.Sub(t0)), s.Name, fmtDur(s.Dur)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceContext(t *testing.T) {
+	ctx := context.Background()
+	if TraceID(ctx) != 0 {
+		t.Fatal("background context should carry no trace")
+	}
+	ctx2, id := WithNewTrace(ctx)
+	if id == 0 || TraceID(ctx2) != id {
+		t.Fatalf("WithNewTrace: id=%d, TraceID=%d", id, TraceID(ctx2))
+	}
+	if WithTrace(ctx, 0) != ctx {
+		t.Fatal("WithTrace(0) must be a no-op")
+	}
+}
+
+func TestStartSpanUntracedIsNoop(t *testing.T) {
+	ctx := context.Background()
+	ctx2, sp := StartSpan(ctx, "noop")
+	if sp != nil {
+		t.Fatal("span on untraced context must be nil")
+	}
+	if ctx2 != ctx {
+		t.Fatal("untraced StartSpan must return ctx unchanged")
+	}
+	sp.End() // must not panic
+}
+
+func TestSpanParentageAndLog(t *testing.T) {
+	log := NewSpanLog(16)
+	ctx, id := WithNewTrace(context.Background())
+	ctx, root := StartSpan(ctx, "root")
+	_, child := StartSpan(ctx, "child")
+	time.Sleep(time.Millisecond)
+	// Record into a private log to keep the assertion hermetic.
+	child.rec.Dur = time.Since(child.rec.Start)
+	log.add(child.rec)
+	root.rec.Dur = time.Since(root.rec.Start)
+	log.add(root.rec)
+
+	spans := log.Trace(id)
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	var rootRec, childRec SpanRecord
+	for _, s := range spans {
+		switch s.Name {
+		case "root":
+			rootRec = s
+		case "child":
+			childRec = s
+		}
+	}
+	if childRec.Parent != rootRec.Span {
+		t.Fatalf("child parent = %d, want root span %d", childRec.Parent, rootRec.Span)
+	}
+	if rootRec.Parent != 0 {
+		t.Fatalf("root parent = %d, want 0", rootRec.Parent)
+	}
+
+	var sb strings.Builder
+	if err := WriteTrace(&sb, spans); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "root") || !strings.Contains(out, "child") {
+		t.Fatalf("WriteTrace output missing spans:\n%s", out)
+	}
+}
+
+func TestSpanEndFeedsDefaultRegistry(t *testing.T) {
+	before := Default.Histogram("span.obs_test").Snapshot().Count
+	ctx, _ := WithNewTrace(context.Background())
+	_, sp := StartSpan(ctx, "obs_test")
+	sp.End()
+	after := Default.Histogram("span.obs_test").Snapshot().Count
+	if after != before+1 {
+		t.Fatalf("span histogram count = %d, want %d", after, before+1)
+	}
+}
+
+func TestSpanLogRingWraps(t *testing.T) {
+	log := NewSpanLog(4)
+	for i := 1; i <= 10; i++ {
+		log.add(SpanRecord{Trace: uint64(i), Span: uint64(i), Name: "s", Start: time.Now()})
+	}
+	recent := log.Recent(0)
+	if len(recent) != 4 {
+		t.Fatalf("ring holds %d, want 4", len(recent))
+	}
+	if recent[0].Trace != 7 || recent[3].Trace != 10 {
+		t.Fatalf("ring order wrong: %+v", recent)
+	}
+	if log.LastTrace() != 10 {
+		t.Fatalf("LastTrace = %d, want 10", log.LastTrace())
+	}
+}

@@ -1,23 +1,3 @@
-// Package slicache implements the paper's core contribution: the Single
-// Logical Image (SLI) EJB caching runtime. A cache-enhanced application
-// server keeps transactionally-consistent cached copies of entity state:
-//
-//   - a per-transaction transient store tracks every bean a transaction
-//     touches, with its before-image (the state and version first
-//     observed) and its current state;
-//   - a common transient store, shared across transactions, provides
-//     inter-transaction caching: beans cached by one transaction are
-//     visible to concurrent and subsequent transactions (§2.3);
-//   - concurrency control is optimistic (detection-based, deferred
-//     validity checking): at commit, the transaction's before-images are
-//     validated against the persistent store, and the after-images are
-//     applied only if no conflict exists;
-//   - the persistent store pushes invalidation notices after commits, and
-//     the runtime evicts the affected common-store entries.
-//
-// The runtime implements component.ResourceManager, so applications
-// written against the component container are cache-enabled without any
-// code change — the transparency requirement of §1.3.
 package slicache
 
 import (
@@ -134,15 +114,18 @@ func (c *CommonStore) GetWithTime(key memento.Key) (memento.Memento, time.Time, 
 	defer c.mu.Unlock()
 	if !c.enabled {
 		c.misses.Add(1)
+		obsMisses.Inc()
 		return memento.Memento{}, time.Time{}, false
 	}
 	el, ok := c.entries[key]
 	if !ok {
 		c.misses.Add(1)
+		obsMisses.Inc()
 		return memento.Memento{}, time.Time{}, false
 	}
 	c.lru.MoveToFront(el)
 	c.hits.Add(1)
+	obsHits.Inc()
 	entry := el.Value.(*lruEntry)
 	return entry.mem.Clone(), entry.storedAt, true
 }
@@ -176,6 +159,7 @@ func (c *CommonStore) Put(m memento.Memento) {
 // invalidation round trip.
 func (c *CommonStore) Refresh(m memento.Memento) {
 	c.refreshes.Add(1)
+	obsRefreshes.Inc()
 	c.Put(m)
 }
 
@@ -192,6 +176,7 @@ func (c *CommonStore) Invalidate(keys ...memento.Key) {
 			c.lru.Remove(el)
 			delete(c.entries, k)
 			c.invalidations.Add(1)
+			obsInvalidations.Inc()
 		}
 	}
 }
@@ -206,6 +191,7 @@ func (c *CommonStore) Clear() {
 	c.entries = make(map[memento.Key]*list.Element)
 	c.lru.Init()
 	c.invalidations.Add(uint64(n))
+	obsInvalidations.Add(uint64(n))
 }
 
 // Len returns the number of cached entries.
@@ -242,5 +228,6 @@ func (c *CommonStore) evictOverflowLocked() {
 		c.lru.Remove(back)
 		delete(c.entries, entry.key)
 		c.evictions.Add(1)
+		obsEvictions.Inc()
 	}
 }

@@ -1,0 +1,26 @@
+// Package slicache implements the paper's core contribution: the Single
+// Logical Image (SLI) EJB caching runtime. A cache-enhanced application
+// server keeps transactionally-consistent cached copies of entity state:
+//
+//   - a per-transaction transient store tracks every bean a transaction
+//     touches, with its before-image (the state and version first
+//     observed) and its current state;
+//   - a common transient store, shared across transactions, provides
+//     inter-transaction caching: beans cached by one transaction are
+//     visible to concurrent and subsequent transactions (§2.3);
+//   - concurrency control is optimistic (detection-based, deferred
+//     validity checking): at commit, the transaction's before-images are
+//     validated against the persistent store, and the after-images are
+//     applied only if no conflict exists;
+//   - the persistent store pushes invalidation notices after commits, and
+//     the runtime evicts the affected common-store entries.
+//
+// The runtime implements component.ResourceManager, so applications
+// written against the component container are cache-enabled without any
+// code change — the transparency requirement of §1.3.
+//
+// Cache effectiveness is observable through the slicache.* metrics
+// (hits, misses, conflicts, invalidations, ...), and the remote work a
+// transaction causes — miss fetches, finder queries, commit shipping —
+// is timed as slicache.* trace spans (see OBSERVABILITY.md).
+package slicache

@@ -278,6 +278,7 @@ func (m *Manager) invalidationLoop(ch <-chan sqlstore.Notice, stop, done chan st
 		if m.degradeBound > 0 {
 			if !m.degraded.Swap(true) {
 				m.stats.degradations.Add(1)
+				obsDegradations.Inc()
 			}
 		} else {
 			m.common.Clear()
@@ -302,6 +303,7 @@ func (m *Manager) invalidationLoop(ch <-chan sqlstore.Notice, stop, done chan st
 					m.degraded.Store(false)
 				}
 				m.stats.resubscribes.Add(1)
+				obsResubscribes.Inc()
 				ch = newCh
 				break
 			}
@@ -326,6 +328,7 @@ func (m *Manager) drainNotices(ch <-chan sqlstore.Notice, stop chan struct{}) {
 			}
 			m.common.Invalidate(n.Keys...)
 			m.stats.noticesApplied.Add(1)
+			obsNoticesApplied.Inc()
 		case <-stop:
 			return
 		}

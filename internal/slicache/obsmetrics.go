@@ -1,0 +1,23 @@
+package slicache
+
+import "edgeejb/internal/obs"
+
+// Process-wide obs mirrors of the cache runtime's counters, summed
+// across every CommonStore and Manager in the process. The per-instance
+// Stats snapshots remain the harness's source of truth; these feed the
+// /metrics endpoint and per-phase diffs. Names are documented in
+// OBSERVABILITY.md (CI cross-checks them).
+var (
+	obsHits           = obs.Default.Counter("slicache.hits")
+	obsMisses         = obs.Default.Counter("slicache.misses")
+	obsInvalidations  = obs.Default.Counter("slicache.invalidations")
+	obsRefreshes      = obs.Default.Counter("slicache.refreshes")
+	obsEvictions      = obs.Default.Counter("slicache.evictions")
+	obsMissFetches    = obs.Default.Counter("slicache.miss_fetches")
+	obsCommits        = obs.Default.Counter("slicache.commits")
+	obsConflicts      = obs.Default.Counter("slicache.conflicts")
+	obsStaleServes    = obs.Default.Counter("slicache.stale_serves")
+	obsDegradations   = obs.Default.Counter("slicache.degradations")
+	obsResubscribes   = obs.Default.Counter("slicache.resubscribes")
+	obsNoticesApplied = obs.Default.Counter("slicache.notices_applied")
+)

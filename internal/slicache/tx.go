@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"edgeejb/internal/memento"
+	"edgeejb/internal/obs"
 	"edgeejb/internal/sqlstore"
 )
 
@@ -66,6 +67,7 @@ func (t *sliTx) Load(ctx context.Context, key memento.Key) (memento.Memento, err
 				ok = false
 			} else {
 				t.mgr.stats.staleServes.Add(1)
+				obsStaleServes.Inc()
 			}
 		}
 		if ok {
@@ -78,11 +80,14 @@ func (t *sliTx) Load(ctx context.Context, key memento.Key) (memento.Memento, err
 			return m, nil
 		}
 	}
-	m, err := t.mgr.loader.FetchOne(ctx, key)
+	fctx, sp := obs.StartSpan(ctx, "slicache.miss_fetch")
+	m, err := t.mgr.loader.FetchOne(fctx, key)
+	sp.End()
 	if err != nil {
 		return memento.Memento{}, err
 	}
 	t.mgr.stats.missFetches.Add(1)
+	obsMissFetches.Inc()
 	t.mgr.common.Put(m)
 	t.entries[key] = &entry{
 		before:    m.Clone(),
@@ -190,7 +195,9 @@ func (t *sliTx) Query(ctx context.Context, q memento.Query) ([]memento.Memento, 
 		return nil, sqlstore.ErrTxDone
 	}
 	t.mgr.stats.queries.Add(1)
-	persisted, err := t.mgr.loader.RunQuery(ctx, q)
+	qctx, sp := obs.StartSpan(ctx, "slicache.query")
+	persisted, err := t.mgr.loader.RunQuery(qctx, q)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -235,6 +242,7 @@ func (t *sliTx) Commit(ctx context.Context) error {
 	cs := t.buildCommitSet()
 	if cs.IsEmpty() {
 		t.mgr.stats.commits.Add(1)
+		obsCommits.Inc()
 		return nil
 	}
 	if cs.Mutations() == 0 && t.mgr.localReadOnly {
@@ -244,12 +252,16 @@ func (t *sliTx) Commit(ctx context.Context) error {
 		// is why "each client request involves at least one round-trip
 		// call to the back-end server" (§4.4).
 		t.mgr.stats.commits.Add(1)
+		obsCommits.Inc()
 		return nil
 	}
 
-	outcome, err := t.mgr.loader.Commit(ctx, cs)
+	cctx, sp := obs.StartSpan(ctx, "slicache.commit")
+	outcome, err := t.mgr.loader.Commit(cctx, cs)
+	sp.End()
 	if err != nil {
 		t.mgr.stats.conflicts.Add(1)
+		obsConflicts.Inc()
 		// Conservatively evict everything this transaction touched: at
 		// least one entry is known stale.
 		keys := make([]memento.Key, 0, len(t.entries))
@@ -261,6 +273,7 @@ func (t *sliTx) Commit(ctx context.Context) error {
 	}
 	t.mgr.recordOwnTx(outcome.TxID)
 	t.mgr.stats.commits.Add(1)
+	obsCommits.Inc()
 
 	// Refresh the common store with committed after-images and evict
 	// removed beans.

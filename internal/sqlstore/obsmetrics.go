@@ -1,0 +1,16 @@
+package sqlstore
+
+import "edgeejb/internal/obs"
+
+// Process-wide obs mirrors of the store's transaction outcomes, summed
+// across every Store in the process. The per-store Stats snapshot
+// remains the harness's source of truth; these feed /metrics and
+// per-phase diffs. Names are documented in OBSERVABILITY.md.
+var (
+	obsTxBegins     = obs.Default.Counter("sqlstore.tx_begins")
+	obsTxCommits    = obs.Default.Counter("sqlstore.tx_commits")
+	obsTxAborts     = obs.Default.Counter("sqlstore.tx_aborts")
+	obsOptCommits   = obs.Default.Counter("sqlstore.opt_commits")
+	obsOptConflicts = obs.Default.Counter("sqlstore.opt_conflicts")
+	obsLockTimeouts = obs.Default.Counter("sqlstore.lock_timeouts")
+)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"edgeejb/internal/memento"
+	"edgeejb/internal/obs"
 )
 
 // ApplyResult reports the outcome of an optimistic commit.
@@ -31,6 +32,8 @@ type ApplyResult struct {
 // wire (Tx.CheckVersion / Tx.CheckedPut / Tx.CheckedDelete), paying one
 // round trip per memento image.
 func (s *Store) ApplyCommitSet(ctx context.Context, cs memento.CommitSet) (ApplyResult, error) {
+	ctx, sp := obs.StartSpan(ctx, "sqlstore.apply")
+	defer sp.End()
 	tx, err := s.Begin(ctx)
 	if err != nil {
 		return ApplyResult{}, err
@@ -39,12 +42,14 @@ func (s *Store) ApplyCommitSet(ctx context.Context, cs memento.CommitSet) (Apply
 	if err != nil {
 		tx.Abort()
 		s.stats.optFail.Add(1)
+		obsOptConflicts.Inc()
 		return ApplyResult{}, err
 	}
 	if err := tx.Commit(); err != nil {
 		return ApplyResult{}, err
 	}
 	s.stats.optOK.Add(1)
+	obsOptCommits.Inc()
 	res.TxID = tx.ID()
 	return res, nil
 }

@@ -32,6 +32,7 @@ func (s *Store) Begin(ctx context.Context) (*Tx, error) {
 	}
 	_ = ctx
 	s.stats.begins.Add(1)
+	obsTxBegins.Inc()
 	return &Tx{
 		s:      s,
 		id:     lockmgr.Owner(s.nextTx.Add(1)),
@@ -342,6 +343,7 @@ func (tx *Tx) Commit() error {
 	keys := tx.s.applyWrites(tx.writes)
 	tx.s.lm.ReleaseAll(tx.id)
 	tx.s.stats.commits.Add(1)
+	obsTxCommits.Inc()
 	tx.s.broadcast(Notice{TxID: uint64(tx.id), Keys: keys})
 	return nil
 }
@@ -356,11 +358,13 @@ func (tx *Tx) Abort() {
 	tx.writes = nil
 	tx.s.lm.ReleaseAll(tx.id)
 	tx.s.stats.aborts.Add(1)
+	obsTxAborts.Inc()
 }
 
 func (s *Store) noteLockErr(err error) {
 	if errors.Is(err, lockmgr.ErrTimeout) || errors.Is(err, lockmgr.ErrDeadlock) {
 		s.stats.lockTimeouts.Add(1)
+		obsLockTimeouts.Inc()
 	}
 }
 

@@ -1,0 +1,6 @@
+// Package stats provides the small statistics toolkit the evaluation
+// needs: ordinary least-squares linear fits (for the latency-sensitivity
+// slopes of Table 2 and the "R² = 99%" fit quality the paper reports),
+// summaries, and the batch means behind the 95% confidence intervals of
+// §4.3.
+package stats

@@ -1,7 +1,3 @@
-// Package stats provides the small statistics toolkit the evaluation
-// needs: ordinary least-squares linear fits (for the latency-sensitivity
-// slopes of Table 2 and the "R² = 99%" fit quality the paper reports),
-// summaries, and batch means.
 package stats
 
 import (

@@ -1,0 +1,8 @@
+// Package storeapi defines the datastore access interface shared by the
+// local (in-process) store and the remote (wire) driver. Application
+// servers are written against these interfaces so that the same resource
+// managers run unchanged whether the database is colocated (Clients/RAS,
+// the back-end server's store) or across the high-latency path (ES/RDB)
+// — the deployment flexibility that lets the harness rearrange the
+// tiers of Figures 3–5 without touching application code.
+package storeapi

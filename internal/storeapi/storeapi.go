@@ -1,8 +1,3 @@
-// Package storeapi defines the datastore access interface shared by the
-// local (in-process) store and the remote (wire) driver. Application
-// servers are written against these interfaces so that the same resource
-// managers run unchanged whether the database is colocated (Clients/RAS,
-// the back-end server's store) or across the high-latency path (ES/RDB).
 package storeapi
 
 import (

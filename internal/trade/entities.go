@@ -1,10 +1,3 @@
-// Package trade reimplements the Trade2 benchmark application the paper
-// evaluates: "an online brokerage firm providing web-based services such
-// as login, buy, sell, get quote and more". The entity beans, the
-// per-action CMP operations and the per-action database activity follow
-// Table 1 of the paper exactly; the session logic drives one
-// transaction per trade action, and the workload generator produces
-// random sessions of about 11 actions bracketed by login and logout.
 package trade
 
 import (

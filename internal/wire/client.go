@@ -8,6 +8,8 @@ import (
 	"reflect"
 	"sync"
 	"time"
+
+	"edgeejb/internal/obs"
 )
 
 // Client is a multiplexing transport client. One-shot Calls share a
@@ -78,7 +80,7 @@ func NewClient(addr string, opts ...Option) *Client {
 		maxShared:     2,
 		maxPinnedIdle: 4,
 		maxFrame:      DefaultMaxFrame,
-		stats:         newCollector(),
+		stats:         newCollector("client"),
 		conns:         make(map[*conn]struct{}),
 	}
 	for _, o := range opts {
@@ -423,7 +425,11 @@ func (cn *conn) roundTrip(ctx context.Context, req, resp any) error {
 
 	cn.wmu.Lock()
 	_ = cn.nc.SetWriteDeadline(deadline)
-	n, werr := cn.fw.writeFrame(&frameHeader{ID: cl.id, Kind: kindRequest}, req)
+	n, werr := cn.fw.writeFrame(&frameHeader{
+		ID:    cl.id,
+		Kind:  kindRequest,
+		Trace: obs.TraceID(ctx),
+	}, req)
 	cn.wmu.Unlock()
 	if werr != nil {
 		cn.c.stats.failure(label)

@@ -1,0 +1,33 @@
+// Package wire is the shared transport layer under every TCP protocol
+// in this repository: the database driver protocol (package dbwire, and
+// package backend riding on it) and the application-server client
+// protocol (package appserver). Each previously carried its own framing,
+// dialing, pooling, and accept-loop code; every byte the experiments
+// measure crosses this one implementation instead, so the edge↔origin
+// RPC path can be optimized and instrumented in a single place.
+//
+// The transport is a length-prefixed, gob-framed request/response
+// protocol:
+//
+//   - Client multiplexes concurrent requests over a small set of shared
+//     connections using per-request IDs (pipelining: N concurrent
+//     one-shot calls cost ~1 round-trip wall time on a high-latency
+//     path, instead of N connections or N serialized round trips).
+//   - Stream pins one connection exclusively, for protocols whose
+//     server-side state is per-connection (transactions) or that switch
+//     the connection into server-push mode (invalidation
+//     subscriptions).
+//   - Context deadlines and cancellation propagate to the socket:
+//     writes run under SetWriteDeadline, and the per-connection reader
+//     holds a SetReadDeadline at the earliest pending deadline, so a
+//     call against a stalled server returns by its deadline.
+//   - Server drains gracefully on Close: stop accepting, finish
+//     in-flight requests, bounded by a drain timeout, then force-close.
+//   - Both ends keep counters and per-op latency histograms, exposed as
+//     a Stats snapshot, so byte accounting on the shared path no longer
+//     depends on the delay proxy alone. The same counts are mirrored
+//     process-wide as the wire.client.* / wire.server.* metrics.
+//   - Frame headers carry an optional trace ID, so a span tree started
+//     at the client reassembles across tiers; untraced requests encode
+//     byte-identically to the pre-tracing format (see OBSERVABILITY.md).
+package wire

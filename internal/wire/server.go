@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"edgeejb/internal/obs"
 )
 
 // ConnHandler holds the per-connection state of one protocol — for the
@@ -108,7 +110,7 @@ func NewServer(newHandler func() ConnHandler, opts ...ServerOption) *Server {
 		newHandler:   newHandler,
 		drainTimeout: 5 * time.Second,
 		maxFrame:     DefaultMaxFrame,
-		stats:        newCollector(),
+		stats:        newCollector("server"),
 		baseCtx:      ctx,
 		cancel:       cancel,
 		conns:        make(map[*serverConn]struct{}),
@@ -173,6 +175,7 @@ func (s *Server) acceptLoop(ln net.Listener) {
 			fr:     newFrameReader(nc, s.maxFrame),
 			ctx:    ctx,
 			cancel: cancel,
+			tasks:  make(chan dispatchTask),
 		}
 		s.conns[sc] = struct{}{}
 		s.wg.Add(1)
@@ -248,6 +251,18 @@ type serverConn struct {
 
 	handlers sync.WaitGroup
 	draining atomic.Bool
+
+	// tasks hands requests to idle warm dispatch workers; see worker.
+	tasks chan dispatchTask
+}
+
+// dispatchTask is one decoded request on its way to a handler
+// goroutine.
+type dispatchTask struct {
+	ctx   context.Context
+	id    uint64
+	label string
+	body  any
 }
 
 func (sc *serverConn) serve() {
@@ -296,14 +311,40 @@ func (sc *serverConn) readRequests() bool {
 		label := labelOf(body)
 		sc.srv.stats.received(label, size)
 		sc.handlers.Add(1)
-		go sc.dispatch(h.ID, label, body)
+		// Requests arriving with a trace ID continue that trace on this
+		// side of the process boundary (obs.WithTrace is a no-op on zero).
+		t := dispatchTask{ctx: obs.WithTrace(sc.ctx, h.Trace), id: h.ID, label: label, body: body}
+		select {
+		case sc.tasks <- t:
+			// Handed to an idle warm worker.
+		default:
+			// Every worker is busy (or none exists yet): grow the pool.
+			go sc.worker(t)
+		}
 	}
 }
 
-func (sc *serverConn) dispatch(id uint64, label string, body any) {
+// worker runs one dispatch, then parks waiting for the next request
+// instead of exiting. Reusing the goroutine keeps its already-grown
+// stack warm: response encoding is deep enough to outgrow a fresh
+// goroutine's initial stack, and a goroutine-per-request design pays
+// that stack-copy on every single call. Idle workers are reaped when
+// the connection's context is cancelled at teardown.
+func (sc *serverConn) worker(t dispatchTask) {
+	for {
+		sc.dispatch(t.ctx, t.id, t.label, t.body)
+		select {
+		case t = <-sc.tasks:
+		case <-sc.ctx.Done():
+			return
+		}
+	}
+}
+
+func (sc *serverConn) dispatch(ctx context.Context, id uint64, label string, body any) {
 	defer sc.handlers.Done()
 	start := time.Now()
-	resp := sc.h.Handle(sc.ctx, &Session{sc: sc}, id, body)
+	resp := sc.h.Handle(ctx, &Session{sc: sc}, id, body)
 	if resp == nil {
 		return
 	}

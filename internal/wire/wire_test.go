@@ -2,6 +2,7 @@ package wire
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"runtime"
@@ -265,7 +266,11 @@ func TestContextDeadlineOnStalledServer(t *testing.T) {
 	if err == nil {
 		t.Fatal("call against stalled server succeeded")
 	}
-	if ctx.Err() == nil {
+	// The socket's read deadline is set to the context deadline and may
+	// fire a hair before the context's own timer publishes Done, so a
+	// DeadlineExceeded error with ctx.Err() still nil is a correct
+	// outcome, not an early return.
+	if ctx.Err() == nil && !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("returned before deadline with %v", err)
 	}
 	if elapsed > 2*time.Second {

@@ -1,0 +1,28 @@
+#!/bin/sh
+# Checks that every relative markdown link ([text](path) without a
+# scheme) in the repo's documentation points at a file that exists.
+# External http(s) links and pure #anchors are skipped — CI must not
+# depend on the network.
+set -eu
+cd "$(dirname "$0")/.."
+
+fail=0
+for md in *.md; do
+	links=$(grep -o -E '\]\([^)]+\)' "$md" | sed -E 's/^\]\(//; s/\)$//') || continue
+	for link in $links; do
+		case "$link" in
+		http://* | https://* | mailto:* | '#'*) continue ;;
+		esac
+		target=${link%%#*}
+		[ -n "$target" ] || continue
+		if [ ! -e "$target" ]; then
+			echo "$md: broken link: $link" >&2
+			fail=1
+		fi
+	done
+done
+
+if [ "$fail" -ne 0 ]; then
+	exit 1
+fi
+echo "check_md_links: all relative links resolve"

@@ -1,0 +1,44 @@
+#!/bin/sh
+# Fails if a metric or span name registered in the code is missing from
+# OBSERVABILITY.md. Names are extracted from non-test sources:
+#
+#   - obs.Default.Counter/Gauge/Histogram("literal")
+#   - Counter/Gauge/Histogram(p + "suffix") where p = "wire.<role>."
+#     (the wire package builds its names from a role prefix; both roles
+#     are expanded here)
+#   - obs.StartSpan(ctx, "name"), documented as span.<name>
+#
+# Dynamically-built names beyond the known wire roles would evade the
+# grep; keep registrations literal so this check stays sound.
+set -eu
+cd "$(dirname "$0")/.."
+
+doc=OBSERVABILITY.md
+fail=0
+
+names=$(
+	grep -rho --include='*.go' --exclude='*_test.go' \
+		-E 'obs\.Default\.(Counter|Gauge|Histogram)\("[^"]+"\)' internal cmd |
+		sed -E 's/.*\("([^"]+)"\).*/\1/'
+	# wire.<role>.<suffix> names built in newWireMetrics
+	suffixes=$(grep -ho -E '(Counter|Gauge|Histogram)\(p \+ "[^"]+"\)' internal/wire/stats.go |
+		sed -E 's/.*\(p \+ "([^"]+)"\).*/\1/')
+	for role in client server; do
+		for s in $suffixes; do echo "wire.$role.$s"; done
+	done
+	grep -rho --include='*.go' --exclude='*_test.go' \
+		-E 'obs\.StartSpan\([^,]+, "[^"]+"' internal cmd |
+		sed -E 's/.*, "([^"]+)".*/span.\1/'
+)
+
+for name in $(printf '%s\n' "$names" | sort -u); do
+	if ! grep -q -F "\`$name\`" "$doc"; then
+		echo "undocumented metric: $name (add it to $doc)" >&2
+		fail=1
+	fi
+done
+
+if [ "$fail" -ne 0 ]; then
+	exit 1
+fi
+echo "check_metrics_docs: every registered metric name appears in $doc"
