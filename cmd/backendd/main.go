@@ -39,6 +39,9 @@ func run(args []string) error {
 		return err
 	}
 
+	// Label this process's spans for cross-tier trace assembly.
+	obs.SetTier("backend")
+
 	if *debug != "" {
 		dbg, err := obs.StartDebug(*debug, obs.DebugOptions{})
 		if err != nil {

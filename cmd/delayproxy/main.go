@@ -38,6 +38,9 @@ func run(args []string) error {
 		return err
 	}
 
+	// Label this process's spans for cross-tier trace assembly.
+	obs.SetTier("proxy")
+
 	if *debug != "" {
 		dbg, err := obs.StartDebug(*debug, obs.DebugOptions{})
 		if err != nil {

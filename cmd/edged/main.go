@@ -48,6 +48,11 @@ func run(args []string) error {
 		return err
 	}
 
+	// Label this process's spans for cross-tier trace assembly (the
+	// span-name prefix table already covers the built-in span names;
+	// this catches any future unprefixed ones).
+	obs.SetTier("edge")
+
 	if *debug != "" {
 		dbg, err := obs.StartDebug(*debug, obs.DebugOptions{})
 		if err != nil {

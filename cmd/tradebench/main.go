@@ -9,6 +9,9 @@
 //	tradebench -fig6 -fig8              # selected experiments
 //	tradebench -table1                  # no measurement needed
 //	tradebench -all -sessions 50 -delays 0ms,2ms,4ms,8ms
+//	tradebench -fig6 -out-dir runs      # + per-run artifact directory:
+//	                                    # Perfetto trace, waterfalls,
+//	                                    # time-series CSVs, MANIFEST.json
 //
 // Latency sensitivities (Table 2 slopes) are delay-scale-invariant, so
 // the default sweep uses small delays to keep wall-clock reasonable;
@@ -27,6 +30,7 @@ import (
 	"edgeejb/internal/harness"
 	"edgeejb/internal/latency"
 	"edgeejb/internal/obs"
+	"edgeejb/internal/obs/collect"
 	"edgeejb/internal/trade"
 )
 
@@ -53,6 +57,11 @@ func run(args []string) error {
 
 		metrics   = fs.Bool("metrics", false, "print per-phase process metrics and span-derived latency breakdowns")
 		debugAddr = fs.String("debug-addr", "", "serve /metrics, /healthz and /debug/pprof on this address while running")
+
+		outDir      = fs.String("out-dir", "", "collect per-run artifacts (Perfetto trace, waterfalls, time-series CSVs, registry diffs, reports, MANIFEST.json) under a timestamped directory here")
+		sampleEvery = fs.Duration("sample-every", 250*time.Millisecond, "registry sampling interval for -out-dir time series")
+		spanBuffer  = fs.Int("span-buffer", 65536, "span ring capacity while collecting artifacts (with -out-dir)")
+		waterfalls  = fs.Int("waterfalls", 3, "number of slowest and of median trace waterfalls to render (with -out-dir)")
 
 		faultReset      = fs.Float64("fault-reset", 0.08, "per-connection probability of an abrupt reset (with -faults)")
 		faultResetAfter = fs.Int("fault-reset-after", 64*1024, "max bytes a doomed connection forwards before the reset")
@@ -132,17 +141,56 @@ func run(args []string) error {
 		fmt.Fprintf(os.Stderr, "debug endpoints on http://%s/metrics\n", dbg.Addr())
 	}
 
+	// With -out-dir, every phase feeds a per-run artifact directory:
+	// a widened span ring (so trace assembly sees whole interactions,
+	// not the tail of the run), a registry sampler for time-series
+	// CSVs, per-phase registry diffs, and — after the measured phases —
+	// the assembled cross-tier traces.
+	var (
+		art     *harness.Artifacts
+		sampler *obs.Sampler
+	)
+	if *outDir != "" {
+		obs.DefaultSpans = obs.NewSpanLog(*spanBuffer)
+		var err error
+		art, err = harness.NewArtifacts(*outDir, args)
+		if err != nil {
+			return err
+		}
+		sampler = obs.NewSampler(obs.Default, *sampleEvery, 0)
+		sampler.Start()
+		defer sampler.Stop()
+		fmt.Fprintf(os.Stderr, "collecting run artifacts in %s\n", art.Dir)
+	}
+
 	// phase runs one experiment phase and, with -metrics, prints the
 	// process metrics it accumulated (a diff, so phases don't bleed into
-	// each other).
+	// each other). With -out-dir the diff and the phase's metric time
+	// series also land in the artifact directory.
 	phase := func(name string, f func() error) error {
 		before := obs.Default.Snapshot()
+		start := time.Now()
+		if sampler != nil {
+			sampler.SampleNow()
+		}
 		if err := f(); err != nil {
 			return err
 		}
+		diff := obs.Default.Diff(before)
 		if *metrics {
 			fmt.Printf("\nMetrics accumulated by the %s phase:\n", name)
-			if err := obs.Default.Snapshot().Sub(before).WriteText(os.Stdout); err != nil {
+			if err := diff.WriteText(os.Stdout); err != nil {
+				return err
+			}
+		}
+		if art != nil {
+			sampler.SampleNow()
+			end := time.Now()
+			art.RecordPhase(name, start, end)
+			if err := art.WriteRegistryDiff(name, diff); err != nil {
+				return err
+			}
+			if err := art.WriteTimeSeries(name, sampler.SamplesBetween(start, end.Add(time.Millisecond))); err != nil {
 				return err
 			}
 		}
@@ -174,9 +222,35 @@ func run(args []string) error {
 		fmt.Println()
 	}
 
+	// finishArtifacts assembles the run's traces and finalizes the
+	// artifact directory; it runs at whichever exit the run takes.
+	finishArtifacts := func(eval *harness.Evaluation) error {
+		if art == nil {
+			return nil
+		}
+		c := collect.NewCollector(collect.FromLog("proc", obs.DefaultSpans))
+		if err := c.Poll(); err != nil {
+			return err
+		}
+		traces := c.Traces()
+		if err := art.WriteTraces(traces, *waterfalls, obs.DefaultSpans.Dropped()); err != nil {
+			return err
+		}
+		if eval != nil {
+			if err := art.WriteEvalReports(eval); err != nil {
+				return err
+			}
+		}
+		if err := art.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "run artifacts in %s (%d traces assembled)\n", art.Dir, len(traces))
+		return nil
+	}
+
 	needsMeasurement := *fig6 || *fig7 || *fig8 || *table2 || *thru || *actions
 	if !needsMeasurement {
-		return nil
+		return finishArtifacts(nil)
 	}
 
 	var eval *harness.Evaluation
@@ -228,7 +302,7 @@ func run(args []string) error {
 			return err
 		}
 	}
-	return nil
+	return finishArtifacts(eval)
 }
 
 // runFaults measures resilience under fault injection for the three

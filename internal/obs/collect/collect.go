@@ -1,0 +1,317 @@
+// Package collect turns the per-process span ring buffers of a running
+// deployment into run-level trace artifacts. It gathers finished spans
+// from every tier (in-process SpanLogs for harness runs, /debug/spans
+// over HTTP for daemons), joins them by trace ID into trees, repairs
+// cross-process clock skew, and renders the result as Chrome
+// trace-event JSON (loadable in ui.perfetto.dev) or plain-text
+// waterfalls — the per-hop latency decomposition the paper's Figures
+// 6–8 argue from.
+package collect
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"edgeejb/internal/obs"
+)
+
+// Span is one assembled span: the raw record, the source that exported
+// it, and a skew-adjusted start time (see Assemble).
+type Span struct {
+	obs.SpanRecord
+	// Source names the Source the record came from — in a distributed
+	// deployment, one per daemon.
+	Source string
+	// Adjusted is the skew-corrected start time. Spans from the same
+	// source as their parent keep their parent's correction; spans that
+	// crossed a process boundary are re-centered inside their parent's
+	// window (the parent's start and end are the wire layer's
+	// request-send and response-receive timestamps, so centering
+	// estimates the one-way offset the same way NTP does).
+	Adjusted time.Time
+	// Children are this span's assembled children, by adjusted start.
+	Children []*Span
+}
+
+// End returns the span's adjusted end time.
+func (s *Span) End() time.Time { return s.Adjusted.Add(s.Dur) }
+
+// Trace is one interaction's assembled span tree.
+type Trace struct {
+	// ID is the trace ID every span shares.
+	ID uint64
+	// Spans holds every span of the trace, sorted by adjusted start.
+	Spans []*Span
+	// Roots are the spans with no resolvable parent. A well-formed
+	// trace has exactly one; orphans (nonzero parent that was never
+	// exported, e.g. evicted from a full ring) surface as extra roots.
+	Roots []*Span
+	// Orphans counts spans whose nonzero parent could not be resolved.
+	Orphans int
+	// Complete reports a single root and no orphans. Incomplete traces
+	// are still rendered — with the gap visible — rather than dropped.
+	Complete bool
+}
+
+// Root returns the earliest root span (nil for an empty trace).
+func (t *Trace) Root() *Span {
+	if len(t.Roots) == 0 {
+		return nil
+	}
+	return t.Roots[0]
+}
+
+// Start returns the trace's earliest adjusted span start.
+func (t *Trace) Start() time.Time {
+	if len(t.Spans) == 0 {
+		return time.Time{}
+	}
+	return t.Spans[0].Adjusted
+}
+
+// Duration returns the wall-clock window the trace covers, from its
+// earliest adjusted start to its latest adjusted end.
+func (t *Trace) Duration() time.Duration {
+	var end time.Time
+	for _, s := range t.Spans {
+		if e := s.End(); e.After(end) {
+			end = e
+		}
+	}
+	if len(t.Spans) == 0 {
+		return 0
+	}
+	return end.Sub(t.Spans[0].Adjusted)
+}
+
+// Tiers returns the distinct tier labels the trace touches, in order of
+// first appearance.
+func (t *Trace) Tiers() []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, s := range t.Spans {
+		if !seen[s.Tier] {
+			seen[s.Tier] = true
+			out = append(out, s.Tier)
+		}
+	}
+	return out
+}
+
+// Batch is one source's contribution to an assembly.
+type Batch struct {
+	// Source labels where the spans came from (daemon name, tier, or
+	// "proc" for an in-process run).
+	Source string
+	// Spans are the raw records, in any order.
+	Spans []obs.SpanRecord
+}
+
+// Assemble joins spans from every batch into per-trace trees. Records
+// may arrive out of order and duplicated across polls (duplicates by
+// (trace, span) are dropped, first occurrence wins). Spans whose
+// parent is missing become extra roots and mark the trace incomplete.
+// Cross-source parent/child edges get clock-skew repair: the child
+// subtree is shifted so the child centers inside its parent's window.
+// Traces are returned sorted by start time.
+func Assemble(batches ...Batch) []*Trace {
+	type spanKey struct{ trace, span uint64 }
+	byTrace := make(map[uint64][]*Span)
+	seen := make(map[spanKey]bool)
+	for _, b := range batches {
+		for _, rec := range b.Spans {
+			if rec.Trace == 0 || rec.Span == 0 {
+				continue
+			}
+			k := spanKey{rec.Trace, rec.Span}
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			byTrace[rec.Trace] = append(byTrace[rec.Trace], &Span{
+				SpanRecord: rec,
+				Source:     b.Source,
+				Adjusted:   rec.Start,
+			})
+		}
+	}
+
+	traces := make([]*Trace, 0, len(byTrace))
+	for id, spans := range byTrace {
+		traces = append(traces, assembleOne(id, spans))
+	}
+	sort.Slice(traces, func(i, j int) bool { return traces[i].Start().Before(traces[j].Start()) })
+	return traces
+}
+
+func assembleOne(id uint64, spans []*Span) *Trace {
+	t := &Trace{ID: id}
+	byID := make(map[uint64]*Span, len(spans))
+	for _, s := range spans {
+		byID[s.Span] = s
+	}
+	for _, s := range spans {
+		parent := byID[s.Parent]
+		switch {
+		case s.Parent == 0:
+			t.Roots = append(t.Roots, s)
+		case parent == nil || parent == s:
+			t.Orphans++
+			t.Roots = append(t.Roots, s)
+		default:
+			parent.Children = append(parent.Children, s)
+		}
+	}
+	// Guard against parent cycles (corrupt input): any span not
+	// reachable from a root is promoted to one.
+	reached := make(map[*Span]bool, len(spans))
+	var mark func(*Span)
+	mark = func(s *Span) {
+		if reached[s] {
+			return
+		}
+		reached[s] = true
+		for _, c := range s.Children {
+			mark(c)
+		}
+	}
+	for _, r := range t.Roots {
+		mark(r)
+	}
+	for _, s := range spans {
+		if !reached[s] {
+			t.Orphans++
+			t.Roots = append(t.Roots, s)
+			// Detach the promoted span from its in-cycle parent so the
+			// span graph is a forest again and tree walks terminate.
+			if p := byID[s.Parent]; p != nil {
+				for i, c := range p.Children {
+					if c == s {
+						p.Children = append(p.Children[:i], p.Children[i+1:]...)
+						break
+					}
+				}
+			}
+			mark(s)
+		}
+	}
+
+	for _, r := range t.Roots {
+		adjust(r, 0)
+	}
+	t.Spans = spans
+	sort.Slice(t.Spans, func(i, j int) bool { return t.Spans[i].Adjusted.Before(t.Spans[j].Adjusted) })
+	sort.Slice(t.Roots, func(i, j int) bool { return t.Roots[i].Adjusted.Before(t.Roots[j].Adjusted) })
+	t.Complete = len(t.Roots) == 1 && t.Orphans == 0
+	return t
+}
+
+// adjust applies clock-skew correction down one subtree. shift is the
+// correction inherited from the nearest same-source ancestor chain;
+// when a child crossed a source boundary its own shift is recomputed so
+// the child sits centered inside the parent's (already adjusted)
+// window. In-process assemblies have a single source, every shift is
+// zero, and timestamps pass through untouched.
+func adjust(s *Span, shift time.Duration) {
+	s.Adjusted = s.Start.Add(shift)
+	for _, c := range s.Children {
+		cshift := shift
+		if c.Source != s.Source {
+			want := s.Adjusted.Add((s.Dur - c.Dur) / 2)
+			if want.Before(s.Adjusted) {
+				// Child outlasts its parent (lost response, clock
+				// trouble): pin its start to the parent's rather than
+				// extrapolating backwards.
+				want = s.Adjusted
+			}
+			cshift = want.Sub(c.Start)
+		}
+		adjust(c, cshift)
+	}
+	sort.Slice(s.Children, func(i, j int) bool {
+		return s.Children[i].Adjusted.Before(s.Children[j].Adjusted)
+	})
+}
+
+// Slowest returns the n traces with the longest duration, slowest
+// first.
+func Slowest(traces []*Trace, n int) []*Trace {
+	out := append([]*Trace(nil), traces...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Duration() > out[j].Duration() })
+	if n < len(out) {
+		out = out[:n]
+	}
+	return out
+}
+
+// Medians returns up to n traces centered on the median duration —
+// the "typical interaction" complement to Slowest.
+func Medians(traces []*Trace, n int) []*Trace {
+	out := append([]*Trace(nil), traces...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Duration() < out[j].Duration() })
+	if n >= len(out) {
+		return out
+	}
+	lo := (len(out) - n) / 2
+	return out[lo : lo+n]
+}
+
+// WriteWaterfall renders one assembled trace as an indented tree with
+// tier labels, per-hop offsets from the trace start, and durations:
+//
+//	trace 42 — 5 spans, tiers client>edge>backend>db, 3.1ms, complete
+//	+0s       [client ] client.interaction   3.1ms
+//	  +0.2ms  [edge   ] edge.request         2.7ms
+//	    +0.9ms  [backend] backend.apply      1.1ms
+func WriteWaterfall(w io.Writer, t *Trace) error {
+	status := "complete"
+	if !t.Complete {
+		status = fmt.Sprintf("INCOMPLETE (%d roots, %d orphans)", len(t.Roots), t.Orphans)
+	}
+	tiers := ""
+	for i, tier := range t.Tiers() {
+		if i > 0 {
+			tiers += ">"
+		}
+		tiers += tier
+	}
+	if _, err := fmt.Fprintf(w, "trace %d — %d spans, tiers %s, %s, %s\n",
+		t.ID, len(t.Spans), tiers, fmtDur(t.Duration()), status); err != nil {
+		return err
+	}
+	t0 := t.Start()
+	var walk func(s *Span, depth int) error
+	walk = func(s *Span, depth int) error {
+		if _, err := fmt.Fprintf(w, "%*s+%-9s [%-7s] %-24s %s\n",
+			2*depth, "", fmtDur(s.Adjusted.Sub(t0)), s.Tier, s.Name, fmtDur(s.Dur)); err != nil {
+			return err
+		}
+		for _, c := range s.Children {
+			if err := walk(c, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, r := range t.Roots {
+		if err := walk(r, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fmtDur rounds durations for the waterfall the same way the obs text
+// endpoints do.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return d.Round(time.Millisecond).String()
+	case d >= time.Millisecond:
+		return d.Round(10 * time.Microsecond).String()
+	default:
+		return d.Round(time.Microsecond).String()
+	}
+}

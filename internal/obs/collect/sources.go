@@ -1,0 +1,141 @@
+package collect
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"edgeejb/internal/obs"
+)
+
+// Source yields the spans one tier finished since a given time. The
+// collector polls each source with a per-source high-water mark, so a
+// source only ships what is new (modulo a one-instant overlap the
+// assembler dedups).
+type Source interface {
+	// Name labels spans from this source in the assembly; use the
+	// daemon or tier name.
+	Name() string
+	// Fetch returns spans that started at or after since (the zero time
+	// means everything retained).
+	Fetch(since time.Time) ([]obs.SpanRecord, error)
+}
+
+// logSource drains an in-process SpanLog — the source harness-driven
+// runs use, where every tier shares the process and DefaultSpans.
+type logSource struct {
+	name string
+	log  *obs.SpanLog
+}
+
+// FromLog returns a Source over an in-process span log.
+func FromLog(name string, l *obs.SpanLog) Source { return logSource{name: name, log: l} }
+
+func (s logSource) Name() string { return s.name }
+
+func (s logSource) Fetch(since time.Time) ([]obs.SpanRecord, error) {
+	return s.log.Since(since), nil
+}
+
+// httpSource polls a daemon's /debug/spans endpoint for JSON records —
+// the source a distributed deployment uses, one per -debug-addr.
+type httpSource struct {
+	name string
+	base string
+	c    *http.Client
+}
+
+// FromHTTP returns a Source that polls the debug listener at base
+// (e.g. "http://127.0.0.1:8100") via /debug/spans?format=json&since=.
+func FromHTTP(name, base string) Source {
+	return httpSource{name: name, base: base, c: &http.Client{Timeout: 10 * time.Second}}
+}
+
+func (s httpSource) Name() string { return s.name }
+
+func (s httpSource) Fetch(since time.Time) ([]obs.SpanRecord, error) {
+	u := s.base + "/debug/spans?format=json"
+	if !since.IsZero() {
+		u += "&since=" + url.QueryEscape(strconv.FormatInt(since.UnixNano(), 10))
+	}
+	resp, err := s.c.Get(u)
+	if err != nil {
+		return nil, fmt.Errorf("collect: poll %s: %w", s.name, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("collect: poll %s: status %d: %s", s.name, resp.StatusCode, body)
+	}
+	var recs []obs.SpanRecord
+	if err := json.NewDecoder(resp.Body).Decode(&recs); err != nil {
+		return nil, fmt.Errorf("collect: poll %s: decode: %w", s.name, err)
+	}
+	return recs, nil
+}
+
+// Collector accumulates spans from a set of sources across polls and
+// assembles them on demand. It is not safe for concurrent use.
+type Collector struct {
+	sources []Source
+	marks   map[string]time.Time
+	batches map[string]*Batch
+}
+
+// NewCollector returns a collector over the given sources.
+func NewCollector(sources ...Source) *Collector {
+	return &Collector{
+		sources: sources,
+		marks:   make(map[string]time.Time),
+		batches: make(map[string]*Batch),
+	}
+}
+
+// Poll fetches whatever every source finished since the previous poll.
+// A source error aborts the poll; spans already gathered are kept.
+func (c *Collector) Poll() error {
+	for _, src := range c.sources {
+		recs, err := src.Fetch(c.marks[src.Name()])
+		if err != nil {
+			return err
+		}
+		b := c.batches[src.Name()]
+		if b == nil {
+			b = &Batch{Source: src.Name()}
+			c.batches[src.Name()] = b
+		}
+		b.Spans = append(b.Spans, recs...)
+		for _, r := range recs {
+			if r.Start.After(c.marks[src.Name()]) {
+				// Re-fetching from the latest start is a deliberate
+				// one-instant overlap: spans sharing that start instant
+				// may land after this poll, and Assemble dedups.
+				c.marks[src.Name()] = r.Start
+			}
+		}
+	}
+	return nil
+}
+
+// Traces assembles everything gathered so far.
+func (c *Collector) Traces() []*Trace {
+	batches := make([]Batch, 0, len(c.batches))
+	for _, b := range c.batches {
+		batches = append(batches, *b)
+	}
+	return Assemble(batches...)
+}
+
+// SpanCount reports how many raw records the collector holds
+// (duplicates included until assembly).
+func (c *Collector) SpanCount() int {
+	n := 0
+	for _, b := range c.batches {
+		n += len(b.Spans)
+	}
+	return n
+}

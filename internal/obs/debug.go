@@ -1,10 +1,12 @@
 package obs
 
 import (
+	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"runtime/debug"
 	"strconv"
 	"time"
 )
@@ -22,9 +24,14 @@ type DebugOptions struct {
 
 // NewDebugMux builds the debug HTTP handler:
 //
-//	/metrics       text snapshot of the registry (?format=json for JSON)
-//	/healthz       200 "ok" while Healthy() (503 otherwise)
-//	/debug/spans   recent spans (?trace=ID for one trace, ?n=N to limit)
+//	/metrics       text snapshot of the registry (?format=json for JSON,
+//	               ?format=prom for Prometheus exposition)
+//	/healthz       200 while Healthy() (503 otherwise); the body carries
+//	               uptime, build info, and the registered metric count so
+//	               liveness checks can assert more than reachability
+//	/debug/spans   recent spans (?trace=ID for one trace, ?n=N to limit,
+//	               ?format=json&since=UNIXNANO to export records for
+//	               trace assembly)
 //	/debug/pprof/  the standard pprof handlers
 func NewDebugMux(opts DebugOptions) *http.ServeMux {
 	reg := opts.Registry
@@ -40,16 +47,21 @@ func NewDebugMux(opts DebugOptions) *http.ServeMux {
 		healthy = func() bool { return true }
 	}
 
+	started := time.Now()
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		snap := reg.Snapshot()
-		if r.URL.Query().Get("format") == "json" {
+		switch r.URL.Query().Get("format") {
+		case "json":
 			w.Header().Set("Content-Type", "application/json")
 			_ = snap.WriteJSON(w)
-			return
+		case "prom":
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_ = snap.WritePrometheus(w)
+		default:
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			_ = snap.WriteText(w)
 		}
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		_ = snap.WriteText(w)
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		if !healthy() {
@@ -58,10 +70,40 @@ func NewDebugMux(opts DebugOptions) *http.ServeMux {
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
+		fmt.Fprintf(w, "uptime %s\n", time.Since(started).Round(time.Millisecond))
+		fmt.Fprintf(w, "metrics %d\n", reg.NumMetrics())
+		if bi, ok := debug.ReadBuildInfo(); ok {
+			fmt.Fprintf(w, "go %s\n", bi.GoVersion)
+			fmt.Fprintf(w, "module %s\n", bi.Main.Path)
+			for _, s := range bi.Settings {
+				switch s.Key {
+				case "vcs.revision", "vcs.time", "vcs.modified":
+					fmt.Fprintf(w, "%s %s\n", s.Key, s.Value)
+				}
+			}
+		}
 	})
 	mux.HandleFunc("/debug/spans", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		q := r.URL.Query()
+		if q.Get("format") == "json" {
+			var since time.Time
+			if s := q.Get("since"); s != "" {
+				ns, err := strconv.ParseInt(s, 10, 64)
+				if err != nil {
+					http.Error(w, "bad since (want unix nanoseconds)", http.StatusBadRequest)
+					return
+				}
+				since = time.Unix(0, ns)
+			}
+			w.Header().Set("Content-Type", "application/json")
+			recs := spans.Since(since)
+			if recs == nil {
+				recs = []SpanRecord{}
+			}
+			_ = json.NewEncoder(w).Encode(recs)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		if t := q.Get("trace"); t != "" {
 			id, err := strconv.ParseUint(t, 10, 64)
 			if err != nil {
@@ -82,8 +124,8 @@ func NewDebugMux(opts DebugOptions) *http.ServeMux {
 			}
 		}
 		for _, rec := range spans.Recent(n) {
-			fmt.Fprintf(w, "trace=%d span=%d parent=%d %-24s %s\n",
-				rec.Trace, rec.Span, rec.Parent, rec.Name, fmtDur(rec.Dur))
+			fmt.Fprintf(w, "trace=%d span=%d parent=%d [%s] %-24s %s\n",
+				rec.Trace, rec.Span, rec.Parent, rec.Tier, rec.Name, fmtDur(rec.Dur))
 		}
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

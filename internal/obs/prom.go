@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// WritePrometheus renders the snapshot in the Prometheus text
+// exposition format (served by /metrics?format=prom), so any standard
+// scraper can collect the registry without a sidecar:
+//
+//   - counters become `<name>_total` counters
+//   - gauges stay gauges
+//   - histograms become native Prometheus histograms: cumulative
+//     `_bucket{le="<seconds>"}` series over the power-of-two duration
+//     buckets, plus `_sum` and `_count` (sums in seconds, per
+//     Prometheus base-unit convention)
+//
+// Metric names are sanitized to the Prometheus grammar (every character
+// outside [a-zA-Z0-9_:] becomes '_', so "slicache.hits" scrapes as
+// "slicache_hits").
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	names := make([]string, 0, len(s.Counters))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		pn := promName(n) + "_total"
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, s.Counters[n]); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		pn := promName(n)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", pn, pn, s.Gauges[n]); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := s.Histograms[n]
+		pn := promName(n) + "_seconds"
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
+			return err
+		}
+		var cum uint64
+		for i, c := range h.Buckets {
+			cum += c
+			// Bucket i counts observations < 1µs<<i; the final bucket is
+			// the +Inf overflow.
+			if i == HistBuckets-1 {
+				break
+			}
+			if cum == 0 {
+				continue // skip leading empty buckets; the tail stays cumulative
+			}
+			le := float64(time.Microsecond<<i) / float64(time.Second)
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", pn, le, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", pn, h.Count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %g\n", pn, h.Sum.Seconds()); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_count %d\n", pn, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// promName maps a dotted obs metric name onto the Prometheus grammar.
+func promName(n string) string {
+	var b strings.Builder
+	b.Grow(len(n))
+	for i, r := range n {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if !ok {
+			r = '_'
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}

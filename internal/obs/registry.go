@@ -75,6 +75,22 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// NumMetrics reports how many distinct metrics (counters + gauges +
+// histograms) are registered — the liveness signal /healthz exposes.
+func (r *Registry) NumMetrics() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.counters) + len(r.gauges) + len(r.hists)
+}
+
+// Diff snapshots the registry and returns the activity since before —
+// shorthand for r.Snapshot().Sub(before), safe under concurrent
+// writers (writers may land observations between the subtraction's two
+// sides; the slack is bounded by what was in flight).
+func (r *Registry) Diff(before Snapshot) Snapshot {
+	return r.Snapshot().Sub(before)
+}
+
 // Snapshot captures every registered metric at (approximately) one
 // point in time.
 func (r *Registry) Snapshot() Snapshot {

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -117,5 +118,76 @@ func TestSnapshotWriteText(t *testing.T) {
 	// Counters render sorted.
 	if strings.Index(out, "a.count") > strings.Index(out, "b.count") {
 		t.Fatalf("counters not sorted:\n%s", out)
+	}
+}
+
+// TestRegistryDiffConcurrentWriters hammers every metric kind from
+// writer goroutines while a reader repeatedly diffs the registry; run
+// under -race this proves Diff takes internally-consistent snapshots,
+// and the monotonicity assertions prove diffs never go negative (the
+// clamp in Sub) even when writers land between the two sides.
+func TestRegistryDiffConcurrentWriters(t *testing.T) {
+	r := NewRegistry()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter("race.counter")
+			g := r.Gauge("race.gauge")
+			h := r.Histogram("race.hist")
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Inc()
+				g.Add(1)
+				h.Observe(time.Duration(i%100) * time.Microsecond)
+				// Churn metric creation too, so Diff races the maps,
+				// not just the values.
+				r.Counter("race.churn." + strconv.Itoa(w))
+			}
+		}(w)
+	}
+
+	base := r.Snapshot()
+	var lastCount uint64
+	for i := 0; i < 200; i++ {
+		d := r.Diff(base)
+		if c := d.Counters["race.counter"]; c < lastCount {
+			t.Fatalf("diff went backwards: %d then %d", lastCount, c)
+		} else {
+			lastCount = c
+		}
+		if h, ok := d.Histograms["race.hist"]; ok && h.Sum < 0 {
+			t.Fatalf("negative histogram sum in diff: %v", h.Sum)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// With writers quiesced the diff must account exactly for what
+	// happened since base.
+	final := r.Diff(base)
+	if final.Counters["race.counter"] != r.Counter("race.counter").Value() {
+		t.Fatalf("settled diff %d != counter value %d",
+			final.Counters["race.counter"], r.Counter("race.counter").Value())
+	}
+}
+
+func TestRegistryNumMetrics(t *testing.T) {
+	r := NewRegistry()
+	if r.NumMetrics() != 0 {
+		t.Fatalf("empty registry NumMetrics = %d", r.NumMetrics())
+	}
+	r.Counter("a")
+	r.Gauge("b")
+	r.Histogram("c")
+	r.Counter("a") // get, not create
+	if got := r.NumMetrics(); got != 3 {
+		t.Fatalf("NumMetrics = %d, want 3", got)
 	}
 }

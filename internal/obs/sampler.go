@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Sample is one timed registry snapshot.
+type Sample struct {
+	T    time.Time
+	Snap Snapshot
+}
+
+// Sampler snapshots a registry at a fixed interval into a bounded ring,
+// turning the registry's point-in-time view into a time series. The
+// ring keeps the most recent Capacity samples; a long run loses its
+// oldest samples, never its newest.
+type Sampler struct {
+	reg      *Registry
+	interval time.Duration
+
+	mu   sync.Mutex
+	ring []Sample
+	next int
+	full bool
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewSampler returns a sampler over reg (Default when nil) at the given
+// interval (100ms minimum, 1s when non-positive), retaining up to
+// capacity samples (4096 when non-positive). Call Start to begin.
+func NewSampler(reg *Registry, interval time.Duration, capacity int) *Sampler {
+	if reg == nil {
+		reg = Default
+	}
+	if interval <= 0 {
+		interval = time.Second
+	}
+	if interval < 100*time.Millisecond {
+		interval = 100 * time.Millisecond
+	}
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &Sampler{reg: reg, interval: interval, ring: make([]Sample, capacity)}
+}
+
+// Start launches the sampling goroutine (idempotent). The first sample
+// is taken immediately, so even a short phase gets a data point.
+func (s *Sampler) Start() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stop != nil {
+		return
+	}
+	s.stop = make(chan struct{})
+	s.done = make(chan struct{})
+	go s.run(s.stop, s.done)
+}
+
+func (s *Sampler) run(stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	s.record()
+	tick := time.NewTicker(s.interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			s.record()
+		case <-stop:
+			// One final sample so the series covers up to Stop.
+			s.record()
+			return
+		}
+	}
+}
+
+func (s *Sampler) record() {
+	sample := Sample{T: time.Now(), Snap: s.reg.Snapshot()}
+	s.mu.Lock()
+	s.ring[s.next] = sample
+	s.next++
+	if s.next == len(s.ring) {
+		s.next = 0
+		s.full = true
+	}
+	s.mu.Unlock()
+}
+
+// SampleNow takes an immediate sample outside the ticker cadence —
+// the benchmark driver pins one at each phase boundary so even a phase
+// shorter than the interval gets endpoints in its time series.
+func (s *Sampler) SampleNow() { s.record() }
+
+// Stop halts sampling after one final sample and waits for the
+// goroutine to exit. The gathered samples remain readable.
+func (s *Sampler) Stop() {
+	s.mu.Lock()
+	stop, done := s.stop, s.done
+	s.stop, s.done = nil, nil
+	s.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}
+
+// Samples returns the retained samples, oldest first.
+func (s *Sampler) Samples() []Sample {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []Sample
+	if s.full {
+		out = append(out, s.ring[s.next:]...)
+	}
+	out = append(out, s.ring[:s.next]...)
+	return out
+}
+
+// SamplesBetween returns the retained samples with from <= T < to,
+// oldest first (zero times mean unbounded) — the per-phase slice the
+// benchmark driver writes to CSV.
+func (s *Sampler) SamplesBetween(from, to time.Time) []Sample {
+	all := s.Samples()
+	out := all[:0:0]
+	for _, sm := range all {
+		if !from.IsZero() && sm.T.Before(from) {
+			continue
+		}
+		if !to.IsZero() && !sm.T.Before(to) {
+			continue
+		}
+		out = append(out, sm)
+	}
+	return out
+}
+
+// WriteSamplesCSV renders samples as a long-format CSV time series, one
+// row per (sample, metric):
+//
+//	t_unix_ms,kind,name,value,count,sum_ns,p50_ns,p95_ns,p99_ns,max_ns
+//
+// Counters and gauges fill only value; histograms fill count through
+// max_ns and leave value empty. Rows are ordered by time, then kind,
+// then name, so the file diffs and plots cleanly.
+func WriteSamplesCSV(w io.Writer, samples []Sample) error {
+	if _, err := fmt.Fprintln(w, "t_unix_ms,kind,name,value,count,sum_ns,p50_ns,p95_ns,p99_ns,max_ns"); err != nil {
+		return err
+	}
+	for _, sm := range samples {
+		ms := sm.T.UnixMilli()
+		names := make([]string, 0, len(sm.Snap.Counters))
+		for n := range sm.Snap.Counters {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			if _, err := fmt.Fprintf(w, "%d,counter,%s,%d,,,,,,\n", ms, n, sm.Snap.Counters[n]); err != nil {
+				return err
+			}
+		}
+		names = names[:0]
+		for n := range sm.Snap.Gauges {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			if _, err := fmt.Fprintf(w, "%d,gauge,%s,%d,,,,,,\n", ms, n, sm.Snap.Gauges[n]); err != nil {
+				return err
+			}
+		}
+		names = names[:0]
+		for n := range sm.Snap.Histograms {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			h := sm.Snap.Histograms[n]
+			if _, err := fmt.Fprintf(w, "%d,hist,%s,,%d,%d,%d,%d,%d,%d\n",
+				ms, n, h.Count, int64(h.Sum),
+				int64(h.Quantile(0.50)), int64(h.Quantile(0.95)),
+				int64(h.Quantile(0.99)), int64(h.Max)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSamplerManualSamples(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("s.count")
+	h := r.Histogram("s.lat")
+	s := NewSampler(r, time.Hour, 8) // ticker never fires; we drive it
+
+	c.Inc()
+	s.SampleNow()
+	c.Inc()
+	h.Observe(3 * time.Millisecond)
+	s.SampleNow()
+
+	got := s.Samples()
+	if len(got) != 2 {
+		t.Fatalf("got %d samples, want 2", len(got))
+	}
+	if got[0].Snap.Counters["s.count"] != 1 || got[1].Snap.Counters["s.count"] != 2 {
+		t.Fatalf("counter series = %d,%d; want 1,2",
+			got[0].Snap.Counters["s.count"], got[1].Snap.Counters["s.count"])
+	}
+	if !got[0].T.Before(got[1].T) && !got[0].T.Equal(got[1].T) {
+		t.Fatalf("samples out of order: %v then %v", got[0].T, got[1].T)
+	}
+	if got[1].Snap.Histograms["s.lat"].Count != 1 {
+		t.Fatalf("histogram missing from second sample")
+	}
+}
+
+func TestSamplerRingOverwrite(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ring.count")
+	s := NewSampler(r, time.Hour, 3)
+	for i := 0; i < 5; i++ {
+		c.Inc()
+		s.SampleNow()
+	}
+	got := s.Samples()
+	if len(got) != 3 {
+		t.Fatalf("got %d samples, want ring capacity 3", len(got))
+	}
+	// The ring keeps the newest samples: counter values 3, 4, 5.
+	for i, want := range []uint64{3, 4, 5} {
+		if v := got[i].Snap.Counters["ring.count"]; v != want {
+			t.Fatalf("sample %d counter = %d, want %d", i, v, want)
+		}
+	}
+}
+
+func TestSamplerStartStop(t *testing.T) {
+	r := NewRegistry()
+	s := NewSampler(r, time.Hour, 16)
+	s.Start()
+	s.Start() // idempotent
+	s.Stop()
+	s.Stop() // idempotent
+	// Immediate first sample + final sample on stop.
+	if n := len(s.Samples()); n < 2 {
+		t.Fatalf("got %d samples after Start/Stop, want >= 2", n)
+	}
+}
+
+func TestSamplesBetween(t *testing.T) {
+	r := NewRegistry()
+	s := NewSampler(r, time.Hour, 8)
+	s.SampleNow()
+	all := s.Samples()
+	cut := all[0].T
+
+	if got := s.SamplesBetween(time.Time{}, time.Time{}); len(got) != 1 {
+		t.Fatalf("unbounded = %d samples, want 1", len(got))
+	}
+	if got := s.SamplesBetween(cut, time.Time{}); len(got) != 1 {
+		t.Fatalf("from is inclusive: got %d, want 1", len(got))
+	}
+	if got := s.SamplesBetween(time.Time{}, cut); len(got) != 0 {
+		t.Fatalf("to is exclusive: got %d, want 0", len(got))
+	}
+	if got := s.SamplesBetween(cut.Add(time.Second), time.Time{}); len(got) != 0 {
+		t.Fatalf("future from: got %d, want 0", len(got))
+	}
+}
+
+func TestWriteSamplesCSV(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z.count").Add(7)
+	r.Gauge("a.gauge").Set(-2)
+	r.Histogram("m.lat").Observe(2 * time.Millisecond)
+	s := NewSampler(r, time.Hour, 4)
+	s.SampleNow()
+
+	var b strings.Builder
+	if err := WriteSamplesCSV(&b, s.Samples()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if lines[0] != "t_unix_ms,kind,name,value,count,sum_ns,p50_ns,p95_ns,p99_ns,max_ns" {
+		t.Fatalf("bad header: %q", lines[0])
+	}
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines, want header + 3 rows:\n%s", len(lines), b.String())
+	}
+	// One row per metric: counters, then gauges, then histograms.
+	if !strings.Contains(lines[1], ",counter,z.count,7,") {
+		t.Fatalf("bad counter row: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], ",gauge,a.gauge,-2,") {
+		t.Fatalf("bad gauge row: %q", lines[2])
+	}
+	if !strings.Contains(lines[3], ",hist,m.lat,,1,") {
+		t.Fatalf("bad histogram row: %q", lines[3])
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("req.total.count").Add(3)
+	r.Gauge("conns.open").Set(5)
+	r.Histogram("rpc.lat").Observe(2 * time.Millisecond)
+	r.Histogram("rpc.lat").Observe(8 * time.Millisecond)
+
+	var b strings.Builder
+	if err := r.Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE req_total_count_total counter",
+		"req_total_count_total 3",
+		"# TYPE conns_open gauge",
+		"conns_open 5",
+		"# TYPE rpc_lat_seconds histogram",
+		`rpc_lat_seconds_bucket{le="+Inf"} 2`,
+		"rpc_lat_seconds_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	// Buckets must be cumulative and non-decreasing; the 8ms observation
+	// must not appear in a bucket below ~8ms.
+	if strings.Contains(out, `le="0.001"} 2`) {
+		t.Fatalf("8ms observation counted in 1ms bucket:\n%s", out)
+	}
+	// _sum in seconds: 10ms total.
+	if !strings.Contains(out, "rpc_lat_seconds_sum 0.01") {
+		t.Fatalf("missing _sum in seconds:\n%s", out)
+	}
+}
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"slicache.hits":  "slicache_hits",
+		"already_fine":   "already_fine",
+		"9starts.digit":  "_starts_digit",
+		"with:colon.dot": "with:colon_dot",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Fatalf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -19,13 +20,59 @@ type (
 	spanKey  struct{}
 )
 
-// traceIDs is seeded at init with the wall clock so IDs from separately
-// started processes (the daemons of a distributed deployment) do not
-// collide in a merged span log.
+// traceIDs and spanIDs are seeded at init with the wall clock so IDs
+// from separately started processes (the daemons of a distributed
+// deployment) do not collide in a merged span log. Span IDs must be
+// distinct across processes too: trace assembly joins spans from every
+// tier by (trace, span, parent), and a collision would graft one
+// process's subtree onto another's.
 var traceIDs, spanIDs atomic.Uint64
 
 func init() {
-	traceIDs.Store(uint64(time.Now().UnixNano()) << 16)
+	now := uint64(time.Now().UnixNano())
+	traceIDs.Store(now << 16)
+	spanIDs.Store(now)
+}
+
+// processTier names the tier of spans whose name prefix is not in the
+// built-in table (see TierOf). Daemons set it once at startup.
+var processTier atomic.Pointer[string]
+
+// SetTier names this process's tier ("edge", "backend", "db", "proxy")
+// for spans whose name prefix TierOf does not recognize. The built-in
+// prefix table takes precedence, so in-process harness runs — where
+// every tier shares one process — still label each span by the package
+// that recorded it.
+func SetTier(tier string) { processTier.Store(&tier) }
+
+// tierByPrefix maps a span name's prefix (the segment before the first
+// dot) to the tier that code runs in. slicache runs inside the edge
+// application server; sqlstore and lockmgr run inside the database
+// server.
+var tierByPrefix = map[string]string{
+	"client":   "client",
+	"edge":     "edge",
+	"slicache": "edge",
+	"backend":  "backend",
+	"sqlstore": "db",
+	"lockmgr":  "db",
+}
+
+// TierOf resolves the tier label recorded on spans named name: the
+// built-in prefix table first, then the process tier set by SetTier,
+// then "proc".
+func TierOf(name string) string {
+	prefix := name
+	if i := strings.IndexByte(name, '.'); i >= 0 {
+		prefix = name[:i]
+	}
+	if t, ok := tierByPrefix[prefix]; ok {
+		return t
+	}
+	if p := processTier.Load(); p != nil && *p != "" {
+		return *p
+	}
+	return "proc"
 }
 
 // NewTraceID mints a fresh nonzero trace ID.
@@ -58,6 +105,30 @@ func TraceID(ctx context.Context) uint64 {
 	return id
 }
 
+// SpanID extracts the context's current span ID (zero if none). The
+// wire transport copies it into the frame header so a server-side span
+// parents under the client-side span that made the call.
+func SpanID(ctx context.Context) uint64 {
+	id, _ := ctx.Value(spanKey{}).(uint64)
+	return id
+}
+
+// WithRemoteParent returns ctx carrying a trace and parent span that
+// arrived from another process (the wire server plants the frame
+// header's IDs with it). A zero trace returns ctx unchanged; a zero
+// parent plants only the trace, so the first server-side span becomes a
+// local root within the trace.
+func WithRemoteParent(ctx context.Context, trace, parent uint64) context.Context {
+	if trace == 0 {
+		return ctx
+	}
+	ctx = context.WithValue(ctx, traceKey{}, trace)
+	if parent != 0 {
+		ctx = context.WithValue(ctx, spanKey{}, parent)
+	}
+	return ctx
+}
+
 // Span is one timed hop of a traced interaction. A nil *Span (returned
 // by StartSpan on an untraced context) is valid and End on it is a
 // no-op, so call sites need no conditionals.
@@ -80,6 +151,7 @@ func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 		Span:   spanIDs.Add(1),
 		Parent: parent,
 		Name:   name,
+		Tier:   TierOf(name),
 		Start:  time.Now(),
 	}}
 	return context.WithValue(ctx, spanKey{}, s.rec.Span), s
@@ -96,25 +168,40 @@ func (s *Span) End() {
 	DefaultSpans.add(s.rec)
 }
 
-// SpanRecord is one finished span.
+// SpanRecord is one finished span. Parent is the span this one ran
+// under — a span ID from the same process, or, for the first span a
+// request opens on the far side of a wire hop, the calling process's
+// span ID carried in the frame header. Tier labels where the span ran
+// (see TierOf), so trace assembly can lay one interaction out across
+// client, edge, backend, and db lanes.
 type SpanRecord struct {
 	Trace  uint64        `json:"trace"`
 	Span   uint64        `json:"span"`
 	Parent uint64        `json:"parent,omitempty"`
 	Name   string        `json:"name"`
+	Tier   string        `json:"tier,omitempty"`
 	Start  time.Time     `json:"start"`
 	Dur    time.Duration `json:"dur_ns"`
 }
 
 // SpanLog is a bounded ring of recently finished spans — enough to
 // reconstruct recent interactions without unbounded memory. The zero
-// capacity of a NewSpanLog(0) defaults to 4096 records.
+// capacity of a NewSpanLog(0) defaults to 4096 records. Once the ring
+// wraps, each new span silently evicts the oldest; the eviction is
+// counted (per log, and in the process-wide `obs.spans.dropped`
+// counter) so trace assembly can report incomplete traces instead of
+// pretending completeness.
 type SpanLog struct {
-	mu   sync.Mutex
-	ring []SpanRecord
-	next int
-	full bool
+	mu      sync.Mutex
+	ring    []SpanRecord
+	next    int
+	full    bool
+	dropped uint64
 }
+
+// obsSpansDropped counts spans evicted from any SpanLog in this process
+// before being read; documented in OBSERVABILITY.md.
+var obsSpansDropped = Default.Counter("obs.spans.dropped")
 
 // DefaultSpans is the process-wide span log; Span.End records into it
 // and the /debug/spans endpoint serves it.
@@ -130,6 +217,10 @@ func NewSpanLog(n int) *SpanLog {
 
 func (l *SpanLog) add(rec SpanRecord) {
 	l.mu.Lock()
+	if l.full {
+		l.dropped++
+		obsSpansDropped.Inc()
+	}
 	l.ring[l.next] = rec
 	l.next++
 	if l.next == len(l.ring) {
@@ -137,6 +228,14 @@ func (l *SpanLog) add(rec SpanRecord) {
 		l.full = true
 	}
 	l.mu.Unlock()
+}
+
+// Dropped returns how many spans this log has evicted unread — nonzero
+// means traces assembled from the log may be missing hops.
+func (l *SpanLog) Dropped() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped
 }
 
 // snapshot copies the ring oldest-first.
@@ -161,6 +260,20 @@ func (l *SpanLog) Trace(id uint64) []SpanRecord {
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
+	return out
+}
+
+// Since returns every logged span that started at or after t, oldest
+// first — the incremental-drain primitive behind /debug/spans?since=
+// and the trace collector's polling.
+func (l *SpanLog) Since(t time.Time) []SpanRecord {
+	all := l.snapshot()
+	out := all[:0:0]
+	for _, r := range all {
+		if !r.Start.Before(t) {
+			out = append(out, r)
+		}
+	}
 	return out
 }
 

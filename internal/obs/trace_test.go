@@ -102,3 +102,73 @@ func TestSpanLogRingWraps(t *testing.T) {
 		t.Fatalf("LastTrace = %d, want 10", log.LastTrace())
 	}
 }
+
+func TestSpanTierLabels(t *testing.T) {
+	ctx, _ := WithNewTrace(context.Background())
+	for name, tier := range map[string]string{
+		"client.interaction": "client",
+		"edge.request":       "edge",
+		"slicache.commit":    "edge",
+		"backend.apply":      "backend",
+		"sqlstore.apply":     "db",
+	} {
+		_, sp := StartSpan(ctx, name)
+		sp.End()
+		if sp.rec.Tier != tier {
+			t.Errorf("span %q tier = %q, want %q", name, sp.rec.Tier, tier)
+		}
+	}
+	if got := TierOf("mystery.op"); got != "proc" {
+		t.Errorf("unknown prefix tier = %q, want proc", got)
+	}
+}
+
+func TestWithRemoteParent(t *testing.T) {
+	ctx := WithRemoteParent(context.Background(), 0, 99)
+	if TraceID(ctx) != 0 || SpanID(ctx) != 0 {
+		t.Fatal("zero trace must be a no-op")
+	}
+	ctx = WithRemoteParent(context.Background(), 42, 99)
+	if TraceID(ctx) != 42 || SpanID(ctx) != 99 {
+		t.Fatalf("remote parent: trace=%d span=%d, want 42/99", TraceID(ctx), SpanID(ctx))
+	}
+	// The first span opened under a remote parent inherits it.
+	_, sp := StartSpan(ctx, "edge.request")
+	sp.End()
+	if sp.rec.Parent != 99 || sp.rec.Trace != 42 {
+		t.Fatalf("span under remote parent: trace=%d parent=%d, want 42/99", sp.rec.Trace, sp.rec.Parent)
+	}
+}
+
+func TestSpanLogDroppedCount(t *testing.T) {
+	log := NewSpanLog(4)
+	before := Default.Counter("obs.spans.dropped").Value()
+	for i := 1; i <= 10; i++ {
+		log.add(SpanRecord{Trace: uint64(i), Span: uint64(i), Name: "s", Start: time.Now()})
+	}
+	if got := log.Dropped(); got != 6 {
+		t.Fatalf("Dropped = %d, want 6", got)
+	}
+	if got := Default.Counter("obs.spans.dropped").Value() - before; got != 6 {
+		t.Fatalf("obs.spans.dropped delta = %d, want 6", got)
+	}
+}
+
+func TestSpanLogSince(t *testing.T) {
+	log := NewSpanLog(8)
+	base := time.Now()
+	for i := 0; i < 5; i++ {
+		log.add(SpanRecord{Trace: 1, Span: uint64(i + 1), Name: "s",
+			Start: base.Add(time.Duration(i) * time.Second)})
+	}
+	got := log.Since(base.Add(2 * time.Second))
+	if len(got) != 3 {
+		t.Fatalf("Since returned %d spans, want 3 (cut is inclusive)", len(got))
+	}
+	if got[0].Span != 3 {
+		t.Fatalf("Since starts at span %d, want 3", got[0].Span)
+	}
+	if all := log.Since(time.Time{}); len(all) != 5 {
+		t.Fatalf("Since(zero) returned %d, want all 5", len(all))
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"edgeejb/internal/memento"
+	"edgeejb/internal/obs"
 	"edgeejb/internal/sqlstore"
 )
 
@@ -63,7 +64,14 @@ type Conn interface {
 	Close() error
 }
 
-// local adapts an in-process *sqlstore.Store to Conn.
+// local adapts an in-process *sqlstore.Store to Conn. Every operation
+// records a "sqlstore.<op>" trace span: the adapter only ever runs in
+// the process that owns the store — the database tier — so these spans
+// give assembled traces their db-tier leaves, one per statement. A
+// statement-by-statement commit (the pessimistic algorithms, or the
+// back-end's optimistic loop) therefore renders as a run of db spans,
+// one per wire round trip — the per-statement latency amplification the
+// paper's Figure 7 argues about, visible in a waterfall.
 type local struct {
 	store *sqlstore.Store
 }
@@ -73,6 +81,8 @@ type local struct {
 func Local(s *sqlstore.Store) Conn { return &local{store: s} }
 
 func (l *local) Begin(ctx context.Context) (Txn, error) {
+	ctx, sp := obs.StartSpan(ctx, "sqlstore.begin")
+	defer sp.End()
 	tx, err := l.store.Begin(ctx)
 	if err != nil {
 		return nil, err
@@ -85,6 +95,8 @@ func (l *local) ApplyCommitSet(ctx context.Context, cs memento.CommitSet) (sqlst
 }
 
 func (l *local) AutoGet(ctx context.Context, table, id string) (memento.Memento, error) {
+	ctx, sp := obs.StartSpan(ctx, "sqlstore.autoget")
+	defer sp.End()
 	tx, err := l.store.Begin(ctx)
 	if err != nil {
 		return memento.Memento{}, err
@@ -101,6 +113,8 @@ func (l *local) AutoGet(ctx context.Context, table, id string) (memento.Memento,
 }
 
 func (l *local) AutoQuery(ctx context.Context, q memento.Query) ([]memento.Memento, error) {
+	ctx, sp := obs.StartSpan(ctx, "sqlstore.autoquery")
+	defer sp.End()
 	tx, err := l.store.Begin(ctx)
 	if err != nil {
 		return nil, err
@@ -130,38 +144,64 @@ type localTxn struct {
 func (t *localTxn) ID() uint64 { return t.tx.ID() }
 
 func (t *localTxn) Get(ctx context.Context, table, id string) (memento.Memento, error) {
+	ctx, sp := obs.StartSpan(ctx, "sqlstore.get")
+	defer sp.End()
 	return t.tx.Get(ctx, table, id)
 }
 
 func (t *localTxn) GetForUpdate(ctx context.Context, table, id string) (memento.Memento, error) {
+	ctx, sp := obs.StartSpan(ctx, "sqlstore.get_for_update")
+	defer sp.End()
 	return t.tx.GetForUpdate(ctx, table, id)
 }
 
-func (t *localTxn) Put(ctx context.Context, m memento.Memento) error { return t.tx.Put(ctx, m) }
+func (t *localTxn) Put(ctx context.Context, m memento.Memento) error {
+	ctx, sp := obs.StartSpan(ctx, "sqlstore.put")
+	defer sp.End()
+	return t.tx.Put(ctx, m)
+}
 
-func (t *localTxn) Insert(ctx context.Context, m memento.Memento) error { return t.tx.Insert(ctx, m) }
+func (t *localTxn) Insert(ctx context.Context, m memento.Memento) error {
+	ctx, sp := obs.StartSpan(ctx, "sqlstore.insert")
+	defer sp.End()
+	return t.tx.Insert(ctx, m)
+}
 
 func (t *localTxn) Delete(ctx context.Context, table, id string) error {
+	ctx, sp := obs.StartSpan(ctx, "sqlstore.delete")
+	defer sp.End()
 	return t.tx.Delete(ctx, table, id)
 }
 
 func (t *localTxn) Query(ctx context.Context, q memento.Query) ([]memento.Memento, error) {
+	ctx, sp := obs.StartSpan(ctx, "sqlstore.query")
+	defer sp.End()
 	return t.tx.Query(ctx, q)
 }
 
 func (t *localTxn) CheckVersion(ctx context.Context, key memento.Key, version uint64) error {
+	ctx, sp := obs.StartSpan(ctx, "sqlstore.check_version")
+	defer sp.End()
 	return t.tx.CheckVersion(ctx, key, version)
 }
 
 func (t *localTxn) CheckedPut(ctx context.Context, m memento.Memento) error {
+	ctx, sp := obs.StartSpan(ctx, "sqlstore.checked_put")
+	defer sp.End()
 	return t.tx.CheckedPut(ctx, m)
 }
 
 func (t *localTxn) CheckedDelete(ctx context.Context, key memento.Key, version uint64) error {
+	ctx, sp := obs.StartSpan(ctx, "sqlstore.checked_delete")
+	defer sp.End()
 	return t.tx.CheckedDelete(ctx, key, version)
 }
 
-func (t *localTxn) Commit(ctx context.Context) error { return t.tx.Commit() }
+func (t *localTxn) Commit(ctx context.Context) error {
+	_, sp := obs.StartSpan(ctx, "sqlstore.commit_tx")
+	defer sp.End()
+	return t.tx.Commit()
+}
 
 func (t *localTxn) Abort(ctx context.Context) error {
 	t.tx.Abort()

@@ -429,6 +429,7 @@ func (cn *conn) roundTrip(ctx context.Context, req, resp any) error {
 		ID:    cl.id,
 		Kind:  kindRequest,
 		Trace: obs.TraceID(ctx),
+		Span:  obs.SpanID(ctx),
 	}, req)
 	cn.wmu.Unlock()
 	if werr != nil {

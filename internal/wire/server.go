@@ -312,8 +312,9 @@ func (sc *serverConn) readRequests() bool {
 		sc.srv.stats.received(label, size)
 		sc.handlers.Add(1)
 		// Requests arriving with a trace ID continue that trace on this
-		// side of the process boundary (obs.WithTrace is a no-op on zero).
-		t := dispatchTask{ctx: obs.WithTrace(sc.ctx, h.Trace), id: h.ID, label: label, body: body}
+		// side of the process boundary, parented under the caller's span
+		// (obs.WithRemoteParent is a no-op on a zero trace).
+		t := dispatchTask{ctx: obs.WithRemoteParent(sc.ctx, h.Trace, h.Span), id: h.ID, label: label, body: body}
 		select {
 		case sc.tasks <- t:
 			// Handed to an idle warm worker.

@@ -65,3 +65,41 @@ func TestTracePropagation(t *testing.T) {
 		t.Fatalf("trace %d spans = %v, want client and server hops", id, names)
 	}
 }
+
+// TestSpanParentPropagation proves the frame header carries the caller's
+// span ID, so the first server-side span parents under the client-side
+// span that made the call — the edge the trace assembler joins on.
+func TestSpanParentPropagation(t *testing.T) {
+	srv := NewServer(func() ConnHandler { return traceHandler{} })
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c := NewClient(srv.Addr())
+	defer c.Close()
+
+	ctx, id := obs.WithNewTrace(context.Background())
+	ctx, sp := obs.StartSpan(ctx, "wiretest.client")
+	clientSpan := obs.SpanID(ctx)
+	if clientSpan == 0 {
+		t.Fatal("no span ID on traced client context")
+	}
+	if err := c.Call(ctx, &testReq{Op: "trace"}, new(testResp)); err != nil {
+		t.Fatal(err)
+	}
+	sp.End()
+
+	var server *obs.SpanRecord
+	for _, rec := range obs.DefaultSpans.Trace(id) {
+		if rec.Name == "wiretest.server" {
+			r := rec
+			server = &r
+		}
+	}
+	if server == nil {
+		t.Fatalf("server-side span not recorded for trace %d", id)
+	}
+	if server.Parent != clientSpan {
+		t.Fatalf("server span parent = %d, want client span %d", server.Parent, clientSpan)
+	}
+}

@@ -31,12 +31,16 @@ const (
 
 // frameHeader precedes every body on the wire, inside the same frame.
 // Trace carries the request context's obs trace ID across the process
-// boundary; gob omits zero fields, so untraced traffic pays no extra
-// bytes for it.
+// boundary, and Span the caller's current span ID, so the first span
+// the server opens for this request parents under the client-side span
+// that made the call — a trace assembles as one tree, not a bag of
+// per-process fragments. Gob omits zero fields, so untraced traffic
+// pays no extra bytes for either.
 type frameHeader struct {
 	ID    uint64
 	Kind  uint8
 	Trace uint64
+	Span  uint64
 }
 
 // labelOf resolves the stats label for a message body.

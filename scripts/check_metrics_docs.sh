@@ -29,6 +29,10 @@ names=$(
 	grep -rho --include='*.go' --exclude='*_test.go' \
 		-E 'obs\.StartSpan\([^,]+, "[^"]+"' internal cmd |
 		sed -E 's/.*, "([^"]+)".*/span.\1/'
+	# package obs registers its own metrics without the obs. qualifier
+	grep -rho --include='*.go' --exclude='*_test.go' \
+		-E '(^|[^.[:alnum:]_])Default\.(Counter|Gauge|Histogram)\("[^"]+"\)' internal/obs |
+		sed -E 's/.*\("([^"]+)"\).*/\1/'
 )
 
 for name in $(printf '%s\n' "$names" | sort -u); do
