@@ -61,6 +61,7 @@ func run(args []string) error {
 		outDir      = fs.String("out-dir", "", "collect per-run artifacts (Perfetto trace, waterfalls, time-series CSVs, registry diffs, reports, MANIFEST.json) under a timestamped directory here")
 		sampleEvery = fs.Duration("sample-every", 250*time.Millisecond, "registry sampling interval for -out-dir time series")
 		spanBuffer  = fs.Int("span-buffer", 65536, "span ring capacity while collecting artifacts (with -out-dir)")
+		eventBuffer = fs.Int("event-buffer", 65536, "forensic event ring capacity while collecting artifacts (with -out-dir)")
 		waterfalls  = fs.Int("waterfalls", 3, "number of slowest and of median trace waterfalls to render (with -out-dir)")
 
 		faultReset      = fs.Float64("fault-reset", 0.08, "per-connection probability of an abrupt reset (with -faults)")
@@ -152,6 +153,7 @@ func run(args []string) error {
 	)
 	if *outDir != "" {
 		obs.DefaultSpans = obs.NewSpanLog(*spanBuffer)
+		obs.DefaultEvents = obs.NewEventLog(*eventBuffer)
 		var err error
 		art, err = harness.NewArtifacts(*outDir, args)
 		if err != nil {
@@ -236,6 +238,9 @@ func run(args []string) error {
 		if err := art.WriteTraces(traces, *waterfalls, obs.DefaultSpans.Dropped()); err != nil {
 			return err
 		}
+		if err := art.WriteEvents(obs.DefaultEvents.Since(0)); err != nil {
+			return err
+		}
 		if eval != nil {
 			if err := art.WriteEvalReports(eval); err != nil {
 				return err
@@ -272,6 +277,10 @@ func run(args []string) error {
 			for _, s := range eval.Fig6Series() {
 				harness.WriteLatencyBreakdown(os.Stdout, s)
 				fmt.Println()
+				if err := harness.WriteForensics(os.Stdout, s); err != nil {
+					return err
+				}
+				fmt.Println()
 			}
 		}
 	}
@@ -298,7 +307,7 @@ func run(args []string) error {
 	}
 	if *thru {
 		fmt.Println()
-		if err := phase("throughput", func() error { return runThroughput(cfg, logf) }); err != nil {
+		if err := phase("throughput", func() error { return runThroughput(cfg, *metrics, logf) }); err != nil {
 			return err
 		}
 	}
@@ -339,8 +348,10 @@ func runFaults(opts harness.FaultOptions, logf func(string, ...any)) error {
 }
 
 // runThroughput measures the concurrency extension for the three
-// Figure 6 configurations.
-func runThroughput(cfg harness.EvalConfig, logf func(string, ...any)) error {
+// Figure 6 configurations. With forensics enabled it also prints the
+// per-point conflict matrices — the concurrent run is the one workload
+// in the suite where optimistic validation actually loses races.
+func runThroughput(cfg harness.EvalConfig, forensics bool, logf func(string, ...any)) error {
 	topts := harness.DefaultThroughputOptions()
 	topts.Workload = cfg.Run.Workload
 	configs := []harness.Pair{
@@ -364,6 +375,12 @@ func runThroughput(cfg harness.EvalConfig, logf func(string, ...any)) error {
 		curves = append(curves, curve)
 	}
 	harness.WriteThroughput(os.Stdout, curves)
+	if forensics {
+		fmt.Println()
+		if err := harness.WriteThroughputForensics(os.Stdout, curves); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

@@ -78,6 +78,9 @@ func (s *Server) dispatch(ctx context.Context, req *Request) *Response {
 	obsRequests.Inc()
 	ctx, sp := obs.StartSpan(ctx, "edge.request")
 	defer sp.End()
+	// Label downstream forensic events (conflicts, in particular) with
+	// the trade action, so conflict matrices break down by interaction.
+	ctx = obs.WithOp(ctx, req.Action)
 	fail := func(err error) *Response {
 		s.failures.Add(1)
 		obsFailures.Inc()

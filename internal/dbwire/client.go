@@ -113,7 +113,7 @@ func (c *Client) Ping(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
-	return decodeErr(resp.Code, resp.Msg)
+	return decodeErr(resp)
 }
 
 // handshakeRetry drives the bounded retry loop of the pinned-stream
@@ -171,7 +171,7 @@ func (c *Client) Begin(ctx context.Context) (storeapi.Txn, error) {
 			}
 			return nil, fmt.Errorf("dbwire: %s: %w", OpBegin, err)
 		}
-		if err := decodeErr(resp.Code, resp.Msg); err != nil {
+		if err := decodeErr(resp); err != nil {
 			st.Close()
 			return nil, err
 		}
@@ -196,7 +196,7 @@ func (c *Client) ApplyCommitSet(ctx context.Context, cs memento.CommitSet) (sqls
 	if err != nil {
 		return sqlstore.ApplyResult{}, err
 	}
-	if err := decodeErr(resp.Code, resp.Msg); err != nil {
+	if err := decodeErr(resp); err != nil {
 		return sqlstore.ApplyResult{}, err
 	}
 	return sqlstore.ApplyResult{TxID: resp.Tx, NewVersions: resp.NewVersions}, nil
@@ -208,7 +208,7 @@ func (c *Client) AutoGet(ctx context.Context, table, id string) (memento.Memento
 	if err != nil {
 		return memento.Memento{}, err
 	}
-	if err := decodeErr(resp.Code, resp.Msg); err != nil {
+	if err := decodeErr(resp); err != nil {
 		return memento.Memento{}, err
 	}
 	return resp.Mem, nil
@@ -221,7 +221,7 @@ func (c *Client) AutoQuery(ctx context.Context, q memento.Query) ([]memento.Meme
 	if err != nil {
 		return nil, err
 	}
-	if err := decodeErr(resp.Code, resp.Msg); err != nil {
+	if err := decodeErr(resp); err != nil {
 		return nil, err
 	}
 	return resp.Mems, nil
@@ -264,7 +264,7 @@ func (c *Client) Subscribe(ctx context.Context) (<-chan sqlstore.Notice, func(),
 			}
 			return nil, nil, fmt.Errorf("dbwire: %s: %w", OpSubscribe, err)
 		}
-		if err := decodeErr(resp.Code, resp.Msg); err != nil {
+		if err := decodeErr(resp); err != nil {
 			st.Hangup()
 			return nil, nil, err
 		}
@@ -298,7 +298,7 @@ func (t *remoteTxn) call(ctx context.Context, req *Request) (*Response, error) {
 		t.finish()
 		return nil, fmt.Errorf("dbwire: %s: %w", req.Op, err)
 	}
-	if derr := decodeErr(resp.Code, resp.Msg); derr != nil {
+	if derr := decodeErr(resp); derr != nil {
 		return nil, derr
 	}
 	return resp, nil

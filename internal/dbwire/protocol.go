@@ -3,6 +3,8 @@ package dbwire
 import (
 	"errors"
 	"fmt"
+	"strings"
+	"time"
 
 	"edgeejb/internal/memento"
 	"edgeejb/internal/sqlstore"
@@ -118,6 +120,20 @@ type Response struct {
 	Mems        []memento.Memento
 	NewVersions map[memento.Key]uint64
 	Notice      sqlstore.Notice
+	// Conflict carries conflict attribution when Code is CodeConflict and
+	// the server-side error was an attributed *sqlstore.ConflictError
+	// (nil otherwise; gob omits it for free).
+	Conflict *ConflictInfo
+}
+
+// ConflictInfo is the wire form of sqlstore.ConflictError's attribution
+// fields. It mirrors the struct rather than embedding it so the wire
+// schema is explicit and independent of sqlstore's internals.
+type ConflictInfo struct {
+	Key                   memento.Key
+	Expected, Actual      uint64
+	WinnerTx, WinnerTrace uint64
+	CommittedAt           time.Time
 }
 
 // encodeErr maps a server-side error to a wire code and message.
@@ -140,25 +156,60 @@ func encodeErr(err error) (ErrCode, string) {
 	}
 }
 
+// errResponse builds the error reply for a server-side failure: the
+// sentinel code and message from encodeErr plus, for attributed
+// conflicts, the ConflictInfo payload.
+func errResponse(err error) *Response {
+	code, msg := encodeErr(err)
+	resp := &Response{Code: code, Msg: msg}
+	var ce *sqlstore.ConflictError
+	if code == CodeConflict && errors.As(err, &ce) {
+		resp.Conflict = &ConflictInfo{
+			Key:         ce.Key,
+			Expected:    ce.Expected,
+			Actual:      ce.Actual,
+			WinnerTx:    ce.WinnerTx,
+			WinnerTrace: ce.WinnerTrace,
+			CommittedAt: ce.CommittedAt,
+		}
+	}
+	return resp
+}
+
 // decodeErr reconstructs a sentinel-matching error from a wire response.
-func decodeErr(code ErrCode, msg string) error {
-	switch code {
+// An attributed conflict comes back as a *sqlstore.ConflictError, so
+// errors.As works identically on both sides of the wire (and across a
+// relayed hop: the backend's client decodes it, and its server's
+// errResponse re-encodes it).
+func decodeErr(resp *Response) error {
+	switch resp.Code {
 	case CodeOK:
 		return nil
 	case CodeNotFound:
-		return wireError{sentinel: sqlstore.ErrNotFound, msg: msg}
+		return wireError{sentinel: sqlstore.ErrNotFound, msg: resp.Msg}
 	case CodeExists:
-		return wireError{sentinel: sqlstore.ErrExists, msg: msg}
+		return wireError{sentinel: sqlstore.ErrExists, msg: resp.Msg}
 	case CodeConflict:
-		return wireError{sentinel: sqlstore.ErrConflict, msg: msg}
+		if ci := resp.Conflict; ci != nil {
+			return &sqlstore.ConflictError{
+				Key:         ci.Key,
+				Expected:    ci.Expected,
+				Actual:      ci.Actual,
+				WinnerTx:    ci.WinnerTx,
+				WinnerTrace: ci.WinnerTrace,
+				CommittedAt: ci.CommittedAt,
+				Detail:      strings.TrimPrefix(resp.Msg, sqlstore.ErrConflict.Error()+": "),
+			}
+		}
+		return wireError{sentinel: sqlstore.ErrConflict, msg: resp.Msg}
 	case CodeTxDone:
-		return wireError{sentinel: sqlstore.ErrTxDone, msg: msg}
+		return wireError{sentinel: sqlstore.ErrTxDone, msg: resp.Msg}
 	case CodeClosed:
-		return wireError{sentinel: sqlstore.ErrClosed, msg: msg}
+		return wireError{sentinel: sqlstore.ErrClosed, msg: resp.Msg}
 	case CodeBadRequest:
-		return fmt.Errorf("dbwire: bad request: %s", msg)
+		return fmt.Errorf("dbwire: bad request: %s", resp.Msg)
 	default:
-		return fmt.Errorf("dbwire: server error: %s", msg)
+		return fmt.Errorf("dbwire: server error: %s", resp.Msg)
 	}
 }
 

@@ -45,7 +45,7 @@ func TestErrorCodecRoundTrip(t *testing.T) {
 	for _, sentinel := range sentinels {
 		wrapped := fmt.Errorf("context: %w", sentinel)
 		code, msg := encodeErr(wrapped)
-		back := decodeErr(code, msg)
+		back := decodeErr(&Response{Code: code, Msg: msg})
 		if !errors.Is(back, sentinel) {
 			t.Errorf("sentinel %v lost across codec (code %d)", sentinel, code)
 		}
@@ -54,7 +54,7 @@ func TestErrorCodecRoundTrip(t *testing.T) {
 		}
 	}
 	// nil round trip.
-	if code, msg := encodeErr(nil); decodeErr(code, msg) != nil {
+	if code, msg := encodeErr(nil); decodeErr(&Response{Code: code, Msg: msg}) != nil {
 		t.Error("nil error did not survive")
 	}
 	// Unknown errors map to Internal and stay errors.
@@ -62,15 +62,15 @@ func TestErrorCodecRoundTrip(t *testing.T) {
 	if code != CodeInternal {
 		t.Errorf("unknown error code = %d", code)
 	}
-	if got := decodeErr(code, msg); got == nil || !strings.Contains(got.Error(), "boom") {
+	if got := decodeErr(&Response{Code: code, Msg: msg}); got == nil || !strings.Contains(got.Error(), "boom") {
 		t.Errorf("internal error mangled: %v", got)
 	}
 	// BadRequest decodes to a plain error.
-	if got := decodeErr(CodeBadRequest, "nope"); got == nil || !strings.Contains(got.Error(), "nope") {
+	if got := decodeErr(&Response{Code: CodeBadRequest, Msg: "nope"}); got == nil || !strings.Contains(got.Error(), "nope") {
 		t.Errorf("bad request mangled: %v", got)
 	}
 	// Empty message falls back to the sentinel's text.
-	if got := decodeErr(CodeNotFound, ""); got.Error() != sqlstore.ErrNotFound.Error() {
+	if got := decodeErr(&Response{Code: CodeNotFound}); got.Error() != sqlstore.ErrNotFound.Error() {
 		t.Errorf("empty-message fallback = %q", got.Error())
 	}
 }

@@ -88,8 +88,7 @@ func (h *connHandler) Close() {
 func (h *connHandler) subscribe(ctx context.Context, sess *wire.Session, id uint64) *Response {
 	ch, cancel, err := h.backend.Subscribe(ctx)
 	if err != nil {
-		code, msg := encodeErr(err)
-		return &Response{Code: code, Msg: msg}
+		return errResponse(err)
 	}
 	h.pushers.Add(1)
 	go func() {
@@ -136,10 +135,7 @@ func (h *connHandler) lookup(id uint64, remove bool) (storeapi.Txn, *Response) {
 }
 
 func (h *connHandler) handle(ctx context.Context, req *Request) *Response {
-	fail := func(err error) *Response {
-		code, msg := encodeErr(err)
-		return &Response{Code: code, Msg: msg}
-	}
+	fail := errResponse
 
 	switch req.Op {
 	case OpPing:

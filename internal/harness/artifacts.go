@@ -161,12 +161,45 @@ func (a *Artifacts) WriteTraces(traces []*collect.Trace, nWaterfalls int, droppe
 		})
 }
 
+// WriteEvents writes the run's forensic event artifacts: the full event
+// stream as JSON Lines, plus the conflict and invalidation-latency CSV
+// extracts. Headers are always written, so the files are valid (and
+// indexed) even for an incident-free run.
+func (a *Artifacts) WriteEvents(events []obs.Event) error {
+	if err := a.WriteFile("events.jsonl", "events",
+		"forensic event stream (conflict/invalidation/degrade/evict), one JSON object per line", "",
+		func(w io.Writer) error { return obs.WriteEventsJSONL(w, events) }); err != nil {
+		return err
+	}
+	if err := a.WriteFile("conflicts.csv", "csv",
+		"one row per optimistic-commit abort, with loser/winner trace attribution", "",
+		func(w io.Writer) error { return WriteConflictsCSV(w, events) }); err != nil {
+		return err
+	}
+	return a.WriteFile("invalidation_latency.csv", "csv",
+		"one row per invalidation notice received at an edge, with push latency and staleness window", "",
+		func(w io.Writer) error { return WriteInvalidationCSV(w, events) })
+}
+
 // WriteEvalReports writes the figure/table reports and CSV exports for
 // a finished evaluation.
 func (a *Artifacts) WriteEvalReports(e *Evaluation) error {
 	if err := a.WriteFile("report.txt", "report",
 		"Figures 6-8 and Table 2, as tradebench prints them", "evaluation",
 		func(w io.Writer) error { e.WriteAll(w); return nil }); err != nil {
+		return err
+	}
+	if err := a.WriteFile("forensics.txt", "report",
+		"per-point conflict matrices, hot keys, and per-bean cache hit ratios", "evaluation",
+		func(w io.Writer) error {
+			for _, s := range e.Fig6Series() {
+				if err := WriteForensics(w, s); err != nil {
+					return err
+				}
+				fmt.Fprintln(w)
+			}
+			return nil
+		}); err != nil {
 		return err
 	}
 	if err := e.WriteCSV(a.Dir); err != nil {

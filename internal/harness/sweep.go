@@ -69,6 +69,13 @@ type Point struct {
 	// covers the whole edge → backend → store path and decomposes
 	// MeanLatencyMs into per-hop time.
 	Spans map[string]obs.HistSnapshot
+	// Counters is the full counter diff for the point, including labeled
+	// children like slicache.hits{bean=quote} — the raw material of the
+	// per-bean hit-ratio tables in the forensics report.
+	Counters map[string]uint64
+	// Events are the forensic events (conflicts, invalidations,
+	// degradations, evictions) emitted during this point.
+	Events []obs.Event
 }
 
 // Sweep is one (architecture, algorithm) latency curve.
@@ -127,6 +134,7 @@ func RunSweepOn(ctx context.Context, topo *Topology, run RunOptions) (Sweep, err
 		topo.SetDelay(d)
 		before := topo.SharedPathStats()
 		obsBefore := obs.Default.Snapshot()
+		seqBefore := obs.DefaultEvents.Seq()
 		res, err := loadgen.Run(ctx, loadgen.Config{
 			Client:    client,
 			Generator: gen,
@@ -137,11 +145,14 @@ func RunSweepOn(ctx context.Context, topo *Topology, run RunOptions) (Sweep, err
 			return Sweep{}, fmt.Errorf("harness: delay %v: %w", d, err)
 		}
 		after := topo.SharedPathStats()
+		diff := obs.Default.Diff(obsBefore)
 		point := Point{
 			OneWayDelayMs: float64(d) / float64(time.Millisecond),
 			MeanLatencyMs: res.MeanLatencyMs(),
 			Load:          res,
-			Spans:         spanDiff(obsBefore, obs.Default.Snapshot()),
+			Spans:         spanDiff(diff),
+			Counters:      diff.Counters,
+			Events:        obs.DefaultEvents.Since(seqBefore),
 		}
 		if res.Interactions > 0 {
 			point.SharedBytesPerInteraction =
@@ -177,10 +188,9 @@ func RunSweepOn(ctx context.Context, topo *Topology, run RunOptions) (Sweep, err
 	return sweep, nil
 }
 
-// spanDiff extracts the span latency histograms that accumulated
-// between two registry snapshots, keyed by bare span name.
-func spanDiff(before, after obs.Snapshot) map[string]obs.HistSnapshot {
-	diff := after.Sub(before)
+// spanDiff extracts the span latency histograms from a registry diff,
+// keyed by bare span name.
+func spanDiff(diff obs.Snapshot) map[string]obs.HistSnapshot {
 	spans := make(map[string]obs.HistSnapshot)
 	for name, h := range diff.Histograms {
 		if rest, ok := strings.CutPrefix(name, "span."); ok {

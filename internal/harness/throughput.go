@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"edgeejb/internal/loadgen"
+	"edgeejb/internal/obs"
 	"edgeejb/internal/trade"
 )
 
@@ -46,6 +47,13 @@ type ThroughputPoint struct {
 	MeanLatencyMs float64
 	Failures      int
 	Interactions  int
+	// Counters is the full counter diff for the point, including
+	// labeled children like slicache.conflicts{bean=quote}. Unlike the
+	// single-virtual-client sweep, the concurrent run actually races
+	// writers, so this is where real conflict forensics come from.
+	Counters map[string]uint64
+	// Events are the forensic events emitted during this point.
+	Events []obs.Event
 }
 
 // ThroughputCurve is one architecture's throughput-vs-concurrency curve.
@@ -70,6 +78,8 @@ func RunThroughput(ctx context.Context, opts Options, topts ThroughputOptions) (
 	curve := ThroughputCurve{Arch: topo.Arch, Algo: topo.Algo}
 	warmup := topts.WarmupSessions
 	for _, n := range topts.ClientCounts {
+		obsBefore := obs.Default.Snapshot()
+		seqBefore := obs.DefaultEvents.Seq()
 		res, err := loadgen.RunConcurrent(ctx, loadgen.ConcurrentConfig{
 			NewClient:         topo.NewWebClient,
 			Clients:           n,
@@ -87,6 +97,8 @@ func RunThroughput(ctx context.Context, opts Options, topts ThroughputOptions) (
 			MeanLatencyMs: res.Latency.Mean,
 			Failures:      res.Failures,
 			Interactions:  res.Interactions,
+			Counters:      obs.Default.Diff(obsBefore).Counters,
+			Events:        obs.DefaultEvents.Since(seqBefore),
 		})
 	}
 	return curve, nil

@@ -18,6 +18,8 @@ type DebugOptions struct {
 	Registry *Registry
 	// Spans served by /debug/spans (DefaultSpans when nil).
 	Spans *SpanLog
+	// Events served by /debug/events (DefaultEvents when nil).
+	Events *EventLog
 	// Healthy decides /healthz (always healthy when nil).
 	Healthy func() bool
 }
@@ -32,7 +34,14 @@ type DebugOptions struct {
 //	/debug/spans   recent spans (?trace=ID for one trace, ?n=N to limit,
 //	               ?format=json&since=UNIXNANO to export records for
 //	               trace assembly)
+//	/debug/events  recent forensic events (?since=SEQ for the events
+//	               after a sequence number, ?format=json for JSON Lines)
 //	/debug/pprof/  the standard pprof handlers
+//
+// Malformed query parameters (an unparsable since, an unknown format)
+// are rejected with 400 rather than silently treated as defaults, so a
+// collector with a typo finds out instead of silently draining from
+// zero.
 func NewDebugMux(opts DebugOptions) *http.ServeMux {
 	reg := opts.Registry
 	if reg == nil {
@@ -41,6 +50,10 @@ func NewDebugMux(opts DebugOptions) *http.ServeMux {
 	spans := opts.Spans
 	if spans == nil {
 		spans = DefaultSpans
+	}
+	events := opts.Events
+	if events == nil {
+		events = DefaultEvents
 	}
 	healthy := opts.Healthy
 	if healthy == nil {
@@ -85,16 +98,23 @@ func NewDebugMux(opts DebugOptions) *http.ServeMux {
 	})
 	mux.HandleFunc("/debug/spans", func(w http.ResponseWriter, r *http.Request) {
 		q := r.URL.Query()
-		if q.Get("format") == "json" {
-			var since time.Time
-			if s := q.Get("since"); s != "" {
-				ns, err := strconv.ParseInt(s, 10, 64)
-				if err != nil {
-					http.Error(w, "bad since (want unix nanoseconds)", http.StatusBadRequest)
-					return
-				}
-				since = time.Unix(0, ns)
+		format := q.Get("format")
+		switch format {
+		case "", "text", "json":
+		default:
+			http.Error(w, "bad format (want json or text)", http.StatusBadRequest)
+			return
+		}
+		var since time.Time
+		if s := q.Get("since"); s != "" {
+			ns, err := strconv.ParseInt(s, 10, 64)
+			if err != nil {
+				http.Error(w, "bad since (want unix nanoseconds)", http.StatusBadRequest)
+				return
 			}
+			since = time.Unix(0, ns)
+		}
+		if format == "json" {
 			w.Header().Set("Content-Type", "application/json")
 			recs := spans.Since(since)
 			if recs == nil {
@@ -127,6 +147,34 @@ func NewDebugMux(opts DebugOptions) *http.ServeMux {
 			fmt.Fprintf(w, "trace=%d span=%d parent=%d [%s] %-24s %s\n",
 				rec.Trace, rec.Span, rec.Parent, rec.Tier, rec.Name, fmtDur(rec.Dur))
 		}
+	})
+	mux.HandleFunc("/debug/events", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		format := q.Get("format")
+		switch format {
+		case "", "text", "json":
+		default:
+			http.Error(w, "bad format (want json or text)", http.StatusBadRequest)
+			return
+		}
+		var since uint64
+		if s := q.Get("since"); s != "" {
+			v, err := strconv.ParseUint(s, 10, 64)
+			if err != nil {
+				http.Error(w, "bad since (want event sequence number)", http.StatusBadRequest)
+				return
+			}
+			since = v
+		}
+		evs := events.Since(since)
+		if format == "json" {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			_ = WriteEventsJSONL(w, evs)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "events seq=%d dropped=%d\n", events.Seq(), events.Dropped())
+		_ = WriteEventsText(w, evs)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

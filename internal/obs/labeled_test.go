@@ -1,0 +1,222 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestLabeledCounterChildren(t *testing.T) {
+	r := NewRegistry()
+	f := r.LabeledCounter("cache.hits", "bean")
+	f.With("quote").Add(3)
+	f.With("account").Inc()
+	f.With("quote").Inc()
+
+	snap := r.Snapshot()
+	if got := snap.Counters[`cache.hits{bean=quote}`]; got != 4 {
+		t.Fatalf("quote child = %d, want 4", got)
+	}
+	if got := snap.Counters[`cache.hits{bean=account}`]; got != 1 {
+		t.Fatalf("account child = %d, want 1", got)
+	}
+}
+
+func TestLabeledCounterFamilyReuse(t *testing.T) {
+	r := NewRegistry()
+	a := r.LabeledCounter("f", "bean")
+	b := r.LabeledCounter("f", "other") // first call's key wins
+	if a != b {
+		t.Fatal("same base should return the same family")
+	}
+	if b.Key() != "bean" {
+		t.Fatalf("Key() = %q, want first call's %q", b.Key(), "bean")
+	}
+	if b.Base() != "f" {
+		t.Fatalf("Base() = %q", b.Base())
+	}
+	// Same (family, value) → same child counter.
+	if a.With("x") != b.With("x") {
+		t.Fatal("same value should return the same child")
+	}
+}
+
+func TestLabeledCounterOverflow(t *testing.T) {
+	r := NewRegistry()
+	f := r.LabeledCounter("f", "k")
+	for i := 0; i < MaxLabelValues; i++ {
+		f.With(fmt.Sprintf("v%d", i)).Inc()
+	}
+	// These two land past the cap and must fold into the overflow child.
+	f.With("extra1").Inc()
+	f.With("extra2").Inc()
+
+	snap := r.Snapshot()
+	if got := snap.Counters[labelName("f", "k", LabelOverflow)]; got != 2 {
+		t.Fatalf("overflow child = %d, want 2", got)
+	}
+	if _, ok := snap.Counters[labelName("f", "k", "extra1")]; ok {
+		t.Fatal("past-cap value minted its own child")
+	}
+	// A value seen before the cap keeps resolving to its own child.
+	f.With("v0").Inc()
+	if got := r.Snapshot().Counters[labelName("f", "k", "v0")]; got != 2 {
+		t.Fatalf("pre-cap child = %d, want 2", got)
+	}
+}
+
+func TestLabeledCounterSanitizesValues(t *testing.T) {
+	r := NewRegistry()
+	f := r.LabeledCounter("f", "k")
+	f.With("").Inc()
+	f.With(`a{b}=c"d,e f`).Inc()
+	snap := r.Snapshot()
+	if got := snap.Counters[labelName("f", "k", "none")]; got != 1 {
+		t.Fatalf("empty value child = %d, want 1 under %q", got, "none")
+	}
+	if got := snap.Counters[labelName("f", "k", "a_b__c_d_e_f")]; got != 1 {
+		t.Fatalf("sanitized child = %d, want 1", got)
+	}
+}
+
+func TestLabeledHistogram(t *testing.T) {
+	r := NewRegistry()
+	f := r.LabeledHistogram("lat", "bean")
+	f.With("quote").Observe(2 * time.Millisecond)
+	f.With("quote").Observe(4 * time.Millisecond)
+	f.With("holding").Observe(time.Millisecond)
+
+	snap := r.Snapshot()
+	if got := snap.Histograms[`lat{bean=quote}`].Count; got != 2 {
+		t.Fatalf("quote count = %d, want 2", got)
+	}
+	if got := snap.Histograms[`lat{bean=holding}`].Count; got != 1 {
+		t.Fatalf("holding count = %d, want 1", got)
+	}
+}
+
+func TestLabeledChildrenInDiff(t *testing.T) {
+	r := NewRegistry()
+	f := r.LabeledCounter("f", "k")
+	f.With("a").Add(5)
+	before := r.Snapshot()
+	f.With("a").Add(2)
+	f.With("b").Inc()
+	diff := r.Diff(before)
+	if got := diff.Counters[labelName("f", "k", "a")]; got != 2 {
+		t.Fatalf("diff a = %d, want 2", got)
+	}
+	if got := diff.Counters[labelName("f", "k", "b")]; got != 1 {
+		t.Fatalf("diff b = %d, want 1", got)
+	}
+}
+
+func TestSplitLabel(t *testing.T) {
+	cases := []struct {
+		name             string
+		base, key, value string
+		ok               bool
+	}{
+		{"a{k=v}", "a", "k", "v", true},
+		{"slicache.hits{bean=quote}", "slicache.hits", "bean", "quote", true},
+		{"plain", "plain", "", "", false},
+		{"{k=v}", "{k=v}", "", "", false}, // no base
+		{"a{kv}", "a{kv}", "", "", false}, // no '='
+		{"a{=v}", "a{=v}", "", "", false}, // empty key
+		{"a{k=v", "a{k=v", "", "", false}, // unterminated
+		{"a{k=}", "a", "k", "", true},     // empty value parses
+		{"a{k=v=w}", "a", "k", "v=w", true} /* first '=' splits */}
+	for _, c := range cases {
+		base, key, value, ok := SplitLabel(c.name)
+		if base != c.base || key != c.key || value != c.value || ok != c.ok {
+			t.Errorf("SplitLabel(%q) = (%q, %q, %q, %v), want (%q, %q, %q, %v)",
+				c.name, base, key, value, ok, c.base, c.key, c.value, c.ok)
+		}
+	}
+	// Round trip through labelName.
+	base, key, value, ok := SplitLabel(labelName("m.x", "bean", "quote"))
+	if !ok || base != "m.x" || key != "bean" || value != "quote" {
+		t.Fatalf("round trip = (%q, %q, %q, %v)", base, key, value, ok)
+	}
+}
+
+func TestPrometheusLabeledFamilies(t *testing.T) {
+	r := NewRegistry()
+	f := r.LabeledCounter("cache.hits", "bean")
+	f.With("quote").Add(7)
+	f.With("account").Add(2)
+	r.Counter("cache.hits").Add(9) // unlabeled series in the same family
+	r.Gauge("cache.entries").Set(5)
+
+	var b strings.Builder
+	if err := r.Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	if got := strings.Count(out, "# TYPE cache_hits_total counter"); got != 1 {
+		t.Fatalf("want exactly one TYPE line for the family, got %d:\n%s", got, out)
+	}
+	for _, want := range []string{
+		"cache_hits_total{bean=\"quote\"} 7",
+		"cache_hits_total{bean=\"account\"} 2",
+		"cache_hits_total 9",
+		"# TYPE cache_entries gauge",
+		"cache_entries 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prom output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPrometheusHistogramExemplar(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("req.latency")
+	h.Observe(time.Millisecond)
+	h.ObserveTrace(8*time.Millisecond, 0xabcd)
+
+	var b strings.Builder
+	if err := r.Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `# {trace_id="abcd"} 0.008`) {
+		t.Fatalf("prom output missing exemplar:\n%s", out)
+	}
+	// The exemplar must sit on a bucket line, not on sum/count.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "trace_id") && !strings.Contains(line, "_bucket") {
+			t.Fatalf("exemplar on a non-bucket line: %s", line)
+		}
+	}
+}
+
+func TestHistogramExemplarTracksMax(t *testing.T) {
+	h := &Histogram{}
+	h.ObserveTrace(2*time.Millisecond, 1)
+	h.ObserveTrace(10*time.Millisecond, 2)
+	h.ObserveTrace(time.Millisecond, 3) // smaller: must not displace
+	s := h.Snapshot()
+	if s.ExemplarTrace != 2 || s.ExemplarDur != 10*time.Millisecond {
+		t.Fatalf("exemplar = (trace %d, %v), want (2, 10ms)", s.ExemplarTrace, s.ExemplarDur)
+	}
+	// Untraced observations never store an exemplar.
+	h2 := &Histogram{}
+	h2.Observe(time.Second)
+	if s := h2.Snapshot(); s.ExemplarTrace != 0 {
+		t.Fatalf("untraced observation stored exemplar trace %d", s.ExemplarTrace)
+	}
+}
+
+func TestHistSnapshotSubKeepsLaterExemplar(t *testing.T) {
+	h := &Histogram{}
+	h.ObserveTrace(time.Millisecond, 7)
+	before := h.Snapshot()
+	h.ObserveTrace(5*time.Millisecond, 9)
+	diff := h.Snapshot().Sub(before)
+	if diff.ExemplarTrace != 9 {
+		t.Fatalf("diff exemplar trace = %d, want 9", diff.ExemplarTrace)
+	}
+}

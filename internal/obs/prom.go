@@ -3,6 +3,7 @@ package obs
 import (
 	"fmt"
 	"io"
+	"math/bits"
 	"sort"
 	"strings"
 	"time"
@@ -18,73 +19,178 @@ import (
 //     `_bucket{le="<seconds>"}` series over the power-of-two duration
 //     buckets, plus `_sum` and `_count` (sums in seconds, per
 //     Prometheus base-unit convention)
+//   - labeled-family children (`base{key=value}` names, see
+//     LabeledCounter) are folded back into proper label syntax: one
+//     TYPE line per family, one series per value
+//   - histograms carrying an exemplar emit it OpenMetrics-style on the
+//     bucket containing the exemplar observation, linking the bucket to
+//     a trace in the span log
 //
 // Metric names are sanitized to the Prometheus grammar (every character
 // outside [a-zA-Z0-9_:] becomes '_', so "slicache.hits" scrapes as
 // "slicache_hits").
 func (s Snapshot) WritePrometheus(w io.Writer) error {
-	names := make([]string, 0, len(s.Counters))
-	for n := range s.Counters {
-		names = append(names, n)
+	if err := writePromCounters(w, s.Counters); err != nil {
+		return err
 	}
-	sort.Strings(names)
-	for _, n := range names {
-		pn := promName(n) + "_total"
-		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, s.Counters[n]); err != nil {
-			return err
-		}
+	if err := writePromGauges(w, s.Gauges); err != nil {
+		return err
 	}
+	return writePromHists(w, s.Histograms)
+}
 
-	names = names[:0]
-	for n := range s.Gauges {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	for _, n := range names {
-		pn := promName(n)
-		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", pn, pn, s.Gauges[n]); err != nil {
-			return err
-		}
-	}
+// promFamily groups the series sharing one base name: at most one
+// unlabeled series plus any labeled children.
+type promFamily struct {
+	base   string
+	series []promSeries
+}
 
-	names = names[:0]
-	for n := range s.Histograms {
+type promSeries struct {
+	key, value string // empty key = unlabeled
+	name       string // original snapshot name
+}
+
+// groupFamilies buckets metric names into families by base name, both
+// levels sorted, so each family emits exactly one TYPE line followed by
+// its series.
+func groupFamilies(names []string) []promFamily {
+	byBase := make(map[string]*promFamily)
+	for _, n := range names {
+		base, key, value, _ := SplitLabel(n)
+		f := byBase[base]
+		if f == nil {
+			f = &promFamily{base: base}
+			byBase[base] = f
+		}
+		f.series = append(f.series, promSeries{key: key, value: value, name: n})
+	}
+	out := make([]promFamily, 0, len(byBase))
+	for _, f := range byBase {
+		sort.Slice(f.series, func(i, j int) bool { return f.series[i].value < f.series[j].value })
+		out = append(out, *f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].base < out[j].base })
+	return out
+}
+
+func writePromCounters(w io.Writer, counters map[string]uint64) error {
+	names := make([]string, 0, len(counters))
+	for n := range counters {
 		names = append(names, n)
 	}
-	sort.Strings(names)
-	for _, n := range names {
-		h := s.Histograms[n]
-		pn := promName(n) + "_seconds"
-		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
+	for _, f := range groupFamilies(names) {
+		pn := promName(f.base) + "_total"
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n", pn); err != nil {
 			return err
 		}
-		var cum uint64
-		for i, c := range h.Buckets {
-			cum += c
-			// Bucket i counts observations < 1µs<<i; the final bucket is
-			// the +Inf overflow.
-			if i == HistBuckets-1 {
-				break
-			}
-			if cum == 0 {
-				continue // skip leading empty buckets; the tail stays cumulative
-			}
-			le := float64(time.Microsecond<<i) / float64(time.Second)
-			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", pn, le, cum); err != nil {
+		for _, ser := range f.series {
+			if _, err := fmt.Fprintf(w, "%s%s %d\n", pn, promLabels(ser, ""), counters[ser.name]); err != nil {
 				return err
 			}
 		}
-		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", pn, h.Count); err != nil {
+	}
+	return nil
+}
+
+func writePromGauges(w io.Writer, gauges map[string]int64) error {
+	names := make([]string, 0, len(gauges))
+	for n := range gauges {
+		names = append(names, n)
+	}
+	for _, f := range groupFamilies(names) {
+		pn := promName(f.base)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n", pn); err != nil {
 			return err
 		}
-		if _, err := fmt.Fprintf(w, "%s_sum %g\n", pn, h.Sum.Seconds()); err != nil {
-			return err
-		}
-		if _, err := fmt.Fprintf(w, "%s_count %d\n", pn, h.Count); err != nil {
-			return err
+		for _, ser := range f.series {
+			if _, err := fmt.Fprintf(w, "%s%s %d\n", pn, promLabels(ser, ""), gauges[ser.name]); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
+}
+
+func writePromHists(w io.Writer, hists map[string]HistSnapshot) error {
+	names := make([]string, 0, len(hists))
+	for n := range hists {
+		names = append(names, n)
+	}
+	for _, f := range groupFamilies(names) {
+		pn := promName(f.base) + "_seconds"
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
+			return err
+		}
+		for _, ser := range f.series {
+			if err := writePromHist(w, pn, ser, hists[ser.name]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writePromHist(w io.Writer, pn string, ser promSeries, h HistSnapshot) error {
+	// The bucket index holding the exemplar observation (see Observe's
+	// bucketing); -1 when the histogram has no exemplar.
+	exIdx := -1
+	if h.ExemplarTrace != 0 {
+		exIdx = bits.Len64(uint64(h.ExemplarDur / time.Microsecond))
+		if exIdx >= HistBuckets {
+			exIdx = HistBuckets - 1
+		}
+	}
+	exemplar := func(i int) string {
+		if i != exIdx {
+			return ""
+		}
+		// OpenMetrics exemplar syntax: value in seconds, trace ID as the
+		// conventional trace_id label (hex, matching Perfetto export).
+		return fmt.Sprintf(" # {trace_id=\"%x\"} %g", h.ExemplarTrace, h.ExemplarDur.Seconds())
+	}
+	var cum uint64
+	for i, c := range h.Buckets {
+		cum += c
+		// Bucket i counts observations < 1µs<<i; the final bucket is
+		// the +Inf overflow.
+		if i == HistBuckets-1 {
+			break
+		}
+		if cum == 0 {
+			continue // skip leading empty buckets; the tail stays cumulative
+		}
+		le := float64(time.Microsecond<<i) / float64(time.Second)
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d%s\n",
+			pn, promLabels(ser, fmt.Sprintf("%g", le)), cum, exemplar(i)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d%s\n",
+		pn, promLabels(ser, "+Inf"), h.Count, exemplar(HistBuckets-1)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %g\n", pn, promLabels(ser, ""), h.Sum.Seconds()); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", pn, promLabels(ser, ""), h.Count)
+	return err
+}
+
+// promLabels renders a series' label set: the family label (if any)
+// plus, for histogram bucket lines, the le bound.
+func promLabels(ser promSeries, le string) string {
+	var parts []string
+	if ser.key != "" {
+		parts = append(parts, fmt.Sprintf("%s=%q", promName(ser.key), ser.value))
+	}
+	if le != "" {
+		parts = append(parts, fmt.Sprintf("le=%q", le))
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(parts, ",") + "}"
 }
 
 // promName maps a dotted obs metric name onto the Prometheus grammar.

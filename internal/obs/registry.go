@@ -18,10 +18,12 @@ import (
 // reports into and every debug endpoint serves; independent registries
 // exist for tests.
 type Registry struct {
-	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	hists    map[string]*Histogram
+	mu              sync.Mutex
+	counters        map[string]*Counter
+	gauges          map[string]*Gauge
+	hists           map[string]*Histogram
+	labeledCounters map[string]*LabeledCounter
+	labeledHists    map[string]*LabeledHistogram
 }
 
 // Default is the process-wide registry.
@@ -30,9 +32,11 @@ var Default = NewRegistry()
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters: make(map[string]*Counter),
-		gauges:   make(map[string]*Gauge),
-		hists:    make(map[string]*Histogram),
+		counters:        make(map[string]*Counter),
+		gauges:          make(map[string]*Gauge),
+		hists:           make(map[string]*Histogram),
+		labeledCounters: make(map[string]*LabeledCounter),
+		labeledHists:    make(map[string]*LabeledHistogram),
 	}
 }
 

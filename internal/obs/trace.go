@@ -18,7 +18,25 @@ import (
 type (
 	traceKey struct{}
 	spanKey  struct{}
+	opKey    struct{}
 )
+
+// WithOp returns ctx labeled with the logical operation being served
+// (a trade action name like "buy"). Forensic events attribute
+// themselves to the operation, so conflict matrices can break aborts
+// down by interaction type. An empty op returns ctx unchanged.
+func WithOp(ctx context.Context, op string) context.Context {
+	if op == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, opKey{}, op)
+}
+
+// Op extracts the context's operation label ("" if none).
+func Op(ctx context.Context) string {
+	op, _ := ctx.Value(opKey{}).(string)
+	return op
+}
 
 // traceIDs and spanIDs are seeded at init with the wall clock so IDs
 // from separately started processes (the daemons of a distributed
@@ -164,7 +182,10 @@ func (s *Span) End() {
 		return
 	}
 	s.rec.Dur = time.Since(s.rec.Start)
-	Default.Histogram("span." + s.rec.Name).Observe(s.rec.Dur)
+	// ObserveTrace keeps the trace ID of the extreme observation as the
+	// histogram's exemplar, so a slow Prometheus bucket links back to a
+	// concrete trace in the span log.
+	Default.Histogram("span."+s.rec.Name).ObserveTrace(s.rec.Dur, s.rec.Trace)
 	DefaultSpans.add(s.rec)
 }
 

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"edgeejb/internal/memento"
+	"edgeejb/internal/obs"
 )
 
 // CommonStore is the shared (inter-transaction) transient datastore of
@@ -19,6 +20,7 @@ type CommonStore struct {
 	mu       sync.RWMutex
 	entries  map[memento.Key]*list.Element
 	lru      *list.List // front = most recently used
+	bytes    int64      // estimated resident size of all entries
 	capacity int        // 0 = unlimited
 	enabled  bool
 	now      func() time.Time
@@ -30,12 +32,26 @@ type CommonStore struct {
 	evictions     atomic.Uint64
 }
 
-// lruEntry is one cached memento plus its key for back-eviction and the
-// time its value was stored (for time-bounded read modes).
+// lruEntry is one cached memento plus its key for back-eviction, the
+// time its value was stored (for time-bounded read modes), and its
+// estimated size (for occupancy accounting).
 type lruEntry struct {
 	key      memento.Key
 	mem      memento.Memento
 	storedAt time.Time
+	size     int64
+}
+
+// mementoSize estimates a cached memento's resident footprint: string
+// payloads plus a fixed per-field and per-entry overhead. It is an
+// occupancy signal for the slicache.bytes gauge, not an allocator
+// measurement.
+func mementoSize(m memento.Memento) int64 {
+	size := int64(64 + len(m.Key.Table) + len(m.Key.ID))
+	for name, v := range m.Fields {
+		size += int64(48 + len(name) + len(v.Str))
+	}
+	return size
 }
 
 // CommonStoreStats is a snapshot of cache counters.
@@ -46,6 +62,7 @@ type CommonStoreStats struct {
 	Refreshes     uint64
 	Evictions     uint64
 	Entries       int
+	Bytes         int64
 }
 
 // NewCommonStore returns an empty, enabled, unbounded common store. A
@@ -67,9 +84,20 @@ func (c *CommonStore) SetEnabled(enabled bool) {
 	defer c.mu.Unlock()
 	c.enabled = enabled
 	if !enabled {
-		c.entries = make(map[memento.Key]*list.Element)
-		c.lru.Init()
+		c.dropAllLocked()
 	}
+}
+
+// dropAllLocked empties the store, keeping the occupancy gauges in sync.
+// Called with c.mu held.
+func (c *CommonStore) dropAllLocked() int {
+	n := len(c.entries)
+	c.entries = make(map[memento.Key]*list.Element)
+	c.lru.Init()
+	obsEntries.Add(-int64(n))
+	obsBytes.Add(-c.bytes)
+	c.bytes = 0
+	return n
 }
 
 // SetCapacity bounds the number of cached entries; 0 means unlimited.
@@ -115,17 +143,20 @@ func (c *CommonStore) GetWithTime(key memento.Key) (memento.Memento, time.Time, 
 	if !c.enabled {
 		c.misses.Add(1)
 		obsMisses.Inc()
+		obsMissesBy.With(key.Table).Inc()
 		return memento.Memento{}, time.Time{}, false
 	}
 	el, ok := c.entries[key]
 	if !ok {
 		c.misses.Add(1)
 		obsMisses.Inc()
+		obsMissesBy.With(key.Table).Inc()
 		return memento.Memento{}, time.Time{}, false
 	}
 	c.lru.MoveToFront(el)
 	c.hits.Add(1)
 	obsHits.Inc()
+	obsHitsBy.With(key.Table).Inc()
 	entry := el.Value.(*lruEntry)
 	return entry.mem.Clone(), entry.storedAt, true
 }
@@ -146,11 +177,19 @@ func (c *CommonStore) Put(m memento.Memento) {
 		}
 		entry.mem = m.Clone()
 		entry.storedAt = c.now()
+		size := mementoSize(entry.mem)
+		c.bytes += size - entry.size
+		obsBytes.Add(size - entry.size)
+		entry.size = size
 		c.lru.MoveToFront(el)
 		return
 	}
-	el := c.lru.PushFront(&lruEntry{key: m.Key, mem: m.Clone(), storedAt: c.now()})
-	c.entries[m.Key] = el
+	entry := &lruEntry{key: m.Key, mem: m.Clone(), storedAt: c.now()}
+	entry.size = mementoSize(entry.mem)
+	c.entries[m.Key] = c.lru.PushFront(entry)
+	c.bytes += entry.size
+	obsEntries.Add(1)
+	obsBytes.Add(entry.size)
 	c.evictOverflowLocked()
 }
 
@@ -164,21 +203,29 @@ func (c *CommonStore) Refresh(m memento.Memento) {
 }
 
 // Invalidate evicts the given keys (on server update notices, conflict
-// aborts, and removals).
-func (c *CommonStore) Invalidate(keys ...memento.Key) {
+// aborts, and removals), returning how many were actually cached — the
+// number of potentially stale serves the call prevented.
+func (c *CommonStore) Invalidate(keys ...memento.Key) int {
 	if len(keys) == 0 {
-		return
+		return 0
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	evicted := 0
 	for _, k := range keys {
 		if el, ok := c.entries[k]; ok {
+			entry := el.Value.(*lruEntry)
 			c.lru.Remove(el)
 			delete(c.entries, k)
+			c.bytes -= entry.size
+			obsEntries.Add(-1)
+			obsBytes.Add(-entry.size)
 			c.invalidations.Add(1)
 			obsInvalidations.Inc()
+			evicted++
 		}
 	}
+	return evicted
 }
 
 // Clear evicts every entry. The runtime clears the cache after the
@@ -187,9 +234,7 @@ func (c *CommonStore) Invalidate(keys ...memento.Key) {
 func (c *CommonStore) Clear() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	n := len(c.entries)
-	c.entries = make(map[memento.Key]*list.Element)
-	c.lru.Init()
+	n := c.dropAllLocked()
 	c.invalidations.Add(uint64(n))
 	obsInvalidations.Add(uint64(n))
 }
@@ -201,15 +246,26 @@ func (c *CommonStore) Len() int {
 	return len(c.entries)
 }
 
+// Bytes returns the estimated resident size of the cached entries.
+func (c *CommonStore) Bytes() int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.bytes
+}
+
 // Stats returns a snapshot of the cache counters.
 func (c *CommonStore) Stats() CommonStoreStats {
+	c.mu.RLock()
+	entries, bytes := len(c.entries), c.bytes
+	c.mu.RUnlock()
 	return CommonStoreStats{
 		Hits:          c.hits.Load(),
 		Misses:        c.misses.Load(),
 		Invalidations: c.invalidations.Load(),
 		Refreshes:     c.refreshes.Load(),
 		Evictions:     c.evictions.Load(),
-		Entries:       c.Len(),
+		Entries:       entries,
+		Bytes:         bytes,
 	}
 }
 
@@ -227,7 +283,16 @@ func (c *CommonStore) evictOverflowLocked() {
 		entry := back.Value.(*lruEntry)
 		c.lru.Remove(back)
 		delete(c.entries, entry.key)
+		c.bytes -= entry.size
+		obsEntries.Add(-1)
+		obsBytes.Add(-entry.size)
 		c.evictions.Add(1)
 		obsEvictions.Inc()
+		obs.DefaultEvents.Emit(obs.Event{
+			Type: obs.EventEvict,
+			Bean: entry.key.Table,
+			Key:  entry.key.String(),
+			Age:  c.now().Sub(entry.storedAt),
+		})
 	}
 }

@@ -8,6 +8,7 @@ import (
 
 	"edgeejb/internal/component"
 	"edgeejb/internal/memento"
+	"edgeejb/internal/obs"
 	"edgeejb/internal/sqlstore"
 	"edgeejb/internal/storeapi"
 	"edgeejb/internal/wire"
@@ -279,6 +280,7 @@ func (m *Manager) invalidationLoop(ch <-chan sqlstore.Notice, stop, done chan st
 			if !m.degraded.Swap(true) {
 				m.stats.degradations.Add(1)
 				obsDegradations.Inc()
+				obs.DefaultEvents.Emit(obs.Event{Type: obs.EventDegrade, Detail: "enter"})
 			}
 		} else {
 			m.common.Clear()
@@ -301,6 +303,7 @@ func (m *Manager) invalidationLoop(ch <-chan sqlstore.Notice, stop, done chan st
 				if m.degraded.Load() {
 					m.common.Clear()
 					m.degraded.Store(false)
+					obs.DefaultEvents.Emit(obs.Event{Type: obs.EventDegrade, Detail: "exit"})
 				}
 				m.stats.resubscribes.Add(1)
 				obsResubscribes.Inc()
@@ -323,16 +326,51 @@ func (m *Manager) drainNotices(ch <-chan sqlstore.Notice, stop chan struct{}) {
 			if !ok {
 				return
 			}
-			if m.isOwnTx(n.TxID) {
-				continue
-			}
-			m.common.Invalidate(n.Keys...)
-			m.stats.noticesApplied.Add(1)
-			obsNoticesApplied.Inc()
+			m.noteNotice(n)
 		case <-stop:
 			return
 		}
 	}
+}
+
+// noteNotice applies one invalidation notice and records its forensics:
+// push latency (when the store stamped the commit time), the staleness
+// window the eviction closed, and a structured invalidation event. Own
+// commits are measured for latency but evict nothing — the cache was
+// already refreshed with the after-images.
+func (m *Manager) noteNotice(n sqlstore.Notice) {
+	own := m.isOwnTx(n.TxID)
+	var lat time.Duration
+	stamped := !n.CommittedAt.IsZero()
+	if stamped {
+		if lat = m.now().Sub(n.CommittedAt); lat < 0 {
+			lat = 0
+		}
+		obsInvalLatency.ObserveTrace(lat, n.OriginTrace)
+	}
+	ev := obs.Event{
+		Type:       obs.EventInvalidation,
+		OtherTrace: n.OriginTrace,
+		Keys:       len(n.Keys),
+		Own:        own,
+		Latency:    lat,
+	}
+	if len(n.Keys) > 0 {
+		ev.Bean = n.Keys[0].Table
+		ev.Key = n.Keys[0].String()
+	}
+	if !own {
+		ev.Evicted = m.common.Invalidate(n.Keys...)
+		if ev.Evicted > 0 && stamped {
+			// Entries were actually dropped: the push latency bounds how
+			// long they could have been served stale.
+			obsStaleness.ObserveTrace(lat, n.OriginTrace)
+			ev.Age = lat
+		}
+		m.stats.noticesApplied.Add(1)
+		obsNoticesApplied.Inc()
+	}
+	obs.DefaultEvents.Emit(ev)
 }
 
 // Close stops the invalidation subscription, waiting for the consumer

@@ -21,3 +21,38 @@ var (
 	obsResubscribes   = obs.Default.Counter("slicache.resubscribes")
 	obsNoticesApplied = obs.Default.Counter("slicache.notices_applied")
 )
+
+// Per-bean breakdowns of the hot counters, labeled by memento table.
+// The table set is small and fixed by the schema, so the family cap is
+// never a concern in practice.
+var (
+	obsHitsBy      = obs.Default.LabeledCounter("slicache.hits", "bean")
+	obsMissesBy    = obs.Default.LabeledCounter("slicache.misses", "bean")
+	obsConflictsBy = obs.Default.LabeledCounter("slicache.conflicts", "bean")
+)
+
+// Cache occupancy, summed across every CommonStore in the process
+// (each store Add-deltas rather than Sets, so multiple edges in one
+// process aggregate).
+var (
+	obsEntries = obs.Default.Gauge("slicache.entries")
+	obsBytes   = obs.Default.Gauge("slicache.bytes")
+)
+
+// Forensic latency distributions. Each traced observation also leaves
+// an exemplar linking the histogram's extreme to a trace ID.
+var (
+	// obsConflictReadAge is how stale the loser's read was at abort time:
+	// the time between fetching the conflicting entry and failing
+	// validation against it.
+	obsConflictReadAge = obs.Default.Histogram("slicache.conflict_read_age")
+	// obsInvalLatency is the push latency of invalidation notices: origin
+	// commit at the store to arrival at this edge.
+	obsInvalLatency = obs.Default.Histogram("slicache.invalidation_latency")
+	// obsStaleness is the staleness window each notice closed: how long a
+	// now-invalidated entry could have been served stale.
+	obsStaleness = obs.Default.Histogram("slicache.staleness_window")
+	// obsStaleServeAge is the entry age of every degraded-mode stale
+	// serve.
+	obsStaleServeAge = obs.Default.Histogram("slicache.stale_serve_age")
+)

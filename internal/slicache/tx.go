@@ -2,6 +2,7 @@ package slicache
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -63,11 +64,14 @@ func (t *sliTx) Load(ctx context.Context, key memento.Key) (memento.Memento, err
 			// The invalidation stream is down: this entry may be stale.
 			// Serve it only within the degrade bound; older entries fall
 			// through to the store so staleness stays time-bounded.
-			if t.mgr.now().Sub(storedAt) > t.mgr.degradeBound {
+			if age := t.mgr.now().Sub(storedAt); age > t.mgr.degradeBound {
 				ok = false
 			} else {
 				t.mgr.stats.staleServes.Add(1)
 				obsStaleServes.Inc()
+				// How stale could this serve be? Bounded by the entry's age,
+				// since no invalidation has been seen since it was stored.
+				obsStaleServeAge.ObserveTrace(age, obs.TraceID(ctx))
 			}
 		}
 		if ok {
@@ -262,6 +266,7 @@ func (t *sliTx) Commit(ctx context.Context) error {
 	if err != nil {
 		t.mgr.stats.conflicts.Add(1)
 		obsConflicts.Inc()
+		t.noteConflict(ctx, err)
 		// Conservatively evict everything this transaction touched: at
 		// least one entry is known stale.
 		keys := make([]memento.Key, 0, len(t.entries))
@@ -290,6 +295,37 @@ func (t *sliTx) Commit(ctx context.Context) error {
 		}
 	}
 	return nil
+}
+
+// noteConflict records the forensics of a failed validation: the
+// per-bean conflict counter, the loser's read-version age, and a
+// structured conflict event pairing the loser's trace with the winner's
+// (when the error carries attribution — lock-timeout conflicts and
+// unattributed stores do not).
+func (t *sliTx) noteConflict(ctx context.Context, err error) {
+	var ce *sqlstore.ConflictError
+	if !errors.As(err, &ce) {
+		return
+	}
+	obsConflictsBy.With(ce.Key.Table).Inc()
+	trace := obs.TraceID(ctx)
+	var readAge time.Duration
+	if e, ok := t.entries[ce.Key]; ok && !e.fetchedAt.IsZero() {
+		if readAge = t.mgr.now().Sub(e.fetchedAt); readAge < 0 {
+			readAge = 0
+		}
+		obsConflictReadAge.ObserveTrace(readAge, trace)
+	}
+	obs.DefaultEvents.Emit(obs.Event{
+		Type:       obs.EventConflict,
+		Op:         obs.Op(ctx),
+		Bean:       ce.Key.Table,
+		Key:        ce.Key.String(),
+		Trace:      trace,
+		OtherTrace: ce.WinnerTrace,
+		Age:        readAge,
+		Detail:     ce.Detail,
+	})
 }
 
 // Abort discards the per-transaction store. Cached common-store entries

@@ -36,6 +36,14 @@ type Notice struct {
 	TxID uint64
 	// Keys lists every row the transaction created, updated or removed.
 	Keys []memento.Key
+	// CommittedAt is when the writes were installed, stamped by the
+	// store. Edges use it to measure invalidation push latency and the
+	// staleness window each notice closes.
+	CommittedAt time.Time
+	// OriginTrace is the trace ID the committing transaction's Begin
+	// context carried (zero when the commit was untraced), so an edge can
+	// attribute an invalidation to the interaction that caused it.
+	OriginTrace uint64
 }
 
 // Stats counts store activity; all fields are monotonically increasing.
@@ -75,9 +83,10 @@ func newTable() *table {
 type Store struct {
 	lm *lockmgr.Manager
 
-	mu     sync.RWMutex
-	tables map[string]*table
-	closed bool
+	mu      sync.RWMutex
+	tables  map[string]*table
+	writers map[memento.Key]writerInfo
+	closed  bool
 
 	nextTx atomic.Uint64
 
@@ -118,9 +127,10 @@ func New(opts ...Option) *Store {
 		o.apply(&cfg)
 	}
 	return &Store{
-		lm:     lockmgr.New(lockmgr.WithTimeout(cfg.lockTimeout)),
-		tables: make(map[string]*table),
-		subs:   make(map[int]chan Notice),
+		lm:      lockmgr.New(lockmgr.WithTimeout(cfg.lockTimeout)),
+		tables:  make(map[string]*table),
+		writers: make(map[memento.Key]writerInfo),
+		subs:    make(map[int]chan Notice),
 	}
 }
 
@@ -266,16 +276,20 @@ func (s *Store) scanTable(q memento.Query) []memento.Memento {
 }
 
 // applyWrites installs a transaction's buffered writes under the store
-// mutex, bumping row versions. It assumes the caller holds the required
-// locks and has already validated.
-func (s *Store) applyWrites(writes map[memento.Key]pendingWrite) []memento.Key {
+// mutex, bumping row versions and recording the committer as each row's
+// last writer (for conflict attribution). It assumes the caller holds
+// the required locks and has already validated. The returned time is
+// the install instant, stamped onto the commit's invalidation notice.
+func (s *Store) applyWrites(writes map[memento.Key]pendingWrite, txID, trace uint64) ([]memento.Key, time.Time) {
 	if len(writes) == 0 {
-		return nil
+		return nil, time.Time{}
 	}
 	keys := make([]memento.Key, 0, len(writes))
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	at := time.Now()
 	for key, w := range writes {
+		s.writers[key] = writerInfo{txID: txID, trace: trace, at: at}
 		t := s.tables[key.Table]
 		if t == nil {
 			t = newTable()
@@ -309,7 +323,7 @@ func (s *Store) applyWrites(writes map[memento.Key]pendingWrite) []memento.Key {
 		}
 		return keys[i].ID < keys[j].ID
 	})
-	return keys
+	return keys, at
 }
 
 // Seed installs rows directly, without locking or notices. It is meant

@@ -7,6 +7,7 @@ import (
 
 	"edgeejb/internal/lockmgr"
 	"edgeejb/internal/memento"
+	"edgeejb/internal/obs"
 )
 
 // pendingWrite is a buffered mutation applied at commit.
@@ -21,21 +22,25 @@ type pendingWrite struct {
 type Tx struct {
 	s      *Store
 	id     lockmgr.Owner
+	trace  uint64
 	writes map[memento.Key]pendingWrite
 	done   bool
 }
 
-// Begin starts a pessimistic transaction.
+// Begin starts a pessimistic transaction. The context's trace ID (if
+// any) is remembered so a commit can be attributed to the interaction
+// that issued it — both on the invalidation notice and in the
+// last-writer table consulted when a later transaction conflicts.
 func (s *Store) Begin(ctx context.Context) (*Tx, error) {
 	if s.isClosed() {
 		return nil, ErrClosed
 	}
-	_ = ctx
 	s.stats.begins.Add(1)
 	obsTxBegins.Inc()
 	return &Tx{
 		s:      s,
 		id:     lockmgr.Owner(s.nextTx.Add(1)),
+		trace:  obs.TraceID(ctx),
 		writes: make(map[memento.Key]pendingWrite),
 	}, nil
 }
@@ -253,15 +258,18 @@ func (tx *Tx) CheckVersion(ctx context.Context, key memento.Key, version uint64)
 	m, ok := tx.s.readRow(key)
 	if version == 0 {
 		if ok {
-			return fmt.Errorf("%w: %s created concurrently", ErrConflict, key)
+			return tx.s.conflictErr(key, 0, m.Version,
+				fmt.Sprintf("%s created concurrently", key))
 		}
 		return nil
 	}
 	if !ok {
-		return fmt.Errorf("%w: %s removed concurrently", ErrConflict, key)
+		return tx.s.conflictErr(key, version, 0,
+			fmt.Sprintf("%s removed concurrently", key))
 	}
 	if m.Version != version {
-		return fmt.Errorf("%w: %s at v%d, expected v%d", ErrConflict, key, m.Version, version)
+		return tx.s.conflictErr(key, version, m.Version,
+			fmt.Sprintf("%s at v%d, expected v%d", key, m.Version, version))
 	}
 	return nil
 }
@@ -320,15 +328,18 @@ func (tx *Tx) verifyVersionLocked(key memento.Key, version uint64) error {
 	m, ok := tx.s.readRow(key)
 	if version == 0 {
 		if ok {
-			return fmt.Errorf("%w: %s created concurrently", ErrConflict, key)
+			return tx.s.conflictErr(key, 0, m.Version,
+				fmt.Sprintf("%s created concurrently", key))
 		}
 		return nil
 	}
 	if !ok {
-		return fmt.Errorf("%w: %s removed concurrently", ErrConflict, key)
+		return tx.s.conflictErr(key, version, 0,
+			fmt.Sprintf("%s removed concurrently", key))
 	}
 	if m.Version != version {
-		return fmt.Errorf("%w: %s at v%d, expected v%d", ErrConflict, key, m.Version, version)
+		return tx.s.conflictErr(key, version, m.Version,
+			fmt.Sprintf("%s at v%d, expected v%d", key, m.Version, version))
 	}
 	return nil
 }
@@ -340,11 +351,11 @@ func (tx *Tx) Commit() error {
 		return ErrTxDone
 	}
 	tx.done = true
-	keys := tx.s.applyWrites(tx.writes)
+	keys, at := tx.s.applyWrites(tx.writes, uint64(tx.id), tx.trace)
 	tx.s.lm.ReleaseAll(tx.id)
 	tx.s.stats.commits.Add(1)
 	obsTxCommits.Inc()
-	tx.s.broadcast(Notice{TxID: uint64(tx.id), Keys: keys})
+	tx.s.broadcast(Notice{TxID: uint64(tx.id), Keys: keys, CommittedAt: at, OriginTrace: tx.trace})
 	return nil
 }
 

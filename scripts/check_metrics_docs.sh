@@ -3,10 +3,14 @@
 # OBSERVABILITY.md. Names are extracted from non-test sources:
 #
 #   - obs.Default.Counter/Gauge/Histogram("literal")
+#   - obs.Default.LabeledCounter/LabeledHistogram("base", "key"),
+#     documented as base{key=<key>}
 #   - Counter/Gauge/Histogram(p + "suffix") where p = "wire.<role>."
 #     (the wire package builds its names from a role prefix; both roles
 #     are expanded here)
 #   - obs.StartSpan(ctx, "name"), documented as span.<name>
+#   - forensic event types (EventFoo EventType = "foo" in internal/obs),
+#     documented by their type string
 #
 # Dynamically-built names beyond the known wire roles would evade the
 # grep; keep registrations literal so this check stays sound.
@@ -33,7 +37,24 @@ names=$(
 	grep -rho --include='*.go' --exclude='*_test.go' \
 		-E '(^|[^.[:alnum:]_])Default\.(Counter|Gauge|Histogram)\("[^"]+"\)' internal/obs |
 		sed -E 's/.*\("([^"]+)"\).*/\1/'
+	# labeled families, documented as base{key=<key>}
+	grep -rho --include='*.go' --exclude='*_test.go' \
+		-E 'obs\.Default\.Labeled(Counter|Histogram)\("[^"]+", *"[^"]+"\)' internal cmd |
+		sed -E 's/.*\("([^"]+)", *"([^"]+)"\).*/\1{\2=<\2>}/'
 )
+
+# Forensic event types must be documented by their type string.
+event_types=$(
+	grep -rho --include='*.go' --exclude='*_test.go' \
+		-E 'Event[A-Za-z]+ EventType = "[^"]+"' internal/obs |
+		sed -E 's/.*"([^"]+)".*/\1/'
+)
+for t in $(printf '%s\n' "$event_types" | sort -u); do
+	if ! grep -q -F "\`$t\`" "$doc"; then
+		echo "undocumented event type: $t (add it to $doc)" >&2
+		fail=1
+	fi
+done
 
 for name in $(printf '%s\n' "$names" | sort -u); do
 	if ! grep -q -F "\`$name\`" "$doc"; then
