@@ -158,12 +158,12 @@ func BenchmarkStoreQuery100(b *testing.B) {
 	conn := storeapi.Local(store)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		rows, err := conn.AutoQuery(ctx, q)
+		res, err := conn.AutoQuery(ctx, q)
 		if err != nil {
 			b.Fatal(err)
 		}
-		if len(rows) != 10 {
-			b.Fatalf("rows = %d", len(rows))
+		if len(res.Mems) != 10 {
+			b.Fatalf("rows = %d", len(res.Mems))
 		}
 	}
 }
@@ -449,8 +449,8 @@ func BenchmarkQueryIndexedVsScan(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			if len(got) != wantRows {
-				b.Fatalf("rows = %d, want %d", len(got), wantRows)
+			if len(got.Mems) != wantRows {
+				b.Fatalf("rows = %d, want %d", len(got.Mems), wantRows)
 			}
 		}
 	}

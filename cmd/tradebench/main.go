@@ -20,10 +20,14 @@ package main
 
 import (
 	"context"
+	"encoding/csv"
 	"flag"
 	"fmt"
+	"io"
+	"math"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
@@ -31,6 +35,7 @@ import (
 	"edgeejb/internal/latency"
 	"edgeejb/internal/obs"
 	"edgeejb/internal/obs/collect"
+	"edgeejb/internal/slicache"
 	"edgeejb/internal/trade"
 )
 
@@ -77,10 +82,13 @@ func run(args []string) error {
 		stepTimeout     = fs.Duration("step-timeout", 10*time.Second, "per-interaction timeout (with -faults)")
 		degradeBound    = fs.Duration("degrade-bound", 5*time.Second, "slicache degraded-read staleness bound (0 disables; with -faults)")
 
+		finderCache = fs.Bool("finder-cache", true, "cache finder (query) results at the edge with footprint-based invalidation; -finder-cache=false reproduces the uncached behavior")
+
 		sessions = fs.Int("sessions", 25, "measured sessions per delay point (paper: 300)")
 		warmup   = fs.Int("warmup", 8, "warmup sessions before measurement (paper: 400)")
 		batches  = fs.Int("batches", 20, "latency batches (paper: 20)")
 		delays   = fs.String("delays", "0ms,1ms,2ms,4ms", "comma-separated one-way delays to sweep")
+		mix      = fs.String("mix", "", "override the session action mix as name=weight pairs, e.g. portfolio=40,quote=35,buy=3 (names: home, account, account-update, portfolio, quote, buy, sell, register; empty = the default browse-heavy mix)")
 		users    = fs.Int("users", 50, "registered users in the Trade database")
 		symbols  = fs.Int("symbols", 100, "quoted securities in the Trade database")
 		holdings = fs.Int("holdings", 4, "initial holdings per user")
@@ -107,6 +115,10 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	mixWeights, err := parseMix(*mix)
+	if err != nil {
+		return err
+	}
 	cfg := harness.EvalConfig{
 		Run: harness.RunOptions{
 			Delays:         delayList,
@@ -117,6 +129,7 @@ func run(args []string) error {
 				Seed:    *seed,
 				Users:   *users,
 				Symbols: *symbols,
+				Mix:     mixWeights,
 			},
 		},
 		Populate: trade.PopulateConfig{
@@ -125,6 +138,7 @@ func run(args []string) error {
 			Symbols:         *symbols,
 			HoldingsPerUser: *holdings,
 		},
+		CacheOptions: []slicache.ManagerOption{slicache.WithFinderCache(*finderCache)},
 	}
 	logf := func(format string, a ...any) {
 		fmt.Fprintf(os.Stderr, format+"\n", a...)
@@ -165,6 +179,11 @@ func run(args []string) error {
 		fmt.Fprintf(os.Stderr, "collecting run artifacts in %s\n", art.Dir)
 	}
 
+	// finderPhases accumulates one finder-cache accounting row per
+	// experiment phase, for the -metrics hit-ratio column and the
+	// finder_cache.csv artifact.
+	var finderPhases []finderPhaseRow
+
 	// phase runs one experiment phase and, with -metrics, prints the
 	// process metrics it accumulated (a diff, so phases don't bleed into
 	// each other). With -out-dir the diff and the phase's metric time
@@ -179,6 +198,7 @@ func run(args []string) error {
 			return err
 		}
 		diff := obs.Default.Diff(before)
+		finderPhases = append(finderPhases, finderPhaseRowFrom(name, diff))
 		if *metrics {
 			fmt.Printf("\nMetrics accumulated by the %s phase:\n", name)
 			if err := diff.WriteText(os.Stdout); err != nil {
@@ -217,6 +237,7 @@ func run(args []string) error {
 			SessionRetries: *sessionRetries,
 			StepTimeout:    *stepTimeout,
 			DegradeBound:   *degradeBound,
+			CacheOptions:   cfg.CacheOptions,
 		}
 		if err := phase("fault", func() error { return runFaults(fopts, logf) }); err != nil {
 			return err
@@ -227,6 +248,10 @@ func run(args []string) error {
 	// finishArtifacts assembles the run's traces and finalizes the
 	// artifact directory; it runs at whichever exit the run takes.
 	finishArtifacts := func(eval *harness.Evaluation) error {
+		if *metrics && len(finderPhases) > 0 {
+			fmt.Println()
+			writeFinderTable(os.Stdout, finderPhases)
+		}
 		if art == nil {
 			return nil
 		}
@@ -239,6 +264,11 @@ func run(args []string) error {
 			return err
 		}
 		if err := art.WriteEvents(obs.DefaultEvents.Since(0)); err != nil {
+			return err
+		}
+		if err := art.WriteFile("finder_cache.csv", "csv",
+			"per-phase finder-cache hits, misses, invalidations, and hit ratio", "",
+			func(w io.Writer) error { return writeFinderCSV(w, finderPhases) }); err != nil {
 			return err
 		}
 		if eval != nil {
@@ -365,9 +395,10 @@ func runThroughput(cfg harness.EvalConfig, forensics bool, logf func(string, ...
 			logf("running throughput %s (clients %v)...", pair, topts.ClientCounts)
 		}
 		curve, err := harness.RunThroughput(context.Background(), harness.Options{
-			Arch:     pair.Arch,
-			Algo:     pair.Algo,
-			Populate: cfg.Populate,
+			Arch:         pair.Arch,
+			Algo:         pair.Algo,
+			Populate:     cfg.Populate,
+			CacheOptions: cfg.CacheOptions,
 		}, topts)
 		if err != nil {
 			return err
@@ -382,6 +413,118 @@ func runThroughput(cfg harness.EvalConfig, forensics bool, logf func(string, ...
 		}
 	}
 	return nil
+}
+
+// finderPhaseRow is one experiment phase's finder-cache accounting,
+// extracted from the phase's registry diff.
+type finderPhaseRow struct {
+	Phase         string
+	Hits          uint64
+	Misses        uint64
+	Invalidations uint64
+}
+
+func finderPhaseRowFrom(name string, diff obs.Snapshot) finderPhaseRow {
+	return finderPhaseRow{
+		Phase:         name,
+		Hits:          diff.Counters["slicache.finder_hits"],
+		Misses:        diff.Counters["slicache.finder_misses"],
+		Invalidations: diff.Counters["slicache.finder_invalidations"],
+	}
+}
+
+// HitRatio is hits/(hits+misses); NaN when the phase ran no finders
+// (or the cache was disabled, which records neither hits nor misses).
+func (r finderPhaseRow) HitRatio() float64 {
+	total := r.Hits + r.Misses
+	if total == 0 {
+		return math.NaN()
+	}
+	return float64(r.Hits) / float64(total)
+}
+
+// writeFinderTable renders the per-phase finder-cache summary printed
+// with -metrics.
+func writeFinderTable(w io.Writer, rows []finderPhaseRow) {
+	fmt.Fprintln(w, "Finder cache by phase:")
+	fmt.Fprintf(w, "%-14s %10s %10s %14s %10s\n", "phase", "hits", "misses", "invalidations", "hit-ratio")
+	for _, r := range rows {
+		ratio := "n/a"
+		if hr := r.HitRatio(); !math.IsNaN(hr) {
+			ratio = fmt.Sprintf("%.1f%%", 100*hr)
+		}
+		fmt.Fprintf(w, "%-14s %10d %10d %14d %10s\n", r.Phase, r.Hits, r.Misses, r.Invalidations, ratio)
+	}
+}
+
+// writeFinderCSV exports the same rows as the finder_cache.csv
+// artifact (schema: phase, hits, misses, invalidations, hit_ratio).
+func writeFinderCSV(w io.Writer, rows []finderPhaseRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"phase", "hits", "misses", "invalidations", "hit_ratio"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		ratio := "n/a"
+		if hr := r.HitRatio(); !math.IsNaN(hr) {
+			ratio = strconv.FormatFloat(hr, 'f', 4, 64)
+		}
+		rec := []string{
+			r.Phase,
+			strconv.FormatUint(r.Hits, 10),
+			strconv.FormatUint(r.Misses, 10),
+			strconv.FormatUint(r.Invalidations, 10),
+			ratio,
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// parseMix parses the -mix override: comma-separated name=weight pairs.
+// An empty string keeps the zero Mix, which the generator replaces with
+// trade.DefaultMix.
+func parseMix(s string) (trade.Mix, error) {
+	var m trade.Mix
+	if strings.TrimSpace(s) == "" {
+		return m, nil
+	}
+	fields := map[string]*int{
+		"home":           &m.Home,
+		"account":        &m.Account,
+		"account-update": &m.AccountUpdate,
+		"portfolio":      &m.Portfolio,
+		"quote":          &m.Quote,
+		"buy":            &m.Buy,
+		"sell":           &m.Sell,
+		"register":       &m.Register,
+	}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return m, fmt.Errorf("bad mix entry %q (want name=weight)", part)
+		}
+		dst, known := fields[strings.ToLower(strings.TrimSpace(name))]
+		if !known {
+			return m, fmt.Errorf("unknown mix action %q", name)
+		}
+		w, err := strconv.Atoi(strings.TrimSpace(val))
+		if err != nil || w < 0 {
+			return m, fmt.Errorf("bad mix weight %q", part)
+		}
+		*dst = w
+	}
+	if total := m.Home + m.Account + m.AccountUpdate + m.Portfolio + m.Quote + m.Buy + m.Sell + m.Register; total == 0 {
+		return m, fmt.Errorf("mix %q has zero total weight", s)
+	}
+	return m, nil
 }
 
 func parseDelays(s string) ([]time.Duration, error) {

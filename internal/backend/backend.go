@@ -62,11 +62,11 @@ var _ storeapi.Conn = (*logic)(nil)
 
 func (l *logic) Begin(ctx context.Context) (storeapi.Txn, error) { return l.db.Begin(ctx) }
 
-func (l *logic) AutoGet(ctx context.Context, table, id string) (memento.Memento, error) {
+func (l *logic) AutoGet(ctx context.Context, table, id string) (storeapi.GetResult, error) {
 	return l.db.AutoGet(ctx, table, id)
 }
 
-func (l *logic) AutoQuery(ctx context.Context, q memento.Query) ([]memento.Memento, error) {
+func (l *logic) AutoQuery(ctx context.Context, q memento.Query) (storeapi.QueryResult, error) {
 	return l.db.AutoQuery(ctx, q)
 }
 

@@ -51,19 +51,25 @@ func TestBackendServesCacheMisses(t *testing.T) {
 	store.Seed(row("1", 10, 0))
 	ctx := context.Background()
 
-	m, err := edge.AutoGet(ctx, "t", "1")
+	res, err := edge.AutoGet(ctx, "t", "1")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if m.Fields["n"].Int != 10 || m.Version != 1 {
-		t.Errorf("AutoGet = %v", m)
+	if res.Mem.Fields["n"].Int != 10 || res.Mem.Version != 1 {
+		t.Errorf("AutoGet = %v", res.Mem)
 	}
-	mems, err := edge.AutoQuery(ctx, memento.Query{Table: "t"})
+	if !res.FP.CoversKey(memento.Key{Table: "t", ID: "1"}) {
+		t.Errorf("AutoGet footprint %v does not cover the key", res.FP)
+	}
+	qres, err := edge.AutoQuery(ctx, memento.Query{Table: "t"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(mems) != 1 {
-		t.Errorf("AutoQuery rows = %d, want 1", len(mems))
+	if len(qres.Mems) != 1 {
+		t.Errorf("AutoQuery rows = %d, want 1", len(qres.Mems))
+	}
+	if len(qres.FP.Queries) != 1 {
+		t.Errorf("AutoQuery footprint %v carries no query descriptor", qres.FP)
 	}
 }
 

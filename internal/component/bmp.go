@@ -67,13 +67,13 @@ func (t *bmpTx) Load(ctx context.Context, key memento.Key) (memento.Memento, err
 	}
 	// ejbLoad: the container reloads the full row even though the finder
 	// just touched it.
-	m, err := t.txn.Get(ctx, key.Table, key.ID)
+	res, err := t.txn.Get(ctx, key.Table, key.ID)
 	if err != nil {
 		return memento.Memento{}, err
 	}
-	t.activated[key] = m.Clone()
+	t.activated[key] = res.Mem.Clone()
 	delete(t.removed, key)
-	return m, nil
+	return res.Mem, nil
 }
 
 func (t *bmpTx) Store(ctx context.Context, m memento.Memento) error {
@@ -110,14 +110,14 @@ func (t *bmpTx) Query(ctx context.Context, q memento.Query) ([]memento.Memento, 
 	if err != nil {
 		return nil, err
 	}
-	out := make([]memento.Memento, 0, len(found))
-	for _, f := range found {
-		m, err := t.txn.Get(ctx, f.Key.Table, f.Key.ID)
+	out := make([]memento.Memento, 0, len(found.Mems))
+	for _, f := range found.Mems {
+		res, err := t.txn.Get(ctx, f.Key.Table, f.Key.ID)
 		if err != nil {
 			return nil, fmt.Errorf("bmp: ejbLoad after finder %s: %w", f.Key, err)
 		}
-		t.activated[m.Key] = m.Clone()
-		out = append(out, m)
+		t.activated[res.Mem.Key] = res.Mem.Clone()
+		out = append(out, res.Mem)
 	}
 	return out, nil
 }

@@ -68,12 +68,12 @@ func (c *countingConn) Begin(ctx context.Context) (storeapi.Txn, error) {
 	return &countingTxn{inner: txn, ops: &c.ops}, nil
 }
 
-func (c *countingConn) AutoGet(ctx context.Context, table, id string) (memento.Memento, error) {
+func (c *countingConn) AutoGet(ctx context.Context, table, id string) (storeapi.GetResult, error) {
 	c.ops.Add(1)
 	return c.inner.AutoGet(ctx, table, id)
 }
 
-func (c *countingConn) AutoQuery(ctx context.Context, q memento.Query) ([]memento.Memento, error) {
+func (c *countingConn) AutoQuery(ctx context.Context, q memento.Query) (storeapi.QueryResult, error) {
 	c.ops.Add(1)
 	return c.inner.AutoQuery(ctx, q)
 }
@@ -96,12 +96,12 @@ type countingTxn struct {
 
 func (t *countingTxn) ID() uint64 { return t.inner.ID() }
 
-func (t *countingTxn) Get(ctx context.Context, table, id string) (memento.Memento, error) {
+func (t *countingTxn) Get(ctx context.Context, table, id string) (storeapi.GetResult, error) {
 	t.ops.Add(1)
 	return t.inner.Get(ctx, table, id)
 }
 
-func (t *countingTxn) GetForUpdate(ctx context.Context, table, id string) (memento.Memento, error) {
+func (t *countingTxn) GetForUpdate(ctx context.Context, table, id string) (storeapi.GetResult, error) {
 	t.ops.Add(1)
 	return t.inner.GetForUpdate(ctx, table, id)
 }
@@ -121,7 +121,7 @@ func (t *countingTxn) Delete(ctx context.Context, table, id string) error {
 	return t.inner.Delete(ctx, table, id)
 }
 
-func (t *countingTxn) Query(ctx context.Context, q memento.Query) ([]memento.Memento, error) {
+func (t *countingTxn) Query(ctx context.Context, q memento.Query) (storeapi.QueryResult, error) {
 	t.ops.Add(1)
 	return t.inner.Query(ctx, q)
 }

@@ -53,12 +53,12 @@ func (t *jdbcTx) Load(ctx context.Context, key memento.Key) (memento.Memento, er
 	if m, ok := t.cache[key]; ok {
 		return m.Clone(), nil
 	}
-	m, err := t.txn.Get(ctx, key.Table, key.ID)
+	res, err := t.txn.Get(ctx, key.Table, key.ID)
 	if err != nil {
 		return memento.Memento{}, err
 	}
-	t.cache[key] = m.Clone()
-	return m, nil
+	t.cache[key] = res.Mem.Clone()
+	return res.Mem, nil
 }
 
 func (t *jdbcTx) Store(ctx context.Context, m memento.Memento) error {
@@ -85,18 +85,18 @@ func (t *jdbcTx) Remove(ctx context.Context, key memento.Key) error {
 }
 
 func (t *jdbcTx) Query(ctx context.Context, q memento.Query) ([]memento.Memento, error) {
-	mems, err := t.txn.Query(ctx, q)
+	res, err := t.txn.Query(ctx, q)
 	if err != nil {
 		return nil, err
 	}
 	// A hand-crafted implementation reuses the SELECT's rows directly
 	// rather than re-fetching them one by one (contrast bmpTx.Query).
-	for _, m := range mems {
+	for _, m := range res.Mems {
 		if _, dirtied := t.dirty[m.Key]; !dirtied {
 			t.cache[m.Key] = m.Clone()
 		}
 	}
-	return mems, nil
+	return res.Mems, nil
 }
 
 func (t *jdbcTx) Commit(ctx context.Context) error {

@@ -202,29 +202,55 @@ func (c *Client) ApplyCommitSet(ctx context.Context, cs memento.CommitSet) (sqls
 	return sqlstore.ApplyResult{TxID: resp.Tx, NewVersions: resp.NewVersions}, nil
 }
 
+// getResult assembles a GetResult from a read response, synthesizing
+// the footprint locally when the server (an older peer) did not stamp
+// one — a key read's footprint is fully determined by its arguments.
+func getResult(resp *Response, table, id string) storeapi.GetResult {
+	res := storeapi.GetResult{Mem: resp.Mem}
+	if resp.FP != nil {
+		res.FP = *resp.FP
+	} else {
+		res.FP = memento.KeyFootprint(memento.Key{Table: table, ID: id})
+	}
+	return res
+}
+
+// queryResult assembles a QueryResult from a read response, deriving
+// the footprint from the query and its rows when the server did not
+// stamp one.
+func queryResult(resp *Response, q memento.Query) storeapi.QueryResult {
+	res := storeapi.QueryResult{Mems: resp.Mems}
+	if resp.FP != nil {
+		res.FP = *resp.FP
+	} else {
+		res.FP = memento.QueryFootprint(q, resp.Mems)
+	}
+	return res
+}
+
 // AutoGet reads one row in an autocommit transaction: one round trip.
-func (c *Client) AutoGet(ctx context.Context, table, id string) (memento.Memento, error) {
+func (c *Client) AutoGet(ctx context.Context, table, id string) (storeapi.GetResult, error) {
 	resp, err := c.oneShot(ctx, &Request{Op: OpAutoGet, Table: table, ID: id})
 	if err != nil {
-		return memento.Memento{}, err
+		return storeapi.GetResult{}, err
 	}
 	if err := decodeErr(resp); err != nil {
-		return memento.Memento{}, err
+		return storeapi.GetResult{}, err
 	}
-	return resp.Mem, nil
+	return getResult(resp, table, id), nil
 }
 
 // AutoQuery runs one predicate query in an autocommit transaction: one
 // round trip.
-func (c *Client) AutoQuery(ctx context.Context, q memento.Query) ([]memento.Memento, error) {
+func (c *Client) AutoQuery(ctx context.Context, q memento.Query) (storeapi.QueryResult, error) {
 	resp, err := c.oneShot(ctx, &Request{Op: OpAutoQuery, Query: q})
 	if err != nil {
-		return nil, err
+		return storeapi.QueryResult{}, err
 	}
 	if err := decodeErr(resp); err != nil {
-		return nil, err
+		return storeapi.QueryResult{}, err
 	}
-	return resp.Mems, nil
+	return queryResult(resp, q), nil
 }
 
 // Subscribe opens a pinned connection carrying the server-push
@@ -316,20 +342,20 @@ func (t *remoteTxn) finish() {
 	}
 }
 
-func (t *remoteTxn) Get(ctx context.Context, table, id string) (memento.Memento, error) {
+func (t *remoteTxn) Get(ctx context.Context, table, id string) (storeapi.GetResult, error) {
 	resp, err := t.call(ctx, &Request{Op: OpGet, Table: table, ID: id})
 	if err != nil {
-		return memento.Memento{}, err
+		return storeapi.GetResult{}, err
 	}
-	return resp.Mem, nil
+	return getResult(resp, table, id), nil
 }
 
-func (t *remoteTxn) GetForUpdate(ctx context.Context, table, id string) (memento.Memento, error) {
+func (t *remoteTxn) GetForUpdate(ctx context.Context, table, id string) (storeapi.GetResult, error) {
 	resp, err := t.call(ctx, &Request{Op: OpGetForUpdate, Table: table, ID: id})
 	if err != nil {
-		return memento.Memento{}, err
+		return storeapi.GetResult{}, err
 	}
-	return resp.Mem, nil
+	return getResult(resp, table, id), nil
 }
 
 func (t *remoteTxn) Put(ctx context.Context, m memento.Memento) error {
@@ -347,12 +373,12 @@ func (t *remoteTxn) Delete(ctx context.Context, table, id string) error {
 	return err
 }
 
-func (t *remoteTxn) Query(ctx context.Context, q memento.Query) ([]memento.Memento, error) {
+func (t *remoteTxn) Query(ctx context.Context, q memento.Query) (storeapi.QueryResult, error) {
 	resp, err := t.call(ctx, &Request{Op: OpQuery, Query: q})
 	if err != nil {
-		return nil, err
+		return storeapi.QueryResult{}, err
 	}
-	return resp.Mems, nil
+	return queryResult(resp, q), nil
 }
 
 func (t *remoteTxn) CheckVersion(ctx context.Context, key memento.Key, version uint64) error {

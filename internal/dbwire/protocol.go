@@ -124,6 +124,13 @@ type Response struct {
 	// the server-side error was an attributed *sqlstore.ConflictError
 	// (nil otherwise; gob omits it for free).
 	Conflict *ConflictInfo
+	// FP carries the footprint a Get/Query covered, stamped by the
+	// server on read responses. Nil on every other response — and on
+	// responses from peers that predate footprints, since gob omits the
+	// nil pointer and old decoders ignore the unknown field; the client
+	// synthesizes an equivalent footprint locally in that case, so mixed
+	// versions interoperate.
+	FP *memento.Footprint
 }
 
 // ConflictInfo is the wire form of sqlstore.ConflictError's attribution

@@ -125,12 +125,12 @@ func TestRemoteGetForUpdate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, err := txn.GetForUpdate(ctx, "t", "1")
+	res, err := txn.GetForUpdate(ctx, "t", "1")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if m.Fields["v"].Int != 10 {
-		t.Errorf("v = %d", m.Fields["v"].Int)
+	if res.Mem.Fields["v"].Int != 10 {
+		t.Errorf("v = %d", res.Mem.Fields["v"].Int)
 	}
 	// The X lock blocks a second transaction's read until release.
 	txn2, err := client.Begin(ctx)

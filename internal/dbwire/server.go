@@ -160,11 +160,11 @@ func (h *connHandler) handle(ctx context.Context, req *Request) *Response {
 		if req.Op == OpGetForUpdate {
 			get = tx.GetForUpdate
 		}
-		m, err := get(ctx, req.Table, req.ID)
+		res, err := get(ctx, req.Table, req.ID)
 		if err != nil {
 			return fail(err)
 		}
-		return &Response{Code: CodeOK, Mem: m}
+		return &Response{Code: CodeOK, Mem: res.Mem, FP: &res.FP}
 
 	case OpPut, OpInsert, OpCheckedPut:
 		tx, errResp := h.lookup(req.Tx, false)
@@ -220,11 +220,11 @@ func (h *connHandler) handle(ctx context.Context, req *Request) *Response {
 		if errResp != nil {
 			return errResp
 		}
-		mems, err := tx.Query(ctx, req.Query)
+		res, err := tx.Query(ctx, req.Query)
 		if err != nil {
 			return fail(err)
 		}
-		return &Response{Code: CodeOK, Mems: mems}
+		return &Response{Code: CodeOK, Mems: res.Mems, FP: &res.FP}
 
 	case OpCommit:
 		tx, errResp := h.lookup(req.Tx, true)
@@ -254,18 +254,18 @@ func (h *connHandler) handle(ctx context.Context, req *Request) *Response {
 		return &Response{Code: CodeOK, Tx: res.TxID, NewVersions: res.NewVersions}
 
 	case OpAutoGet:
-		m, err := h.backend.AutoGet(ctx, req.Table, req.ID)
+		res, err := h.backend.AutoGet(ctx, req.Table, req.ID)
 		if err != nil {
 			return fail(err)
 		}
-		return &Response{Code: CodeOK, Mem: m}
+		return &Response{Code: CodeOK, Mem: res.Mem, FP: &res.FP}
 
 	case OpAutoQuery:
-		mems, err := h.backend.AutoQuery(ctx, req.Query)
+		res, err := h.backend.AutoQuery(ctx, req.Query)
 		if err != nil {
 			return fail(err)
 		}
-		return &Response{Code: CodeOK, Mems: mems}
+		return &Response{Code: CodeOK, Mems: res.Mems, FP: &res.FP}
 
 	default:
 		return &Response{Code: CodeBadRequest, Msg: "unknown op " + req.Op.String()}

@@ -56,12 +56,16 @@ func TestRemoteTxnCRUD(t *testing.T) {
 	if txn.ID() == 0 {
 		t.Error("remote txn must expose the store transaction id")
 	}
-	m, err := txn.Get(ctx, "t", "1")
+	res, err := txn.Get(ctx, "t", "1")
 	if err != nil {
 		t.Fatal(err)
 	}
+	m := res.Mem
 	if m.Fields["v"].Int != 10 {
 		t.Errorf("v = %d, want 10", m.Fields["v"].Int)
+	}
+	if !res.FP.CoversKey(memento.Key{Table: "t", ID: "1"}) {
+		t.Errorf("Get footprint %v does not cover the key", res.FP)
 	}
 	m.Fields["v"] = memento.Int(11)
 	if err := txn.Put(ctx, m); err != nil {
@@ -73,12 +77,15 @@ func TestRemoteTxnCRUD(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	mems, err := txn.Query(ctx, memento.Query{Table: "t"})
+	qres, err := txn.Query(ctx, memento.Query{Table: "t"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(mems) != 2 {
-		t.Fatalf("query rows = %d, want 2", len(mems))
+	if len(qres.Mems) != 2 {
+		t.Fatalf("query rows = %d, want 2", len(qres.Mems))
+	}
+	if len(qres.FP.Queries) != 1 || len(qres.FP.Keys) != 2 {
+		t.Errorf("query footprint = %v, want 1 query + 2 keys", qres.FP)
 	}
 	if err := txn.Delete(ctx, "t", "2"); err != nil {
 		t.Fatal(err)
@@ -296,11 +303,12 @@ func TestConcurrentClients(t *testing.T) {
 					errs <- err
 					return
 				}
-				m, err := txn.Get(ctx, "t", id)
+				res, err := txn.Get(ctx, "t", id)
 				if err != nil {
 					errs <- err
 					return
 				}
+				m := res.Mem
 				m.Fields["v"] = memento.Int(m.Fields["v"].Int + 1)
 				if err := txn.Put(ctx, m); err != nil {
 					errs <- err
@@ -319,12 +327,12 @@ func TestConcurrentClients(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < keys; i++ {
-		m, err := storeapi.Local(store).AutoGet(ctx, "t", fmt.Sprintf("%d", i))
+		res, err := storeapi.Local(store).AutoGet(ctx, "t", fmt.Sprintf("%d", i))
 		if err != nil {
 			t.Fatal(err)
 		}
-		if m.Fields["v"].Int != 10 {
-			t.Errorf("key %d = %d, want 10", i, m.Fields["v"].Int)
+		if res.Mem.Fields["v"].Int != 10 {
+			t.Errorf("key %d = %d, want 10", i, res.Mem.Fields["v"].Int)
 		}
 	}
 }
@@ -361,12 +369,12 @@ func TestChainedServers(t *testing.T) {
 	client := Dial(outer.Addr())
 	defer client.Close()
 	ctx := context.Background()
-	m, err := client.AutoGet(ctx, "t", "1")
+	res, err := client.AutoGet(ctx, "t", "1")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if m.Fields["v"].Int != 7 {
-		t.Errorf("v = %d, want 7", m.Fields["v"].Int)
+	if res.Mem.Fields["v"].Int != 7 {
+		t.Errorf("v = %d, want 7", res.Mem.Fields["v"].Int)
 	}
 
 	// A transaction through two hops still reports the store's tx id.

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"edgeejb/internal/slicache"
 	"edgeejb/internal/stats"
 	"edgeejb/internal/trade"
 )
@@ -41,6 +42,10 @@ func AllPairs() []Pair {
 type EvalConfig struct {
 	Run      RunOptions
 	Populate trade.PopulateConfig
+	// CacheOptions configures every slicache manager the evaluation
+	// builds; only the cache-enabled cells are affected. The tradebench
+	// -finder-cache flag threads through here.
+	CacheOptions []slicache.ManagerOption
 }
 
 // DefaultEvalConfig returns the laptop-scale evaluation described in
@@ -73,9 +78,10 @@ func RunEvaluation(ctx context.Context, cfg EvalConfig, logf func(format string,
 		}
 		start := time.Now()
 		sweep, err := RunSweep(ctx, Options{
-			Arch:     pair.Arch,
-			Algo:     pair.Algo,
-			Populate: cfg.Populate,
+			Arch:         pair.Arch,
+			Algo:         pair.Algo,
+			Populate:     cfg.Populate,
+			CacheOptions: cfg.CacheOptions,
 		}, cfg.Run)
 		if err != nil {
 			return nil, fmt.Errorf("harness: %s: %w", pair, err)

@@ -37,6 +37,9 @@ type FaultOptions struct {
 	// DegradeBound, when > 0, enables slicache degraded reads with that
 	// staleness bound on cached-algorithm pairs.
 	DegradeBound time.Duration
+	// CacheOptions are extra slicache manager options applied to
+	// cached-algorithm pairs (after the DegradeBound option).
+	CacheOptions []slicache.ManagerOption
 }
 
 // DefaultFaultPlan returns a moderate schedule: occasional connection
@@ -122,6 +125,7 @@ func runFaultPair(ctx context.Context, pair Pair, opts FaultOptions, logf func(s
 	if opts.DegradeBound > 0 {
 		cacheOpts = append(cacheOpts, slicache.WithDegradedReads(opts.DegradeBound))
 	}
+	cacheOpts = append(cacheOpts, opts.CacheOptions...)
 	topo, err := Build(Options{
 		Arch:         pair.Arch,
 		Algo:         pair.Algo,

@@ -1,0 +1,226 @@
+package memento
+
+import (
+	"sort"
+	"strings"
+)
+
+// WriteDesc describes one committed mutation richly enough for
+// footprint-overlap tests: the key plus the row's field state before and
+// after the write. Before is nil for creates and After is nil for
+// removes, so a predicate can be tested against both sides — a row
+// moving INTO or OUT OF a result set both change the result. A
+// WriteDesc with both sides nil describes a mutation of unknown shape
+// (a notice from a peer that predates rich write sets); overlap tests
+// must treat it conservatively.
+type WriteDesc struct {
+	Key    Key
+	Before Fields
+	After  Fields
+}
+
+// Blind reports whether the write carries no field images at all, in
+// which case only its key and table are known.
+func (w WriteDesc) Blind() bool { return w.Before == nil && w.After == nil }
+
+// DescribeWrites converts a commit set's mutations into write
+// descriptors using the set's own images: Writes and Creates carry
+// after-images, Removes carry no image (before-images are known only to
+// the store). It is the client-side approximation used when a
+// transaction must invalidate its own cached query results before the
+// store's notice arrives.
+func (cs CommitSet) DescribeWrites() []WriteDesc {
+	out := make([]WriteDesc, 0, cs.Mutations())
+	for _, m := range cs.Writes {
+		out = append(out, WriteDesc{Key: m.Key, After: m.Fields})
+	}
+	for _, m := range cs.Creates {
+		out = append(out, WriteDesc{Key: m.Key, After: m.Fields})
+	}
+	for _, r := range cs.Removes {
+		out = append(out, WriteDesc{Key: r.Key})
+	}
+	return out
+}
+
+// Footprint is a typed description of what a read path observed: the
+// exact keys it loaded plus the predicate queries whose result sets it
+// covered. A footprint is the unit of overlap testing against committed
+// write sets — the seam that finder-result caching and pluggable
+// validation modes build on. The zero value is an empty footprint.
+type Footprint struct {
+	// Keys are rows read directly (by primary key). Order is
+	// insertion order; AddKey deduplicates.
+	Keys []Key
+	// Queries are predicate reads: each query's entire result set was
+	// observed, so any committed write matching the predicate — before
+	// or after images — may change it.
+	Queries []Query
+}
+
+// KeyFootprint builds a footprint covering exactly the given keys.
+func KeyFootprint(keys ...Key) Footprint {
+	return Footprint{Keys: append([]Key(nil), keys...)}
+}
+
+// QueryFootprint builds the footprint a finder covered: the normalized
+// query descriptor plus the keys of the rows it returned (their
+// versions are proven individually at commit; the descriptor guards the
+// result-set membership).
+func QueryFootprint(q Query, results []Memento) Footprint {
+	fp := Footprint{Queries: []Query{q.Normalize()}}
+	for _, m := range results {
+		fp.Keys = append(fp.Keys, m.Key)
+	}
+	return fp
+}
+
+// Empty reports whether the footprint covers nothing.
+func (f Footprint) Empty() bool { return len(f.Keys) == 0 && len(f.Queries) == 0 }
+
+// Clone returns a deep-enough copy: the slices are fresh, the queries'
+// predicate slices are shared (predicates are treated as immutable).
+func (f Footprint) Clone() Footprint {
+	return Footprint{
+		Keys:    append([]Key(nil), f.Keys...),
+		Queries: append([]Query(nil), f.Queries...),
+	}
+}
+
+// AddKey records a direct key read, deduplicating.
+func (f *Footprint) AddKey(k Key) {
+	for _, have := range f.Keys {
+		if have == k {
+			return
+		}
+	}
+	f.Keys = append(f.Keys, k)
+}
+
+// AddQuery records a predicate read, deduplicating by canonical form.
+func (f *Footprint) AddQuery(q Query) {
+	q = q.Normalize()
+	ck := q.String()
+	for _, have := range f.Queries {
+		if have.String() == ck {
+			return
+		}
+	}
+	f.Queries = append(f.Queries, q)
+}
+
+// Merge folds another footprint into this one.
+func (f *Footprint) Merge(o Footprint) {
+	for _, k := range o.Keys {
+		f.AddKey(k)
+	}
+	for _, q := range o.Queries {
+		f.AddQuery(q)
+	}
+}
+
+// CoversKey reports whether the footprint read the key directly.
+func (f Footprint) CoversKey(k Key) bool {
+	for _, have := range f.Keys {
+		if have == k {
+			return true
+		}
+	}
+	return false
+}
+
+// OverlapsWrite reports whether a committed write could have changed
+// anything this footprint observed: the written key was read directly,
+// or a predicate read's result set may have gained or lost the row.
+// Blind writes (no field images) conservatively overlap every predicate
+// on the same table.
+func (f Footprint) OverlapsWrite(w WriteDesc) bool {
+	if f.CoversKey(w.Key) {
+		return true
+	}
+	for _, q := range f.Queries {
+		if q.Table != w.Key.Table {
+			continue
+		}
+		if w.Blind() {
+			return true
+		}
+		if (w.Before != nil && q.MatchesFields(w.Before)) ||
+			(w.After != nil && q.MatchesFields(w.After)) {
+			return true
+		}
+	}
+	return false
+}
+
+// Overlaps reports whether any write in a committed set overlaps the
+// footprint.
+func (f Footprint) Overlaps(writes []WriteDesc) bool {
+	for _, w := range writes {
+		if f.OverlapsWrite(w) {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the footprint for logs and debugging.
+func (f Footprint) String() string {
+	var sb strings.Builder
+	sb.WriteString("footprint{keys: [")
+	for i, k := range f.Keys {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(k.String())
+	}
+	sb.WriteString("], queries: [")
+	for i, q := range f.Queries {
+		if i > 0 {
+			sb.WriteString("; ")
+		}
+		sb.WriteString(q.String())
+	}
+	sb.WriteString("]}")
+	return sb.String()
+}
+
+// MatchesFields reports whether a field map satisfies every predicate
+// of the query (table membership is the caller's concern). It is the
+// overlap test's half of Matches: write descriptors carry bare field
+// images, not whole mementos.
+func (q Query) MatchesFields(f Fields) bool {
+	for _, p := range q.Where {
+		if !p.Matches(f) {
+			return false
+		}
+	}
+	return true
+}
+
+// Normalize returns a canonical form of the query: predicates sorted by
+// field, operator and value so that logically identical finders render
+// identically. Result-shaping fields (OrderBy, Desc, Limit) are kept —
+// they change the result set, so they distinguish cache keys.
+func (q Query) Normalize() Query {
+	if len(q.Where) < 2 {
+		return q
+	}
+	where := append([]Predicate(nil), q.Where...)
+	sort.SliceStable(where, func(i, j int) bool {
+		if where[i].Field != where[j].Field {
+			return where[i].Field < where[j].Field
+		}
+		if where[i].Op != where[j].Op {
+			return where[i].Op < where[j].Op
+		}
+		return where[i].Value.Compare(where[j].Value) < 0
+	})
+	q.Where = where
+	return q
+}
+
+// CacheKey renders the canonical query string used to key finder-result
+// caches. Two queries with the same cache key return the same result
+// set against the same store state.
+func (q Query) CacheKey() string { return q.Normalize().String() }

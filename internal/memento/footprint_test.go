@@ -1,0 +1,149 @@
+package memento
+
+import (
+	"strings"
+	"testing"
+)
+
+func fpRow(id, acct string) Memento {
+	return Memento{
+		Key:     Key{Table: "holding", ID: id},
+		Version: 1,
+		Fields:  Fields{"acct": String(acct)},
+	}
+}
+
+func holdingsBy(acct string) Query {
+	return Query{Table: "holding", Where: []Predicate{Where("acct", String(acct))}}
+}
+
+func TestFootprintKeyOverlap(t *testing.T) {
+	fp := KeyFootprint(Key{Table: "t", ID: "1"})
+	fp.AddKey(Key{Table: "t", ID: "1"}) // dedup
+	if len(fp.Keys) != 1 {
+		t.Fatalf("AddKey did not deduplicate: %v", fp.Keys)
+	}
+	if !fp.OverlapsWrite(WriteDesc{Key: Key{Table: "t", ID: "1"}}) {
+		t.Fatal("write to a read key must overlap")
+	}
+	if fp.OverlapsWrite(WriteDesc{Key: Key{Table: "t", ID: "2"}}) {
+		t.Fatal("write to an unread key in a table without predicate reads must not overlap")
+	}
+}
+
+func TestFootprintQueryOverlap(t *testing.T) {
+	q := holdingsBy("u1")
+	fp := QueryFootprint(q, []Memento{fpRow("h1", "u1")})
+	if !fp.CoversKey(Key{Table: "holding", ID: "h1"}) {
+		t.Fatal("result rows must enter the footprint's key set")
+	}
+
+	// A create whose after-image matches the predicate changes the
+	// result set even though its key was never read.
+	create := WriteDesc{Key: Key{Table: "holding", ID: "h-new"}, After: Fields{"acct": String("u1")}}
+	if !fp.OverlapsWrite(create) {
+		t.Fatal("matching create must overlap the query footprint")
+	}
+
+	// An update that moves a row OUT of the result set matches only via
+	// its before-image.
+	moveOut := WriteDesc{
+		Key:    Key{Table: "holding", ID: "h-other"},
+		Before: Fields{"acct": String("u1")},
+		After:  Fields{"acct": String("u2")},
+	}
+	if !fp.OverlapsWrite(moveOut) {
+		t.Fatal("update moving a row out of the result set must overlap (before-image)")
+	}
+
+	// Unrelated rows in the same table do not overlap.
+	other := WriteDesc{
+		Key:    Key{Table: "holding", ID: "h-far"},
+		Before: Fields{"acct": String("u9")},
+		After:  Fields{"acct": String("u9")},
+	}
+	if fp.OverlapsWrite(other) {
+		t.Fatal("non-matching write must not overlap")
+	}
+
+	// Same predicate, different table.
+	otherTable := WriteDesc{Key: Key{Table: "quote", ID: "s1"}, After: Fields{"acct": String("u1")}}
+	if fp.OverlapsWrite(otherTable) {
+		t.Fatal("write to a different table must not overlap")
+	}
+
+	// Blind writes (no field images) conservatively overlap predicates
+	// on the same table.
+	blind := WriteDesc{Key: Key{Table: "holding", ID: "h-blind"}}
+	if !fp.OverlapsWrite(blind) {
+		t.Fatal("blind write on the queried table must overlap conservatively")
+	}
+}
+
+func TestFootprintMerge(t *testing.T) {
+	var fp Footprint
+	if !fp.Empty() {
+		t.Fatal("zero footprint must be empty")
+	}
+	fp.Merge(KeyFootprint(Key{Table: "t", ID: "1"}))
+	fp.Merge(QueryFootprint(holdingsBy("u1"), nil))
+	fp.Merge(QueryFootprint(holdingsBy("u1"), nil)) // dedup by canonical form
+	if len(fp.Queries) != 1 {
+		t.Fatalf("Merge did not deduplicate queries: %v", fp.Queries)
+	}
+	if fp.Empty() {
+		t.Fatal("merged footprint must not be empty")
+	}
+	c := fp.Clone()
+	c.AddKey(Key{Table: "t", ID: "2"})
+	if fp.CoversKey(Key{Table: "t", ID: "2"}) {
+		t.Fatal("Clone must not share key storage")
+	}
+	if !strings.Contains(fp.String(), "t/1") {
+		t.Fatalf("String missing key: %s", fp.String())
+	}
+}
+
+func TestQueryNormalizeAndCacheKey(t *testing.T) {
+	a := Query{Table: "t", Where: []Predicate{
+		{Field: "b", Op: OpEq, Value: Int(2)},
+		{Field: "a", Op: OpEq, Value: Int(1)},
+	}}
+	b := Query{Table: "t", Where: []Predicate{
+		{Field: "a", Op: OpEq, Value: Int(1)},
+		{Field: "b", Op: OpEq, Value: Int(2)},
+	}}
+	if a.CacheKey() != b.CacheKey() {
+		t.Fatalf("reordered conjunctions must share a cache key:\n  %s\n  %s", a.CacheKey(), b.CacheKey())
+	}
+	// Normalize must not mutate the receiver's predicate slice order.
+	if a.Where[0].Field != "b" {
+		t.Fatal("Normalize mutated the original query")
+	}
+	limited := a
+	limited.Limit = 5
+	if a.CacheKey() == limited.CacheKey() {
+		t.Fatal("Limit must distinguish cache keys")
+	}
+}
+
+func TestCommitSetDescribeWrites(t *testing.T) {
+	cs := CommitSet{
+		Writes:  []Memento{fpRow("h1", "u2")},
+		Creates: []Memento{fpRow("h2", "u1")},
+		Removes: []ReadProof{{Key: Key{Table: "holding", ID: "h3"}, Version: 4}},
+	}
+	writes := cs.DescribeWrites()
+	if len(writes) != 3 {
+		t.Fatalf("got %d write descriptors, want 3", len(writes))
+	}
+	fp := QueryFootprint(holdingsBy("u1"), nil)
+	if !fp.Overlaps(writes) {
+		t.Fatal("create matching the predicate must overlap")
+	}
+	fpOther := QueryFootprint(holdingsBy("u7"), nil)
+	// The remove carries no image, so it is blind: conservative overlap.
+	if !fpOther.Overlaps(writes) {
+		t.Fatal("blind remove must overlap conservatively")
+	}
+}

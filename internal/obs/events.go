@@ -27,6 +27,11 @@ const (
 	EventDegrade EventType = "degrade"
 	// EventEvict is one capacity (LRU) eviction from a common store.
 	EventEvict EventType = "evict"
+	// EventStaleRead is a commit abort whose conflicting read was served
+	// from the finder-result cache: the cached result had gone stale
+	// before validation caught it. A clean run's forensics log contains
+	// none — the invalidation stream kept the cache coherent.
+	EventStaleRead EventType = "stale_read"
 )
 
 // Event is one forensic incident. Only the fields meaningful for the

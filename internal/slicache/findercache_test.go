@@ -1,0 +1,527 @@
+package slicache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"edgeejb/internal/dbwire"
+	"edgeejb/internal/memento"
+	"edgeejb/internal/obs"
+	"edgeejb/internal/sqlstore"
+	"edgeejb/internal/storeapi"
+)
+
+// TestFinderCacheWarmHitSkipsRoundTrip: with the finder cache on, a
+// repeated finder is served locally — zero datastore statements — and
+// still returns the committed result set.
+func TestFinderCacheWarmHitSkipsRoundTrip(t *testing.T) {
+	e := newEnv(t, WithFinderCache(true))
+	e.store.Seed(holding("h1", "u1"), holding("h2", "u1"), holding("h3", "u2"))
+	ctx := context.Background()
+
+	dt := e.begin(t)
+	got, err := dt.Query(ctx, byAcct("u1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("cold finder = %v", got)
+	}
+	_ = dt.Abort(ctx)
+
+	before := e.conn.Ops()
+	dt2 := e.begin(t)
+	defer dt2.Abort(ctx)
+	got, err = dt2.Query(ctx, byAcct("u1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Key.ID != "h1" || got[1].Key.ID != "h2" {
+		t.Fatalf("warm finder = %v", got)
+	}
+	if ops := e.conn.Ops() - before; ops != 0 {
+		t.Errorf("warm finder cost %d statements, want 0", ops)
+	}
+	st := e.mgr.FinderCache().Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Errorf("finder stats = %+v, want 1 hit / 1 miss / 1 entry", st)
+	}
+}
+
+// TestFinderCacheDisabledByDefault: the library default is off — every
+// finder goes to the store, exactly today's behavior.
+func TestFinderCacheDisabledByDefault(t *testing.T) {
+	e := newEnv(t)
+	e.store.Seed(holding("h1", "u1"))
+	ctx := context.Background()
+
+	for i := 0; i < 2; i++ {
+		dt := e.begin(t)
+		if _, err := dt.Query(ctx, byAcct("u1")); err != nil {
+			t.Fatal(err)
+		}
+		_ = dt.Abort(ctx)
+	}
+	st := e.mgr.FinderCache().Stats()
+	if st.Hits != 0 || st.Misses != 0 || st.Entries != 0 {
+		t.Errorf("disabled finder cache has activity: %+v", st)
+	}
+}
+
+// TestFinderCacheNeverOverlaysOwnUncommittedWrites: a transaction must
+// never observe a cached finder result in place of its own uncommitted
+// writes — updates, creates, and removes all win over the warm cache.
+func TestFinderCacheNeverOverlaysOwnUncommittedWrites(t *testing.T) {
+	e := newEnv(t, WithFinderCache(true))
+	e.store.Seed(holding("h1", "u1"), holding("h2", "u1"))
+	ctx := context.Background()
+
+	// Warm the finder cache in a first transaction.
+	dt := e.begin(t)
+	if _, err := dt.Query(ctx, byAcct("u1")); err != nil {
+		t.Fatal(err)
+	}
+	_ = dt.Abort(ctx)
+
+	dt2 := e.begin(t)
+	defer dt2.Abort(ctx)
+	m, err := dt2.Load(ctx, memento.Key{Table: "t", ID: "h1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Fields["acct"] = memento.String("u1")
+	m.Fields["qty"] = memento.Int(42) // tx-local edit
+	if err := dt2.Store(ctx, m); err != nil {
+		t.Fatal(err)
+	}
+	if err := dt2.Create(ctx, holding("hNew", "u1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := dt2.Remove(ctx, memento.Key{Table: "t", ID: "h2"}); err != nil {
+		t.Fatal(err)
+	}
+
+	before := e.conn.Ops()
+	got, err := dt2.Query(ctx, byAcct("u1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ops := e.conn.Ops() - before; ops != 0 {
+		t.Errorf("warm finder cost %d statements, want 0", ops)
+	}
+	ids := make(map[string]memento.Memento, len(got))
+	for _, r := range got {
+		ids[r.Key.ID] = r
+	}
+	if _, gone := ids["h2"]; gone {
+		t.Error("cached finder result resurrected the transaction's own remove")
+	}
+	if _, created := ids["hNew"]; !created {
+		t.Error("cached finder result hid the transaction's own create")
+	}
+	if h1, ok := ids["h1"]; !ok || h1.Fields["qty"].Int != 42 {
+		t.Errorf("cached finder result overlaid the transaction's own update: %v", ids["h1"])
+	}
+}
+
+// TestFinderCacheInvalidatedByOverlappingNotice: a commit notice whose
+// write set overlaps a cached result's footprint evicts it — including
+// a create that moves INTO the predicate, which no key-based
+// invalidation could catch.
+func TestFinderCacheInvalidatedByOverlappingNotice(t *testing.T) {
+	e := newEnv(t, WithFinderCache(true))
+	e.store.Seed(holding("h1", "u1"))
+	ctx := context.Background()
+
+	dt := e.begin(t)
+	if _, err := dt.Query(ctx, byAcct("u1")); err != nil {
+		t.Fatal(err)
+	}
+	_ = dt.Abort(ctx)
+	if e.mgr.FinderCache().Len() != 1 {
+		t.Fatal("finder cache not warm")
+	}
+
+	// A non-overlapping commit (other predicate value, key outside the
+	// result set) leaves the entry alone.
+	e.mgr.noteNotice(sqlstore.Notice{
+		TxID: 991,
+		Keys: []memento.Key{{Table: "t", ID: "zz"}},
+		Writes: []memento.WriteDesc{{
+			Key:    memento.Key{Table: "t", ID: "zz"},
+			Before: memento.Fields{"acct": memento.String("u9")},
+			After:  memento.Fields{"acct": memento.String("u9")},
+		}},
+	})
+	if e.mgr.FinderCache().Len() != 1 {
+		t.Fatal("non-overlapping notice evicted the finder entry")
+	}
+
+	// A create whose after-image matches the predicate moves into the
+	// result set: the entry must go.
+	e.mgr.noteNotice(sqlstore.Notice{
+		TxID: 992,
+		Keys: []memento.Key{{Table: "t", ID: "hNew"}},
+		Writes: []memento.WriteDesc{{
+			Key:   memento.Key{Table: "t", ID: "hNew"},
+			After: memento.Fields{"acct": memento.String("u1")},
+		}},
+	})
+	if e.mgr.FinderCache().Len() != 0 {
+		t.Fatal("create-into-result-set notice did not evict the finder entry")
+	}
+	if st := e.mgr.FinderCache().Stats(); st.Invalidations != 1 {
+		t.Errorf("invalidations = %d, want 1", st.Invalidations)
+	}
+
+	// The next finder refetches and sees the new row.
+	dt2 := e.begin(t)
+	defer dt2.Abort(ctx)
+	e.store.Seed(holding("hNew", "u1"))
+	got, err := dt2.Query(ctx, byAcct("u1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("refetched finder = %v, want h1+hNew", got)
+	}
+}
+
+// TestFinderCacheKeyOnlyNoticeIsConservative: a notice from a peer that
+// predates rich write descriptors carries keys only; same-table finder
+// entries must still be dropped (blind-write semantics).
+func TestFinderCacheKeyOnlyNoticeIsConservative(t *testing.T) {
+	e := newEnv(t, WithFinderCache(true))
+	e.store.Seed(holding("h1", "u1"))
+	ctx := context.Background()
+
+	dt := e.begin(t)
+	if _, err := dt.Query(ctx, byAcct("u1")); err != nil {
+		t.Fatal(err)
+	}
+	_ = dt.Abort(ctx)
+
+	e.mgr.noteNotice(sqlstore.Notice{
+		TxID: 993,
+		Keys: []memento.Key{{Table: "t", ID: "unrelated"}},
+	})
+	if e.mgr.FinderCache().Len() != 0 {
+		t.Fatal("key-only notice did not conservatively evict the same-table entry")
+	}
+}
+
+// TestFinderCacheOwnCommitInvalidates: the committing edge invalidates
+// its own overlapping finder entries synchronously — before its notice
+// comes back (own notices are filtered), so a follow-up finder on the
+// same edge never sees the pre-commit result set.
+func TestFinderCacheOwnCommitInvalidates(t *testing.T) {
+	e := newEnv(t, WithFinderCache(true))
+	e.store.Seed(holding("h1", "u1"), holding("h2", "u1"))
+	ctx := context.Background()
+
+	dt := e.begin(t)
+	if _, err := dt.Query(ctx, byAcct("u1")); err != nil {
+		t.Fatal(err)
+	}
+	_ = dt.Abort(ctx)
+
+	// Move h1 out of the predicate and commit.
+	dt2 := e.begin(t)
+	m, err := dt2.Load(ctx, memento.Key{Table: "t", ID: "h1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Fields["acct"] = memento.String("u9")
+	if err := dt2.Store(ctx, m); err != nil {
+		t.Fatal(err)
+	}
+	if err := dt2.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if e.mgr.FinderCache().Len() != 0 {
+		t.Fatal("own commit left a stale finder entry behind")
+	}
+
+	dt3 := e.begin(t)
+	defer dt3.Abort(ctx)
+	got, err := dt3.Query(ctx, byAcct("u1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Key.ID != "h2" {
+		t.Fatalf("post-commit finder = %v, want [h2]", got)
+	}
+}
+
+// TestFinderCacheConflictBlindInvalidatesAndEmitsStaleRead: losing
+// validation on a row that entered the transaction via the finder cache
+// must (a) evict the stale entry so a retry refetches, and (b) leave a
+// stale_read forensic event — the signal that an invalidation was late.
+func TestFinderCacheConflictBlindInvalidatesAndEmitsStaleRead(t *testing.T) {
+	e := newEnv(t, WithFinderCache(true))
+	e.store.Seed(holding("h1", "u1"), row("w", 1))
+	ctx := context.Background()
+
+	// Warm the finder cache.
+	dt := e.begin(t)
+	if _, err := dt.Query(ctx, byAcct("u1")); err != nil {
+		t.Fatal(err)
+	}
+	_ = dt.Abort(ctx)
+
+	seqBefore := obs.DefaultEvents.Seq()
+
+	// New transaction reads through the cache, then the store moves
+	// underneath it (no invalidation subscription is running).
+	dt2 := e.begin(t)
+	if _, err := dt2.Query(ctx, byAcct("u1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.store.ApplyCommitSet(ctx, memento.CommitSet{
+		Writes: []memento.Memento{{
+			Key:     memento.Key{Table: "t", ID: "h1"},
+			Version: 1,
+			Fields:  memento.Fields{"acct": memento.String("u1"), "x": memento.Int(1)},
+		}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := dt2.Load(ctx, key("w"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Fields["n"] = memento.Int(2)
+	if err := dt2.Store(ctx, m); err != nil {
+		t.Fatal(err)
+	}
+	if err := dt2.Commit(ctx); err == nil {
+		t.Fatal("stale finder-cached read survived validation")
+	}
+	if e.mgr.FinderCache().Len() != 0 {
+		t.Error("conflict did not evict the stale finder entry")
+	}
+	var stale int
+	for _, ev := range obs.DefaultEvents.Since(seqBefore) {
+		if ev.Type == obs.EventStaleRead {
+			stale++
+			if ev.Bean != "t" || ev.Detail != "finder cache" {
+				t.Errorf("stale_read event = %+v", ev)
+			}
+		}
+	}
+	if stale != 1 {
+		t.Errorf("stale_read events = %d, want 1", stale)
+	}
+}
+
+// TestFinderCacheLRUCapacity: the cache is bounded; the least recently
+// used result set is evicted first.
+func TestFinderCacheLRUCapacity(t *testing.T) {
+	e := newEnv(t, WithFinderCache(true), WithFinderCacheCapacity(2))
+	e.store.Seed(holding("h1", "u1"), holding("h2", "u2"), holding("h3", "u3"))
+	ctx := context.Background()
+
+	dt := e.begin(t)
+	defer dt.Abort(ctx)
+	for _, acct := range []string{"u1", "u2", "u1", "u3"} {
+		if _, err := dt.Query(ctx, byAcct(acct)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := e.mgr.FinderCache().Stats()
+	if st.Entries != 2 || st.Evictions != 1 {
+		t.Errorf("stats = %+v, want 2 entries / 1 eviction (u2 evicted)", st)
+	}
+	// u1 was touched after u2, so u2 is the victim: u1 still hits.
+	before := e.conn.Ops()
+	dt2 := e.begin(t)
+	defer dt2.Abort(ctx)
+	if _, err := dt2.Query(ctx, byAcct("u1")); err != nil {
+		t.Fatal(err)
+	}
+	if ops := e.conn.Ops() - before; ops != 0 {
+		t.Errorf("u1 (MRU) was evicted: %d statements", ops)
+	}
+}
+
+// TestFinderCacheDegradedServeAndReconnectFlush: while the invalidation
+// stream is down the cached finder result is served under the degrade
+// bound — even though the store is unreachable — and the whole finder
+// cache is flushed when the stream resubscribes, since notices were
+// missed.
+func TestFinderCacheDegradedServeAndReconnectFlush(t *testing.T) {
+	store := sqlstore.New()
+	defer store.Close()
+	store.Seed(holding("h1", "u1"))
+	ctx := context.Background()
+
+	srv := dbwire.NewServer(storeapi.Local(store))
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+
+	client := dbwire.Dial(addr)
+	defer client.Close()
+	mgr := NewManager(client, WithShipping(WholeSet), WithFinderCache(true), WithDegradedReads(time.Hour))
+	defer mgr.Close()
+	if err := mgr.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Warm the finder cache over the wire.
+	dt, err := mgr.Begin(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dt.Query(ctx, byAcct("u1")); err != nil {
+		t.Fatal(err)
+	}
+	_ = dt.Abort(ctx)
+	if mgr.FinderCache().Len() != 1 {
+		t.Fatal("finder cache not warm")
+	}
+
+	// Kill the stream: the manager degrades instead of clearing.
+	srv.Close()
+	waitFor(t, 3*time.Second, func() bool { return mgr.Degraded() })
+
+	// The store is gone, but the degraded edge still answers the finder
+	// from its cache within the bound.
+	staleBefore := mgr.Stats().StaleServes
+	dt2, err := mgr.Begin(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := dt2.Query(ctx, byAcct("u1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Key.ID != "h1" {
+		t.Fatalf("degraded finder = %v", got)
+	}
+	_ = dt2.Abort(ctx)
+	if mgr.Stats().StaleServes == staleBefore {
+		t.Error("degraded finder serve not counted as a stale serve")
+	}
+
+	// Restart on the same address; resubscription must flush the finder
+	// cache — any notice during the outage was missed.
+	srv2 := dbwire.NewServer(storeapi.Local(store))
+	if err := srv2.Start(addr); err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	waitFor(t, 5*time.Second, func() bool { return mgr.Stats().Resubscribes >= 1 })
+	waitFor(t, 3*time.Second, func() bool { return mgr.FinderCache().Len() == 0 })
+}
+
+// TestFinderCacheChaosConcurrentInvalidation hammers the finder cache
+// from concurrent readers, writers, and the live invalidation stream;
+// run under -race it proves the cache's locking, and every transaction
+// must either commit cleanly or fail with a real conflict.
+func TestFinderCacheChaosConcurrentInvalidation(t *testing.T) {
+	store := sqlstore.New()
+	defer store.Close()
+	for i := 0; i < 8; i++ {
+		store.Seed(holding(fmt.Sprintf("h%d", i), fmt.Sprintf("u%d", i%2)))
+	}
+	ctx := context.Background()
+	mgr := NewManager(storeapi.Local(store), WithShipping(WholeSet), WithFinderCache(true))
+	defer mgr.Close()
+	if err := mgr.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			acct := fmt.Sprintf("u%d", g%2)
+			for rep := 0; rep < 25; rep++ {
+				dt, err := mgr.Begin(ctx)
+				if err != nil {
+					errs <- err
+					return
+				}
+				rows, err := dt.Query(ctx, byAcct(acct))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if g%2 == 0 && len(rows) > 0 {
+					// Writers flip a counter on one row of their result set.
+					m := rows[rep%len(rows)]
+					m.Fields["n"] = memento.Int(m.Fields["n"].Int + 1)
+					if err := dt.Store(ctx, m); err != nil {
+						errs <- err
+						return
+					}
+					if err := dt.Commit(ctx); err != nil && !errors.Is(err, sqlstore.ErrConflict) {
+						errs <- err
+						return
+					}
+				} else {
+					_ = dt.Abort(ctx)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// BenchmarkFinderCacheHit measures the warm-hit path: a repeated finder
+// served entirely from the finder cache. CI enforces an allocs/op
+// budget on it — the hit path must stay free of per-row re-fetch work.
+func BenchmarkFinderCacheHit(b *testing.B) {
+	store := sqlstore.New()
+	defer store.Close()
+	for i := 0; i < 10; i++ {
+		store.Seed(holding(fmt.Sprintf("h%d", i), "u1"))
+	}
+	ctx := context.Background()
+	mgr := NewManager(storeapi.Local(store), WithFinderCache(true))
+	defer mgr.Close()
+	q := byAcct("u1")
+
+	// Warm.
+	dt, err := mgr.Begin(ctx)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := dt.Query(ctx, q); err != nil {
+		b.Fatal(err)
+	}
+	_ = dt.Abort(ctx)
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dt, err := mgr.Begin(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows, err := dt.Query(ctx, q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 10 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+		_ = dt.Abort(ctx)
+	}
+	b.StopTimer()
+	if st := mgr.FinderCache().Stats(); st.Hits < uint64(b.N) {
+		b.Fatalf("hits = %d, want >= %d", st.Hits, b.N)
+	}
+}

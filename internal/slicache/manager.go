@@ -19,9 +19,10 @@ import (
 // implements component.ResourceManager, so a container built over a
 // Manager runs unmodified application code against cached entity state.
 type Manager struct {
-	loader *Loader
-	common *CommonStore
-	conn   storeapi.Conn
+	loader  *Loader
+	common  *CommonStore
+	finders *FinderCache
+	conn    storeapi.Conn
 
 	invalidate    bool
 	localReadOnly bool
@@ -77,6 +78,9 @@ type ManagerStats struct {
 	// answered from possibly-stale entries under the degrade bound.
 	StaleServes uint64
 	Cache       CommonStoreStats
+	// Finders is the finder-result cache's snapshot (all zero when the
+	// cache is disabled).
+	Finders FinderCacheStats
 }
 
 // ManagerOption configures a Manager.
@@ -85,13 +89,15 @@ type ManagerOption interface {
 }
 
 type managerConfig struct {
-	shipping      CommitShipping
-	commonStore   bool
-	invalidation  bool
-	localReadOnly bool
-	cacheCapacity int
-	staleBound    time.Duration
-	degradeBound  time.Duration
+	shipping       CommitShipping
+	commonStore    bool
+	invalidation   bool
+	localReadOnly  bool
+	cacheCapacity  int
+	finderCache    bool
+	finderCapacity int
+	staleBound     time.Duration
+	degradeBound   time.Duration
 }
 
 type shippingOption CommitShipping
@@ -134,6 +140,28 @@ func (o cacheCapacityOption) apply(c *managerConfig) { c.cacheCapacity = int(o) 
 // space-constrained in practice; the capacity ablation quantifies the
 // latency cost of refetching evicted beans.
 func WithCacheCapacity(n int) ManagerOption { return cacheCapacityOption(n) }
+
+type finderCacheOption bool
+
+func (o finderCacheOption) apply(c *managerConfig) { c.finderCache = bool(o) }
+
+// WithFinderCache toggles the transactional finder-result cache
+// (default off): committed custom-finder result sets are cached by
+// normalized query and invalidated when a commit notice's write set
+// overlaps their footprint — Pfeifer & Lockemann's transactional method
+// caching applied to the paper's custom finders. Rows served from a
+// cached result still enter the transaction's read set and are
+// validated optimistically at commit, so strict semantics are
+// preserved; the cache only removes the high-latency finder round trip.
+func WithFinderCache(enabled bool) ManagerOption { return finderCacheOption(enabled) }
+
+type finderCapacityOption int
+
+func (o finderCapacityOption) apply(c *managerConfig) { c.finderCapacity = int(o) }
+
+// WithFinderCacheCapacity bounds the finder-result cache to n result
+// sets, evicted in LRU order (<= 0 selects DefaultFinderCapacity).
+func WithFinderCacheCapacity(n int) ManagerOption { return finderCapacityOption(n) }
 
 type staleBoundOption time.Duration
 
@@ -194,6 +222,7 @@ func NewManager(conn storeapi.Conn, opts ...ManagerOption) *Manager {
 	return &Manager{
 		loader:        NewLoader(conn, cfg.shipping),
 		common:        common,
+		finders:       NewFinderCache(cfg.finderCache, cfg.finderCapacity),
 		conn:          conn,
 		invalidate:    cfg.invalidation,
 		localReadOnly: cfg.localReadOnly,
@@ -212,10 +241,15 @@ func (m *Manager) Name() string { return "sli" }
 func (m *Manager) SetClock(now func() time.Time) {
 	m.now = now
 	m.common.SetClock(now)
+	m.finders.SetClock(now)
 }
 
 // CommonStore exposes the shared cache (for tests and diagnostics).
 func (m *Manager) CommonStore() *CommonStore { return m.common }
+
+// FinderCache exposes the finder-result cache (for tests and
+// diagnostics).
+func (m *Manager) FinderCache() *FinderCache { return m.finders }
 
 // Degraded reports whether the manager is serving time-bounded stale
 // reads because its invalidation stream is down (see WithDegradedReads).
@@ -284,6 +318,7 @@ func (m *Manager) invalidationLoop(ch <-chan sqlstore.Notice, stop, done chan st
 			}
 		} else {
 			m.common.Clear()
+			m.finders.Clear()
 		}
 		for attempt := 0; ; attempt++ {
 			newCh, cancel, err := m.conn.Subscribe(context.Background())
@@ -302,6 +337,7 @@ func (m *Manager) invalidationLoop(ch <-chan sqlstore.Notice, stop, done chan st
 				// start over before strict semantics resume.
 				if m.degraded.Load() {
 					m.common.Clear()
+					m.finders.Clear()
 					m.degraded.Store(false)
 					obs.DefaultEvents.Emit(obs.Event{Type: obs.EventDegrade, Detail: "exit"})
 				}
@@ -361,6 +397,10 @@ func (m *Manager) noteNotice(n sqlstore.Notice) {
 	}
 	if !own {
 		ev.Evicted = m.common.Invalidate(n.Keys...)
+		// Drop every cached finder result whose footprint overlaps the
+		// committed writes. Own commits were invalidated synchronously at
+		// commit time with exact before/after images.
+		m.finders.Invalidate(n.Writes, n.Keys)
 		if ev.Evicted > 0 && stamped {
 			// Entries were actually dropped: the push latency bounds how
 			// long they could have been served stale.
@@ -406,6 +446,7 @@ func (m *Manager) Stats() ManagerStats {
 		Degradations:        m.stats.degradations.Load(),
 		StaleServes:         m.stats.staleServes.Load(),
 		Cache:               m.common.Stats(),
+		Finders:             m.finders.Stats(),
 	}
 }
 
@@ -414,8 +455,9 @@ func (m *Manager) Stats() ManagerStats {
 func (m *Manager) Begin(ctx context.Context) (component.DataTx, error) {
 	m.stats.begins.Add(1)
 	return &sliTx{
-		mgr:     m,
-		entries: make(map[memento.Key]*entry),
+		mgr:          m,
+		entries:      make(map[memento.Key]*entry),
+		finderSource: make(map[memento.Key]bool),
 	}, nil
 }
 

@@ -387,11 +387,12 @@ func runModelTrial(t *testing.T, seed int64) bool {
 	}
 	// Committed store state must equal the model.
 	conn := storeapi.Local(store)
-	rows, err := conn.AutoQuery(ctx, memento.Query{Table: "t"})
+	scan, err := conn.AutoQuery(ctx, memento.Query{Table: "t"})
 	if err != nil {
 		t.Logf("seed %d: final scan: %v", seed, err)
 		return false
 	}
+	rows := scan.Mems
 	if len(rows) != len(m.rows) {
 		t.Logf("seed %d: final row count %d want %d", seed, len(rows), len(m.rows))
 		return false

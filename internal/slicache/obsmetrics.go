@@ -22,6 +22,23 @@ var (
 	obsNoticesApplied = obs.Default.Counter("slicache.notices_applied")
 )
 
+// Finder-result cache counters: transactional method caching over the
+// custom finders (FinderCache). Invalidations count cached result sets
+// dropped because a committed write set overlapped their footprint.
+var (
+	obsFinderHits          = obs.Default.Counter("slicache.finder_hits")
+	obsFinderMisses        = obs.Default.Counter("slicache.finder_misses")
+	obsFinderInvalidations = obs.Default.Counter("slicache.finder_invalidations")
+)
+
+// Per-bean breakdowns of the finder counters, labeled by the finder's
+// target table.
+var (
+	obsFinderHitsBy          = obs.Default.LabeledCounter("slicache.finder_hits", "bean")
+	obsFinderMissesBy        = obs.Default.LabeledCounter("slicache.finder_misses", "bean")
+	obsFinderInvalidationsBy = obs.Default.LabeledCounter("slicache.finder_invalidations", "bean")
+)
+
 // Per-bean breakdowns of the hot counters, labeled by memento table.
 // The table set is small and fixed by the schema, so the family cap is
 // never a concern in practice.
@@ -37,6 +54,9 @@ var (
 var (
 	obsEntries = obs.Default.Gauge("slicache.entries")
 	obsBytes   = obs.Default.Gauge("slicache.bytes")
+	// obsFinderEntries counts cached finder result sets across every
+	// FinderCache in the process.
+	obsFinderEntries = obs.Default.Gauge("slicache.finder_entries")
 )
 
 // Forensic latency distributions. Each traced observation also leaves

@@ -404,11 +404,11 @@ func TestRemoveThenCreateBecomesUpdate(t *testing.T) {
 	if err := dt.Commit(ctx); err != nil {
 		t.Fatal(err)
 	}
-	m, err := storeapi.Local(e.store).AutoGet(ctx, "t", "1")
+	res, err := storeapi.Local(e.store).AutoGet(ctx, "t", "1")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if m.Fields["n"].Int != 42 || m.Version != 2 {
-		t.Errorf("remove+create = %v, want n=42 v=2", m)
+	if res.Mem.Fields["n"].Int != 42 || res.Mem.Version != 2 {
+		t.Errorf("remove+create = %v, want n=42 v=2", res.Mem)
 	}
 }

@@ -42,8 +42,22 @@ type entry struct {
 type sliTx struct {
 	mgr     *Manager
 	entries map[memento.Key]*entry
-	done    bool
+	// fp accumulates the footprint of every persistent-store access this
+	// transaction made: keys fetched directly plus the predicates and
+	// result keys of every finder. It is what the access "declares" about
+	// the committed state it observed.
+	fp memento.Footprint
+	// finderSource marks keys whose before-image entered the transaction
+	// from the finder-result cache rather than a fresh store read. A
+	// conflict on such a key is a stale cached finder result that slipped
+	// past invalidation — forensically distinct from an ordinary race.
+	finderSource map[memento.Key]bool
+	done         bool
 }
+
+// Footprint returns a snapshot of the read footprint the transaction
+// has accumulated so far.
+func (t *sliTx) Footprint() memento.Footprint { return t.fp.Clone() }
 
 // Load implements the direct-access cache population path (§2.2 case 1):
 // per-transaction store, then common store, then the persistent store
@@ -75,6 +89,7 @@ func (t *sliTx) Load(ctx context.Context, key memento.Key) (memento.Memento, err
 			}
 		}
 		if ok {
+			t.fp.AddKey(key)
 			t.entries[key] = &entry{
 				before:    m.Clone(),
 				current:   m.Clone(),
@@ -85,13 +100,15 @@ func (t *sliTx) Load(ctx context.Context, key memento.Key) (memento.Memento, err
 		}
 	}
 	fctx, sp := obs.StartSpan(ctx, "slicache.miss_fetch")
-	m, err := t.mgr.loader.FetchOne(fctx, key)
+	res, err := t.mgr.loader.FetchOne(fctx, key)
 	sp.End()
 	if err != nil {
 		return memento.Memento{}, err
 	}
 	t.mgr.stats.missFetches.Add(1)
 	obsMissFetches.Inc()
+	t.fp.Merge(res.FP)
+	m := res.Mem
 	t.mgr.common.Put(m)
 	t.entries[key] = &entry{
 		before:    m.Clone(),
@@ -199,23 +216,70 @@ func (t *sliTx) Query(ctx context.Context, q memento.Query) ([]memento.Memento, 
 		return nil, sqlstore.ErrTxDone
 	}
 	t.mgr.stats.queries.Add(1)
-	qctx, sp := obs.StartSpan(ctx, "slicache.query")
-	persisted, err := t.mgr.loader.RunQuery(qctx, q)
-	sp.End()
-	if err != nil {
-		return nil, err
-	}
 	now := t.mgr.now()
+	// Transactional finder-result caching: serve the committed result set
+	// from the finder cache when a coherent copy is available, skipping
+	// the high-latency store round trip. The rows still enter the
+	// transaction's read set with their original fetch time, so commit
+	// validation (and time-bounded-read age checks) treat them exactly
+	// like a fresh fetch made at storedAt.
+	var persisted []memento.Memento
+	fetchedAt := now
+	fromFinder := false
+	if t.mgr.finders.Enabled() {
+		if mems, fp, storedAt, ok := t.mgr.finders.Get(q); ok {
+			serve := true
+			if t.mgr.degraded.Load() {
+				// Stream down: the cached result may be stale. Honor the same
+				// degrade bound direct reads do.
+				if age := now.Sub(storedAt); age > t.mgr.degradeBound {
+					serve = false
+				} else {
+					t.mgr.stats.staleServes.Add(1)
+					obsStaleServes.Inc()
+					obsStaleServeAge.ObserveTrace(age, obs.TraceID(ctx))
+				}
+			}
+			if serve {
+				t.mgr.finders.Hit(q.Table)
+				persisted = mems
+				fetchedAt = storedAt
+				fromFinder = true
+				t.fp.Merge(fp)
+			}
+		}
+		if !fromFinder {
+			t.mgr.finders.Miss(q.Table)
+		}
+	}
+	if !fromFinder {
+		qctx, sp := obs.StartSpan(ctx, "slicache.query")
+		res, err := t.mgr.loader.RunQuery(qctx, q)
+		sp.End()
+		if err != nil {
+			return nil, err
+		}
+		persisted = res.Mems
+		t.fp.Merge(res.FP)
+		t.mgr.finders.Put(q, res.Mems, res.FP)
+	}
 	for _, m := range persisted {
-		t.mgr.common.Put(m)
+		if !fromFinder {
+			// Freshly fetched rows warm the common store; cached-finder rows
+			// do not re-enter it, which would misstate their age.
+			t.mgr.common.Put(m)
+		}
 		if _, ok := t.entries[m.Key]; ok {
 			continue // never overlay the transaction's own view
+		}
+		if fromFinder {
+			t.finderSource[m.Key] = true
 		}
 		t.entries[m.Key] = &entry{
 			before:    m.Clone(),
 			current:   m.Clone(),
 			state:     stateClean,
-			fetchedAt: now,
+			fetchedAt: fetchedAt,
 		}
 	}
 	// Run the finder against the transient store.
@@ -274,6 +338,11 @@ func (t *sliTx) Commit(ctx context.Context) error {
 			keys = append(keys, k)
 		}
 		t.mgr.common.Invalidate(keys...)
+		// Same for cached finder results over those keys (blind, since the
+		// winner's writes are unknown here) — otherwise a retry would be
+		// served the very result set that just lost validation. The
+		// winner's own notice handles everything else.
+		t.mgr.finders.Invalidate(nil, keys)
 		return err
 	}
 	t.mgr.recordOwnTx(outcome.TxID)
@@ -281,7 +350,10 @@ func (t *sliTx) Commit(ctx context.Context) error {
 	obsCommits.Inc()
 
 	// Refresh the common store with committed after-images and evict
-	// removed beans.
+	// removed beans. Cached finder results are invalidated synchronously
+	// with exact before/after images — own commits are filtered out of
+	// the notice stream, so this is the only place they are applied.
+	var ownWrites []memento.WriteDesc
 	for _, e := range t.entries {
 		switch e.state {
 		case stateDirty, stateCreated:
@@ -290,9 +362,18 @@ func (t *sliTx) Commit(ctx context.Context) error {
 				m.Version = v
 				t.mgr.common.Refresh(m)
 			}
+			w := memento.WriteDesc{Key: e.current.Key, After: e.current.Fields}
+			if e.state == stateDirty {
+				w.Before = e.before.Fields
+			}
+			ownWrites = append(ownWrites, w)
 		case stateRemoved:
 			t.mgr.common.Invalidate(e.current.Key)
+			ownWrites = append(ownWrites, memento.WriteDesc{Key: e.current.Key, Before: e.before.Fields})
 		}
+	}
+	if len(ownWrites) > 0 {
+		t.mgr.finders.Invalidate(ownWrites, nil)
 	}
 	return nil
 }
@@ -326,6 +407,22 @@ func (t *sliTx) noteConflict(ctx context.Context, err error) {
 		Age:        readAge,
 		Detail:     ce.Detail,
 	})
+	if t.finderSource[ce.Key] {
+		// The losing read came from the finder-result cache: a stale
+		// cached result survived to validation. Correctness held (the
+		// commit aborted), but a clean run should never see this — it
+		// means an invalidation was late or lost.
+		obs.DefaultEvents.Emit(obs.Event{
+			Type:       obs.EventStaleRead,
+			Op:         obs.Op(ctx),
+			Bean:       ce.Key.Table,
+			Key:        ce.Key.String(),
+			Trace:      trace,
+			OtherTrace: ce.WinnerTrace,
+			Age:        readAge,
+			Detail:     "finder cache",
+		})
+	}
 }
 
 // Abort discards the per-transaction store. Cached common-store entries

@@ -36,6 +36,15 @@ type Notice struct {
 	TxID uint64
 	// Keys lists every row the transaction created, updated or removed.
 	Keys []memento.Key
+	// Writes describes the same mutations richly enough for
+	// footprint-overlap invalidation: each entry carries the row's field
+	// state before and after the write, so a subscriber can test whether
+	// a cached predicate query's result set gained or lost a row — not
+	// just whether a known key changed version. Subscribers must treat
+	// the descriptors (and their field maps) as read-only; they are
+	// shared across subscribers. Peers that predate this field decode it
+	// as empty and fall back to key-only (conservative) invalidation.
+	Writes []memento.WriteDesc
 	// CommittedAt is when the writes were installed, stamped by the
 	// store. Edges use it to measure invalidation push latency and the
 	// staleness window each notice closes.
@@ -279,12 +288,15 @@ func (s *Store) scanTable(q memento.Query) []memento.Memento {
 // mutex, bumping row versions and recording the committer as each row's
 // last writer (for conflict attribution). It assumes the caller holds
 // the required locks and has already validated. The returned time is
-// the install instant, stamped onto the commit's invalidation notice.
-func (s *Store) applyWrites(writes map[memento.Key]pendingWrite, txID, trace uint64) ([]memento.Key, time.Time) {
+// the install instant, stamped onto the commit's invalidation notice;
+// the write descriptors capture each row's before/after field images
+// for footprint-overlap invalidation at the edges.
+func (s *Store) applyWrites(writes map[memento.Key]pendingWrite, txID, trace uint64) ([]memento.Key, []memento.WriteDesc, time.Time) {
 	if len(writes) == 0 {
-		return nil, time.Time{}
+		return nil, nil, time.Time{}
 	}
 	keys := make([]memento.Key, 0, len(writes))
+	descs := make([]memento.WriteDesc, 0, len(writes))
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	at := time.Now()
@@ -296,6 +308,12 @@ func (s *Store) applyWrites(writes map[memento.Key]pendingWrite, txID, trace uin
 			s.tables[key.Table] = t
 		}
 		prev, hadPrev := t.rows[key.ID]
+		desc := memento.WriteDesc{Key: key}
+		if hadPrev {
+			// prev is immutable once installed (applyWrites always installs
+			// fresh clones), so the descriptor can share its field map.
+			desc.Before = prev.Fields
+		}
 		if w.remove {
 			delete(t.rows, key.ID)
 		} else {
@@ -306,6 +324,7 @@ func (s *Store) applyWrites(writes map[memento.Key]pendingWrite, txID, trace uin
 				m.Version = 1
 			}
 			t.rows[key.ID] = m
+			desc.After = m.Fields
 		}
 		for _, ix := range t.indexes {
 			if hadPrev {
@@ -316,14 +335,17 @@ func (s *Store) applyWrites(writes map[memento.Key]pendingWrite, txID, trace uin
 			}
 		}
 		keys = append(keys, key)
+		descs = append(descs, desc)
 	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].Table != keys[j].Table {
-			return keys[i].Table < keys[j].Table
+	less := func(a, b memento.Key) bool {
+		if a.Table != b.Table {
+			return a.Table < b.Table
 		}
-		return keys[i].ID < keys[j].ID
-	})
-	return keys, at
+		return a.ID < b.ID
+	}
+	sort.Slice(keys, func(i, j int) bool { return less(keys[i], keys[j]) })
+	sort.Slice(descs, func(i, j int) bool { return less(descs[i].Key, descs[j].Key) })
+	return keys, descs, at
 }
 
 // Seed installs rows directly, without locking or notices. It is meant

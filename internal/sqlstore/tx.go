@@ -351,11 +351,11 @@ func (tx *Tx) Commit() error {
 		return ErrTxDone
 	}
 	tx.done = true
-	keys, at := tx.s.applyWrites(tx.writes, uint64(tx.id), tx.trace)
+	keys, writes, at := tx.s.applyWrites(tx.writes, uint64(tx.id), tx.trace)
 	tx.s.lm.ReleaseAll(tx.id)
 	tx.s.stats.commits.Add(1)
 	obsTxCommits.Inc()
-	tx.s.broadcast(Notice{TxID: uint64(tx.id), Keys: keys, CommittedAt: at, OriginTrace: tx.trace})
+	tx.s.broadcast(Notice{TxID: uint64(tx.id), Keys: keys, Writes: writes, CommittedAt: at, OriginTrace: tx.trace})
 	return nil
 }
 

@@ -42,13 +42,13 @@ func (c *CountingConn) Begin(ctx context.Context) (Txn, error) {
 }
 
 // AutoGet implements Conn.
-func (c *CountingConn) AutoGet(ctx context.Context, table, id string) (memento.Memento, error) {
+func (c *CountingConn) AutoGet(ctx context.Context, table, id string) (GetResult, error) {
 	c.ops.Add(1)
 	return c.inner.AutoGet(ctx, table, id)
 }
 
 // AutoQuery implements Conn.
-func (c *CountingConn) AutoQuery(ctx context.Context, q memento.Query) ([]memento.Memento, error) {
+func (c *CountingConn) AutoQuery(ctx context.Context, q memento.Query) (QueryResult, error) {
 	c.ops.Add(1)
 	return c.inner.AutoQuery(ctx, q)
 }
@@ -75,12 +75,12 @@ type countingTxn struct {
 
 func (t *countingTxn) ID() uint64 { return t.inner.ID() }
 
-func (t *countingTxn) Get(ctx context.Context, table, id string) (memento.Memento, error) {
+func (t *countingTxn) Get(ctx context.Context, table, id string) (GetResult, error) {
 	t.ops.Add(1)
 	return t.inner.Get(ctx, table, id)
 }
 
-func (t *countingTxn) GetForUpdate(ctx context.Context, table, id string) (memento.Memento, error) {
+func (t *countingTxn) GetForUpdate(ctx context.Context, table, id string) (GetResult, error) {
 	t.ops.Add(1)
 	return t.inner.GetForUpdate(ctx, table, id)
 }
@@ -100,7 +100,7 @@ func (t *countingTxn) Delete(ctx context.Context, table, id string) error {
 	return t.inner.Delete(ctx, table, id)
 }
 
-func (t *countingTxn) Query(ctx context.Context, q memento.Query) ([]memento.Memento, error) {
+func (t *countingTxn) Query(ctx context.Context, q memento.Query) (QueryResult, error) {
 	t.ops.Add(1)
 	return t.inner.Query(ctx, q)
 }

@@ -8,6 +8,26 @@ import (
 	"edgeejb/internal/sqlstore"
 )
 
+// GetResult carries one row read plus the footprint the access covered.
+// For a key read the footprint is exactly that key, but carrying it on
+// the result keeps every read path declaration-driven: callers
+// accumulate what they observed from the results themselves rather
+// than re-deriving it from the arguments.
+type GetResult struct {
+	Mem memento.Memento
+	FP  memento.Footprint
+}
+
+// QueryResult carries a finder's rows plus the footprint the query
+// covered: the normalized predicate descriptor (guarding result-set
+// membership) and the keys of the returned rows (proven individually
+// at commit time). Edge caches key finder results on the descriptor
+// and invalidate on footprint overlap with committed write sets.
+type QueryResult struct {
+	Mems []memento.Memento
+	FP   memento.Footprint
+}
+
 // Txn is one datastore transaction. Implementations: the local adapter
 // in this package (no network) and dbwire's remote transaction (one
 // round trip per call — the property that makes per-statement access
@@ -19,9 +39,9 @@ type Txn interface {
 	// can be matched against a cache's own commits.
 	ID() uint64
 	// Get reads a row under a shared lock; sqlstore.ErrNotFound if absent.
-	Get(ctx context.Context, table, id string) (memento.Memento, error)
+	Get(ctx context.Context, table, id string) (GetResult, error)
 	// GetForUpdate reads a row under an exclusive lock.
-	GetForUpdate(ctx context.Context, table, id string) (memento.Memento, error)
+	GetForUpdate(ctx context.Context, table, id string) (GetResult, error)
 	// Put upserts a row (pessimistic; version assigned at commit).
 	Put(ctx context.Context, m memento.Memento) error
 	// Insert creates a row; sqlstore.ErrExists if present.
@@ -29,7 +49,7 @@ type Txn interface {
 	// Delete removes a row; sqlstore.ErrNotFound if absent.
 	Delete(ctx context.Context, table, id string) error
 	// Query runs a predicate query under a table shared lock.
-	Query(ctx context.Context, q memento.Query) ([]memento.Memento, error)
+	Query(ctx context.Context, q memento.Query) (QueryResult, error)
 	// CheckVersion verifies a row is still at version (0 = still absent).
 	CheckVersion(ctx context.Context, key memento.Key, version uint64) error
 	// CheckedPut updates a row iff it is still at m.Version (0 = insert).
@@ -50,10 +70,10 @@ type Conn interface {
 	// (non-nested) short transaction ... committed immediately after the
 	// access completes" that the cache runtime uses for misses (§2.3).
 	// On remote implementations it costs exactly one round trip.
-	AutoGet(ctx context.Context, table, id string) (memento.Memento, error)
+	AutoGet(ctx context.Context, table, id string) (GetResult, error)
 	// AutoQuery runs one predicate query in an autocommit transaction —
 	// one round trip on remote implementations.
-	AutoQuery(ctx context.Context, q memento.Query) ([]memento.Memento, error)
+	AutoQuery(ctx context.Context, q memento.Query) (QueryResult, error)
 	// ApplyCommitSet validates and applies a whole optimistic commit set
 	// atomically — a single round trip on remote implementations.
 	ApplyCommitSet(ctx context.Context, cs memento.CommitSet) (sqlstore.ApplyResult, error)
@@ -94,40 +114,40 @@ func (l *local) ApplyCommitSet(ctx context.Context, cs memento.CommitSet) (sqlst
 	return l.store.ApplyCommitSet(ctx, cs)
 }
 
-func (l *local) AutoGet(ctx context.Context, table, id string) (memento.Memento, error) {
+func (l *local) AutoGet(ctx context.Context, table, id string) (GetResult, error) {
 	ctx, sp := obs.StartSpan(ctx, "sqlstore.autoget")
 	defer sp.End()
 	tx, err := l.store.Begin(ctx)
 	if err != nil {
-		return memento.Memento{}, err
+		return GetResult{}, err
 	}
 	m, err := tx.Get(ctx, table, id)
 	if err != nil {
 		tx.Abort()
-		return memento.Memento{}, err
+		return GetResult{}, err
 	}
 	if err := tx.Commit(); err != nil {
-		return memento.Memento{}, err
+		return GetResult{}, err
 	}
-	return m, nil
+	return GetResult{Mem: m, FP: memento.KeyFootprint(memento.Key{Table: table, ID: id})}, nil
 }
 
-func (l *local) AutoQuery(ctx context.Context, q memento.Query) ([]memento.Memento, error) {
+func (l *local) AutoQuery(ctx context.Context, q memento.Query) (QueryResult, error) {
 	ctx, sp := obs.StartSpan(ctx, "sqlstore.autoquery")
 	defer sp.End()
 	tx, err := l.store.Begin(ctx)
 	if err != nil {
-		return nil, err
+		return QueryResult{}, err
 	}
 	mems, err := tx.Query(ctx, q)
 	if err != nil {
 		tx.Abort()
-		return nil, err
+		return QueryResult{}, err
 	}
 	if err := tx.Commit(); err != nil {
-		return nil, err
+		return QueryResult{}, err
 	}
-	return mems, nil
+	return QueryResult{Mems: mems, FP: memento.QueryFootprint(q, mems)}, nil
 }
 
 func (l *local) Subscribe(ctx context.Context) (<-chan sqlstore.Notice, func(), error) {
@@ -143,16 +163,24 @@ type localTxn struct {
 
 func (t *localTxn) ID() uint64 { return t.tx.ID() }
 
-func (t *localTxn) Get(ctx context.Context, table, id string) (memento.Memento, error) {
+func (t *localTxn) Get(ctx context.Context, table, id string) (GetResult, error) {
 	ctx, sp := obs.StartSpan(ctx, "sqlstore.get")
 	defer sp.End()
-	return t.tx.Get(ctx, table, id)
+	m, err := t.tx.Get(ctx, table, id)
+	if err != nil {
+		return GetResult{}, err
+	}
+	return GetResult{Mem: m, FP: memento.KeyFootprint(memento.Key{Table: table, ID: id})}, nil
 }
 
-func (t *localTxn) GetForUpdate(ctx context.Context, table, id string) (memento.Memento, error) {
+func (t *localTxn) GetForUpdate(ctx context.Context, table, id string) (GetResult, error) {
 	ctx, sp := obs.StartSpan(ctx, "sqlstore.get_for_update")
 	defer sp.End()
-	return t.tx.GetForUpdate(ctx, table, id)
+	m, err := t.tx.GetForUpdate(ctx, table, id)
+	if err != nil {
+		return GetResult{}, err
+	}
+	return GetResult{Mem: m, FP: memento.KeyFootprint(memento.Key{Table: table, ID: id})}, nil
 }
 
 func (t *localTxn) Put(ctx context.Context, m memento.Memento) error {
@@ -173,10 +201,14 @@ func (t *localTxn) Delete(ctx context.Context, table, id string) error {
 	return t.tx.Delete(ctx, table, id)
 }
 
-func (t *localTxn) Query(ctx context.Context, q memento.Query) ([]memento.Memento, error) {
+func (t *localTxn) Query(ctx context.Context, q memento.Query) (QueryResult, error) {
 	ctx, sp := obs.StartSpan(ctx, "sqlstore.query")
 	defer sp.End()
-	return t.tx.Query(ctx, q)
+	mems, err := t.tx.Query(ctx, q)
+	if err != nil {
+		return QueryResult{}, err
+	}
+	return QueryResult{Mems: mems, FP: memento.QueryFootprint(q, mems)}, nil
 }
 
 func (t *localTxn) CheckVersion(ctx context.Context, key memento.Key, version uint64) error {

@@ -31,10 +31,14 @@ func TestLocalTxnLifecycle(t *testing.T) {
 	if txn.ID() == 0 {
 		t.Error("local txn should expose the store transaction id")
 	}
-	m, err := txn.Get(ctx, "t", "1")
+	res, err := txn.Get(ctx, "t", "1")
 	if err != nil {
 		t.Fatal(err)
 	}
+	if !res.FP.CoversKey(memento.Key{Table: "t", ID: "1"}) {
+		t.Errorf("Get footprint %v does not cover the key", res.FP)
+	}
+	m := res.Mem
 	m.Fields["v"] = memento.Int(11)
 	if err := txn.Put(ctx, m); err != nil {
 		t.Fatal(err)
@@ -54,12 +58,12 @@ func TestLocalAutoGet(t *testing.T) {
 	conn := Local(store)
 	ctx := context.Background()
 
-	m, err := conn.AutoGet(ctx, "t", "1")
+	res, err := conn.AutoGet(ctx, "t", "1")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if m.Fields["v"].Int != 10 {
-		t.Errorf("v = %d, want 10", m.Fields["v"].Int)
+	if res.Mem.Fields["v"].Int != 10 {
+		t.Errorf("v = %d, want 10", res.Mem.Fields["v"].Int)
 	}
 	if _, err := conn.AutoGet(ctx, "t", "missing"); !errors.Is(err, sqlstore.ErrNotFound) {
 		t.Fatalf("got %v, want ErrNotFound", err)
@@ -79,12 +83,15 @@ func TestLocalAutoQuery(t *testing.T) {
 	conn := Local(store)
 	ctx := context.Background()
 
-	mems, err := conn.AutoQuery(ctx, memento.Query{Table: "t"})
+	qres, err := conn.AutoQuery(ctx, memento.Query{Table: "t"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(mems) != 2 {
-		t.Fatalf("got %d rows, want 2", len(mems))
+	if len(qres.Mems) != 2 {
+		t.Fatalf("got %d rows, want 2", len(qres.Mems))
+	}
+	if len(qres.FP.Queries) != 1 || len(qres.FP.Keys) != 2 {
+		t.Errorf("AutoQuery footprint = %v, want 1 query + 2 keys", qres.FP)
 	}
 	st := store.Stats()
 	if st.Begins != st.Commits+st.Aborts {

@@ -143,12 +143,12 @@ func TestLoginUpdatesRegistry(t *testing.T) {
 	if _, err := svc.Login(ctx, user, "sess-9"); err != nil {
 		t.Fatal(err)
 	}
-	m, err := storeapi.Local(store).AutoGet(ctx, TableRegistry, user)
+	res, err := storeapi.Local(store).AutoGet(ctx, TableRegistry, user)
 	if err != nil {
 		t.Fatal(err)
 	}
 	reg := &Registry{}
-	if err := reg.LoadMemento(m); err != nil {
+	if err := reg.LoadMemento(res.Mem); err != nil {
 		t.Fatal(err)
 	}
 	if !reg.Active || reg.SessionID != "sess-9" || reg.Visits != 1 {
@@ -157,8 +157,8 @@ func TestLoginUpdatesRegistry(t *testing.T) {
 	if err := svc.Logout(ctx, user); err != nil {
 		t.Fatal(err)
 	}
-	m, _ = storeapi.Local(store).AutoGet(ctx, TableRegistry, user)
-	_ = reg.LoadMemento(m)
+	res, _ = storeapi.Local(store).AutoGet(ctx, TableRegistry, user)
+	_ = reg.LoadMemento(res.Mem)
 	if reg.Active || reg.SessionID != "" {
 		t.Errorf("registry after logout = %+v", reg)
 	}
@@ -263,12 +263,12 @@ func TestServiceSetClock(t *testing.T) {
 	if _, err := svc.Buy(ctx, UserID(0), SymbolID(0), 1); err != nil {
 		t.Fatal(err)
 	}
-	mems, err := storeapi.Local(store).AutoQuery(ctx, HoldingsByAccount(UserID(0)))
+	qres, err := storeapi.Local(store).AutoQuery(ctx, HoldingsByAccount(UserID(0)))
 	if err != nil {
 		t.Fatal(err)
 	}
 	found := false
-	for _, m := range mems {
+	for _, m := range qres.Mems {
 		if m.Fields["purchaseDate"].Str == "2026-07-06T00:00:00Z" {
 			found = true
 		}

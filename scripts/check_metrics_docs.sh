@@ -63,6 +63,22 @@ for name in $(printf '%s\n' "$names" | sort -u); do
 	fi
 done
 
+# The finder-cache metric family underpins Fig 6/7 round-trip accounting
+# and the finder_cache.csv artifact; require it explicitly so a refactor
+# to dynamically-built names can't silently drop it from the extraction
+# above (which only sees literal registrations).
+required="slicache.finder_hits slicache.finder_misses slicache.finder_invalidations slicache.finder_entries"
+for name in $required; do
+	if ! printf '%s\n' "$names" | grep -q -F -x "$name"; then
+		echo "required metric not registered literally in the code: $name" >&2
+		fail=1
+	fi
+	if ! grep -q -F "\`$name\`" "$doc"; then
+		echo "undocumented required metric: $name (add it to $doc)" >&2
+		fail=1
+	fi
+done
+
 if [ "$fail" -ne 0 ]; then
 	exit 1
 fi
