@@ -84,6 +84,9 @@ func run(args []string) error {
 
 		finderCache = fs.Bool("finder-cache", true, "cache finder (query) results at the edge with footprint-based invalidation; -finder-cache=false reproduces the uncached behavior")
 
+		codec = fs.String("codec", "binary", "dbwire body codec: binary (negotiated per connection) or gob (the pre-negotiation wire format)")
+		batch = fs.Bool("batch", true, "coalesce independent statements of one interaction into multi-statement frames; -batch=false reproduces one round trip per statement")
+
 		sessions = fs.Int("sessions", 25, "measured sessions per delay point (paper: 300)")
 		warmup   = fs.Int("warmup", 8, "warmup sessions before measurement (paper: 400)")
 		batches  = fs.Int("batches", 20, "latency batches (paper: 20)")
@@ -139,6 +142,8 @@ func run(args []string) error {
 			HoldingsPerUser: *holdings,
 		},
 		CacheOptions: []slicache.ManagerOption{slicache.WithFinderCache(*finderCache)},
+		Codec:        *codec,
+		Batch:        *batch,
 	}
 	logf := func(format string, a ...any) {
 		fmt.Fprintf(os.Stderr, format+"\n", a...)
@@ -399,6 +404,8 @@ func runThroughput(cfg harness.EvalConfig, forensics bool, logf func(string, ...
 			Algo:         pair.Algo,
 			Populate:     cfg.Populate,
 			CacheOptions: cfg.CacheOptions,
+			Codec:        cfg.Codec,
+			Batch:        cfg.Batch,
 		}, topts)
 		if err != nil {
 			return err

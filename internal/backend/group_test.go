@@ -1,0 +1,179 @@
+package backend
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"edgeejb/internal/memento"
+	"edgeejb/internal/sqlstore"
+	"edgeejb/internal/storeapi"
+)
+
+// gatedConn delays the first Begin until released — it parks the group
+// leader inside its first (batch-of-one) apply so the test can pile
+// followers into the queue deterministically — and counts grouped
+// exchanges with the database tier.
+type gatedConn struct {
+	storeapi.Conn
+	mu         sync.Mutex
+	armed      bool
+	entered    chan struct{}
+	release    chan struct{}
+	groupCalls atomic.Int32
+}
+
+func (g *gatedConn) Begin(ctx context.Context) (storeapi.Txn, error) {
+	g.mu.Lock()
+	first := g.armed
+	g.armed = false
+	g.mu.Unlock()
+	if first {
+		close(g.entered)
+		<-g.release
+	}
+	return g.Conn.Begin(ctx)
+}
+
+func (g *gatedConn) ApplyCommitSets(ctx context.Context, sets []memento.CommitSet) ([]sqlstore.ApplySetResult, error) {
+	g.groupCalls.Add(1)
+	return g.Conn.ApplyCommitSets(ctx, sets)
+}
+
+func queueLen(l *logic) int {
+	l.gmu.Lock()
+	defer l.gmu.Unlock()
+	return len(l.queue)
+}
+
+// TestGroupCommitCoalescesWithAttribution drives three concurrent
+// commits through the coalescer: the leader parks inside its own
+// apply, two more sets queue behind it, and the drained batch must go
+// to the database as ONE grouped exchange. Inside that batch the two
+// sets race for the same row — the loser's error must be an attributed
+// *sqlstore.ConflictError naming the intra-batch winner's transaction,
+// exactly as if the sets had arrived serially.
+func TestGroupCommitCoalescesWithAttribution(t *testing.T) {
+	store := sqlstore.New()
+	t.Cleanup(store.Close)
+	store.Seed(row("1", 10, 0)) // seeded at version 1
+	g := &gatedConn{
+		Conn:    storeapi.Local(store),
+		armed:   true,
+		entered: make(chan struct{}),
+		release: make(chan struct{}),
+	}
+	be := NewServer(g)
+	l := be.logic
+	ctx := context.Background()
+
+	type outcome struct {
+		res sqlstore.ApplyResult
+		err error
+	}
+	apply := func(cs memento.CommitSet) chan outcome {
+		ch := make(chan outcome, 1)
+		go func() {
+			res, err := l.ApplyCommitSet(ctx, cs)
+			ch <- outcome{res, err}
+		}()
+		return ch
+	}
+	waitQueue := func(n int) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for queueLen(l) != n {
+			if time.Now().After(deadline) {
+				t.Fatalf("queue never reached %d entries (at %d)", n, queueLen(l))
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	// Leader: an independent create; it parks at the gated Begin.
+	chA := apply(memento.CommitSet{Creates: []memento.Memento{row("a", 1, 0)}})
+	<-g.entered
+
+	// Followers B then C, both claiming row 1 at version 1. B enters
+	// the queue first, so B wins and C must lose to B.
+	chB := apply(memento.CommitSet{Writes: []memento.Memento{row("1", 11, 1)}})
+	waitQueue(1)
+	chC := apply(memento.CommitSet{Writes: []memento.Memento{row("1", 12, 1)}})
+	waitQueue(2)
+
+	close(g.release)
+	a, b, c := <-chA, <-chB, <-chC
+
+	if a.err != nil {
+		t.Fatalf("leader set failed: %v", a.err)
+	}
+	if b.err != nil {
+		t.Fatalf("winner set failed: %v", b.err)
+	}
+	if b.res.NewVersions[key("1")] != 2 {
+		t.Errorf("winner NewVersions = %v, want row 1 at 2", b.res.NewVersions)
+	}
+	var ce *sqlstore.ConflictError
+	if !errors.As(c.err, &ce) {
+		t.Fatalf("loser error = %v, want *sqlstore.ConflictError", c.err)
+	}
+	if ce.WinnerTx != b.res.TxID {
+		t.Errorf("loser attributes winner tx %d, want %d (the intra-batch winner)",
+			ce.WinnerTx, b.res.TxID)
+	}
+	if ce.Key != key("1") || ce.Expected != 1 || ce.Actual != 2 {
+		t.Errorf("conflict detail = %+v", ce)
+	}
+
+	if got := g.groupCalls.Load(); got != 1 {
+		t.Errorf("database saw %d grouped exchanges, want exactly 1 (the coalesced batch)", got)
+	}
+	if be.CommitsApplied() != 2 || be.CommitsRejected() != 1 {
+		t.Errorf("counters applied=%d rejected=%d, want 2/1",
+			be.CommitsApplied(), be.CommitsRejected())
+	}
+
+	// Row state must reflect the winner, not the loser.
+	res, err := storeapi.Local(store).AutoGet(ctx, "t", "1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mem.Fields["n"].Int != 11 || res.Mem.Version != 2 {
+		t.Errorf("row 1 = %v, want the winner's write at version 2", res.Mem)
+	}
+}
+
+// TestGroupCommitDisabled pins the opt-out: with WithGroupCommit(false)
+// every set takes the classic statement-by-statement path and no
+// grouped exchange ever reaches the database.
+func TestGroupCommitDisabled(t *testing.T) {
+	store := sqlstore.New()
+	t.Cleanup(store.Close)
+	g := &gatedConn{Conn: storeapi.Local(store)}
+	be := NewServer(g, WithGroupCommit(false))
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		id := string(rune('a' + i))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := be.logic.ApplyCommitSet(ctx, memento.CommitSet{
+				Creates: []memento.Memento{row(id, 1, 0)},
+			}); err != nil {
+				t.Errorf("apply %s: %v", id, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.groupCalls.Load(); got != 0 {
+		t.Errorf("grouping disabled but database saw %d grouped exchanges", got)
+	}
+	if be.CommitsApplied() != 4 {
+		t.Errorf("CommitsApplied = %d, want 4", be.CommitsApplied())
+	}
+}

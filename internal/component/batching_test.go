@@ -1,0 +1,90 @@
+package component
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"edgeejb/internal/dbwire"
+	"edgeejb/internal/memento"
+	"edgeejb/internal/sqlstore"
+	"edgeejb/internal/storeapi"
+)
+
+// TestManagerBatchingReducesRoundTrips runs the same two-entity
+// interaction through each pessimistic manager with batching off and
+// on, against a real wire stack, and requires the batched run to cost
+// strictly fewer round trips while producing the same rows.
+func TestManagerBatchingReducesRoundTrips(t *testing.T) {
+	newStack := func(t *testing.T) (*sqlstore.Store, string) {
+		t.Helper()
+		store := sqlstore.New(sqlstore.WithLockTimeout(2 * time.Second))
+		t.Cleanup(store.Close)
+		for _, id := range []string{"a", "b"} {
+			store.Seed(memento.Memento{
+				Key:    memento.Key{Table: "item", ID: id},
+				Fields: memento.Fields{"owner": memento.String("x"), "n": memento.Int(1)},
+			})
+		}
+		srv := dbwire.NewServer(storeapi.Local(store))
+		if err := srv.Start("127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(srv.Close)
+		return store, srv.Addr()
+	}
+
+	interaction := func(tx *Tx) error {
+		for _, id := range []string{"a", "b"} {
+			it := &item{ID: id}
+			if err := tx.Find(it); err != nil {
+				return err
+			}
+			it.N++
+			if err := tx.Update(it); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	managers := map[string]func(storeapi.Conn, ...ManagerOption) ResourceManager{
+		"jdbc": func(c storeapi.Conn, o ...ManagerOption) ResourceManager { return NewJDBCManager(c, o...) },
+		"bmp":  func(c storeapi.Conn, o ...ManagerOption) ResourceManager { return NewBMPManager(c, o...) },
+	}
+	for name, mk := range managers {
+		t.Run(name, func(t *testing.T) {
+			store, addr := newStack(t)
+			run := func(opts ...ManagerOption) uint64 {
+				t.Helper()
+				client := dbwire.Dial(addr)
+				t.Cleanup(func() { _ = client.Close() })
+				c := NewContainer(itemRegistry(t), mk(client, opts...))
+				before := client.RoundTrips()
+				if err := c.Execute(context.Background(), interaction); err != nil {
+					t.Fatalf("interaction: %v", err)
+				}
+				return client.RoundTrips() - before
+			}
+
+			serial := run()
+			batched := run(WithBatching(true))
+			if batched >= serial {
+				t.Errorf("batched interaction cost %d round trips, serial %d — batching must win",
+					batched, serial)
+			}
+			t.Logf("round trips: serial=%d batched=%d", serial, batched)
+
+			// Both runs incremented both rows: 1 -> 2 -> 3.
+			for _, id := range []string{"a", "b"} {
+				res, err := storeapi.Local(store).AutoGet(context.Background(), "item", id)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Mem.Fields["n"].Int != 3 {
+					t.Errorf("item %s n = %d, want 3", id, res.Mem.Fields["n"].Int)
+				}
+			}
+		})
+	}
+}

@@ -2,6 +2,7 @@ package component
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"edgeejb/internal/memento"
@@ -25,15 +26,20 @@ import (
 //   - At commit the container calls ejbStore on every activated bean,
 //     clean or dirty, because BMP gives it no dirty-tracking.
 type BMPManager struct {
-	conn storeapi.Conn
+	conn  storeapi.Conn
+	batch bool
 }
 
 var _ ResourceManager = (*BMPManager)(nil)
 
 // NewBMPManager builds a vanilla-EJB resource manager over a datastore
 // handle (local or remote).
-func NewBMPManager(conn storeapi.Conn) *BMPManager {
-	return &BMPManager{conn: conn}
+func NewBMPManager(conn storeapi.Conn, opts ...ManagerOption) *BMPManager {
+	cfg := managerConfig{}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return &BMPManager{conn: conn, batch: cfg.batch}
 }
 
 // Name implements ResourceManager.
@@ -47,13 +53,15 @@ func (m *BMPManager) Begin(ctx context.Context) (DataTx, error) {
 	}
 	return &bmpTx{
 		txn:       txn,
+		batch:     m.batch,
 		activated: make(map[memento.Key]memento.Memento),
 		removed:   make(map[memento.Key]struct{}),
 	}, nil
 }
 
 type bmpTx struct {
-	txn storeapi.Txn
+	txn   storeapi.Txn
+	batch bool
 	// activated tracks beans activated in this transaction; each gets an
 	// unconditional ejbStore at commit.
 	activated map[memento.Key]memento.Memento
@@ -61,6 +69,25 @@ type bmpTx struct {
 }
 
 func (t *bmpTx) Load(ctx context.Context, key memento.Key) (memento.Memento, error) {
+	if t.batch {
+		// Same two statements, pipelined into one exchange: the
+		// container still can't skip either of them, but it can ship
+		// them together.
+		results, err := storeapi.ExecBatch(ctx, t.txn, []storeapi.Stmt{
+			{Kind: storeapi.StmtGet, Table: key.Table, ID: key.ID},
+			{Kind: storeapi.StmtGet, Table: key.Table, ID: key.ID},
+		})
+		if err != nil {
+			return memento.Memento{}, err
+		}
+		if err := firstStmtErr(results); err != nil {
+			return memento.Memento{}, err
+		}
+		m := results[1].Get.Mem
+		t.activated[key] = m.Clone()
+		delete(t.removed, key)
+		return m, nil
+	}
 	// findByPrimaryKey: existence check (SELECT pk FROM ... WHERE pk=?).
 	if _, err := t.txn.Get(ctx, key.Table, key.ID); err != nil {
 		return memento.Memento{}, err
@@ -111,6 +138,26 @@ func (t *bmpTx) Query(ctx context.Context, q memento.Query) ([]memento.Memento, 
 		return nil, err
 	}
 	out := make([]memento.Memento, 0, len(found.Mems))
+	if t.batch && len(found.Mems) > 0 {
+		// The N+1 selects still happen, but the N ejbLoads travel as one
+		// exchange instead of N round trips.
+		stmts := make([]storeapi.Stmt, len(found.Mems))
+		for i, f := range found.Mems {
+			stmts[i] = storeapi.Stmt{Kind: storeapi.StmtGet, Table: f.Key.Table, ID: f.Key.ID}
+		}
+		results, err := storeapi.ExecBatch(ctx, t.txn, stmts)
+		if err != nil {
+			return nil, err
+		}
+		for i, r := range results {
+			if r.Err != nil {
+				return nil, fmt.Errorf("bmp: ejbLoad after finder %s: %w", found.Mems[i].Key, r.Err)
+			}
+			t.activated[r.Get.Mem.Key] = r.Get.Mem.Clone()
+			out = append(out, r.Get.Mem)
+		}
+		return out, nil
+	}
 	for _, f := range found.Mems {
 		res, err := t.txn.Get(ctx, f.Key.Table, f.Key.ID)
 		if err != nil {
@@ -123,6 +170,34 @@ func (t *bmpTx) Query(ctx context.Context, q memento.Query) ([]memento.Memento, 
 }
 
 func (t *bmpTx) Commit(ctx context.Context) error {
+	if t.batch {
+		// ejbStore run + commit as one exchange.
+		stmts := make([]storeapi.Stmt, 0, len(t.activated)+1)
+		for _, m := range t.activated {
+			if _, gone := t.removed[m.Key]; gone {
+				continue
+			}
+			stmts = append(stmts, storeapi.Stmt{Kind: storeapi.StmtPut, Mem: m})
+		}
+		stmts = append(stmts, storeapi.Stmt{Kind: storeapi.StmtCommit})
+		results, err := storeapi.ExecBatch(ctx, t.txn, stmts)
+		if err != nil {
+			return err
+		}
+		for i, r := range results {
+			if r.Err == nil || errors.Is(r.Err, storeapi.ErrStmtSkipped) {
+				continue
+			}
+			if i < len(stmts)-1 {
+				// An ejbStore failed; the commit never ran, so the
+				// transaction must still be released.
+				_ = t.txn.Abort(ctx)
+				return fmt.Errorf("bmp: ejbStore %s: %w", stmts[i].Mem.Key, r.Err)
+			}
+			return r.Err
+		}
+		return nil
+	}
 	// ejbStore every activated bean, dirty or not.
 	for _, m := range t.activated {
 		if _, gone := t.removed[m.Key]; gone {

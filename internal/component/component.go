@@ -7,6 +7,7 @@ import (
 
 	"edgeejb/internal/memento"
 	"edgeejb/internal/sqlstore"
+	"edgeejb/internal/storeapi"
 )
 
 // Entity is the contract entity implementations satisfy: identity plus
@@ -87,6 +88,36 @@ type ResourceManager interface {
 	Begin(ctx context.Context) (DataTx, error)
 	// Name identifies the algorithm for reports ("jdbc", "bmp", "sli").
 	Name() string
+}
+
+// ManagerOption configures a resource manager (see WithBatching).
+type ManagerOption func(*managerConfig)
+
+type managerConfig struct {
+	batch bool
+}
+
+// WithBatching makes the manager ship the independent statements of one
+// container operation as a single multi-statement exchange instead of
+// one round trip each: the BMP finder+ejbLoad pair, a finder's N
+// ejbLoads, and the write-back+commit run at the end of a transaction.
+// Semantics are unchanged (statements still execute sequentially,
+// stopping at the first failure); only the round-trip count drops. Off
+// by default so the unbatched managers keep the paper's classic
+// per-statement access counts.
+func WithBatching(on bool) ManagerOption {
+	return func(cfg *managerConfig) { cfg.batch = on }
+}
+
+// firstStmtErr returns the first real failure in a batch's results —
+// skipped markers just restate that an earlier statement failed.
+func firstStmtErr(results []storeapi.StmtResult) error {
+	for _, r := range results {
+		if r.Err != nil && !errors.Is(r.Err, storeapi.ErrStmtSkipped) {
+			return r.Err
+		}
+	}
+	return nil
 }
 
 // ErrRollback can be returned by application functions to abort the

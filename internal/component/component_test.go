@@ -83,6 +83,11 @@ func (c *countingConn) ApplyCommitSet(ctx context.Context, cs memento.CommitSet)
 	return c.inner.ApplyCommitSet(ctx, cs)
 }
 
+func (c *countingConn) ApplyCommitSets(ctx context.Context, sets []memento.CommitSet) ([]sqlstore.ApplySetResult, error) {
+	c.ops.Add(1)
+	return c.inner.ApplyCommitSets(ctx, sets)
+}
+
 func (c *countingConn) Subscribe(ctx context.Context) (<-chan sqlstore.Notice, func(), error) {
 	return c.inner.Subscribe(ctx)
 }
@@ -149,6 +154,14 @@ func (t *countingTxn) Commit(ctx context.Context) error {
 func (t *countingTxn) Abort(ctx context.Context) error {
 	t.ops.Add(1)
 	return t.inner.Abort(ctx)
+}
+
+func (t *countingTxn) ExecBatch(ctx context.Context, stmts []storeapi.Stmt) ([]storeapi.StmtResult, error) {
+	if len(stmts) == 0 {
+		return nil, nil
+	}
+	t.ops.Add(1)
+	return storeapi.ExecBatch(ctx, t.inner, stmts)
 }
 
 func newStore(t *testing.T, items ...item) (*sqlstore.Store, *countingConn) {

@@ -2,6 +2,7 @@ package component
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"edgeejb/internal/memento"
@@ -16,15 +17,20 @@ import (
 // each row is fetched at most once per transaction and only dirty rows
 // are written back.
 type JDBCManager struct {
-	conn storeapi.Conn
+	conn  storeapi.Conn
+	batch bool
 }
 
 var _ ResourceManager = (*JDBCManager)(nil)
 
 // NewJDBCManager builds a JDBC resource manager over a datastore handle
 // (local or remote).
-func NewJDBCManager(conn storeapi.Conn) *JDBCManager {
-	return &JDBCManager{conn: conn}
+func NewJDBCManager(conn storeapi.Conn, opts ...ManagerOption) *JDBCManager {
+	cfg := managerConfig{}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return &JDBCManager{conn: conn, batch: cfg.batch}
 }
 
 // Name implements ResourceManager.
@@ -38,6 +44,7 @@ func (m *JDBCManager) Begin(ctx context.Context) (DataTx, error) {
 	}
 	return &jdbcTx{
 		txn:   txn,
+		batch: m.batch,
 		cache: make(map[memento.Key]memento.Memento),
 		dirty: make(map[memento.Key]memento.Memento),
 	}, nil
@@ -45,6 +52,7 @@ func (m *JDBCManager) Begin(ctx context.Context) (DataTx, error) {
 
 type jdbcTx struct {
 	txn   storeapi.Txn
+	batch bool
 	cache map[memento.Key]memento.Memento // rows read or written this tx
 	dirty map[memento.Key]memento.Memento // rows to UPDATE at commit
 }
@@ -100,6 +108,29 @@ func (t *jdbcTx) Query(ctx context.Context, q memento.Query) ([]memento.Memento,
 }
 
 func (t *jdbcTx) Commit(ctx context.Context) error {
+	if t.batch {
+		// Write-back run + commit as one exchange.
+		stmts := make([]storeapi.Stmt, 0, len(t.dirty)+1)
+		for _, m := range t.dirty {
+			stmts = append(stmts, storeapi.Stmt{Kind: storeapi.StmtPut, Mem: m})
+		}
+		stmts = append(stmts, storeapi.Stmt{Kind: storeapi.StmtCommit})
+		results, err := storeapi.ExecBatch(ctx, t.txn, stmts)
+		if err != nil {
+			return err
+		}
+		for i, r := range results {
+			if r.Err == nil || errors.Is(r.Err, storeapi.ErrStmtSkipped) {
+				continue
+			}
+			if i < len(stmts)-1 {
+				_ = t.txn.Abort(ctx)
+				return fmt.Errorf("jdbc: write-back %s: %w", stmts[i].Mem.Key, r.Err)
+			}
+			return r.Err
+		}
+		return nil
+	}
 	for _, m := range t.dirty {
 		if err := t.txn.Put(ctx, m); err != nil {
 			_ = t.txn.Abort(ctx)

@@ -5,12 +5,22 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strings"
+	"sync/atomic"
+	"time"
 
 	"edgeejb/internal/memento"
+	"edgeejb/internal/obs"
 	"edgeejb/internal/sqlstore"
 	"edgeejb/internal/storeapi"
 	"edgeejb/internal/wire"
 )
+
+// obsPipelineDepth records how many statements each batched frame kept
+// in flight together — the pipelining depth the batch path buys over
+// one-statement-per-round-trip. Observed as a count (1 unit = 1
+// statement), not a duration.
+var obsPipelineDepth = obs.Default.Histogram("dbwire.pipeline_depth")
 
 // DialFunc opens a connection to the database tier. The experiment
 // harness supplies dialers that route through the delay proxy or wrap
@@ -26,6 +36,12 @@ type DialFunc func(ctx context.Context, addr string) (net.Conn, error)
 // Client implements storeapi.Conn.
 type Client struct {
 	w *wire.Client
+	// noBatch / noGroup latch when the server answers "unknown op" for
+	// OpBatch / OpApplyCommitSets: the peer predates them, so every later
+	// batch falls straight back to one round trip per statement (set)
+	// without re-probing.
+	noBatch atomic.Bool
+	noGroup atomic.Bool
 }
 
 var _ storeapi.Conn = (*Client)(nil)
@@ -37,6 +53,7 @@ type Option interface {
 
 type clientConfig struct {
 	wopts []wire.Option
+	codec string
 }
 
 type dialerOption DialFunc
@@ -61,27 +78,66 @@ func (o retryOption) apply(cfg *clientConfig) {
 // version validation (see ApplyCommitSet).
 func WithRetryPolicy(p wire.RetryPolicy) Option { return retryOption(p) }
 
+type codecOption string
+
+func (o codecOption) apply(cfg *clientConfig) { cfg.codec = string(o) }
+
+// WithCodec selects the body codec the client negotiates on each fresh
+// connection: "binary" (the default — compact hand-rolled encoding) or
+// "gob" (no negotiation, the wire format every peer speaks). With
+// "binary" the client sends an OpHello first on every new connection;
+// peers that predate the handshake answer "unknown op" and the
+// connection simply stays on gob, so mixed versions interoperate.
+func WithCodec(name string) Option { return codecOption(name) }
+
 // Dial creates a client for the database server at addr. Connections
 // are opened lazily. Failed one-shot operations and pinned-stream
 // handshakes are retried on fresh connections under a bounded, jittered
 // backoff budget (wire.DefaultRetryPolicy unless overridden); the
 // retries consumed are surfaced in WireStats().Retries.
 func Dial(addr string, opts ...Option) *Client {
-	cfg := &clientConfig{wopts: []wire.Option{wire.WithRetry()}}
+	cfg := &clientConfig{wopts: []wire.Option{wire.WithRetry()}, codec: codecBinary}
 	for _, o := range opts {
 		o.apply(cfg)
 	}
+	if cfg.codec != codecGob {
+		cfg.wopts = append(cfg.wopts, wire.WithPreflight(negotiateCodec(cfg.codec)))
+	}
 	return &Client{w: wire.NewClient(addr, cfg.wopts...)}
+}
+
+// negotiateCodec is the connection preflight that runs the OpHello
+// handshake on every fresh connection, before it carries any caller
+// traffic. The hello itself always travels in gob; only after the
+// server's acceptance do both directions switch. Any non-acceptance —
+// an old peer's "unknown op", a declined offer — leaves the connection
+// on gob, which every peer speaks.
+func negotiateCodec(name string) func(ctx context.Context, pc wire.PreflightConn) error {
+	return func(ctx context.Context, pc wire.PreflightConn) error {
+		resp := new(Response)
+		if err := pc.Call(ctx, &Request{Op: OpHello, Codecs: []string{name}}, resp); err != nil {
+			return err
+		}
+		if resp.Code == CodeOK && resp.Codec == codecBinary && name == codecBinary {
+			pc.SetBodyCodec(binCodec)
+			wire.NoteCodec(codecBinary)
+			return nil
+		}
+		wire.NoteCodec(codecGob)
+		return nil
+	}
 }
 
 // RoundTrips returns the number of request/response round trips the
 // client has performed. Tests use it to verify the per-algorithm access
 // counts that drive the paper's latency-sensitivity results. The
-// subscription handshake is excluded: it opens a push stream rather
-// than performing a data access.
+// subscription and codec handshakes are excluded: they set up the
+// connection (a push stream, a body codec) rather than performing a
+// data access, and the hello in particular is a per-connection cost
+// amortized over the connection's life, not a per-statement one.
 func (c *Client) RoundTrips() uint64 {
 	s := c.w.Stats()
-	return s.RoundTrips - s.Ops[OpSubscribe.String()].Count
+	return s.RoundTrips - s.Ops[OpSubscribe.String()].Count - s.Ops[OpHello.String()].Count
 }
 
 // WireStats returns the transport counters (bytes, round trips, per-op
@@ -175,7 +231,7 @@ func (c *Client) Begin(ctx context.Context) (storeapi.Txn, error) {
 			st.Close()
 			return nil, err
 		}
-		return &remoteTxn{st: st, id: resp.Tx}, nil
+		return &remoteTxn{c: c, st: st, id: resp.Tx}, nil
 	}
 }
 
@@ -200,6 +256,52 @@ func (c *Client) ApplyCommitSet(ctx context.Context, cs memento.CommitSet) (sqls
 		return sqlstore.ApplyResult{}, err
 	}
 	return sqlstore.ApplyResult{TxID: resp.Tx, NewVersions: resp.NewVersions}, nil
+}
+
+// ApplyCommitSets ships several independent commit sets in ONE round
+// trip — the group-commit path. Each set succeeds or fails on its own
+// (per-set Err; conflicts keep their full attribution). Against a peer
+// that predates the op, the client falls back to one ApplyCommitSet
+// round trip per set and remembers the downgrade.
+func (c *Client) ApplyCommitSets(ctx context.Context, sets []memento.CommitSet) ([]sqlstore.ApplySetResult, error) {
+	if len(sets) == 0 {
+		return nil, nil
+	}
+	if !c.noGroup.Load() {
+		obsPipelineDepth.Observe(time.Duration(len(sets)))
+		resp, err := c.oneShot(ctx, &Request{Op: OpApplyCommitSets, Sets: sets})
+		if err != nil {
+			return nil, err
+		}
+		if !(resp.Code == CodeBadRequest && strings.Contains(resp.Msg, "unknown op")) {
+			if err := decodeErr(resp); err != nil {
+				return nil, err
+			}
+			if len(resp.Batch) != len(sets) {
+				return nil, fmt.Errorf("dbwire: %s: %d results for %d sets", OpApplyCommitSets, len(resp.Batch), len(sets))
+			}
+			out := make([]sqlstore.ApplySetResult, len(sets))
+			for i := range resp.Batch {
+				sub := &resp.Batch[i]
+				if err := decodeErr(sub); err != nil {
+					out[i].Err = err
+					continue
+				}
+				out[i].Res = sqlstore.ApplyResult{TxID: sub.Tx, NewVersions: sub.NewVersions}
+			}
+			return out, nil
+		}
+		c.noGroup.Store(true)
+	}
+	// Older peer: one round trip per set. ApplyCommitSet cannot tell a
+	// transport failure from a per-set rejection, so every error lands in
+	// the set's own slot; callers reading per-set errors see the same
+	// shape either way.
+	out := make([]sqlstore.ApplySetResult, len(sets))
+	for i := range sets {
+		out[i].Res, out[i].Err = c.ApplyCommitSet(ctx, sets[i])
+	}
+	return out, nil
 }
 
 // getResult assembles a GetResult from a read response, synthesizing
@@ -300,13 +402,17 @@ func (c *Client) Subscribe(ctx context.Context) (<-chan sqlstore.Notice, func(),
 
 // remoteTxn drives one server-side transaction over a pinned stream.
 type remoteTxn struct {
+	c      *Client
 	st     *wire.Stream
 	id     uint64
 	done   bool
 	broken bool
 }
 
-var _ storeapi.Txn = (*remoteTxn)(nil)
+var (
+	_ storeapi.Txn      = (*remoteTxn)(nil)
+	_ storeapi.BatchTxn = (*remoteTxn)(nil)
+)
 
 // ID returns the datastore transaction identifier assigned at Begin.
 func (t *remoteTxn) ID() uint64 { return t.id }
@@ -406,4 +512,105 @@ func (t *remoteTxn) Abort(ctx context.Context) error {
 	_, err := t.call(ctx, &Request{Op: OpAbort})
 	t.finish()
 	return err
+}
+
+// stmtRequest maps one batch statement to its wire sub-request.
+func stmtRequest(st storeapi.Stmt) (Request, error) {
+	switch st.Kind {
+	case storeapi.StmtGet:
+		return Request{Op: OpGet, Table: st.Table, ID: st.ID}, nil
+	case storeapi.StmtGetForUpdate:
+		return Request{Op: OpGetForUpdate, Table: st.Table, ID: st.ID}, nil
+	case storeapi.StmtQuery:
+		return Request{Op: OpQuery, Query: st.Query}, nil
+	case storeapi.StmtPut:
+		return Request{Op: OpPut, Mem: st.Mem}, nil
+	case storeapi.StmtInsert:
+		return Request{Op: OpInsert, Mem: st.Mem}, nil
+	case storeapi.StmtDelete:
+		return Request{Op: OpDelete, Table: st.Table, ID: st.ID}, nil
+	case storeapi.StmtCheckVersion:
+		return Request{Op: OpCheckVersion, Key: st.Key, Version: st.Version}, nil
+	case storeapi.StmtCheckedPut:
+		return Request{Op: OpCheckedPut, Mem: st.Mem}, nil
+	case storeapi.StmtCheckedDelete:
+		return Request{Op: OpCheckedDelete, Key: st.Key, Version: st.Version}, nil
+	case storeapi.StmtCommit:
+		return Request{Op: OpCommit}, nil
+	case storeapi.StmtAbort:
+		return Request{Op: OpAbort}, nil
+	default:
+		return Request{}, fmt.Errorf("dbwire: unbatchable statement kind %d", st.Kind)
+	}
+}
+
+// ExecBatch ships the whole statement sequence as one OpBatch frame —
+// one round trip instead of len(stmts) — and scatter-gathers the
+// per-statement results back into storeapi's shape. Semantics match
+// the serial calls exactly: the server executes sub-requests in order
+// and stops at the first failure; statements past it come back as
+// ErrStmtSkipped. Against a peer that predates OpBatch the client
+// falls back to one round trip per statement and remembers the
+// downgrade for the connection pool's lifetime.
+func (t *remoteTxn) ExecBatch(ctx context.Context, stmts []storeapi.Stmt) ([]storeapi.StmtResult, error) {
+	if len(stmts) == 0 {
+		return nil, nil
+	}
+	if t.c != nil && t.c.noBatch.Load() {
+		return storeapi.ExecSerial(ctx, t, stmts)
+	}
+	if t.done {
+		return nil, sqlstore.ErrTxDone
+	}
+	req := &Request{Op: OpBatch, Tx: t.id, Batch: make([]Request, len(stmts))}
+	for i := range stmts {
+		sub, err := stmtRequest(stmts[i])
+		if err != nil {
+			return nil, err
+		}
+		sub.Tx = t.id
+		req.Batch[i] = sub
+	}
+	obsPipelineDepth.Observe(time.Duration(len(stmts)))
+	resp := new(Response)
+	if err := t.st.Call(ctx, req, resp); err != nil {
+		t.broken = true
+		t.finish()
+		return nil, fmt.Errorf("dbwire: %s: %w", OpBatch, err)
+	}
+	if resp.Code == CodeBadRequest && strings.Contains(resp.Msg, "unknown op") {
+		if t.c != nil {
+			t.c.noBatch.Store(true)
+		}
+		return storeapi.ExecSerial(ctx, t, stmts)
+	}
+	if derr := decodeErr(resp); derr != nil {
+		return nil, derr
+	}
+	out := make([]storeapi.StmtResult, len(stmts))
+	for i := range stmts {
+		if i >= len(resp.Batch) {
+			out[i].Err = storeapi.ErrStmtSkipped
+			continue
+		}
+		sub := &resp.Batch[i]
+		if err := decodeErr(sub); err != nil {
+			out[i].Err = err
+			continue
+		}
+		switch stmts[i].Kind {
+		case storeapi.StmtGet, storeapi.StmtGetForUpdate:
+			out[i].Get = getResult(sub, stmts[i].Table, stmts[i].ID)
+		case storeapi.StmtQuery:
+			out[i].Q = queryResult(sub, stmts[i].Query)
+		}
+	}
+	// A trailing Commit/Abort that actually executed (whether it
+	// succeeded or conflicted) ended the server-side transaction; release
+	// the pinned stream to match.
+	last := stmts[len(stmts)-1].Kind
+	if (last == storeapi.StmtCommit || last == storeapi.StmtAbort) && len(resp.Batch) == len(stmts) {
+		t.finish()
+	}
+	return out, nil
 }

@@ -1,0 +1,757 @@
+package dbwire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"time"
+
+	"edgeejb/internal/memento"
+	"edgeejb/internal/sqlstore"
+	"edgeejb/internal/wire"
+)
+
+// Body codec names used in the OpHello handshake.
+const (
+	codecGob    = "gob"
+	codecBinary = "binary"
+)
+
+// binCodec is a hand-rolled binary codec for the protocol's two body
+// types. Compared to gob it drops the reflection walk and the
+// per-message field-id framing: messages open with a presence bitmask
+// and encode only the non-zero fields, integers as varints, so the
+// high-volume Get/Query/Commit traffic — the traffic Figure 8 weighs —
+// is both cheaper to encode and smaller on the wire. Absent fields
+// decode to their zero values exactly as gob's omitted fields do, so
+// the two codecs are semantically interchangeable message by message.
+//
+// The encoding is not self-describing: both peers must agree on the
+// field order below, which is why the codec is only ever enabled by the
+// OpHello handshake (see negotiation in client.go / server.go). Schema
+// changes need a new codec name, not a silent field reorder.
+var binCodec wire.BodyCodec = binaryCodec{}
+
+type binaryCodec struct{}
+
+func (binaryCodec) Name() string { return codecBinary }
+
+func (binaryCodec) EncodeBody(dst []byte, body any) ([]byte, error) {
+	switch b := body.(type) {
+	case *Request:
+		return appendRequest(dst, b), nil
+	case *Response:
+		return appendResponse(dst, b), nil
+	default:
+		return nil, fmt.Errorf("dbwire: binary codec cannot encode %T", body)
+	}
+}
+
+func (binaryCodec) DecodeBody(data []byte, body any) error {
+	r := &breader{b: data}
+	switch b := body.(type) {
+	case *Request:
+		readRequest(r, b)
+	case *Response:
+		readResponse(r, b)
+	default:
+		return fmt.Errorf("dbwire: binary codec cannot decode %T", body)
+	}
+	return r.err
+}
+
+// Request field bits (after the always-present Op byte).
+const (
+	reqTx = 1 << iota
+	reqTable
+	reqID
+	reqKey
+	reqVersion
+	reqMem
+	reqQuery
+	reqSet
+	reqCodecs
+	reqBatch
+	reqSets
+)
+
+func appendRequest(dst []byte, q *Request) []byte {
+	dst = append(dst, byte(q.Op))
+	var mask uint64
+	if q.Tx != 0 {
+		mask |= reqTx
+	}
+	if q.Table != "" {
+		mask |= reqTable
+	}
+	if q.ID != "" {
+		mask |= reqID
+	}
+	if q.Key != (memento.Key{}) {
+		mask |= reqKey
+	}
+	if q.Version != 0 {
+		mask |= reqVersion
+	}
+	if !memIsZero(q.Mem) {
+		mask |= reqMem
+	}
+	if !queryIsZero(q.Query) {
+		mask |= reqQuery
+	}
+	if !q.Set.IsEmpty() {
+		mask |= reqSet
+	}
+	if len(q.Codecs) > 0 {
+		mask |= reqCodecs
+	}
+	if len(q.Batch) > 0 {
+		mask |= reqBatch
+	}
+	if len(q.Sets) > 0 {
+		mask |= reqSets
+	}
+	dst = binary.AppendUvarint(dst, mask)
+	if mask&reqTx != 0 {
+		dst = binary.AppendUvarint(dst, q.Tx)
+	}
+	if mask&reqTable != 0 {
+		dst = appendString(dst, q.Table)
+	}
+	if mask&reqID != 0 {
+		dst = appendString(dst, q.ID)
+	}
+	if mask&reqKey != 0 {
+		dst = appendKey(dst, q.Key)
+	}
+	if mask&reqVersion != 0 {
+		dst = binary.AppendUvarint(dst, q.Version)
+	}
+	if mask&reqMem != 0 {
+		dst = appendMemento(dst, q.Mem)
+	}
+	if mask&reqQuery != 0 {
+		dst = appendQuery(dst, q.Query)
+	}
+	if mask&reqSet != 0 {
+		dst = appendCommitSet(dst, q.Set)
+	}
+	if mask&reqCodecs != 0 {
+		dst = binary.AppendUvarint(dst, uint64(len(q.Codecs)))
+		for _, s := range q.Codecs {
+			dst = appendString(dst, s)
+		}
+	}
+	if mask&reqBatch != 0 {
+		dst = binary.AppendUvarint(dst, uint64(len(q.Batch)))
+		for i := range q.Batch {
+			dst = appendRequest(dst, &q.Batch[i])
+		}
+	}
+	if mask&reqSets != 0 {
+		dst = binary.AppendUvarint(dst, uint64(len(q.Sets)))
+		for i := range q.Sets {
+			dst = appendCommitSet(dst, q.Sets[i])
+		}
+	}
+	return dst
+}
+
+func readRequest(r *breader, q *Request) {
+	q.Op = OpCode(r.byte1())
+	mask := r.uvarint()
+	if mask&reqTx != 0 {
+		q.Tx = r.uvarint()
+	}
+	if mask&reqTable != 0 {
+		q.Table = r.str()
+	}
+	if mask&reqID != 0 {
+		q.ID = r.str()
+	}
+	if mask&reqKey != 0 {
+		q.Key = readKey(r)
+	}
+	if mask&reqVersion != 0 {
+		q.Version = r.uvarint()
+	}
+	if mask&reqMem != 0 {
+		q.Mem = readMemento(r)
+	}
+	if mask&reqQuery != 0 {
+		q.Query = readQuery(r)
+	}
+	if mask&reqSet != 0 {
+		q.Set = readCommitSet(r)
+	}
+	if mask&reqCodecs != 0 {
+		n := r.length()
+		q.Codecs = make([]string, 0, n)
+		for i := 0; i < n; i++ {
+			q.Codecs = append(q.Codecs, r.str())
+		}
+	}
+	if mask&reqBatch != 0 {
+		n := r.length()
+		q.Batch = make([]Request, n)
+		for i := 0; i < n && r.err == nil; i++ {
+			readRequest(r, &q.Batch[i])
+		}
+	}
+	if mask&reqSets != 0 {
+		n := r.length()
+		q.Sets = make([]memento.CommitSet, 0, n)
+		for i := 0; i < n && r.err == nil; i++ {
+			q.Sets = append(q.Sets, readCommitSet(r))
+		}
+	}
+}
+
+// Response field bits (after the always-present Code byte).
+const (
+	respMsg = 1 << iota
+	respTx
+	respMem
+	respMems
+	respNewVersions
+	respNotice
+	respConflict
+	respFP
+	respBatch
+	respCodec
+)
+
+func appendResponse(dst []byte, p *Response) []byte {
+	dst = append(dst, byte(p.Code))
+	var mask uint64
+	if p.Msg != "" {
+		mask |= respMsg
+	}
+	if p.Tx != 0 {
+		mask |= respTx
+	}
+	if !memIsZero(p.Mem) {
+		mask |= respMem
+	}
+	if len(p.Mems) > 0 {
+		mask |= respMems
+	}
+	if len(p.NewVersions) > 0 {
+		mask |= respNewVersions
+	}
+	if !noticeIsZero(p.Notice) {
+		mask |= respNotice
+	}
+	if p.Conflict != nil {
+		mask |= respConflict
+	}
+	if p.FP != nil {
+		mask |= respFP
+	}
+	if len(p.Batch) > 0 {
+		mask |= respBatch
+	}
+	if p.Codec != "" {
+		mask |= respCodec
+	}
+	dst = binary.AppendUvarint(dst, mask)
+	if mask&respMsg != 0 {
+		dst = appendString(dst, p.Msg)
+	}
+	if mask&respTx != 0 {
+		dst = binary.AppendUvarint(dst, p.Tx)
+	}
+	if mask&respMem != 0 {
+		dst = appendMemento(dst, p.Mem)
+	}
+	if mask&respMems != 0 {
+		dst = binary.AppendUvarint(dst, uint64(len(p.Mems)))
+		for i := range p.Mems {
+			dst = appendMemento(dst, p.Mems[i])
+		}
+	}
+	if mask&respNewVersions != 0 {
+		dst = binary.AppendUvarint(dst, uint64(len(p.NewVersions)))
+		for k, v := range p.NewVersions {
+			dst = appendKey(dst, k)
+			dst = binary.AppendUvarint(dst, v)
+		}
+	}
+	if mask&respNotice != 0 {
+		dst = appendNotice(dst, p.Notice)
+	}
+	if mask&respConflict != 0 {
+		dst = appendConflict(dst, p.Conflict)
+	}
+	if mask&respFP != 0 {
+		dst = appendFootprint(dst, p.FP)
+	}
+	if mask&respBatch != 0 {
+		dst = binary.AppendUvarint(dst, uint64(len(p.Batch)))
+		for i := range p.Batch {
+			dst = appendResponse(dst, &p.Batch[i])
+		}
+	}
+	if mask&respCodec != 0 {
+		dst = appendString(dst, p.Codec)
+	}
+	return dst
+}
+
+func readResponse(r *breader, p *Response) {
+	p.Code = ErrCode(r.byte1())
+	mask := r.uvarint()
+	if mask&respMsg != 0 {
+		p.Msg = r.str()
+	}
+	if mask&respTx != 0 {
+		p.Tx = r.uvarint()
+	}
+	if mask&respMem != 0 {
+		p.Mem = readMemento(r)
+	}
+	if mask&respMems != 0 {
+		n := r.length()
+		p.Mems = make([]memento.Memento, 0, n)
+		for i := 0; i < n && r.err == nil; i++ {
+			p.Mems = append(p.Mems, readMemento(r))
+		}
+	}
+	if mask&respNewVersions != 0 {
+		n := r.length()
+		p.NewVersions = make(map[memento.Key]uint64, n)
+		for i := 0; i < n && r.err == nil; i++ {
+			k := readKey(r)
+			p.NewVersions[k] = r.uvarint()
+		}
+	}
+	if mask&respNotice != 0 {
+		p.Notice = readNotice(r)
+	}
+	if mask&respConflict != 0 {
+		p.Conflict = readConflict(r)
+	}
+	if mask&respFP != 0 {
+		p.FP = readFootprint(r)
+	}
+	if mask&respBatch != 0 {
+		n := r.length()
+		p.Batch = make([]Response, n)
+		for i := 0; i < n && r.err == nil; i++ {
+			readResponse(r, &p.Batch[i])
+		}
+	}
+	if mask&respCodec != 0 {
+		p.Codec = r.str()
+	}
+}
+
+// Zero checks mirroring "what gob would omit". Fields maps use nil-ness
+// (not emptiness): WriteDesc.Blind() gives nil a meaning an empty map
+// does not have, so the codec preserves the distinction everywhere.
+
+func memIsZero(m memento.Memento) bool {
+	return m.Key == (memento.Key{}) && m.Version == 0 && m.Fields == nil
+}
+
+func queryIsZero(q memento.Query) bool {
+	return q.Table == "" && len(q.Where) == 0 && q.OrderBy == "" && !q.Desc && q.Limit == 0
+}
+
+func noticeIsZero(n sqlstore.Notice) bool {
+	return n.TxID == 0 && len(n.Keys) == 0 && len(n.Writes) == 0 &&
+		n.CommittedAt.IsZero() && n.OriginTrace == 0
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func appendKey(dst []byte, k memento.Key) []byte {
+	dst = appendString(dst, k.Table)
+	return appendString(dst, k.ID)
+}
+
+func readKey(r *breader) memento.Key {
+	var k memento.Key
+	k.Table = r.str()
+	k.ID = r.str()
+	return k
+}
+
+func appendValue(dst []byte, v memento.Value) []byte {
+	dst = append(dst, byte(v.Kind))
+	switch v.Kind {
+	case memento.KindString:
+		dst = appendString(dst, v.Str)
+	case memento.KindInt:
+		dst = binary.AppendVarint(dst, v.Int)
+	case memento.KindFloat:
+		dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(v.F))
+	case memento.KindBool:
+		dst = appendBool(dst, v.Bool)
+	}
+	return dst
+}
+
+func readValue(r *breader) memento.Value {
+	var v memento.Value
+	v.Kind = memento.Kind(r.byte1())
+	switch v.Kind {
+	case memento.KindString:
+		v.Str = r.str()
+	case memento.KindInt:
+		v.Int = r.varint()
+	case memento.KindFloat:
+		v.F = math.Float64frombits(r.u64())
+	case memento.KindBool:
+		v.Bool = r.bool1()
+	}
+	return v
+}
+
+// appendFields encodes a field map with an explicit nil/present marker.
+func appendFields(dst []byte, f memento.Fields) []byte {
+	if f == nil {
+		return append(dst, 0)
+	}
+	dst = append(dst, 1)
+	dst = binary.AppendUvarint(dst, uint64(len(f)))
+	for name, v := range f {
+		dst = appendString(dst, name)
+		dst = appendValue(dst, v)
+	}
+	return dst
+}
+
+func readFields(r *breader) memento.Fields {
+	if r.byte1() == 0 {
+		return nil
+	}
+	n := r.length()
+	f := make(memento.Fields, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		name := r.str()
+		f[name] = readValue(r)
+	}
+	return f
+}
+
+func appendMemento(dst []byte, m memento.Memento) []byte {
+	dst = appendKey(dst, m.Key)
+	dst = binary.AppendUvarint(dst, m.Version)
+	return appendFields(dst, m.Fields)
+}
+
+func readMemento(r *breader) memento.Memento {
+	var m memento.Memento
+	m.Key = readKey(r)
+	m.Version = r.uvarint()
+	m.Fields = readFields(r)
+	return m
+}
+
+func appendReadProof(dst []byte, p memento.ReadProof) []byte {
+	dst = appendKey(dst, p.Key)
+	dst = binary.AppendUvarint(dst, p.Version)
+	return appendBool(dst, p.Absent)
+}
+
+func readReadProof(r *breader) memento.ReadProof {
+	var p memento.ReadProof
+	p.Key = readKey(r)
+	p.Version = r.uvarint()
+	p.Absent = r.bool1()
+	return p
+}
+
+func appendWriteDesc(dst []byte, w memento.WriteDesc) []byte {
+	dst = appendKey(dst, w.Key)
+	dst = appendFields(dst, w.Before)
+	return appendFields(dst, w.After)
+}
+
+func readWriteDesc(r *breader) memento.WriteDesc {
+	var w memento.WriteDesc
+	w.Key = readKey(r)
+	w.Before = readFields(r)
+	w.After = readFields(r)
+	return w
+}
+
+func appendCommitSet(dst []byte, cs memento.CommitSet) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(cs.Reads)))
+	for _, p := range cs.Reads {
+		dst = appendReadProof(dst, p)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(cs.Writes)))
+	for i := range cs.Writes {
+		dst = appendMemento(dst, cs.Writes[i])
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(cs.Creates)))
+	for i := range cs.Creates {
+		dst = appendMemento(dst, cs.Creates[i])
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(cs.Removes)))
+	for _, p := range cs.Removes {
+		dst = appendReadProof(dst, p)
+	}
+	return dst
+}
+
+func readCommitSet(r *breader) memento.CommitSet {
+	var cs memento.CommitSet
+	if n := r.length(); n > 0 {
+		cs.Reads = make([]memento.ReadProof, 0, n)
+		for i := 0; i < n && r.err == nil; i++ {
+			cs.Reads = append(cs.Reads, readReadProof(r))
+		}
+	}
+	if n := r.length(); n > 0 {
+		cs.Writes = make([]memento.Memento, 0, n)
+		for i := 0; i < n && r.err == nil; i++ {
+			cs.Writes = append(cs.Writes, readMemento(r))
+		}
+	}
+	if n := r.length(); n > 0 {
+		cs.Creates = make([]memento.Memento, 0, n)
+		for i := 0; i < n && r.err == nil; i++ {
+			cs.Creates = append(cs.Creates, readMemento(r))
+		}
+	}
+	if n := r.length(); n > 0 {
+		cs.Removes = make([]memento.ReadProof, 0, n)
+		for i := 0; i < n && r.err == nil; i++ {
+			cs.Removes = append(cs.Removes, readReadProof(r))
+		}
+	}
+	return cs
+}
+
+func appendQuery(dst []byte, q memento.Query) []byte {
+	dst = appendString(dst, q.Table)
+	dst = binary.AppendUvarint(dst, uint64(len(q.Where)))
+	for _, p := range q.Where {
+		dst = appendString(dst, p.Field)
+		dst = append(dst, byte(p.Op))
+		dst = appendValue(dst, p.Value)
+	}
+	dst = appendString(dst, q.OrderBy)
+	dst = appendBool(dst, q.Desc)
+	return binary.AppendVarint(dst, int64(q.Limit))
+}
+
+func readQuery(r *breader) memento.Query {
+	var q memento.Query
+	q.Table = r.str()
+	if n := r.length(); n > 0 {
+		q.Where = make([]memento.Predicate, 0, n)
+		for i := 0; i < n && r.err == nil; i++ {
+			var p memento.Predicate
+			p.Field = r.str()
+			p.Op = memento.Op(r.byte1())
+			p.Value = readValue(r)
+			q.Where = append(q.Where, p)
+		}
+	}
+	q.OrderBy = r.str()
+	q.Desc = r.bool1()
+	q.Limit = int(r.varint())
+	return q
+}
+
+func appendFootprint(dst []byte, fp *memento.Footprint) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(fp.Keys)))
+	for _, k := range fp.Keys {
+		dst = appendKey(dst, k)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(fp.Queries)))
+	for _, q := range fp.Queries {
+		dst = appendQuery(dst, q)
+	}
+	return dst
+}
+
+func readFootprint(r *breader) *memento.Footprint {
+	fp := new(memento.Footprint)
+	if n := r.length(); n > 0 {
+		fp.Keys = make([]memento.Key, 0, n)
+		for i := 0; i < n && r.err == nil; i++ {
+			fp.Keys = append(fp.Keys, readKey(r))
+		}
+	}
+	if n := r.length(); n > 0 {
+		fp.Queries = make([]memento.Query, 0, n)
+		for i := 0; i < n && r.err == nil; i++ {
+			fp.Queries = append(fp.Queries, readQuery(r))
+		}
+	}
+	return fp
+}
+
+func appendNotice(dst []byte, n sqlstore.Notice) []byte {
+	dst = binary.AppendUvarint(dst, n.TxID)
+	dst = binary.AppendUvarint(dst, uint64(len(n.Keys)))
+	for _, k := range n.Keys {
+		dst = appendKey(dst, k)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(n.Writes)))
+	for i := range n.Writes {
+		dst = appendWriteDesc(dst, n.Writes[i])
+	}
+	dst = appendTime(dst, n.CommittedAt)
+	return binary.AppendUvarint(dst, n.OriginTrace)
+}
+
+func readNotice(r *breader) sqlstore.Notice {
+	var n sqlstore.Notice
+	n.TxID = r.uvarint()
+	if c := r.length(); c > 0 {
+		n.Keys = make([]memento.Key, 0, c)
+		for i := 0; i < c && r.err == nil; i++ {
+			n.Keys = append(n.Keys, readKey(r))
+		}
+	}
+	if c := r.length(); c > 0 {
+		n.Writes = make([]memento.WriteDesc, 0, c)
+		for i := 0; i < c && r.err == nil; i++ {
+			n.Writes = append(n.Writes, readWriteDesc(r))
+		}
+	}
+	n.CommittedAt = readTime(r)
+	n.OriginTrace = r.uvarint()
+	return n
+}
+
+func appendConflict(dst []byte, ci *ConflictInfo) []byte {
+	dst = appendKey(dst, ci.Key)
+	dst = binary.AppendUvarint(dst, ci.Expected)
+	dst = binary.AppendUvarint(dst, ci.Actual)
+	dst = binary.AppendUvarint(dst, ci.WinnerTx)
+	dst = binary.AppendUvarint(dst, ci.WinnerTrace)
+	return appendTime(dst, ci.CommittedAt)
+}
+
+func readConflict(r *breader) *ConflictInfo {
+	ci := new(ConflictInfo)
+	ci.Key = readKey(r)
+	ci.Expected = r.uvarint()
+	ci.Actual = r.uvarint()
+	ci.WinnerTx = r.uvarint()
+	ci.WinnerTrace = r.uvarint()
+	ci.CommittedAt = readTime(r)
+	return ci
+}
+
+// appendTime encodes a wall-clock instant: a presence byte (the zero
+// time is not unix zero) plus fixed 8-byte unix nanoseconds. The
+// monotonic reading is dropped, as gob's time encoding also does.
+func appendTime(dst []byte, t time.Time) []byte {
+	if t.IsZero() {
+		return append(dst, 0)
+	}
+	dst = append(dst, 1)
+	return binary.BigEndian.AppendUint64(dst, uint64(t.UnixNano()))
+}
+
+func readTime(r *breader) time.Time {
+	if r.byte1() == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, int64(r.u64()))
+}
+
+func appendBool(dst []byte, b bool) []byte {
+	if b {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+
+// breader decodes the primitives with a sticky error: after the first
+// malformed read every further read returns zero values, and DecodeBody
+// surfaces the error once at the end.
+type breader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *breader) fail() {
+	if r.err == nil {
+		r.err = fmt.Errorf("dbwire: binary codec: truncated or malformed body at offset %d", r.off)
+	}
+}
+
+func (r *breader) byte1() byte {
+	if r.err != nil || r.off >= len(r.b) {
+		r.fail()
+		return 0
+	}
+	b := r.b[r.off]
+	r.off++
+	return b
+}
+
+func (r *breader) bool1() bool { return r.byte1() != 0 }
+
+func (r *breader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *breader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.b[r.off:])
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// length reads a collection count, bounded by the bytes remaining so a
+// corrupt frame cannot induce a huge allocation.
+func (r *breader) length() int {
+	v := r.uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if v > uint64(len(r.b)-r.off) {
+		r.fail()
+		return 0
+	}
+	return int(v)
+}
+
+func (r *breader) u64() uint64 {
+	if r.err != nil || r.off+8 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *breader) str() string {
+	n := r.length()
+	if r.err != nil || n == 0 {
+		return ""
+	}
+	s := string(r.b[r.off : r.off+n])
+	r.off += n
+	return s
+}

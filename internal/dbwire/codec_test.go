@@ -1,0 +1,298 @@
+package dbwire
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"edgeejb/internal/memento"
+	"edgeejb/internal/sqlstore"
+)
+
+// ts builds a timestamp the binary codec round-trips exactly: the codec
+// carries UnixNano (like gob it drops the monotonic clock reading), so
+// constructing from nanoseconds makes reflect.DeepEqual hold.
+func ts(n int64) time.Time { return time.Unix(0, n) }
+
+func codecMem(id string, v uint64) memento.Memento {
+	return memento.Memento{
+		Key:     memento.Key{Table: "quote", ID: id},
+		Version: v,
+		Fields: memento.Fields{
+			"symbol": memento.String("s:" + id),
+			"price":  memento.Float(101.25),
+			"volume": memento.Int(42),
+			"open":   memento.Bool(true),
+		},
+	}
+}
+
+func codecSet(tx uint64) memento.CommitSet {
+	return memento.CommitSet{
+		Reads: []memento.ReadProof{
+			{Key: memento.Key{Table: "quote", ID: "a"}, Version: 3},
+			{Key: memento.Key{Table: "quote", ID: "gone"}, Absent: true},
+		},
+		Writes:  []memento.Memento{codecMem("a", 3)},
+		Creates: []memento.Memento{codecMem("new", 0)},
+		Removes: []memento.ReadProof{{Key: memento.Key{Table: "quote", ID: "b"}, Version: 7}},
+	}
+}
+
+func codecQuery() memento.Query {
+	return memento.Query{
+		Table: "quote",
+		Where: []memento.Predicate{
+			{Field: "symbol", Op: memento.OpEq, Value: memento.String("IBM")},
+			{Field: "volume", Op: memento.OpGt, Value: memento.Int(10)},
+		},
+		OrderBy: "price",
+		Desc:    true,
+		Limit:   25,
+	}
+}
+
+// TestBinaryCodecRoundTrip drives the hand-rolled codec over a matrix
+// of representative messages — every field the protocol can populate,
+// including the nested OpBatch / OpApplyCommitSets shapes — and
+// requires exact structural equality after a round trip.
+func TestBinaryCodecRoundTrip(t *testing.T) {
+	requests := map[string]*Request{
+		"zero":  {},
+		"ping":  {Op: OpPing},
+		"begin": {Op: OpBegin},
+		"get":   {Op: OpGet, Tx: 9, Table: "quote", ID: "a"},
+		"put":   {Op: OpPut, Tx: 9, Mem: codecMem("a", 3)},
+		"query": {Op: OpQuery, Tx: 9, Query: codecQuery()},
+		"checked put": {
+			Op: OpCheckedPut, Tx: 9,
+			Key: memento.Key{Table: "quote", ID: "a"}, Version: 4,
+			Mem: codecMem("a", 4),
+		},
+		"apply": {Op: OpApplyCommitSet, Set: codecSet(1)},
+		"hello": {Op: OpHello, Codecs: []string{"binary", "gob"}},
+		"batch": {
+			Op: OpBatch, Tx: 9,
+			Batch: []Request{
+				{Op: OpGet, Table: "quote", ID: "a"},
+				{Op: OpPut, Mem: codecMem("a", 3)},
+				{Op: OpCommit, Tx: 9},
+			},
+		},
+		"apply sets": {
+			Op:   OpApplyCommitSets,
+			Sets: []memento.CommitSet{codecSet(1), codecSet(2), {}},
+		},
+		"nil fields mem": {
+			Op:  OpPut,
+			Mem: memento.Memento{Key: memento.Key{Table: "t", ID: "x"}},
+		},
+	}
+	for name, req := range requests {
+		t.Run("request/"+name, func(t *testing.T) {
+			data, err := binCodec.EncodeBody(nil, req)
+			if err != nil {
+				t.Fatalf("encode: %v", err)
+			}
+			got := new(Request)
+			if err := binCodec.DecodeBody(data, got); err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			if !reflect.DeepEqual(got, req) {
+				t.Errorf("round trip mismatch:\n got %#v\nwant %#v", got, req)
+			}
+		})
+	}
+
+	responses := map[string]*Response{
+		"zero":  {},
+		"ok tx": {Code: CodeOK, Tx: 77},
+		"mem": {
+			Code: CodeOK, Mem: codecMem("a", 3),
+			FP: &memento.Footprint{Keys: []memento.Key{{Table: "quote", ID: "a"}}},
+		},
+		"mems": {
+			Code: CodeOK,
+			Mems: []memento.Memento{codecMem("a", 1), codecMem("b", 2)},
+			FP:   &memento.Footprint{Queries: []memento.Query{codecQuery()}},
+		},
+		"error": {Code: CodeNotFound, Msg: "sqlstore: not found"},
+		"conflict": {
+			Code: CodeConflict, Msg: "sqlstore: optimistic conflict: quote/a",
+			Conflict: &ConflictInfo{
+				Key:      memento.Key{Table: "quote", ID: "a"},
+				Expected: 3, Actual: 4,
+				WinnerTx: 12, WinnerTrace: 99,
+				CommittedAt: ts(1_723_000_000_000_000_123),
+			},
+		},
+		"versions": {
+			Code: CodeOK, Tx: 5,
+			NewVersions: map[memento.Key]uint64{
+				{Table: "quote", ID: "a"}: 4,
+				{Table: "quote", ID: "b"}: 9,
+			},
+		},
+		"notice": {
+			Code: CodeOK,
+			Notice: sqlstore.Notice{
+				TxID: 31,
+				Keys: []memento.Key{{Table: "quote", ID: "a"}},
+				Writes: []memento.WriteDesc{{
+					Key:    memento.Key{Table: "quote", ID: "a"},
+					Before: memento.Fields{"price": memento.Float(1)},
+					After:  memento.Fields{"price": memento.Float(2)},
+				}, {
+					// A blind write: nil Before must stay nil, not
+					// come back as an empty map (Blind() depends on it).
+					Key:   memento.Key{Table: "quote", ID: "b"},
+					After: memento.Fields{"price": memento.Float(3)},
+				}},
+				CommittedAt: ts(1_723_000_000_000_000_456),
+				OriginTrace: 555,
+			},
+		},
+		"hello": {Code: CodeOK, Codec: "binary"},
+		"batch": {
+			Code: CodeOK,
+			Batch: []Response{
+				{Code: CodeOK, Mem: codecMem("a", 3)},
+				{Code: CodeConflict, Msg: "conflict", Conflict: &ConflictInfo{WinnerTx: 8}},
+			},
+		},
+	}
+	for name, resp := range responses {
+		t.Run("response/"+name, func(t *testing.T) {
+			data, err := binCodec.EncodeBody(nil, resp)
+			if err != nil {
+				t.Fatalf("encode: %v", err)
+			}
+			got := new(Response)
+			if err := binCodec.DecodeBody(data, got); err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			if !reflect.DeepEqual(got, resp) {
+				t.Errorf("round trip mismatch:\n got %#v\nwant %#v", got, resp)
+			}
+		})
+	}
+}
+
+// TestBinaryCodecNilVsEmptyFields pins the presence-byte encoding of
+// Fields maps: a nil map and an empty map are different values (a nil
+// Before marks a blind write in WriteDesc.Blind) and must survive the
+// wire as themselves.
+func TestBinaryCodecNilVsEmptyFields(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		fields memento.Fields
+	}{
+		{"nil", nil},
+		{"empty", memento.Fields{}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			req := &Request{Op: OpPut, Mem: memento.Memento{
+				Key:    memento.Key{Table: "t", ID: "x"},
+				Fields: tc.fields,
+			}}
+			data, err := binCodec.EncodeBody(nil, req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := new(Request)
+			if err := binCodec.DecodeBody(data, got); err != nil {
+				t.Fatal(err)
+			}
+			if (got.Mem.Fields == nil) != (tc.fields == nil) {
+				t.Errorf("nil-ness changed: sent nil=%v, got nil=%v",
+					tc.fields == nil, got.Mem.Fields == nil)
+			}
+			if len(got.Mem.Fields) != len(tc.fields) {
+				t.Errorf("len changed: %d -> %d", len(tc.fields), len(got.Mem.Fields))
+			}
+		})
+	}
+}
+
+// TestBinaryCodecTruncatedInput feeds every strict prefix of a valid
+// encoding to the decoder: each must return an error (never panic,
+// never succeed on partial data). This is the sticky-error reader and
+// its bounded length reads under test — the path a truncated frame from
+// a fault-injected connection takes.
+func TestBinaryCodecTruncatedInput(t *testing.T) {
+	req := &Request{
+		Op: OpBatch, Tx: 9,
+		Batch: []Request{
+			{Op: OpQuery, Query: codecQuery()},
+			{Op: OpApplyCommitSet, Set: codecSet(1)},
+		},
+	}
+	data, err := binCodec.EncodeBody(nil, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < len(data); n++ {
+		if err := binCodec.DecodeBody(data[:n], new(Request)); err == nil {
+			t.Fatalf("decoding %d/%d-byte prefix succeeded", n, len(data))
+		}
+	}
+
+	resp := &Response{Code: CodeOK, Mems: []memento.Memento{codecMem("a", 1)},
+		NewVersions: map[memento.Key]uint64{{Table: "t", ID: "x"}: 1}}
+	data, err = binCodec.EncodeBody(nil, resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < len(data); n++ {
+		if err := binCodec.DecodeBody(data[:n], new(Response)); err == nil {
+			t.Fatalf("decoding %d/%d-byte prefix succeeded", n, len(data))
+		}
+	}
+}
+
+// TestBinaryCodecBoundedLengths: a corrupted length prefix claiming
+// more elements than the buffer could possibly hold must fail cleanly
+// instead of attempting a huge allocation.
+func TestBinaryCodecBoundedLengths(t *testing.T) {
+	// Request with Op=OpHello and the Codecs bit set, followed by a
+	// varint length claiming ~1<<40 strings in a 16-byte buffer.
+	data, err := binCodec.EncodeBody(nil, &Request{Op: OpHello, Codecs: []string{"binary"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The codecs-count varint sits right after op byte + presence mask;
+	// splice in an absurd count and keep the tail.
+	corrupt := append([]byte{}, data[:2]...)
+	corrupt = append(corrupt, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f) // huge uvarint
+	corrupt = append(corrupt, data[3:]...)
+	if err := binCodec.DecodeBody(corrupt, new(Request)); err == nil {
+		t.Fatal("decoder accepted a length far beyond the buffer")
+	}
+}
+
+// BenchmarkBinaryCodec measures encode+decode of a representative
+// read-response (the hot shape of the Figure 6 workload) for the
+// allocs/op budget CI enforces.
+func BenchmarkBinaryCodec(b *testing.B) {
+	resp := &Response{
+		Code: CodeOK, Mem: codecMem("a", 3),
+		FP: &memento.Footprint{Keys: []memento.Key{{Table: "quote", ID: "a"}}},
+	}
+	var (
+		buf []byte
+		err error
+	)
+	got := new(Response)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf, err = binCodec.EncodeBody(buf[:0], resp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		*got = Response{}
+		if err := binCodec.DecodeBody(buf, got); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

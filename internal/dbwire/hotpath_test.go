@@ -1,0 +1,534 @@
+package dbwire
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"edgeejb/internal/latency"
+	"edgeejb/internal/memento"
+	"edgeejb/internal/sqlstore"
+	"edgeejb/internal/storeapi"
+	"edgeejb/internal/wire"
+)
+
+// legacyHandler emulates a server that predates the codec handshake and
+// the batched ops: it answers the three new opcodes with the exact
+// CodeBadRequest reply an old connHandler's default case produces, and
+// delegates everything else. The interop tests dial it with a new
+// client to prove the downgrade paths.
+type legacyHandler struct {
+	inner *connHandler
+}
+
+func (h *legacyHandler) NewRequest() any { return h.inner.NewRequest() }
+
+func (h *legacyHandler) Handle(ctx context.Context, sess *wire.Session, id uint64, req any) any {
+	r := req.(*Request)
+	switch r.Op {
+	case OpHello, OpBatch, OpApplyCommitSets:
+		return &Response{Code: CodeBadRequest, Msg: "unknown op " + r.Op.String()}
+	}
+	return h.inner.Handle(ctx, sess, id, req)
+}
+
+func (h *legacyHandler) Close() { h.inner.Close() }
+
+func startLegacyServer(t *testing.T, store *sqlstore.Store) *wire.Server {
+	t.Helper()
+	srv := wire.NewServer(func() wire.ConnHandler {
+		return &legacyHandler{inner: &connHandler{
+			backend: storeapi.Local(store),
+			txs:     make(map[uint64]storeapi.Txn),
+		}}
+	})
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// exerciseConn drives every protocol surface the codec negotiation and
+// the fallback latches touch: autocommit reads, pessimistic CRUD,
+// batched statements, queries, grouped optimistic applies, and conflict
+// attribution. It must behave identically on every cell of the interop
+// matrix.
+func exerciseConn(t *testing.T, store *sqlstore.Store, c *Client) {
+	t.Helper()
+	ctx := context.Background()
+
+	res, err := c.AutoGet(ctx, "t", "1")
+	if err != nil {
+		t.Fatalf("AutoGet: %v", err)
+	}
+	if res.Mem.Fields["v"].Int != 10 || res.Mem.Version != 1 {
+		t.Fatalf("AutoGet = %v", res.Mem)
+	}
+
+	// Pessimistic CRUD on a pinned stream.
+	txn, err := c.Begin(ctx)
+	if err != nil {
+		t.Fatalf("Begin: %v", err)
+	}
+	got, err := txn.GetForUpdate(ctx, "t", "1")
+	if err != nil {
+		t.Fatalf("GetForUpdate: %v", err)
+	}
+	m := got.Mem
+	m.Fields["v"] = memento.Int(11)
+	if err := txn.Put(ctx, m); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if err := txn.Insert(ctx, memento.Memento{
+		Key:    memento.Key{Table: "t", ID: "2"},
+		Fields: memento.Fields{"v": memento.Int(5)},
+	}); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	if err := txn.Commit(ctx); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+
+	// Batched statements (single frame against a new server, serial
+	// fallback against a legacy one — same results either way).
+	txn2, err := c.Begin(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := storeapi.ExecBatch(ctx, txn2, []storeapi.Stmt{
+		{Kind: storeapi.StmtGet, Table: "t", ID: "1"},
+		{Kind: storeapi.StmtGet, Table: "t", ID: "2"},
+		{Kind: storeapi.StmtCommit},
+	})
+	if err != nil {
+		t.Fatalf("ExecBatch: %v", err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("ExecBatch returned %d results, want 3", len(results))
+	}
+	if v := results[0].Get.Mem.Fields["v"].Int; v != 11 {
+		t.Errorf("batched get t/1 = %d, want 11", v)
+	}
+	if v := results[1].Get.Mem.Fields["v"].Int; v != 5 {
+		t.Errorf("batched get t/2 = %d, want 5", v)
+	}
+	if results[2].Err != nil {
+		t.Errorf("batched commit: %v", results[2].Err)
+	}
+
+	qres, err := c.AutoQuery(ctx, memento.Query{Table: "t"})
+	if err != nil {
+		t.Fatalf("AutoQuery: %v", err)
+	}
+	if len(qres.Mems) != 2 {
+		t.Errorf("AutoQuery rows = %d, want 2", len(qres.Mems))
+	}
+
+	// Grouped optimistic applies (one frame new, per-set fallback old).
+	out, err := c.ApplyCommitSets(ctx, []memento.CommitSet{
+		{Creates: []memento.Memento{{
+			Key:    memento.Key{Table: "t", ID: "3"},
+			Fields: memento.Fields{"v": memento.Int(30)},
+		}}},
+		{Creates: []memento.Memento{{
+			Key:    memento.Key{Table: "t", ID: "4"},
+			Fields: memento.Fields{"v": memento.Int(40)},
+		}}},
+	})
+	if err != nil {
+		t.Fatalf("ApplyCommitSets: %v", err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("ApplyCommitSets returned %d results, want 2", len(out))
+	}
+	for i, r := range out {
+		if r.Err != nil {
+			t.Fatalf("set %d: %v", i, r.Err)
+		}
+		if r.Res.TxID == 0 {
+			t.Errorf("set %d: no TxID in result", i)
+		}
+	}
+	if v, _ := store.CurrentVersion(memento.Key{Table: "t", ID: "3"}); v != 1 {
+		t.Errorf("create t/3 not applied (version %d)", v)
+	}
+
+	// Conflict attribution survives every codec/fallback combination.
+	_, err = c.ApplyCommitSet(ctx, memento.CommitSet{
+		Writes: []memento.Memento{{
+			Key:     memento.Key{Table: "t", ID: "1"},
+			Version: 1, // stale: the CRUD commit above moved it to 2
+			Fields:  memento.Fields{"v": memento.Int(99)},
+		}},
+	})
+	var ce *sqlstore.ConflictError
+	if !errors.As(err, &ce) {
+		t.Fatalf("stale apply error = %v, want *sqlstore.ConflictError", err)
+	}
+	if ce.WinnerTx == 0 {
+		t.Error("conflict lost its winner attribution across the wire")
+	}
+}
+
+// TestCodecInteropMatrix proves every pairing of old and new peers
+// works: binary negotiated against a new server, forced gob against a
+// new server, and a new (binary-preferring) client downgrading against
+// a legacy server that answers the handshake with "unknown op". The
+// same workload must produce the same answers in every cell, and the
+// negotiated binary leg must move fewer bytes than the gob leg.
+func TestCodecInteropMatrix(t *testing.T) {
+	bytesMoved := map[string]uint64{}
+	cells := []struct {
+		name   string
+		legacy bool
+		opts   []Option
+		hellos bool // whether the client should attempt the handshake
+	}{
+		{name: "binary-new", hellos: true},
+		{name: "gob-new", opts: []Option{WithCodec("gob")}},
+		{name: "binary-legacy", legacy: true, hellos: true},
+		{name: "gob-legacy", legacy: true, opts: []Option{WithCodec("gob")}},
+	}
+	for _, cell := range cells {
+		t.Run(cell.name, func(t *testing.T) {
+			store := sqlstore.New(sqlstore.WithLockTimeout(time.Second))
+			t.Cleanup(store.Close)
+			seed(store, "t", "1", 10)
+			var addr string
+			if cell.legacy {
+				addr = startLegacyServer(t, store).Addr()
+			} else {
+				srv := NewServer(storeapi.Local(store))
+				if err := srv.Start("127.0.0.1:0"); err != nil {
+					t.Fatal(err)
+				}
+				t.Cleanup(srv.Close)
+				addr = srv.Addr()
+			}
+			client := Dial(addr, cell.opts...)
+			t.Cleanup(func() { _ = client.Close() })
+
+			exerciseConn(t, store, client)
+
+			// The handshake runs once per fresh connection (the pool
+			// pins extra conns for transactions), so binary legs see at
+			// least one hello and gob legs none at all.
+			stats := client.WireStats()
+			if got := stats.Ops["Hello"].Count; cell.hellos && got == 0 {
+				t.Error("binary client never attempted the handshake")
+			} else if !cell.hellos && got != 0 {
+				t.Errorf("gob client sent %d hellos, want 0", got)
+			}
+			bytesMoved[cell.name] = stats.BytesSent + stats.BytesReceived
+		})
+	}
+	// The whole point of the negotiated codec: same workload, same
+	// server, strictly fewer bytes than gob.
+	if b, g := bytesMoved["binary-new"], bytesMoved["gob-new"]; b == 0 || g == 0 || b >= g {
+		t.Errorf("binary leg moved %d bytes, gob leg %d — want binary strictly smaller", b, g)
+	}
+}
+
+// TestHelloExcludedFromRoundTrips pins the accounting contract: the
+// handshake is transport overhead, not workload traffic, so the very
+// first data access on a fresh binary connection still reports exactly
+// one round trip — the number every Figure 6/7 pinned test builds on.
+func TestHelloExcludedFromRoundTrips(t *testing.T) {
+	store, client := newPair(t)
+	seed(store, "t", "1", 10)
+	if _, err := client.AutoGet(context.Background(), "t", "1"); err != nil {
+		t.Fatal(err)
+	}
+	if got := client.RoundTrips(); got != 1 {
+		t.Errorf("first AutoGet cost %d accounted round trips, want 1", got)
+	}
+	if got := client.WireStats().Ops["Hello"].Count; got != 1 {
+		t.Errorf("Hello count = %d, want 1 (handshake must actually run)", got)
+	}
+}
+
+// TestBatchIsOneRoundTrip pins the pipelining economics: N statements
+// of one transaction in a single frame cost a single round trip.
+func TestBatchIsOneRoundTrip(t *testing.T) {
+	store, client := newPair(t)
+	seed(store, "t", "1", 10)
+	seed(store, "t", "2", 20)
+	ctx := context.Background()
+
+	txn, err := client.Begin(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := client.RoundTrips()
+	results, err := storeapi.ExecBatch(ctx, txn, []storeapi.Stmt{
+		{Kind: storeapi.StmtGet, Table: "t", ID: "1"},
+		{Kind: storeapi.StmtGet, Table: "t", ID: "2"},
+		{Kind: storeapi.StmtCommit},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := client.RoundTrips() - before; got != 1 {
+		t.Errorf("3-statement batch cost %d round trips, want exactly 1", got)
+	}
+	if len(results) != 3 || results[0].Get.Mem.Fields["v"].Int != 10 ||
+		results[1].Get.Mem.Fields["v"].Int != 20 || results[2].Err != nil {
+		t.Errorf("batch results wrong: %+v", results)
+	}
+}
+
+// TestBatchFallbackRoundTrips pins the downgrade economics against a
+// legacy server: the first batch pays one rejected probe plus one trip
+// per statement; once the latch is set, later batches skip the probe.
+func TestBatchFallbackRoundTrips(t *testing.T) {
+	store := sqlstore.New(sqlstore.WithLockTimeout(time.Second))
+	t.Cleanup(store.Close)
+	seed(store, "t", "1", 10)
+	client := Dial(startLegacyServer(t, store).Addr())
+	t.Cleanup(func() { _ = client.Close() })
+	ctx := context.Background()
+
+	run := func() uint64 {
+		txn, err := client.Begin(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := client.RoundTrips()
+		results, err := storeapi.ExecBatch(ctx, txn, []storeapi.Stmt{
+			{Kind: storeapi.StmtGet, Table: "t", ID: "1"},
+			{Kind: storeapi.StmtCommit},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(results) != 2 || results[0].Get.Mem.Fields["v"].Int != 10 || results[1].Err != nil {
+			t.Fatalf("fallback batch results wrong: %+v", results)
+		}
+		return client.RoundTrips() - before
+	}
+	if got := run(); got != 3 {
+		t.Errorf("first fallback batch cost %d round trips, want 3 (probe + 2 serial)", got)
+	}
+	if got := run(); got != 2 {
+		t.Errorf("latched fallback batch cost %d round trips, want 2 (serial only)", got)
+	}
+}
+
+// TestGroupApplyRoundTrips pins both sides of OpApplyCommitSets: one
+// trip for the whole group against a new server; probe + one trip per
+// set, then latched per-set, against a legacy server.
+func TestGroupApplyRoundTrips(t *testing.T) {
+	sets := func(ids ...string) []memento.CommitSet {
+		out := make([]memento.CommitSet, len(ids))
+		for i, id := range ids {
+			out[i] = memento.CommitSet{Creates: []memento.Memento{{
+				Key:    memento.Key{Table: "t", ID: id},
+				Fields: memento.Fields{"v": memento.Int(int64(i))},
+			}}}
+		}
+		return out
+	}
+	ctx := context.Background()
+
+	t.Run("new server", func(t *testing.T) {
+		_, client := newPair(t)
+		if err := client.Ping(ctx); err != nil {
+			t.Fatal(err)
+		}
+		before := client.RoundTrips()
+		out, err := client.ApplyCommitSets(ctx, sets("a", "b", "c"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := client.RoundTrips() - before; got != 1 {
+			t.Errorf("3-set group apply cost %d round trips, want exactly 1", got)
+		}
+		for i, r := range out {
+			if r.Err != nil {
+				t.Errorf("set %d: %v", i, r.Err)
+			}
+		}
+	})
+
+	t.Run("legacy fallback", func(t *testing.T) {
+		store := sqlstore.New(sqlstore.WithLockTimeout(time.Second))
+		t.Cleanup(store.Close)
+		client := Dial(startLegacyServer(t, store).Addr())
+		t.Cleanup(func() { _ = client.Close() })
+		if err := client.Ping(ctx); err != nil {
+			t.Fatal(err)
+		}
+
+		before := client.RoundTrips()
+		if _, err := client.ApplyCommitSets(ctx, sets("a", "b")); err != nil {
+			t.Fatal(err)
+		}
+		if got := client.RoundTrips() - before; got != 3 {
+			t.Errorf("first fallback group cost %d round trips, want 3 (probe + 2 sets)", got)
+		}
+		before = client.RoundTrips()
+		if _, err := client.ApplyCommitSets(ctx, sets("c", "d")); err != nil {
+			t.Fatal(err)
+		}
+		if got := client.RoundTrips() - before; got != 2 {
+			t.Errorf("latched fallback group cost %d round trips, want 2", got)
+		}
+	})
+}
+
+// TestPipelinedBatchFaultOrdering puts the batched path under the
+// fault injector: truncated frames and connection resets mid-batch.
+// The invariant under chaos is positional integrity — a result slot
+// either holds its own statement's answer or an error, never a
+// neighbour's — plus clean recovery once the faults stop.
+func TestPipelinedBatchFaultOrdering(t *testing.T) {
+	store := sqlstore.New(sqlstore.WithLockTimeout(300 * time.Millisecond))
+	t.Cleanup(store.Close)
+	seed(store, "t", "a", 1)
+	seed(store, "t", "b", 2)
+	srv := NewServer(storeapi.Local(store))
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+
+	proxy := latency.NewProxy(srv.Addr(), 0)
+	if err := proxy.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(proxy.Close)
+	proxy.SetFaults(&latency.FaultPlan{
+		Seed:          42,
+		ResetRate:     0.4,
+		ResetAfterMax: 2048,
+		TruncateRate:  0.05,
+	})
+	client := Dial(proxy.Addr())
+	t.Cleanup(func() { _ = client.Close() })
+
+	keyA := memento.Key{Table: "t", ID: "a"}
+	confirmed := 0
+	for i := 0; i < 40; i++ {
+		err := func() error {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			txn, err := client.Begin(ctx)
+			if err != nil {
+				return err
+			}
+			results, err := storeapi.ExecBatch(ctx, txn, []storeapi.Stmt{
+				{Kind: storeapi.StmtGetForUpdate, Table: "t", ID: "a"},
+				{Kind: storeapi.StmtPut, Mem: memento.Memento{
+					Key:    keyA,
+					Fields: memento.Fields{"v": memento.Int(int64(100 + i))},
+				}},
+				{Kind: storeapi.StmtGet, Table: "t", ID: "b"},
+				{Kind: storeapi.StmtCommit},
+			})
+			if err != nil {
+				_ = txn.Abort(context.Background())
+				return err
+			}
+			// Positional integrity: slot 0 is row a, slot 2 is row b —
+			// under every interleaving the scatter-gather may produce.
+			if r := results[0]; r.Err == nil && r.Get.Mem.Key != keyA {
+				t.Fatalf("iteration %d: slot 0 answered with %v, want %v", i, r.Get.Mem.Key, keyA)
+			}
+			if r := results[2]; r.Err == nil && r.Get.Mem.Key != (memento.Key{Table: "t", ID: "b"}) {
+				t.Fatalf("iteration %d: slot 2 answered with %v", i, r.Get.Mem.Key)
+			}
+			if results[3].Err == nil {
+				confirmed++
+			}
+			return nil
+		}()
+		_ = err // transport errors are the faults doing their job
+	}
+
+	// Faults off: the client must reconnect and the store must reflect
+	// at least every confirmed commit (version bumps once per commit;
+	// commits whose ack was lost may add more).
+	proxy.SetFaults(nil)
+	res, err := client.AutoGet(context.Background(), "t", "a")
+	if err != nil {
+		t.Fatalf("post-fault AutoGet: %v", err)
+	}
+	if confirmed == 0 {
+		t.Log("no batch survived the fault schedule; recovery still verified")
+	}
+	if int(res.Mem.Version) < confirmed+1 {
+		t.Errorf("row a at version %d after %d confirmed commits", res.Mem.Version, confirmed)
+	}
+}
+
+// TestPipelinedBatchCancellation: a cancelled context must fail the
+// batch with the context error and leave the transaction abortable —
+// the pinned stream goes back to the pool instead of leaking.
+func TestPipelinedBatchCancellation(t *testing.T) {
+	store, client := newPair(t)
+	seed(store, "t", "1", 10)
+
+	txn, err := client.Begin(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = storeapi.ExecBatch(ctx, txn, []storeapi.Stmt{
+		{Kind: storeapi.StmtGet, Table: "t", ID: "1"},
+		{Kind: storeapi.StmtCommit},
+	})
+	if err == nil {
+		t.Fatal("batch on a cancelled context succeeded")
+	}
+	_ = txn.Abort(context.Background())
+
+	// The client must still be usable afterwards.
+	if _, err := client.AutoGet(context.Background(), "t", "1"); err != nil {
+		t.Fatalf("client unusable after cancelled batch: %v", err)
+	}
+}
+
+// BenchmarkPipelinedGets measures an 8-statement read batch on a live
+// connection — the shape a portfolio-page interaction takes with
+// batching on. CI budgets its allocs/op.
+func BenchmarkPipelinedGets(b *testing.B) {
+	store := sqlstore.New()
+	defer store.Close()
+	ids := []string{"0", "1", "2", "3", "4", "5", "6", "7"}
+	stmts := make([]storeapi.Stmt, len(ids))
+	for i, id := range ids {
+		seed(store, "t", id, int64(i))
+		stmts[i] = storeapi.Stmt{Kind: storeapi.StmtGet, Table: "t", ID: id}
+	}
+	srv := NewServer(storeapi.Local(store))
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	client := Dial(srv.Addr())
+	defer client.Close()
+
+	ctx := context.Background()
+	txn, err := client.Begin(ctx)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer txn.Abort(ctx)
+	if _, err := storeapi.ExecBatch(ctx, txn, stmts); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, err := storeapi.ExecBatch(ctx, txn, stmts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(results) != len(stmts) {
+			b.Fatalf("got %d results", len(results))
+		}
+	}
+}

@@ -32,6 +32,18 @@ const (
 	OpPing
 	OpAutoGet
 	OpAutoQuery
+	// OpHello is the codec handshake, sent as the first request on a
+	// fresh connection by clients that support non-gob body codecs. It
+	// always travels in gob; peers that predate it answer CodeBadRequest
+	// ("unknown op"), which the client treats as "stay on gob".
+	OpHello
+	// OpBatch carries several statements of one transaction in a single
+	// frame, executed sequentially server-side with per-statement
+	// results — one round trip instead of len(Batch).
+	OpBatch
+	// OpApplyCommitSets carries several independent commit sets in one
+	// frame (the backend's group commit), with per-set results.
+	OpApplyCommitSets
 )
 
 // String returns the operation name.
@@ -71,6 +83,12 @@ func (o OpCode) String() string {
 		return "AutoGet"
 	case OpAutoQuery:
 		return "AutoQuery"
+	case OpHello:
+		return "Hello"
+	case OpBatch:
+		return "Batch"
+	case OpApplyCommitSets:
+		return "ApplyCommitSets"
 	default:
 		return fmt.Sprintf("OpCode(%d)", uint8(o))
 	}
@@ -88,6 +106,14 @@ type Request struct {
 	Mem     memento.Memento
 	Query   memento.Query
 	Set     memento.CommitSet
+	// Codecs lists the body codecs the client supports, in preference
+	// order (OpHello only).
+	Codecs []string
+	// Batch carries the sub-requests of an OpBatch, each a statement of
+	// the transaction named by Tx.
+	Batch []Request
+	// Sets carries the commit sets of an OpApplyCommitSets.
+	Sets []memento.CommitSet
 }
 
 // WireLabel names the request for per-op transport stats.
@@ -131,6 +157,13 @@ type Response struct {
 	// synthesizes an equivalent footprint locally in that case, so mixed
 	// versions interoperate.
 	FP *memento.Footprint
+	// Batch carries per-statement results of an OpBatch (one entry per
+	// executed sub-request; execution stops at the first failure, so it
+	// may be shorter than the request's Batch) or the per-set results of
+	// an OpApplyCommitSets (always one entry per set).
+	Batch []Response
+	// Codec names the body codec the server selected (OpHello only).
+	Codec string
 }
 
 // ConflictInfo is the wire form of sqlstore.ConflictError's attribution

@@ -62,10 +62,56 @@ func (h *connHandler) NewRequest() any { return new(Request) }
 
 func (h *connHandler) Handle(ctx context.Context, sess *wire.Session, id uint64, req any) any {
 	r := req.(*Request)
-	if r.Op == OpSubscribe {
+	switch r.Op {
+	case OpSubscribe:
 		return h.subscribe(ctx, sess, id)
+	case OpHello:
+		return h.hello(sess, id, r)
 	}
 	return h.handle(ctx, r)
+}
+
+// hello answers the codec handshake. Accepting switches the session's
+// read side immediately — every request after the hello arrives in the
+// negotiated codec — and arms the write side to switch right after this
+// reply is written, so the acceptance itself still travels in gob, the
+// format the client can decode before it learns the outcome.
+func (h *connHandler) hello(sess *wire.Session, id uint64, r *Request) *Response {
+	for _, name := range r.Codecs {
+		if name == codecBinary {
+			sess.SetReadCodec(binCodec)
+			sess.SetWriteCodecAfter(id, binCodec)
+			wire.NoteCodec(codecBinary)
+			return &Response{Code: CodeOK, Codec: codecBinary}
+		}
+	}
+	wire.NoteCodec(codecGob)
+	return &Response{Code: CodeOK, Codec: codecGob}
+}
+
+// batch executes an OpBatch's sub-requests sequentially, stopping at
+// the first failure — the exact semantics of the statements arriving
+// one frame at a time, minus the per-statement round trips. Sub-request
+// results come back positionally; a truncated result slice tells the
+// client the remaining statements never ran.
+func (h *connHandler) batch(ctx context.Context, req *Request) *Response {
+	out := &Response{Code: CodeOK, Batch: make([]Response, 0, len(req.Batch))}
+	for i := range req.Batch {
+		sub := &req.Batch[i]
+		switch sub.Op {
+		case OpBegin, OpSubscribe, OpHello, OpBatch, OpApplyCommitSets:
+			return &Response{Code: CodeBadRequest, Msg: "op " + sub.Op.String() + " not allowed in a batch"}
+		}
+		if sub.Tx == 0 {
+			sub.Tx = req.Tx
+		}
+		r := h.handle(ctx, sub)
+		out.Batch = append(out.Batch, *r)
+		if r.Code != CodeOK {
+			break
+		}
+	}
+	return out
 }
 
 // Close aborts the connection's open transactions and reaps its push
@@ -252,6 +298,24 @@ func (h *connHandler) handle(ctx context.Context, req *Request) *Response {
 			return fail(err)
 		}
 		return &Response{Code: CodeOK, Tx: res.TxID, NewVersions: res.NewVersions}
+
+	case OpApplyCommitSets:
+		results, err := h.backend.ApplyCommitSets(ctx, req.Sets)
+		if err != nil {
+			return fail(err)
+		}
+		out := &Response{Code: CodeOK, Batch: make([]Response, len(results))}
+		for i := range results {
+			if results[i].Err != nil {
+				out.Batch[i] = *errResponse(results[i].Err)
+				continue
+			}
+			out.Batch[i] = Response{Code: CodeOK, Tx: results[i].Res.TxID, NewVersions: results[i].Res.NewVersions}
+		}
+		return out
+
+	case OpBatch:
+		return h.batch(ctx, req)
 
 	case OpAutoGet:
 		res, err := h.backend.AutoGet(ctx, req.Table, req.ID)

@@ -97,6 +97,14 @@ type Options struct {
 	CacheOptions []slicache.ManagerOption
 	// LockTimeout overrides the datastore lock-wait timeout.
 	LockTimeout time.Duration
+	// Codec selects the dbwire body codec ("binary" negotiated per
+	// connection, or "gob" to skip negotiation). Empty means the dbwire
+	// default (binary).
+	Codec string
+	// Batch makes the pessimistic managers (JDBC, BMP) coalesce
+	// independent statements of one interaction into multi-statement
+	// frames. Off by default so existing round-trip accounting holds.
+	Batch bool
 }
 
 // Topology is a fully wired deployment of one architecture.
@@ -155,6 +163,11 @@ func Build(opts Options) (topo *Topology, err error) {
 		opts.LockTimeout = 5 * time.Second
 	}
 
+	var dbOpts []dbwire.Option
+	if opts.Codec != "" {
+		dbOpts = append(dbOpts, dbwire.WithCodec(opts.Codec))
+	}
+
 	t := &Topology{Arch: opts.Arch, Algo: opts.Algo}
 	defer func() {
 		if err != nil {
@@ -184,7 +197,7 @@ func Build(opts Options) (topo *Topology, err error) {
 	case ESRBES:
 		// Back-end next to the database (low-latency wire); delay
 		// between the edge servers and the back-end.
-		backendDB := dbwire.Dial(dbServer.Addr())
+		backendDB := dbwire.Dial(dbServer.Addr(), dbOpts...)
 		t.closers = append(t.closers, func() { _ = backendDB.Close() })
 		t.Backend = backend.NewServer(backendDB)
 		if err := t.Backend.Start("127.0.0.1:0"); err != nil {
@@ -213,17 +226,21 @@ func Build(opts Options) (topo *Topology, err error) {
 	}
 	ctx := context.Background()
 	for i := 0; i < opts.EdgeServers; i++ {
-		dbClient := dbwire.Dial(edgeDBAddr)
+		dbClient := dbwire.Dial(edgeDBAddr, dbOpts...)
 		t.DBClients = append(t.DBClients, dbClient)
 		t.closers = append(t.closers, func() { _ = dbClient.Close() })
 
+		var mgrOpts []component.ManagerOption
+		if opts.Batch {
+			mgrOpts = append(mgrOpts, component.WithBatching(true))
+		}
 		var rm component.ResourceManager
 		var mgr *slicache.Manager
 		switch opts.Algo {
 		case AlgJDBC:
-			rm = component.NewJDBCManager(dbClient)
+			rm = component.NewJDBCManager(dbClient, mgrOpts...)
 		case AlgVanillaEJB:
-			rm = component.NewBMPManager(dbClient)
+			rm = component.NewBMPManager(dbClient, mgrOpts...)
 		case AlgCachedEJB:
 			shipping := slicache.PerImage
 			if opts.Arch == ESRBES {

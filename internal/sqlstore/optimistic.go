@@ -34,24 +34,69 @@ type ApplyResult struct {
 func (s *Store) ApplyCommitSet(ctx context.Context, cs memento.CommitSet) (ApplyResult, error) {
 	ctx, sp := obs.StartSpan(ctx, "sqlstore.apply")
 	defer sp.End()
-	tx, err := s.Begin(ctx)
+	res, notice, err := s.applyOneDeferred(ctx, cs)
 	if err != nil {
 		return ApplyResult{}, err
+	}
+	s.broadcast(notice)
+	return res, nil
+}
+
+// ApplySetResult is one commit set's outcome within a grouped apply.
+type ApplySetResult struct {
+	Res ApplyResult
+	Err error
+}
+
+// ApplyCommitSets validates and applies several independent commit sets
+// in one pass — the backend's group commit. Sets apply in slice order,
+// each as its own atomic transaction validating against the state the
+// earlier sets left behind, so an intra-batch conflict is attributed to
+// the earlier set's transaction exactly as if the sets had arrived
+// serially: the loser's ConflictError names the winner's tx and trace.
+// One set's rejection never poisons the others (per-set Err), and all
+// invalidation notices fan out in a single subscriber pass after the
+// last set applies.
+func (s *Store) ApplyCommitSets(ctx context.Context, sets []memento.CommitSet) []ApplySetResult {
+	ctx, sp := obs.StartSpan(ctx, "sqlstore.apply_group")
+	defer sp.End()
+	out := make([]ApplySetResult, len(sets))
+	notices := make([]Notice, 0, len(sets))
+	for i := range sets {
+		res, notice, err := s.applyOneDeferred(ctx, sets[i])
+		out[i] = ApplySetResult{Res: res, Err: err}
+		if err == nil {
+			notices = append(notices, notice)
+		}
+	}
+	s.broadcastAll(notices)
+	return out
+}
+
+// applyOneDeferred runs one commit set's validate-and-apply, returning
+// the invalidation notice instead of broadcasting it — the caller
+// decides whether to fan out immediately (single apply) or batch the
+// fan-out (group commit).
+func (s *Store) applyOneDeferred(ctx context.Context, cs memento.CommitSet) (ApplyResult, Notice, error) {
+	tx, err := s.Begin(ctx)
+	if err != nil {
+		return ApplyResult{}, Notice{}, err
 	}
 	res, err := s.applyCommitSetTx(ctx, tx, cs)
 	if err != nil {
 		tx.Abort()
 		s.stats.optFail.Add(1)
 		obsOptConflicts.Inc()
-		return ApplyResult{}, err
+		return ApplyResult{}, Notice{}, err
 	}
-	if err := tx.Commit(); err != nil {
-		return ApplyResult{}, err
+	notice, err := tx.commit()
+	if err != nil {
+		return ApplyResult{}, Notice{}, err
 	}
 	s.stats.optOK.Add(1)
 	obsOptCommits.Inc()
 	res.TxID = tx.ID()
-	return res, nil
+	return res, notice, nil
 }
 
 func (s *Store) applyCommitSetTx(ctx context.Context, tx *Tx, cs memento.CommitSet) (ApplyResult, error) {

@@ -210,6 +210,30 @@ func (s *Store) broadcast(n Notice) {
 	}
 }
 
+// broadcastAll fans several notices out under a single subscriber-map
+// acquisition — the group-commit fast path: one coalesced batch causes
+// one fan-out pass, not one per transaction.
+func (s *Store) broadcastAll(ns []Notice) {
+	if len(ns) == 0 {
+		return
+	}
+	s.subMu.Lock()
+	defer s.subMu.Unlock()
+	for _, n := range ns {
+		if len(n.Keys) == 0 {
+			continue
+		}
+		for _, ch := range s.subs {
+			select {
+			case ch <- n:
+				s.stats.notices.Add(1)
+			default:
+				// Drop rather than block the committer; see Subscribe.
+			}
+		}
+	}
+}
+
 // Stats returns a snapshot of the store's activity counters.
 func (s *Store) Stats() Stats {
 	s.mu.RLock()

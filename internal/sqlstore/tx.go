@@ -347,16 +347,28 @@ func (tx *Tx) verifyVersionLocked(key memento.Key, version uint64) error {
 // Commit installs the transaction's buffered writes atomically, releases
 // all locks, and broadcasts an invalidation notice for the mutated keys.
 func (tx *Tx) Commit() error {
+	n, err := tx.commit()
+	if err != nil {
+		return err
+	}
+	tx.s.broadcast(n)
+	return nil
+}
+
+// commit installs the buffered writes and releases locks, returning the
+// invalidation notice WITHOUT broadcasting it. Group commit uses this
+// to apply several transactions and fan their notices out in one pass;
+// Commit is commit + immediate broadcast.
+func (tx *Tx) commit() (Notice, error) {
 	if tx.done {
-		return ErrTxDone
+		return Notice{}, ErrTxDone
 	}
 	tx.done = true
 	keys, writes, at := tx.s.applyWrites(tx.writes, uint64(tx.id), tx.trace)
 	tx.s.lm.ReleaseAll(tx.id)
 	tx.s.stats.commits.Add(1)
 	obsTxCommits.Inc()
-	tx.s.broadcast(Notice{TxID: uint64(tx.id), Keys: keys, Writes: writes, CommittedAt: at, OriginTrace: tx.trace})
-	return nil
+	return Notice{TxID: uint64(tx.id), Keys: keys, Writes: writes, CommittedAt: at, OriginTrace: tx.trace}, nil
 }
 
 // Abort discards buffered writes and releases all locks. Aborting a

@@ -59,6 +59,14 @@ func (c *CountingConn) ApplyCommitSet(ctx context.Context, cs memento.CommitSet)
 	return c.inner.ApplyCommitSet(ctx, cs)
 }
 
+// ApplyCommitSets implements Conn. A grouped apply is one exchange on a
+// remote implementation, so it counts one op regardless of how many
+// sets it carries.
+func (c *CountingConn) ApplyCommitSets(ctx context.Context, sets []memento.CommitSet) ([]sqlstore.ApplySetResult, error) {
+	c.ops.Add(1)
+	return c.inner.ApplyCommitSets(ctx, sets)
+}
+
 // Subscribe implements Conn. Subscriptions are push streams, not
 // request/response statements, so they are not counted.
 func (c *CountingConn) Subscribe(ctx context.Context) (<-chan sqlstore.Notice, func(), error) {
@@ -128,4 +136,18 @@ func (t *countingTxn) Commit(ctx context.Context) error {
 func (t *countingTxn) Abort(ctx context.Context) error {
 	t.ops.Add(1)
 	return t.inner.Abort(ctx)
+}
+
+// ExecBatch implements BatchTxn: a batch is one exchange on a remote
+// transaction, so it counts one op regardless of statement count —
+// the round-trip economics the batching exists to buy.
+func (t *countingTxn) ExecBatch(ctx context.Context, stmts []Stmt) ([]StmtResult, error) {
+	if len(stmts) == 0 {
+		return nil, nil
+	}
+	t.ops.Add(1)
+	if bt, ok := t.inner.(BatchTxn); ok {
+		return bt.ExecBatch(ctx, stmts)
+	}
+	return execSerial(ctx, t.inner, stmts)
 }

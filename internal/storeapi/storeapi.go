@@ -77,6 +77,12 @@ type Conn interface {
 	// ApplyCommitSet validates and applies a whole optimistic commit set
 	// atomically — a single round trip on remote implementations.
 	ApplyCommitSet(ctx context.Context, cs memento.CommitSet) (sqlstore.ApplyResult, error)
+	// ApplyCommitSets applies several independent commit sets in one
+	// exchange — a single round trip on remote implementations that
+	// support it (older peers fall back to one trip per set). Each set
+	// succeeds or fails on its own; the error return is reserved for
+	// transport-level failures affecting the whole group.
+	ApplyCommitSets(ctx context.Context, sets []memento.CommitSet) ([]sqlstore.ApplySetResult, error)
 	// Subscribe streams commit notices until cancel is called; the
 	// channel closes on cancel or connection loss.
 	Subscribe(ctx context.Context) (<-chan sqlstore.Notice, func(), error)
@@ -112,6 +118,10 @@ func (l *local) Begin(ctx context.Context) (Txn, error) {
 
 func (l *local) ApplyCommitSet(ctx context.Context, cs memento.CommitSet) (sqlstore.ApplyResult, error) {
 	return l.store.ApplyCommitSet(ctx, cs)
+}
+
+func (l *local) ApplyCommitSets(ctx context.Context, sets []memento.CommitSet) ([]sqlstore.ApplySetResult, error) {
+	return l.store.ApplyCommitSets(ctx, sets), nil
 }
 
 func (l *local) AutoGet(ctx context.Context, table, id string) (GetResult, error) {

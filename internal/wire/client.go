@@ -24,6 +24,7 @@ type Client struct {
 	maxPinnedIdle int
 	maxFrame      int
 	retry         RetryPolicy
+	preflight     func(ctx context.Context, pc PreflightConn) error
 	stats         *collector
 
 	mu         sync.Mutex
@@ -62,6 +63,29 @@ func WithRetry() Option { return WithRetryPolicy(DefaultRetryPolicy()) }
 // opt in, and must only do so when its requests are idempotent or
 // duplicate-rejected (see RetryPolicy).
 func WithRetryPolicy(p RetryPolicy) Option { return func(c *Client) { c.retry = p } }
+
+// PreflightConn is the limited view of a freshly dialed connection a
+// preflight hook may use: issue handshake exchanges and install a
+// negotiated body codec. The connection is not visible to any other
+// caller while the hook runs.
+type PreflightConn interface {
+	// Call performs one request/response exchange on the new connection.
+	Call(ctx context.Context, req, resp any) error
+	// SetBodyCodec switches both directions of the connection to the
+	// codec, effective from the next frame in each direction. Call it
+	// only at a quiet point of the handshake: after the peer has
+	// confirmed the switch and before any further traffic.
+	SetBodyCodec(c BodyCodec)
+}
+
+// WithPreflight runs f on every freshly dialed connection — shared and
+// pinned — before the connection carries any caller traffic. The
+// protocol layer uses it for its codec handshake; a preflight error
+// fails the dial (and is retried under the client's retry policy like
+// any other dial failure).
+func WithPreflight(f func(ctx context.Context, pc PreflightConn) error) Option {
+	return func(c *Client) { c.preflight = f }
+}
 
 // WithMaxFrame overrides the maximum accepted frame size.
 func WithMaxFrame(n int) Option {
@@ -248,7 +272,33 @@ func (c *Client) dialConn(ctx context.Context) (*conn, error) {
 	c.conns[cn] = struct{}{}
 	c.mu.Unlock()
 	go cn.readLoop()
+	if c.preflight != nil {
+		if err := c.preflight(ctx, preflightConn{cn}); err != nil {
+			err = fmt.Errorf("wire: preflight %s: %w", c.addr, err)
+			cn.teardown(err)
+			return nil, err
+		}
+	}
 	return cn, nil
+}
+
+// preflightConn adapts a conn to the PreflightConn surface handed to
+// WithPreflight hooks.
+type preflightConn struct{ cn *conn }
+
+func (p preflightConn) Call(ctx context.Context, req, resp any) error {
+	return p.cn.roundTrip(ctx, req, resp)
+}
+
+func (p preflightConn) SetBodyCodec(c BodyCodec) { p.cn.setBodyCodec(c) }
+
+// setBodyCodec switches both directions of the connection to c, from
+// the next frame each way.
+func (cn *conn) setBodyCodec(c BodyCodec) {
+	cn.wmu.Lock()
+	cn.fw.codec = c
+	cn.wmu.Unlock()
+	cn.fr.setCodec(c)
 }
 
 func (c *Client) removeConn(cn *conn) {
@@ -433,6 +483,11 @@ func (cn *conn) roundTrip(ctx context.Context, req, resp any) error {
 	}, req)
 	cn.wmu.Unlock()
 	if werr != nil {
+		if n > 0 {
+			// Part of the frame reached the socket before the failure;
+			// those bytes are real traffic on the path and must count.
+			cn.c.stats.sent(label, n)
+		}
 		cn.c.stats.failure(label)
 		cn.teardown(fmt.Errorf("wire: send %s: %w", label, werr))
 		if isTimeout(werr) && ctx.Err() != nil {
@@ -565,7 +620,7 @@ func (cn *conn) handleResponse(id uint64, size int) bool {
 	if cl.abandoned {
 		target = reflect.New(cl.rtype).Interface()
 	}
-	if err := cn.fr.decode(target); err != nil {
+	if err := cn.fr.decodeBody(target); err != nil {
 		cn.teardown(fmt.Errorf("wire: recv %s: %w", cl.label, err))
 		return false
 	}
@@ -586,7 +641,7 @@ func (cn *conn) handlePush(size int) bool {
 	}
 	cn.c.stats.push(sink.label, size, false)
 	body := sink.factory()
-	if err := cn.fr.decode(body); err != nil {
+	if err := cn.fr.decodeBody(body); err != nil {
 		cn.teardown(fmt.Errorf("wire: recv push: %w", err))
 		return false
 	}

@@ -7,6 +7,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"sync/atomic"
 )
 
 // DefaultMaxFrame bounds a single frame's payload. Anything larger (or
@@ -15,19 +16,39 @@ import (
 const DefaultMaxFrame = 16 << 20
 
 // A frame is a 4-byte big-endian payload length followed by the
-// payload; the payload is gob(frameHeader) ++ gob(body) emitted by a
-// persistent per-connection encoder, so gob type definitions are sent
-// once per connection rather than once per message. That matters for
-// the experiments: per-message typedef overhead would inflate exactly
-// the small-message protocols whose byte counts Figure 8 compares.
+// payload; the payload is gob(frameHeader) ++ body. The header always
+// travels through a persistent per-connection gob encoder, so gob type
+// definitions are sent once per connection rather than once per
+// message. That matters for the experiments: per-message typedef
+// overhead would inflate exactly the small-message protocols whose byte
+// counts Figure 8 compares. The body defaults to the same gob stream;
+// once a BodyCodec is negotiated, the body is that codec's raw bytes —
+// gob messages are self-delimiting, so after the header decode the
+// remainder of the frame is exactly the body.
+
+// BodyCodec encodes and decodes message bodies inside the frame format.
+// The frame header stays gob regardless; a codec only replaces the body
+// encoding, which is where the volume is. Both peers must switch at an
+// agreed frame boundary (the protocol layer negotiates this).
+type BodyCodec interface {
+	// Name identifies the codec during negotiation and in metrics.
+	Name() string
+	// EncodeBody appends body's encoding to dst and returns the
+	// extended slice.
+	EncodeBody(dst []byte, body any) ([]byte, error)
+	// DecodeBody decodes one body from data, the remainder of a frame.
+	DecodeBody(data []byte, body any) error
+}
 
 // frameWriter frames messages onto a connection. Not safe for
-// concurrent use; callers hold a write mutex.
+// concurrent use; callers hold a write mutex (which also guards codec).
 type frameWriter struct {
 	bw      *bufio.Writer
 	scratch bytes.Buffer
 	enc     *gob.Encoder
 	lenBuf  [4]byte
+	codec   BodyCodec
+	bodyBuf []byte
 }
 
 func newFrameWriter(w io.Writer) *frameWriter {
@@ -36,28 +57,68 @@ func newFrameWriter(w io.Writer) *frameWriter {
 	return fw
 }
 
-// writeFrame encodes header+body as one frame and flushes it,
-// returning the frame's size on the wire (prefix included).
+// writeFrame encodes header+body as one frame and flushes it. On
+// success it returns the frame's size on the wire (prefix included); on
+// a write or flush error it returns how many of the frame's bytes still
+// reached the socket, so callers can account partially-sent traffic —
+// under fault injection those bytes are real load on the shared path,
+// and dropping them from Stats.BytesSent skews the Figure-8 comparison.
 func (fw *frameWriter) writeFrame(h *frameHeader, body any) (int, error) {
 	fw.scratch.Reset()
 	if err := fw.enc.Encode(h); err != nil {
 		return 0, err
 	}
-	if err := fw.enc.Encode(body); err != nil {
+	var bodyBytes []byte
+	if fw.codec != nil {
+		var err error
+		fw.bodyBuf, err = fw.codec.EncodeBody(fw.bodyBuf[:0], body)
+		if err != nil {
+			return 0, err
+		}
+		bodyBytes = fw.bodyBuf
+	} else if err := fw.enc.Encode(body); err != nil {
 		return 0, err
 	}
-	n := fw.scratch.Len()
+	n := fw.scratch.Len() + len(bodyBytes)
 	binary.BigEndian.PutUint32(fw.lenBuf[:], uint32(n))
-	if _, err := fw.bw.Write(fw.lenBuf[:]); err != nil {
-		return 0, err
+	// From here on every byte handed to bw may reach the socket even if
+	// a later write fails; track acceptance so the error paths can
+	// report the flushed count instead of 0.
+	preBuffered := fw.bw.Buffered()
+	accepted := 0
+	k, err := fw.bw.Write(fw.lenBuf[:])
+	accepted += k
+	if err != nil {
+		return fw.flushedBytes(preBuffered, accepted), err
 	}
-	if _, err := fw.bw.Write(fw.scratch.Bytes()); err != nil {
-		return 0, err
+	k, err = fw.bw.Write(fw.scratch.Bytes())
+	accepted += k
+	if err != nil {
+		return fw.flushedBytes(preBuffered, accepted), err
+	}
+	if len(bodyBytes) > 0 {
+		k, err = fw.bw.Write(bodyBytes)
+		accepted += k
+		if err != nil {
+			return fw.flushedBytes(preBuffered, accepted), err
+		}
 	}
 	if err := fw.bw.Flush(); err != nil {
-		return 0, err
+		return fw.flushedBytes(preBuffered, accepted), err
 	}
 	return n + 4, nil
+}
+
+// flushedBytes estimates how many bytes reached the socket after a
+// failed write or flush: everything the buffered writer accepted (plus
+// any residue already buffered before this frame) minus what still sits
+// in its buffer.
+func (fw *frameWriter) flushedBytes(preBuffered, accepted int) int {
+	f := preBuffered + accepted - fw.bw.Buffered()
+	if f < 0 {
+		f = 0
+	}
+	return f
 }
 
 // chunkReader serves gob exactly one frame's payload. It implements
@@ -69,6 +130,14 @@ type chunkReader struct {
 }
 
 func (c *chunkReader) reset(b []byte) { c.buf, c.off = b, 0 }
+
+// rest returns the undecoded remainder of the current frame and marks
+// it consumed — the body bytes once the header has been gob-decoded.
+func (c *chunkReader) rest() []byte {
+	b := c.buf[c.off:]
+	c.off = len(c.buf)
+	return b
+}
 
 func (c *chunkReader) Read(p []byte) (int, error) {
 	if c.off >= len(c.buf) {
@@ -88,12 +157,22 @@ func (c *chunkReader) ReadByte() (byte, error) {
 	return b, nil
 }
 
+// codecRef boxes a BodyCodec for atomic publication: the codec is
+// installed by a handshake running on another goroutine while the
+// reader goroutine is blocked in readFrame, and the network round trip
+// between those moments is not a happens-before edge the race detector
+// recognizes.
+type codecRef struct{ c BodyCodec }
+
 // frameReader reads frames and decodes their messages through a
-// persistent gob stream. Reads are resumable: a deadline-induced
-// timeout mid-frame preserves the partial length/payload state so the
-// read continues cleanly after the wakeup is handled — the client
-// reader relies on this to expire pending calls without corrupting the
-// stream.
+// persistent gob stream (headers always; bodies until a codec is
+// installed). Reads are resumable: a deadline-induced timeout mid-frame
+// preserves the partial length/payload state so the read continues
+// cleanly after the wakeup is handled — the client reader relies on
+// this to expire pending calls without corrupting the stream. The
+// payload buffer is per-connection and grow-only: frames are decoded
+// before the next readFrame, so the buffer can be reused instead of
+// allocated per frame.
 type frameReader struct {
 	r        io.Reader
 	maxFrame int
@@ -101,8 +180,10 @@ type frameReader struct {
 	lenOff   int
 	payload  []byte
 	payOff   int
+	inFrame  bool
 	chunk    chunkReader
 	dec      *gob.Decoder
+	codec    atomic.Pointer[codecRef]
 }
 
 func newFrameReader(r io.Reader, maxFrame int) *frameReader {
@@ -110,6 +191,11 @@ func newFrameReader(r io.Reader, maxFrame int) *frameReader {
 	fr.dec = gob.NewDecoder(&fr.chunk)
 	return fr
 }
+
+// setCodec installs a body codec, effective from the next frame the
+// reader starts decoding. Safe to call from a goroutine other than the
+// reader's.
+func (fr *frameReader) setCodec(c BodyCodec) { fr.codec.Store(&codecRef{c: c}) }
 
 // readFrame reads the next frame into the decode buffer and returns
 // its size on the wire. When a read deadline fires, onTimeout decides:
@@ -130,9 +216,13 @@ func (fr *frameReader) readFrame(onTimeout func() bool) (int, error) {
 	if size <= 0 || size > fr.maxFrame {
 		return 0, fmt.Errorf("wire: bad frame length %d", size)
 	}
-	if fr.payload == nil {
-		fr.payload = make([]byte, size)
+	if !fr.inFrame {
+		if cap(fr.payload) < size {
+			fr.payload = make([]byte, size)
+		}
+		fr.payload = fr.payload[:size]
 		fr.payOff = 0
+		fr.inFrame = true
 	}
 	for fr.payOff < len(fr.payload) {
 		n, err := fr.r.Read(fr.payload[fr.payOff:])
@@ -145,9 +235,19 @@ func (fr *frameReader) readFrame(onTimeout func() bool) (int, error) {
 		}
 	}
 	fr.chunk.reset(fr.payload)
-	fr.payload = nil
+	fr.inFrame = false
 	fr.lenOff = 0
 	return size + 4, nil
 }
 
 func (fr *frameReader) decode(v any) error { return fr.dec.Decode(v) }
+
+// decodeBody decodes the remainder of the current frame as a message
+// body: through the persistent gob stream by default, or the installed
+// body codec's raw bytes.
+func (fr *frameReader) decodeBody(v any) error {
+	if ref := fr.codec.Load(); ref != nil && ref.c != nil {
+		return ref.c.DecodeBody(fr.chunk.rest(), v)
+	}
+	return fr.dec.Decode(v)
+}

@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"math"
 	"math/rand"
 	"time"
 )
@@ -30,7 +31,15 @@ func (b Backoff) Delay(attempt int) time.Duration {
 	}
 	d := b.Base
 	for i := 0; i < attempt; i++ {
-		d *= 2
+		next := d * 2
+		if next <= 0 {
+			// Doubling overflowed time.Duration. Clamp instead of going
+			// negative: a negative delay makes Sleep return immediately,
+			// turning the backoff into a zero-wait retry hammer at exactly
+			// the attempt counts where the peer is struggling most.
+			next = time.Duration(math.MaxInt64)
+		}
+		d = next
 		if b.Max > 0 && d >= b.Max {
 			d = b.Max
 			break

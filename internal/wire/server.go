@@ -48,10 +48,33 @@ func (s *Session) Push(id uint64, body any) error {
 	n, err := sc.fw.writeFrame(&frameHeader{ID: id, Kind: kindPush}, body)
 	sc.wmu.Unlock()
 	if err != nil {
+		if n > 0 {
+			// The truncated push still put bytes on the path; account
+			// them without counting a delivered push.
+			sc.srv.stats.sent("push", n)
+		}
 		return fmt.Errorf("wire: push: %w", err)
 	}
 	sc.srv.stats.push("push", n, true)
 	return nil
+}
+
+// SetReadCodec switches the session's inbound direction to the codec,
+// effective from the next frame the reader starts. The handler calls
+// this while serving the handshake request, before the client can have
+// sent any frame in the new encoding.
+func (s *Session) SetReadCodec(c BodyCodec) { s.sc.fr.setCodec(c) }
+
+// SetWriteCodecAfter arms the outbound codec switch: the codec is
+// installed immediately after the response to request id is written, so
+// the handshake reply itself still travels in the old encoding and
+// everything after it in the new one.
+func (s *Session) SetWriteCodecAfter(id uint64, c BodyCodec) {
+	sc := s.sc
+	sc.wmu.Lock()
+	sc.codecAfterID = id
+	sc.codecAfter = c
+	sc.wmu.Unlock()
 }
 
 // Hangup severs the connection. Push-mode handlers use it when the
@@ -246,6 +269,11 @@ type serverConn struct {
 
 	wmu sync.Mutex
 	fw  *frameWriter
+	// codecAfter, when non-nil, is installed as the write codec right
+	// after the response to codecAfterID is written (see
+	// Session.SetWriteCodecAfter). Guarded by wmu.
+	codecAfter   BodyCodec
+	codecAfterID uint64
 
 	fr *frameReader // serve-goroutine only
 
@@ -305,7 +333,7 @@ func (sc *serverConn) readRequests() bool {
 			return false
 		}
 		body := sc.h.NewRequest()
-		if err := sc.fr.decode(body); err != nil {
+		if err := sc.fr.decodeBody(body); err != nil {
 			return false
 		}
 		label := labelOf(body)
@@ -352,8 +380,15 @@ func (sc *serverConn) dispatch(ctx context.Context, id uint64, label string, bod
 	sc.wmu.Lock()
 	_ = sc.nc.SetWriteDeadline(time.Time{})
 	n, err := sc.fw.writeFrame(&frameHeader{ID: id, Kind: kindResponse}, resp)
+	if err == nil && sc.codecAfter != nil && sc.codecAfterID == id {
+		sc.fw.codec = sc.codecAfter
+		sc.codecAfter = nil
+	}
 	sc.wmu.Unlock()
 	if err != nil {
+		if n > 0 {
+			sc.srv.stats.sent(label, n)
+		}
 		sc.srv.stats.failure(label)
 		// A failed response write means the stream is broken for every
 		// other in-flight response too.

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"net"
+
+	"edgeejb/internal/obs"
 )
 
 // DialFunc opens a connection to a server. The experiment harness
@@ -19,6 +21,17 @@ type Labeler interface {
 
 // ErrClosed is returned by operations on a closed Client or Server.
 var ErrClosed = errors.New("wire: closed")
+
+// codecConns counts connections by the body codec they settled on,
+// labeled wire.codec{name=...}. Each endpoint counts its own side, so
+// an in-process topology counts every negotiated connection twice
+// (once as client, once as server).
+var codecConns = obs.Default.LabeledCounter("wire.codec", "name")
+
+// NoteCodec records one connection settling on the named body codec.
+// The protocol layer calls this after its handshake — including for the
+// gob fallback, so the codec mix under mixed-version fleets is visible.
+func NoteCodec(name string) { codecConns.With(name).Inc() }
 
 // Frame kinds. A request expects exactly one response with the same ID;
 // push frames are unsolicited server-to-client messages tagged with the
