@@ -15,7 +15,9 @@ import (
 	"time"
 
 	"edgeejb/internal/dbwire"
+	"edgeejb/internal/memento"
 	"edgeejb/internal/obs"
+	"edgeejb/internal/shard"
 	"edgeejb/internal/sqlstore"
 	"edgeejb/internal/storeapi"
 	"edgeejb/internal/trade"
@@ -41,9 +43,18 @@ func run(args []string) error {
 		snapshot    = fs.String("snapshot", "", "snapshot file: restored at boot if present, written on shutdown")
 		snapEvery   = fs.Duration("snapshot-every", 0, "also write the snapshot at this interval, bounding data lost to a crash (0 = shutdown only)")
 		debug       = fs.String("debug-addr", "", "serve /metrics, /healthz and /debug/pprof on this address")
+		shards      = fs.Int("shards", 1, "total database shards in the deployment; this process populates only the rows shard -shard owns")
+		shardIdx    = fs.Int("shard", 0, "this process's shard index in [0, -shards)")
+		prepareTTL  = fs.Duration("prepare-ttl", 10*time.Second, "presumed-abort timeout for prepared (in-doubt) cross-shard transactions")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *shards < 1 {
+		return fmt.Errorf("-shards must be >= 1")
+	}
+	if *shardIdx < 0 || *shardIdx >= *shards {
+		return fmt.Errorf("-shard %d out of range [0, %d)", *shardIdx, *shards)
 	}
 
 	// Label this process's spans for cross-tier trace assembly.
@@ -58,7 +69,14 @@ func run(args []string) error {
 		fmt.Printf("dbserverd: debug endpoints on http://%s/metrics\n", dbg.Addr())
 	}
 
-	store := sqlstore.New(sqlstore.WithLockTimeout(*lockTimeout))
+	// Disjoint transaction-ID bases keep IDs globally unique across the
+	// sharded tier, so edge caches can filter their own commits out of
+	// the merged invalidation stream.
+	store := sqlstore.New(
+		sqlstore.WithLockTimeout(*lockTimeout),
+		sqlstore.WithTxIDBase(uint64(*shardIdx)<<40),
+		sqlstore.WithPrepareTTL(*prepareTTL),
+	)
 	defer store.Close()
 	restored := false
 	if *snapshot != "" {
@@ -71,12 +89,29 @@ func run(args []string) error {
 		}
 	}
 	if !restored {
-		trade.Populate(store, trade.PopulateConfig{
+		cfg := trade.PopulateConfig{
 			Seed:            *seed,
 			Users:           *users,
 			Symbols:         *symbols,
 			HoldingsPerUser: *holdings,
-		})
+		}
+		if *shards == 1 {
+			trade.Populate(store, cfg)
+		} else {
+			// Every shard derives the identical population from the shared
+			// seed and keeps exactly the rows the ring assigns to it.
+			ring := shard.NewRing(*shards, shard.WithPlacement(trade.ShardPlacement))
+			_ = store.CreateIndex(trade.TableHolding, "accountID")
+			var owned []memento.Memento
+			for _, m := range trade.PopulationRows(cfg) {
+				if ring.Of(m.Key) == *shardIdx {
+					owned = append(owned, m)
+				}
+			}
+			store.Seed(owned...)
+			fmt.Printf("dbserverd: shard %d/%d owns %d of the population rows\n",
+				*shardIdx, *shards, len(owned))
+		}
 	}
 	saveSnapshot := func() {
 		if *snapshot == "" {
@@ -94,8 +129,13 @@ func run(args []string) error {
 		return err
 	}
 	defer srv.Close()
-	fmt.Printf("dbserverd: serving Trade database (%d users, %d symbols) on %s\n",
-		*users, *symbols, srv.Addr())
+	if *shards > 1 {
+		fmt.Printf("dbserverd: serving Trade database shard %d/%d (%d users, %d symbols) on %s\n",
+			*shardIdx, *shards, *users, *symbols, srv.Addr())
+	} else {
+		fmt.Printf("dbserverd: serving Trade database (%d users, %d symbols) on %s\n",
+			*users, *symbols, srv.Addr())
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)

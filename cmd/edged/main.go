@@ -18,13 +18,16 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
 	"edgeejb/internal/appserver"
 	"edgeejb/internal/component"
 	"edgeejb/internal/dbwire"
 	"edgeejb/internal/obs"
+	"edgeejb/internal/shard"
 	"edgeejb/internal/slicache"
+	"edgeejb/internal/storeapi"
 	"edgeejb/internal/trade"
 )
 
@@ -40,12 +43,23 @@ func run(args []string) error {
 	var (
 		addr     = fs.String("addr", "127.0.0.1:7100", "listen address for web clients (gob protocol)")
 		httpAddr = fs.String("http", "", "also serve plain HTTP on this address (GET /trade/{action})")
-		target   = fs.String("target", "127.0.0.1:7000", "database or back-end server address")
+		target   = fs.String("target", "127.0.0.1:7000", "database or back-end server address; a comma-separated list (sli-backend only) routes by key across that many shards, ordered by shard index")
 		algo     = fs.String("algo", "sli-backend", "data access: jdbc | bmp | sli-db | sli-backend")
 		debug    = fs.String("debug-addr", "", "serve /metrics, /healthz and /debug/pprof on this address")
+		shards   = fs.Int("shards", 0, "shard count cross-check: when > 0, must equal the number of -target addresses")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	targets := splitTargets(*target)
+	if len(targets) == 0 {
+		return fmt.Errorf("-target is required")
+	}
+	if *shards > 0 && *shards != len(targets) {
+		return fmt.Errorf("-shards %d but %d -target addresses", *shards, len(targets))
+	}
+	if len(targets) > 1 && *algo != "sli-backend" {
+		return fmt.Errorf("multiple -target shards require -algo sli-backend (whole-set commit shipping is the unit the router routes)")
 	}
 
 	// Label this process's spans for cross-tier trace assembly (the
@@ -62,8 +76,28 @@ func run(args []string) error {
 		fmt.Printf("edged: debug endpoints on http://%s/metrics\n", dbg.Addr())
 	}
 
-	dbClient := dbwire.Dial(*target)
-	defer dbClient.Close()
+	// conn is the cache's datastore handle: one dbwire client against a
+	// single target, or a key-routing shard router over one client per
+	// shard (single-shard fast-path commits, cross-shard 2PC).
+	var conn storeapi.Conn
+	dbClient := dbwire.Dial(targets[0])
+	if len(targets) == 1 {
+		conn = dbClient
+		defer dbClient.Close()
+	} else {
+		conns := make([]storeapi.Conn, len(targets))
+		conns[0] = dbClient
+		for i := 1; i < len(targets); i++ {
+			conns[i] = dbwire.Dial(targets[i])
+		}
+		ring := shard.NewRing(len(targets), shard.WithPlacement(trade.ShardPlacement))
+		router, err := shard.NewRouter(ring, conns, shard.WithQueryAffinity(trade.QueryShardPlacement))
+		if err != nil {
+			return err
+		}
+		conn = router
+		defer router.Close()
+	}
 
 	registry, err := trade.NewEntityRegistry()
 	if err != nil {
@@ -80,10 +114,10 @@ func run(args []string) error {
 	case "bmp":
 		rm = component.NewBMPManager(dbClient)
 	case "sli-db":
-		mgr = slicache.NewManager(dbClient, slicache.WithShipping(slicache.PerImage))
+		mgr = slicache.NewManager(conn, slicache.WithShipping(slicache.PerImage))
 		rm = mgr
 	case "sli-backend":
-		mgr = slicache.NewManager(dbClient, slicache.WithShipping(slicache.WholeSet))
+		mgr = slicache.NewManager(conn, slicache.WithShipping(slicache.WholeSet))
 		rm = mgr
 	default:
 		return fmt.Errorf("unknown -algo %q", *algo)
@@ -101,7 +135,12 @@ func run(args []string) error {
 		return err
 	}
 	defer srv.Close()
-	fmt.Printf("edged: serving Trade (%s) on %s against %s\n", *algo, srv.Addr(), *target)
+	if len(targets) > 1 {
+		fmt.Printf("edged: serving Trade (%s) on %s routing %d shards %v\n",
+			*algo, srv.Addr(), len(targets), targets)
+	} else {
+		fmt.Printf("edged: serving Trade (%s) on %s against %s\n", *algo, srv.Addr(), *target)
+	}
 
 	if *httpAddr != "" {
 		httpSrv := &http.Server{Addr: *httpAddr, Handler: appserver.NewHTTPGateway(srv)}
@@ -124,4 +163,16 @@ func run(args []string) error {
 			st.Cache.Hits, st.Cache.Misses, st.Commits, st.Conflicts, st.Cache.Invalidations)
 	}
 	return nil
+}
+
+// splitTargets parses the -target value: a comma-separated address list
+// ordered by shard index, with blanks trimmed and empties dropped.
+func splitTargets(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
 }

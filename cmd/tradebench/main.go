@@ -12,6 +12,7 @@
 //	tradebench -fig6 -out-dir runs      # + per-run artifact directory:
 //	                                    # Perfetto trace, waterfalls,
 //	                                    # time-series CSVs, MANIFEST.json
+//	tradebench -shards 1,2,4            # shard-scaling the datacenter tier
 //
 // Latency sensitivities (Table 2 slopes) are delay-scale-invariant, so
 // the default sweep uses small delays to keep wall-clock reasonable;
@@ -56,6 +57,7 @@ func run(args []string) error {
 		fig8    = fs.Bool("fig8", false, "reproduce Figure 8 (bandwidth)")
 		table2  = fs.Bool("table2", false, "reproduce Table 2 (latency sensitivity)")
 		thru    = fs.Bool("throughput", false, "extension: throughput under concurrent clients")
+		shards  = fs.String("shards", "", "extension: comma-separated shard counts to sweep (e.g. 1,2,4); each count builds a datacenter tier of that many backend/database pairs behind key-routing edges")
 		actions = fs.Bool("actions", false, "print per-action latency breakdown for the Figure 6 configurations")
 		faults  = fs.Bool("faults", false, "extension: resilience under fault injection on the Figure 6 configurations")
 		csvDir  = fs.String("csv", "", "also export figures/tables as CSV files into this directory")
@@ -82,6 +84,9 @@ func run(args []string) error {
 		stepTimeout     = fs.Duration("step-timeout", 10*time.Second, "per-interaction timeout (with -faults)")
 		degradeBound    = fs.Duration("degrade-bound", 5*time.Second, "slicache degraded-read staleness bound (0 disables; with -faults)")
 
+		dbService    = fs.Duration("db-service", 2*time.Millisecond, "modeled per-commit-set validation service time on each database shard; makes commit capacity per shard explicit instead of host-bound (with -shards)")
+		shardClients = fs.Int("shard-clients", 24, "concurrent clients per shard-scaling point (with -shards)")
+
 		finderCache = fs.Bool("finder-cache", true, "cache finder (query) results at the edge with footprint-based invalidation; -finder-cache=false reproduces the uncached behavior")
 
 		codec = fs.String("codec", "binary", "dbwire body codec: binary (negotiated per connection) or gob (the pre-negotiation wire format)")
@@ -101,9 +106,13 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if !*all && !*table1 && !*fig6 && !*fig7 && !*fig8 && !*table2 && !*thru && !*actions && !*faults {
+	shardCounts, err := parseShardCounts(*shards)
+	if err != nil {
+		return err
+	}
+	if !*all && !*table1 && !*fig6 && !*fig7 && !*fig8 && !*table2 && !*thru && !*actions && !*faults && len(shardCounts) == 0 {
 		fs.Usage()
-		return fmt.Errorf("select at least one experiment (-all, -table1, -fig6, -fig7, -fig8, -table2, -throughput, -actions, -faults)")
+		return fmt.Errorf("select at least one experiment (-all, -table1, -fig6, -fig7, -fig8, -table2, -throughput, -actions, -faults, -shards)")
 	}
 	if *all {
 		*table1, *fig6, *fig7, *fig8, *table2, *thru, *actions, *faults = true, true, true, true, true, true, true, true
@@ -289,7 +298,16 @@ func run(args []string) error {
 	}
 
 	needsMeasurement := *fig6 || *fig7 || *fig8 || *table2 || *thru || *actions
+	if !needsMeasurement && len(shardCounts) == 0 {
+		return finishArtifacts(nil)
+	}
 	if !needsMeasurement {
+		// Shard sweep only: no figure evaluation needed.
+		if err := phase("shards", func() error {
+			return runShardSweep(shardCounts, *shardClients, *dbService, cfg, art, logf)
+		}); err != nil {
+			return err
+		}
 		return finishArtifacts(nil)
 	}
 
@@ -346,7 +364,64 @@ func run(args []string) error {
 			return err
 		}
 	}
+	if len(shardCounts) > 0 {
+		fmt.Println()
+		if err := phase("shards", func() error {
+			return runShardSweep(shardCounts, *shardClients, *dbService, cfg, art, logf)
+		}); err != nil {
+			return err
+		}
+	}
 	return finishArtifacts(eval)
+}
+
+// runShardSweep measures the shard-scaling extension and, when an
+// artifact directory is active, exports the curve as shards.csv.
+func runShardSweep(counts []int, clients int, dbService time.Duration, cfg harness.EvalConfig, art *harness.Artifacts, logf func(string, ...any)) error {
+	opts := harness.DefaultShardScalingOptions()
+	opts.ShardCounts = counts
+	opts.Clients = clients
+	opts.DBCommitService = dbService
+	opts.Populate = cfg.Populate
+	opts.Workload = cfg.Run.Workload
+	opts.CacheOptions = cfg.CacheOptions
+	opts.Codec = cfg.Codec
+	points, err := harness.RunShardScaling(context.Background(), opts, logf)
+	if err != nil {
+		return err
+	}
+	harness.WriteShardScaling(os.Stdout, points)
+	if art != nil {
+		return art.WriteFile("shards.csv", "csv",
+			"shard-scaling sweep: per-shard commit balance and per-point throughput, 2PC fraction, and commit-path split", "",
+			func(w io.Writer) error { return harness.WriteShardsCSV(w, points) })
+	}
+	return nil
+}
+
+// parseShardCounts parses the -shards list; empty means the sweep is
+// off.
+func parseShardCounts(s string) ([]int, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, p := range strings.Split(s, ",") {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		n, err := strconv.Atoi(p)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad shard count %q", p)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no shard counts given")
+	}
+	return out, nil
 }
 
 // runFaults measures resilience under fault injection for the three

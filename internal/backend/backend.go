@@ -237,6 +237,54 @@ func (l *logic) ApplyCommitSets(ctx context.Context, sets []memento.CommitSet) (
 	return results, nil
 }
 
+// Prepare relays 2PC's first phase to the database tier, counting the
+// outcome like any other commit-set validation. A database handle
+// without prepare support fails the relay with an error, which the
+// coordinator treats as a no vote and aborts the global transaction —
+// the same safe outcome as an old backend binary's "unknown op".
+func (l *logic) Prepare(ctx context.Context, gid string, cs memento.CommitSet) error {
+	ctx, sp := obs.StartSpan(ctx, "backend.prepare")
+	defer sp.End()
+	p, ok := l.db.(storeapi.Preparer)
+	if !ok {
+		return fmt.Errorf("backend: database handle does not support prepare")
+	}
+	if err := p.Prepare(ctx, gid, cs); err != nil {
+		l.rejected.Add(1)
+		obsCommitsRejected.Inc()
+		return err
+	}
+	return nil
+}
+
+// CommitPrepared relays 2PC's commit decision to the database tier.
+func (l *logic) CommitPrepared(ctx context.Context, gid string) (sqlstore.ApplyResult, error) {
+	ctx, sp := obs.StartSpan(ctx, "backend.commit_prepared")
+	defer sp.End()
+	p, ok := l.db.(storeapi.Preparer)
+	if !ok {
+		return sqlstore.ApplyResult{}, fmt.Errorf("backend: database handle does not support prepare")
+	}
+	res, err := p.CommitPrepared(ctx, gid)
+	if err != nil {
+		return sqlstore.ApplyResult{}, err
+	}
+	l.applied.Add(1)
+	obsCommitsApplied.Inc()
+	return res, nil
+}
+
+// AbortPrepared relays 2PC's abort decision to the database tier.
+func (l *logic) AbortPrepared(ctx context.Context, gid string) error {
+	ctx, sp := obs.StartSpan(ctx, "backend.abort_prepared")
+	defer sp.End()
+	p, ok := l.db.(storeapi.Preparer)
+	if !ok {
+		return fmt.Errorf("backend: database handle does not support prepare")
+	}
+	return p.AbortPrepared(ctx, gid)
+}
+
 // applyOne validates and applies a whole commit set by driving the
 // database statement-by-statement over the low-latency path.
 func (l *logic) applyOne(ctx context.Context, cs memento.CommitSet) (sqlstore.ApplyResult, error) {

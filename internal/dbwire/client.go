@@ -304,6 +304,53 @@ func (c *Client) ApplyCommitSets(ctx context.Context, sets []memento.CommitSet) 
 	return out, nil
 }
 
+// Prepare/commit/abort round-trip counters for the sharded tier's
+// two-phase path; documented in OBSERVABILITY.md.
+var (
+	obsWirePrepares       = obs.Default.Counter("dbwire.prepares")
+	obsWirePrepareCommits = obs.Default.Counter("dbwire.prepare_commits")
+	obsWirePrepareAborts  = obs.Default.Counter("dbwire.prepare_aborts")
+)
+
+// Prepare ships 2PC's first phase in one round trip: the server
+// validates the sub-set and holds its locks under gid. A peer that
+// predates the op answers "unknown op" (CodeBadRequest), which comes
+// back as an error — a no vote, so the coordinator aborts the global
+// transaction rather than committing partially.
+func (c *Client) Prepare(ctx context.Context, gid string, cs memento.CommitSet) error {
+	obsWirePrepares.Inc()
+	resp, err := c.oneShot(ctx, &Request{Op: OpPrepare, Gid: gid, Set: cs})
+	if err != nil {
+		return err
+	}
+	return decodeErr(resp)
+}
+
+// CommitPrepared ships 2PC's commit decision in one round trip.
+func (c *Client) CommitPrepared(ctx context.Context, gid string) (sqlstore.ApplyResult, error) {
+	obsWirePrepareCommits.Inc()
+	resp, err := c.oneShot(ctx, &Request{Op: OpCommitPrepared, Gid: gid})
+	if err != nil {
+		return sqlstore.ApplyResult{}, err
+	}
+	if err := decodeErr(resp); err != nil {
+		return sqlstore.ApplyResult{}, err
+	}
+	return sqlstore.ApplyResult{TxID: resp.Tx, NewVersions: resp.NewVersions}, nil
+}
+
+// AbortPrepared ships 2PC's abort decision in one round trip.
+func (c *Client) AbortPrepared(ctx context.Context, gid string) error {
+	obsWirePrepareAborts.Inc()
+	resp, err := c.oneShot(ctx, &Request{Op: OpAbortPrepared, Gid: gid})
+	if err != nil {
+		return err
+	}
+	return decodeErr(resp)
+}
+
+var _ storeapi.Preparer = (*Client)(nil)
+
 // getResult assembles a GetResult from a read response, synthesizing
 // the footprint locally when the server (an older peer) did not stamp
 // one — a key read's footprint is fully determined by its arguments.

@@ -73,6 +73,12 @@ const (
 	reqCodecs
 	reqBatch
 	reqSets
+	// reqGid was appended for the 2PC prepare ops. Appending new bits
+	// (with their payloads encoded after all earlier fields) keeps the
+	// codec name stable: an old decoder reads every field it knows and
+	// leaves the trailing bytes unconsumed — harmless, since it then
+	// answers "unknown op" for the new opcode anyway.
+	reqGid
 )
 
 func appendRequest(dst []byte, q *Request) []byte {
@@ -110,6 +116,9 @@ func appendRequest(dst []byte, q *Request) []byte {
 	}
 	if len(q.Sets) > 0 {
 		mask |= reqSets
+	}
+	if q.Gid != "" {
+		mask |= reqGid
 	}
 	dst = binary.AppendUvarint(dst, mask)
 	if mask&reqTx != 0 {
@@ -153,6 +162,9 @@ func appendRequest(dst []byte, q *Request) []byte {
 		for i := range q.Sets {
 			dst = appendCommitSet(dst, q.Sets[i])
 		}
+	}
+	if mask&reqGid != 0 {
+		dst = appendString(dst, q.Gid)
 	}
 	return dst
 }
@@ -204,6 +216,9 @@ func readRequest(r *breader, q *Request) {
 		for i := 0; i < n && r.err == nil; i++ {
 			q.Sets = append(q.Sets, readCommitSet(r))
 		}
+	}
+	if mask&reqGid != 0 {
+		q.Gid = r.str()
 	}
 }
 

@@ -44,6 +44,15 @@ const (
 	// OpApplyCommitSets carries several independent commit sets in one
 	// frame (the backend's group commit), with per-set results.
 	OpApplyCommitSets
+	// OpPrepare is two-phase commit's first phase: validate the commit
+	// sub-set in Set and hold its locks under the global identifier in
+	// Gid. Peers that predate sharding answer CodeBadRequest ("unknown
+	// op"), which the coordinator surfaces as a conflict.
+	OpPrepare
+	// OpCommitPrepared commits the transaction prepared under Gid.
+	OpCommitPrepared
+	// OpAbortPrepared aborts the transaction prepared under Gid.
+	OpAbortPrepared
 )
 
 // String returns the operation name.
@@ -89,6 +98,12 @@ func (o OpCode) String() string {
 		return "Batch"
 	case OpApplyCommitSets:
 		return "ApplyCommitSets"
+	case OpPrepare:
+		return "Prepare"
+	case OpCommitPrepared:
+		return "CommitPrepared"
+	case OpAbortPrepared:
+		return "AbortPrepared"
 	default:
 		return fmt.Sprintf("OpCode(%d)", uint8(o))
 	}
@@ -114,6 +129,10 @@ type Request struct {
 	Batch []Request
 	// Sets carries the commit sets of an OpApplyCommitSets.
 	Sets []memento.CommitSet
+	// Gid names the global (cross-shard) transaction of a prepare-phase
+	// op; the coordinator generates it and every participant keys its
+	// prepared state on it.
+	Gid string
 }
 
 // WireLabel names the request for per-op transport stats.

@@ -99,7 +99,8 @@ func (h *connHandler) batch(ctx context.Context, req *Request) *Response {
 	for i := range req.Batch {
 		sub := &req.Batch[i]
 		switch sub.Op {
-		case OpBegin, OpSubscribe, OpHello, OpBatch, OpApplyCommitSets:
+		case OpBegin, OpSubscribe, OpHello, OpBatch, OpApplyCommitSets,
+			OpPrepare, OpCommitPrepared, OpAbortPrepared:
 			return &Response{Code: CodeBadRequest, Msg: "op " + sub.Op.String() + " not allowed in a batch"}
 		}
 		if sub.Tx == 0 {
@@ -316,6 +317,41 @@ func (h *connHandler) handle(ctx context.Context, req *Request) *Response {
 
 	case OpBatch:
 		return h.batch(ctx, req)
+
+	// The 2PC participant ops require the wrapped Conn to expose
+	// prepare support; a Conn that doesn't (an older relay, a wrapper)
+	// gets the same "unknown op" answer an old server would give, so
+	// the coordinator's downgrade logic covers both cases identically.
+	case OpPrepare:
+		p, ok := h.backend.(storeapi.Preparer)
+		if !ok {
+			return &Response{Code: CodeBadRequest, Msg: "unknown op " + req.Op.String()}
+		}
+		if err := p.Prepare(ctx, req.Gid, req.Set); err != nil {
+			return fail(err)
+		}
+		return &Response{Code: CodeOK}
+
+	case OpCommitPrepared:
+		p, ok := h.backend.(storeapi.Preparer)
+		if !ok {
+			return &Response{Code: CodeBadRequest, Msg: "unknown op " + req.Op.String()}
+		}
+		res, err := p.CommitPrepared(ctx, req.Gid)
+		if err != nil {
+			return fail(err)
+		}
+		return &Response{Code: CodeOK, Tx: res.TxID, NewVersions: res.NewVersions}
+
+	case OpAbortPrepared:
+		p, ok := h.backend.(storeapi.Preparer)
+		if !ok {
+			return &Response{Code: CodeBadRequest, Msg: "unknown op " + req.Op.String()}
+		}
+		if err := p.AbortPrepared(ctx, req.Gid); err != nil {
+			return fail(err)
+		}
+		return &Response{Code: CodeOK}
 
 	case OpAutoGet:
 		res, err := h.backend.AutoGet(ctx, req.Table, req.ID)

@@ -12,6 +12,7 @@ import (
 	"edgeejb/internal/component"
 	"edgeejb/internal/dbwire"
 	"edgeejb/internal/latency"
+	"edgeejb/internal/shard"
 	"edgeejb/internal/slicache"
 	"edgeejb/internal/sqlstore"
 	"edgeejb/internal/storeapi"
@@ -105,6 +106,18 @@ type Options struct {
 	// independent statements of one interaction into multi-statement
 	// frames. Off by default so existing round-trip accounting holds.
 	Batch bool
+	// Shards partitions the datacenter tier into N independent
+	// backend/database pairs behind a key-routing edge (≤ 1 keeps the
+	// classic single-pair topology byte-for-byte). Sharding requires
+	// ES/RBES with the cached algorithm: whole-set commit shipping is
+	// the unit the router routes.
+	Shards int
+	// DBCommitService is the modeled per-commit-set validation service
+	// time applied to every database shard (sqlstore.WithCommitServiceTime);
+	// zero disables it. The shard-scaling experiment sets it so commit
+	// capacity reflects the modeled datacenter rather than the test
+	// host's core count.
+	DBCommitService time.Duration
 }
 
 // Topology is a fully wired deployment of one architecture.
@@ -114,13 +127,31 @@ type Topology struct {
 	Algo Algorithm
 
 	// Store is the persistent datastore (for stats and test inspection).
+	// Sharded topologies alias it to shard 0; see Stores.
 	Store *sqlstore.Store
 
-	// Proxy is the delay proxy on the high-latency path.
+	// Stores holds every database shard's store (len == Shards; nil on
+	// unsharded topologies).
+	Stores []*sqlstore.Store
+
+	// Ring is the key→shard map (sharded topologies only).
+	Ring *shard.Ring
+
+	// Shards echoes the build option (0 or 1 = unsharded).
+	Shards int
+
+	// Proxy is the delay proxy on the high-latency path. Sharded
+	// topologies alias it to shard 0's proxy; SetDelay covers all.
 	Proxy *latency.Proxy
 
-	// Backend is the back-end server (ES/RBES only, nil otherwise).
+	proxies []*latency.Proxy
+
+	// Backend is the back-end server (ES/RBES only, nil otherwise;
+	// sharded topologies alias it to shard 0 — see Backends).
 	Backend *backend.Server
+
+	// Backends holds every shard's back-end server (sharded only).
+	Backends []*backend.Server
 
 	// AppServers are the application servers; index 0 is the default
 	// target for web clients.
@@ -162,6 +193,9 @@ func Build(opts Options) (topo *Topology, err error) {
 	if opts.LockTimeout <= 0 {
 		opts.LockTimeout = 5 * time.Second
 	}
+	if opts.Shards > 1 {
+		return buildSharded(opts)
+	}
 
 	var dbOpts []dbwire.Option
 	if opts.Codec != "" {
@@ -176,7 +210,11 @@ func Build(opts Options) (topo *Topology, err error) {
 	}()
 
 	// Database tier.
-	t.Store = sqlstore.New(sqlstore.WithLockTimeout(opts.LockTimeout))
+	storeOpts := []sqlstore.Option{sqlstore.WithLockTimeout(opts.LockTimeout)}
+	if opts.DBCommitService > 0 {
+		storeOpts = append(storeOpts, sqlstore.WithCommitServiceTime(opts.DBCommitService))
+	}
+	t.Store = sqlstore.New(storeOpts...)
 	trade.Populate(t.Store, opts.Populate)
 	dbServer := dbwire.NewServer(storeapi.Local(t.Store))
 	if err := dbServer.Start("127.0.0.1:0"); err != nil {
@@ -296,8 +334,17 @@ func (t *Topology) startProxy(target string, delay time.Duration) error {
 	return nil
 }
 
-// SetDelay changes the one-way delay on the high-latency path.
-func (t *Topology) SetDelay(d time.Duration) { t.Proxy.SetDelay(d) }
+// SetDelay changes the one-way delay on the high-latency path (every
+// shard's proxy on sharded topologies).
+func (t *Topology) SetDelay(d time.Duration) {
+	if len(t.proxies) > 0 {
+		for _, p := range t.proxies {
+			p.SetDelay(d)
+		}
+		return
+	}
+	t.Proxy.SetDelay(d)
+}
 
 // SharedPathCounter returns the byte counter for the shared
 // (high-latency) path — the quantity Figure 8 reports.
@@ -353,6 +400,12 @@ func (t *Topology) Close() {
 		t.closers[i]()
 	}
 	t.closers = nil
+	if len(t.Stores) > 0 {
+		for _, s := range t.Stores {
+			s.Close()
+		}
+		return
+	}
 	if t.Store != nil {
 		t.Store.Close()
 	}

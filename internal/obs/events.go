@@ -32,6 +32,11 @@ const (
 	// before validation caught it. A clean run's forensics log contains
 	// none — the invalidation stream kept the cache coherent.
 	EventStaleRead EventType = "stale_read"
+	// EventTwoPC is a noteworthy two-phase-commit outcome on the sharded
+	// datacenter tier: a participant's presumed abort firing, or a
+	// coordinator observing a heuristic (mixed) outcome in its second
+	// phase. Clean 2PC commits and aborts are counted, not evented.
+	EventTwoPC EventType = "twopc"
 )
 
 // Event is one forensic incident. Only the fields meaningful for the

@@ -71,6 +71,7 @@ var tierByPrefix = map[string]string{
 	"client":   "client",
 	"edge":     "edge",
 	"slicache": "edge",
+	"shard":    "edge",
 	"backend":  "backend",
 	"sqlstore": "db",
 	"lockmgr":  "db",

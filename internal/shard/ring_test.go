@@ -1,0 +1,90 @@
+package shard
+
+import (
+	"testing"
+
+	"edgeejb/internal/memento"
+)
+
+func key(id string) memento.Key { return memento.Key{Table: "t", ID: id} }
+
+func TestRingDeterministic(t *testing.T) {
+	r := NewRing(4)
+	for _, id := range []string{"a", "b", "c", "longer-key-0042"} {
+		first := r.Of(key(id))
+		if first < 0 || first >= 4 {
+			t.Fatalf("Of(%q) = %d, out of range", id, first)
+		}
+		for i := 0; i < 10; i++ {
+			if got := r.Of(key(id)); got != first {
+				t.Fatalf("Of(%q) flapped: %d then %d", id, first, got)
+			}
+		}
+	}
+	if NewRing(0).Shards() != 1 {
+		t.Error("n < 1 must clamp to 1")
+	}
+}
+
+func TestRingPlacementCoLocation(t *testing.T) {
+	r := NewRing(8, WithPlacement(func(k memento.Key) string { return "user/u1" }))
+	a, b := r.Of(key("account")), r.Of(key("holding"))
+	if a != b {
+		t.Fatalf("equal placements landed on shards %d and %d", a, b)
+	}
+	if got := r.OfPlacement("user/u1"); got != a {
+		t.Fatalf("OfPlacement disagrees with Of: %d vs %d", got, a)
+	}
+}
+
+func TestRingSplit(t *testing.T) {
+	r := NewRing(4)
+	cs := memento.CommitSet{
+		Reads: []memento.ReadProof{
+			{Key: key("r1"), Version: 1},
+			{Key: key("r2"), Version: 2},
+		},
+		Writes:  []memento.Memento{{Key: key("w1"), Version: 1}},
+		Creates: []memento.Memento{{Key: key("c1")}},
+		Removes: []memento.ReadProof{{Key: key("d1"), Version: 3}},
+	}
+	split := r.Split(cs)
+
+	// Every element lands in its owner's subset, and nothing is lost.
+	total := memento.CommitSet{}
+	for s, sub := range split {
+		for _, p := range sub.Reads {
+			if r.Of(p.Key) != s {
+				t.Errorf("read %v filed under shard %d, owner %d", p.Key, s, r.Of(p.Key))
+			}
+		}
+		total.Reads = append(total.Reads, sub.Reads...)
+		total.Writes = append(total.Writes, sub.Writes...)
+		total.Creates = append(total.Creates, sub.Creates...)
+		total.Removes = append(total.Removes, sub.Removes...)
+	}
+	if total.Size() != cs.Size() {
+		t.Fatalf("split dropped elements: %d of %d", total.Size(), cs.Size())
+	}
+
+	// Mutation shards are exactly the owners of w1, c1, d1.
+	wantMut := map[int]bool{r.Of(key("w1")): true, r.Of(key("c1")): true, r.Of(key("d1")): true}
+	got := MutationShards(split)
+	if len(got) != len(wantMut) {
+		t.Fatalf("MutationShards = %v, want owners of w1/c1/d1 %v", got, wantMut)
+	}
+	for _, s := range got {
+		if !wantMut[s] {
+			t.Errorf("shard %d reported mutating but owns none", s)
+		}
+	}
+}
+
+func TestRingSplitSingleShardFastReturn(t *testing.T) {
+	r := NewRing(1)
+	cs := memento.CommitSet{Writes: []memento.Memento{{Key: key("w")}}}
+	split := r.Split(cs)
+	if len(split) != 1 || len(split[0].Writes) != 1 {
+		t.Fatalf("n=1 split = %v, want everything under shard 0", split)
+	}
+}

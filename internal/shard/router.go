@@ -1,0 +1,549 @@
+package shard
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"edgeejb/internal/memento"
+	"edgeejb/internal/obs"
+	"edgeejb/internal/sqlstore"
+	"edgeejb/internal/storeapi"
+)
+
+// QueryAffinity reports the placement string a finder query is pinned
+// to, when its predicates determine one (e.g. an equality on the
+// sharding field). A pinned query runs on a single shard; anything else
+// scatters to every shard and merges.
+type QueryAffinity func(q memento.Query) (string, bool)
+
+// Router is the edge-side face of the sharded datacenter tier: a
+// storeapi.Conn over N per-shard connections that routes every key
+// access to its owner, scatter/gathers finders, and applies commit
+// sets by the decision rule in the package comment — fast path for one
+// participant, per-shard validation for read-only multi-shard sets,
+// edge-coordinated two-phase commit when mutations span shards.
+type Router struct {
+	ring  *Ring
+	conns []storeapi.Conn
+	aff   QueryAffinity
+
+	// id namespaces this coordinator's global transaction identifiers;
+	// gidSeq makes them unique within it.
+	id     string
+	gidSeq atomic.Uint64
+}
+
+var _ storeapi.Conn = (*Router)(nil)
+
+// RouterOption configures a Router.
+type RouterOption func(*Router)
+
+// WithQueryAffinity installs the finder-pruning hook (trade supplies
+// one pinning holdings-by-account to the account's shard).
+func WithQueryAffinity(aff QueryAffinity) RouterOption {
+	return func(r *Router) { r.aff = aff }
+}
+
+// NewRouter builds a router over one connection per shard; conns[i]
+// must talk to the shard the ring numbers i.
+func NewRouter(ring *Ring, conns []storeapi.Conn, opts ...RouterOption) (*Router, error) {
+	if len(conns) != ring.Shards() {
+		return nil, fmt.Errorf("shard: %d conns for %d shards", len(conns), ring.Shards())
+	}
+	var buf [8]byte
+	if _, err := rand.Read(buf[:]); err != nil {
+		return nil, fmt.Errorf("shard: coordinator id: %w", err)
+	}
+	r := &Router{ring: ring, conns: conns, id: hex.EncodeToString(buf[:])}
+	for _, o := range opts {
+		o(r)
+	}
+	return r, nil
+}
+
+// Ring returns the router's key→shard map.
+func (r *Router) Ring() *Ring { return r.ring }
+
+func (r *Router) nextGid() string {
+	return r.id + "-" + strconv.FormatUint(r.gidSeq.Add(1), 10)
+}
+
+// AutoGet routes the read to the key's owning shard: one round trip,
+// exactly as against an unsharded tier.
+func (r *Router) AutoGet(ctx context.Context, table, id string) (storeapi.GetResult, error) {
+	return r.conns[r.ring.Of(memento.Key{Table: table, ID: id})].AutoGet(ctx, table, id)
+}
+
+// AutoQuery runs a finder. A query the affinity hook pins to one
+// placement runs on that shard alone; otherwise it scatters to every
+// shard in parallel and merges the partial results under the query's
+// own order and limit. The merged footprint is the union of the
+// per-shard footprints, so finder-cache invalidation keys on the same
+// predicate descriptor regardless of how many shards served it.
+func (r *Router) AutoQuery(ctx context.Context, q memento.Query) (storeapi.QueryResult, error) {
+	if r.ring.Shards() == 1 {
+		return r.conns[0].AutoQuery(ctx, q)
+	}
+	if r.aff != nil {
+		if p, ok := r.aff(q); ok {
+			return r.conns[r.ring.OfPlacement(p)].AutoQuery(ctx, q)
+		}
+	}
+	ctx, sp := obs.StartSpan(ctx, "shard.scatter")
+	defer sp.End()
+	obsScatterQueries.Inc()
+	results := make([]storeapi.QueryResult, len(r.conns))
+	errs := make([]error, len(r.conns))
+	var wg sync.WaitGroup
+	for i := range r.conns {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = r.conns[i].AutoQuery(ctx, q)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return storeapi.QueryResult{}, err
+		}
+	}
+	var out storeapi.QueryResult
+	for i := range results {
+		out.Mems = append(out.Mems, results[i].Mems...)
+		out.FP.Merge(results[i].FP)
+	}
+	q.Sort(out.Mems)
+	out.Mems = q.Cap(out.Mems)
+	return out, nil
+}
+
+// ApplyCommitSet applies a whole optimistic commit set under the
+// decision rule:
+//
+//   - every element owned by one shard → that shard's one-frame fast
+//     path, byte-for-byte the unsharded protocol;
+//   - several owners but no mutations → each shard validates its read
+//     subset in parallel (per-shard serializability is enough: a
+//     read-only set observes nothing across shards that a write could
+//     have torn);
+//   - several owners with mutations → two-phase commit across ALL
+//     participants, including read-only ones, whose prepared shared
+//     locks keep the cross-shard read proofs stable through the
+//     decision.
+func (r *Router) ApplyCommitSet(ctx context.Context, cs memento.CommitSet) (sqlstore.ApplyResult, error) {
+	split := r.ring.Split(cs)
+	obsParticipants.Observe(time.Duration(len(split)))
+	if len(split) == 1 {
+		for s, sub := range split {
+			res, err := r.conns[s].ApplyCommitSet(ctx, sub)
+			if err != nil {
+				return sqlstore.ApplyResult{}, err
+			}
+			obsFastpathCommits.Inc()
+			obsShardCommits.With(strconv.Itoa(s)).Inc()
+			return res, nil
+		}
+	}
+	if len(MutationShards(split)) == 0 {
+		return r.validateScatter(ctx, split)
+	}
+	return r.twoPhase(ctx, split)
+}
+
+// validateScatter proves a read-only multi-shard set by running each
+// shard's subset through its ordinary apply path in parallel. No
+// global coordination: each shard serializes its own subset against
+// its own commits, which suffices because the set mutates nothing.
+func (r *Router) validateScatter(ctx context.Context, split map[int]memento.CommitSet) (sqlstore.ApplyResult, error) {
+	ctx, sp := obs.StartSpan(ctx, "shard.validate")
+	defer sp.End()
+	type part struct {
+		shard int
+		res   sqlstore.ApplyResult
+		err   error
+	}
+	parts := make([]part, 0, len(split))
+	for s := range split {
+		parts = append(parts, part{shard: s})
+	}
+	var wg sync.WaitGroup
+	for i := range parts {
+		wg.Add(1)
+		go func(p *part) {
+			defer wg.Done()
+			p.res, p.err = r.conns[p.shard].ApplyCommitSet(ctx, split[p.shard])
+		}(&parts[i])
+	}
+	wg.Wait()
+	var out sqlstore.ApplyResult
+	for i := range parts {
+		if parts[i].err != nil {
+			return sqlstore.ApplyResult{}, parts[i].err
+		}
+		if out.TxID == 0 {
+			out.TxID = parts[i].res.TxID
+		}
+		out.TxIDs = append(out.TxIDs, parts[i].res.TxID)
+	}
+	obsReadonlyCommits.Inc()
+	for i := range parts {
+		obsShardCommits.With(strconv.Itoa(parts[i].shard)).Inc()
+	}
+	return out, nil
+}
+
+// twoPhase runs edge-coordinated 2PC: parallel prepares, then parallel
+// commit-or-abort. Any no vote aborts the whole set and surfaces the
+// refusing shard's error — an attributed conflict crosses shards
+// intact, so the loser learns the winner even when they committed on
+// different shards. A commit failure after unanimous yes votes is a
+// heuristic outcome: some participants committed, the failing one
+// presumably aborted (its TTL fired). It is counted, evented, and
+// surfaced as an error; see DESIGN.md's recovery table.
+func (r *Router) twoPhase(ctx context.Context, split map[int]memento.CommitSet) (sqlstore.ApplyResult, error) {
+	ctx, sp := obs.StartSpan(ctx, "shard.2pc")
+	defer sp.End()
+	gid := r.nextGid()
+
+	type part struct {
+		shard int
+		prep  storeapi.Preparer
+		res   sqlstore.ApplyResult
+		err   error
+	}
+	parts := make([]part, 0, len(split))
+	for s := range split {
+		p, ok := r.conns[s].(storeapi.Preparer)
+		if !ok {
+			obsTwoPCAborts.Inc()
+			return sqlstore.ApplyResult{}, fmt.Errorf("shard: shard %d connection cannot prepare (peer predates 2PC): %w", s, sqlstore.ErrConflict)
+		}
+		parts = append(parts, part{shard: s, prep: p})
+	}
+
+	var wg sync.WaitGroup
+	for i := range parts {
+		wg.Add(1)
+		go func(p *part) {
+			defer wg.Done()
+			pctx, psp := obs.StartSpan(ctx, "shard.prepare")
+			start := time.Now()
+			p.err = p.prep.Prepare(pctx, gid, split[p.shard])
+			obsPrepareLatency.Observe(time.Since(start))
+			psp.End()
+		}(&parts[i])
+	}
+	wg.Wait()
+
+	var veto error
+	for i := range parts {
+		if parts[i].err == nil {
+			continue
+		}
+		var ce *sqlstore.ConflictError
+		if veto == nil || errors.As(parts[i].err, &ce) {
+			veto = parts[i].err
+		}
+	}
+	if veto != nil {
+		// Abort everyone that may hold a prepared entry. Detached from the
+		// caller's context: the decision must reach the participants even
+		// if the caller gives up, and aborting an unknown gid is a no-op.
+		actx := context.WithoutCancel(ctx)
+		for i := range parts {
+			if parts[i].err != nil {
+				continue
+			}
+			wg.Add(1)
+			go func(p *part) {
+				defer wg.Done()
+				_ = p.prep.AbortPrepared(actx, gid)
+			}(&parts[i])
+		}
+		wg.Wait()
+		obsTwoPCAborts.Inc()
+		return sqlstore.ApplyResult{}, veto
+	}
+
+	// Unanimous yes: the decision is commit. Detached from the caller's
+	// context for the same reason as the abort fan-out.
+	cctx := context.WithoutCancel(ctx)
+	for i := range parts {
+		wg.Add(1)
+		go func(p *part) {
+			defer wg.Done()
+			pctx, psp := obs.StartSpan(cctx, "shard.commit_prepared")
+			p.res, p.err = p.prep.CommitPrepared(pctx, gid)
+			psp.End()
+		}(&parts[i])
+	}
+	wg.Wait()
+
+	var out sqlstore.ApplyResult
+	for i := range parts {
+		if parts[i].err != nil {
+			obsTwoPCHeuristics.Inc()
+			obs.DefaultEvents.Emit(obs.Event{
+				Type:   obs.EventTwoPC,
+				Detail: fmt.Sprintf("heuristic outcome for %s: shard %d failed commit-prepared: %v", gid, parts[i].shard, parts[i].err),
+			})
+			return sqlstore.ApplyResult{}, fmt.Errorf("shard: heuristic 2PC outcome on shard %d: %w", parts[i].shard, parts[i].err)
+		}
+		if out.TxID == 0 {
+			out.TxID = parts[i].res.TxID
+		}
+		out.TxIDs = append(out.TxIDs, parts[i].res.TxID)
+		if parts[i].res.NewVersions != nil && out.NewVersions == nil {
+			out.NewVersions = make(map[memento.Key]uint64)
+		}
+		for k, v := range parts[i].res.NewVersions {
+			out.NewVersions[k] = v
+		}
+	}
+	obsTwoPCCommits.Inc()
+	for i := range parts {
+		obsShardCommits.With(strconv.Itoa(parts[i].shard)).Inc()
+	}
+	return out, nil
+}
+
+// ApplyCommitSets applies each set independently through the routing
+// decision rule. The group-commit coalescing lives per shard (inside
+// each backend), so the router doesn't re-batch; it just preserves the
+// per-set result shape.
+func (r *Router) ApplyCommitSets(ctx context.Context, sets []memento.CommitSet) ([]sqlstore.ApplySetResult, error) {
+	out := make([]sqlstore.ApplySetResult, len(sets))
+	for i := range sets {
+		out[i].Res, out[i].Err = r.ApplyCommitSet(ctx, sets[i])
+	}
+	return out, nil
+}
+
+// Begin starts a transaction bound lazily to the first shard a
+// statement identifies. The sharded deployment runs the whole-set
+// shipping algorithm (commit sets go through ApplyCommitSet), so
+// explicit transactions only serve single-shard uses; a statement for
+// a second shard fails rather than silently spanning stores without a
+// coordinator.
+func (r *Router) Begin(ctx context.Context) (storeapi.Txn, error) {
+	return &routerTxn{r: r, shard: -1}, nil
+}
+
+// Subscribe merges every shard's invalidation stream into one channel.
+// When any shard's stream dies the whole merged stream is torn down
+// (channel closed, every subscription cancelled): the subscriber can't
+// trust a partial view — a silent gap on one shard would leave its
+// rows stale forever — so it clears its cache and resubscribes,
+// exactly as for a single lost stream today.
+func (r *Router) Subscribe(ctx context.Context) (<-chan sqlstore.Notice, func(), error) {
+	if len(r.conns) == 1 {
+		return r.conns[0].Subscribe(ctx)
+	}
+	chans := make([]<-chan sqlstore.Notice, 0, len(r.conns))
+	cancels := make([]func(), 0, len(r.conns))
+	for _, c := range r.conns {
+		ch, cancel, err := c.Subscribe(ctx)
+		if err != nil {
+			for _, cl := range cancels {
+				cl()
+			}
+			return nil, nil, err
+		}
+		chans = append(chans, ch)
+		cancels = append(cancels, cancel)
+	}
+	out := make(chan sqlstore.Notice, 64*len(r.conns))
+	stop := make(chan struct{})
+	var once sync.Once
+	halt := func() {
+		once.Do(func() {
+			close(stop)
+			for _, cl := range cancels {
+				cl()
+			}
+		})
+	}
+	var wg sync.WaitGroup
+	for _, ch := range chans {
+		wg.Add(1)
+		go func(ch <-chan sqlstore.Notice) {
+			defer wg.Done()
+			for {
+				select {
+				case n, ok := <-ch:
+					if !ok {
+						halt()
+						return
+					}
+					select {
+					case out <- n:
+					default:
+						// Drop rather than stall the merge; notices are hints
+						// and the per-shard sources drop under pressure too.
+					}
+				case <-stop:
+					return
+				}
+			}
+		}(ch)
+	}
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	return out, halt, nil
+}
+
+// Close closes every per-shard connection, returning the first error.
+func (r *Router) Close() error {
+	var first error
+	for _, c := range r.conns {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// routerTxn is a lazily-bound single-shard transaction.
+type routerTxn struct {
+	r     *Router
+	shard int
+	inner storeapi.Txn
+}
+
+var _ storeapi.Txn = (*routerTxn)(nil)
+
+var errCrossShardTxn = errors.New("shard: statement crosses shards inside a transaction (use commit-set shipping)")
+
+func (t *routerTxn) bind(ctx context.Context, shard int) (storeapi.Txn, error) {
+	if t.inner != nil {
+		if shard != t.shard {
+			return nil, errCrossShardTxn
+		}
+		return t.inner, nil
+	}
+	inner, err := t.r.conns[shard].Begin(ctx)
+	if err != nil {
+		return nil, err
+	}
+	t.inner, t.shard = inner, shard
+	return inner, nil
+}
+
+func (t *routerTxn) bindKey(ctx context.Context, table, id string) (storeapi.Txn, error) {
+	return t.bind(ctx, t.r.ring.Of(memento.Key{Table: table, ID: id}))
+}
+
+func (t *routerTxn) ID() uint64 {
+	if t.inner == nil {
+		return 0
+	}
+	return t.inner.ID()
+}
+
+func (t *routerTxn) Get(ctx context.Context, table, id string) (storeapi.GetResult, error) {
+	tx, err := t.bindKey(ctx, table, id)
+	if err != nil {
+		return storeapi.GetResult{}, err
+	}
+	return tx.Get(ctx, table, id)
+}
+
+func (t *routerTxn) GetForUpdate(ctx context.Context, table, id string) (storeapi.GetResult, error) {
+	tx, err := t.bindKey(ctx, table, id)
+	if err != nil {
+		return storeapi.GetResult{}, err
+	}
+	return tx.GetForUpdate(ctx, table, id)
+}
+
+func (t *routerTxn) Put(ctx context.Context, m memento.Memento) error {
+	tx, err := t.bind(ctx, t.r.ring.Of(m.Key))
+	if err != nil {
+		return err
+	}
+	return tx.Put(ctx, m)
+}
+
+func (t *routerTxn) Insert(ctx context.Context, m memento.Memento) error {
+	tx, err := t.bind(ctx, t.r.ring.Of(m.Key))
+	if err != nil {
+		return err
+	}
+	return tx.Insert(ctx, m)
+}
+
+func (t *routerTxn) Delete(ctx context.Context, table, id string) error {
+	tx, err := t.bindKey(ctx, table, id)
+	if err != nil {
+		return err
+	}
+	return tx.Delete(ctx, table, id)
+}
+
+func (t *routerTxn) Query(ctx context.Context, q memento.Query) (storeapi.QueryResult, error) {
+	if t.r.ring.Shards() == 1 {
+		tx, err := t.bind(ctx, 0)
+		if err != nil {
+			return storeapi.QueryResult{}, err
+		}
+		return tx.Query(ctx, q)
+	}
+	if t.r.aff != nil {
+		if p, ok := t.r.aff(q); ok {
+			tx, err := t.bind(ctx, t.r.ring.OfPlacement(p))
+			if err != nil {
+				return storeapi.QueryResult{}, err
+			}
+			return tx.Query(ctx, q)
+		}
+	}
+	return storeapi.QueryResult{}, errCrossShardTxn
+}
+
+func (t *routerTxn) CheckVersion(ctx context.Context, key memento.Key, version uint64) error {
+	tx, err := t.bind(ctx, t.r.ring.Of(key))
+	if err != nil {
+		return err
+	}
+	return tx.CheckVersion(ctx, key, version)
+}
+
+func (t *routerTxn) CheckedPut(ctx context.Context, m memento.Memento) error {
+	tx, err := t.bind(ctx, t.r.ring.Of(m.Key))
+	if err != nil {
+		return err
+	}
+	return tx.CheckedPut(ctx, m)
+}
+
+func (t *routerTxn) CheckedDelete(ctx context.Context, key memento.Key, version uint64) error {
+	tx, err := t.bind(ctx, t.r.ring.Of(key))
+	if err != nil {
+		return err
+	}
+	return tx.CheckedDelete(ctx, key, version)
+}
+
+func (t *routerTxn) Commit(ctx context.Context) error {
+	if t.inner == nil {
+		return nil
+	}
+	return t.inner.Commit(ctx)
+}
+
+func (t *routerTxn) Abort(ctx context.Context) error {
+	if t.inner == nil {
+		return nil
+	}
+	return t.inner.Abort(ctx)
+}

@@ -1,0 +1,342 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"edgeejb/internal/memento"
+	"edgeejb/internal/sqlstore"
+	"edgeejb/internal/storeapi"
+)
+
+func rmem(id string, version uint64, v int64) memento.Memento {
+	return memento.Memento{
+		Key:     memento.Key{Table: "t", ID: id},
+		Version: version,
+		Fields:  memento.Fields{"v": memento.Int(v)},
+	}
+}
+
+// rig is a router over n in-process stores, each with a disjoint
+// transaction-ID base exactly as the sharded harness wires it.
+type rig struct {
+	ring   *Ring
+	stores []*sqlstore.Store
+	router *Router
+}
+
+func newRig(t *testing.T, n int, ringOpts []RingOption, routerOpts []RouterOption, storeOpts ...sqlstore.Option) *rig {
+	t.Helper()
+	ring := NewRing(n, ringOpts...)
+	stores := make([]*sqlstore.Store, n)
+	conns := make([]storeapi.Conn, n)
+	for i := range stores {
+		opts := append([]sqlstore.Option{sqlstore.WithTxIDBase(uint64(i) << 40)}, storeOpts...)
+		stores[i] = sqlstore.New(opts...)
+		conns[i] = storeapi.Local(stores[i])
+	}
+	t.Cleanup(func() {
+		for _, s := range stores {
+			s.Close()
+		}
+	})
+	router, err := NewRouter(ring, conns, routerOpts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &rig{ring: ring, stores: stores, router: router}
+}
+
+// seed installs a row in its owning shard's store and returns the owner.
+func (r *rig) seed(m memento.Memento) int {
+	s := r.ring.Of(m.Key)
+	r.stores[s].Seed(m)
+	return s
+}
+
+// idOnShard finds a key the ring places on the wanted shard.
+func (r *rig) idOnShard(t *testing.T, want int, prefix string) string {
+	t.Helper()
+	for i := 0; i < 10_000; i++ {
+		id := fmt.Sprintf("%s%d", prefix, i)
+		if r.ring.Of(memento.Key{Table: "t", ID: id}) == want {
+			return id
+		}
+	}
+	t.Fatalf("no id found on shard %d", want)
+	return ""
+}
+
+func TestRouterAutoGetRoutes(t *testing.T) {
+	r := newRig(t, 3, nil, nil)
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		id := r.idOnShard(t, i, "row")
+		r.seed(rmem(id, 0, int64(i)))
+		got, err := r.router.AutoGet(ctx, "t", id)
+		if err != nil {
+			t.Fatalf("AutoGet(%s): %v", id, err)
+		}
+		if got.Mem.Fields["v"].Int != int64(i) {
+			t.Errorf("AutoGet(%s) = %v, want v=%d", id, got.Mem.Fields, i)
+		}
+	}
+	// The row exists only on its owner: a misroute would be ErrNotFound.
+}
+
+func TestRouterFastPathSingleShard(t *testing.T) {
+	r := newRig(t, 3, nil, nil)
+	ctx := context.Background()
+	id := r.idOnShard(t, 1, "w")
+	r.seed(rmem(id, 0, 1))
+
+	res, err := r.router.ApplyCommitSet(ctx, memento.CommitSet{
+		Writes: []memento.Memento{rmem(id, 1, 2)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TxID == 0 {
+		t.Error("missing TxID")
+	}
+	if len(res.TxIDs) != 0 {
+		t.Errorf("fast path filled TxIDs (%v); must stay the unsharded shape", res.TxIDs)
+	}
+	if v, _ := r.stores[1].CurrentVersion(memento.Key{Table: "t", ID: id}); v != 2 {
+		t.Errorf("owner version = %d, want 2", v)
+	}
+	// No prepared state anywhere: this was not 2PC.
+	for i, s := range r.stores {
+		if n := s.PreparedCount(); n != 0 {
+			t.Errorf("shard %d holds %d prepared txs after fast path", i, n)
+		}
+	}
+}
+
+func TestRouterTwoPhaseCommit(t *testing.T) {
+	r := newRig(t, 2, nil, nil)
+	ctx := context.Background()
+	idA := r.idOnShard(t, 0, "a")
+	idB := r.idOnShard(t, 1, "b")
+	r.seed(rmem(idA, 0, 1))
+	r.seed(rmem(idB, 0, 1))
+
+	res, err := r.router.ApplyCommitSet(ctx, memento.CommitSet{
+		Writes: []memento.Memento{rmem(idA, 1, 2), rmem(idB, 1, 2)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.TxIDs) != 2 {
+		t.Fatalf("TxIDs = %v, want one per participant", res.TxIDs)
+	}
+	// Disjoint bases prove both shards really committed their own tx.
+	var seen [2]bool
+	for _, id := range res.TxIDs {
+		seen[int(id>>40)] = true
+	}
+	if !seen[0] || !seen[1] {
+		t.Errorf("TxIDs %v don't cover both shards", res.TxIDs)
+	}
+	for i, id := range []string{idA, idB} {
+		if v, _ := r.stores[i].CurrentVersion(memento.Key{Table: "t", ID: id}); v != 2 {
+			t.Errorf("shard %d version = %d, want 2", i, v)
+		}
+	}
+	if res.NewVersions[memento.Key{Table: "t", ID: idA}] != 2 ||
+		res.NewVersions[memento.Key{Table: "t", ID: idB}] != 2 {
+		t.Errorf("merged NewVersions = %v", res.NewVersions)
+	}
+}
+
+// TestRouterTwoPhaseConflictAborts proves one participant's no vote
+// aborts the whole write set — the other shard's rows stay untouched —
+// and that the surfaced error carries the cross-shard winner's
+// attributed transaction ID.
+func TestRouterTwoPhaseConflictAborts(t *testing.T) {
+	r := newRig(t, 2, nil, nil)
+	ctx := context.Background()
+	idA := r.idOnShard(t, 0, "a")
+	idB := r.idOnShard(t, 1, "b")
+	r.seed(rmem(idA, 0, 1))
+	r.seed(rmem(idB, 0, 1))
+
+	// A winner commits on shard 1 first, bumping idB to version 2.
+	if _, err := r.stores[1].ApplyCommitSet(ctx, memento.CommitSet{
+		Writes: []memento.Memento{rmem(idB, 1, 99)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The loser's cross-shard set still carries idB@1: shard 1 votes no.
+	_, err := r.router.ApplyCommitSet(ctx, memento.CommitSet{
+		Writes: []memento.Memento{rmem(idA, 1, 2), rmem(idB, 1, 2)},
+	})
+	if !errors.Is(err, sqlstore.ErrConflict) {
+		t.Fatalf("got %v, want ErrConflict", err)
+	}
+	var ce *sqlstore.ConflictError
+	if !errors.As(err, &ce) {
+		t.Fatalf("conflict lost its attribution crossing the router: %v", err)
+	}
+	if ce.WinnerTx>>40 != 1 {
+		t.Errorf("winner tx %d not attributed to shard 1", ce.WinnerTx)
+	}
+	// Shard 0 prepared yes but must have aborted: idA unchanged, no
+	// prepared residue, and a retry at the current versions succeeds.
+	if v, _ := r.stores[0].CurrentVersion(memento.Key{Table: "t", ID: idA}); v != 1 {
+		t.Errorf("shard 0 version = %d after abort, want 1", v)
+	}
+	for i, s := range r.stores {
+		if n := s.PreparedCount(); n != 0 {
+			t.Errorf("shard %d holds %d prepared txs after abort", i, n)
+		}
+	}
+	if _, err := r.router.ApplyCommitSet(ctx, memento.CommitSet{
+		Writes: []memento.Memento{rmem(idA, 1, 2), rmem(idB, 2, 3)},
+	}); err != nil {
+		t.Fatalf("retry after abort: %v", err)
+	}
+}
+
+func TestRouterReadOnlyCrossShardSkipsTwoPhase(t *testing.T) {
+	r := newRig(t, 2, nil, nil)
+	ctx := context.Background()
+	idA := r.idOnShard(t, 0, "a")
+	idB := r.idOnShard(t, 1, "b")
+	r.seed(rmem(idA, 0, 1))
+	r.seed(rmem(idB, 0, 1))
+
+	res, err := r.router.ApplyCommitSet(ctx, memento.CommitSet{
+		Reads: []memento.ReadProof{
+			{Key: memento.Key{Table: "t", ID: idA}, Version: 1},
+			{Key: memento.Key{Table: "t", ID: idB}, Version: 1},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.TxIDs) != 2 {
+		t.Errorf("TxIDs = %v, want one per validating shard", res.TxIDs)
+	}
+	// A stale proof on either shard still fails the whole set.
+	if _, err := r.router.ApplyCommitSet(ctx, memento.CommitSet{
+		Reads: []memento.ReadProof{
+			{Key: memento.Key{Table: "t", ID: idA}, Version: 1},
+			{Key: memento.Key{Table: "t", ID: idB}, Version: 7},
+		},
+	}); !errors.Is(err, sqlstore.ErrConflict) {
+		t.Fatalf("stale cross-shard read: got %v, want ErrConflict", err)
+	}
+}
+
+func TestRouterScatterQueryMerges(t *testing.T) {
+	r := newRig(t, 3, nil, nil)
+	ctx := context.Background()
+	// Ten rows spread over the shards by the default placement.
+	for i := 0; i < 10; i++ {
+		r.seed(rmem(fmt.Sprintf("q%d", i), 0, int64(i)))
+	}
+	q := memento.Query{Table: "t", OrderBy: "v", Desc: true, Limit: 4}
+	res, err := r.router.AutoQuery(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Mems) != 4 {
+		t.Fatalf("got %d rows, want the limit 4", len(res.Mems))
+	}
+	// Global order despite per-shard partials: top four values are 9..6.
+	for i, m := range res.Mems {
+		if want := int64(9 - i); m.Fields["v"].Int != want {
+			t.Errorf("row %d: v = %d, want %d", i, m.Fields["v"].Int, want)
+		}
+	}
+}
+
+func TestRouterQueryAffinityPins(t *testing.T) {
+	// Affinity pins every "t" query to the placement "pin". Rows on other
+	// shards must not be consulted.
+	aff := func(q memento.Query) (string, bool) { return "pin", true }
+	r := newRig(t, 3, nil, []RouterOption{WithQueryAffinity(aff)})
+	ctx := context.Background()
+	pinned := r.ring.OfPlacement("pin")
+	r.stores[pinned].Seed(rmem("on-pin", 0, 1))
+	r.stores[(pinned+1)%3].Seed(rmem("elsewhere", 0, 2))
+
+	res, err := r.router.AutoQuery(ctx, memento.Query{Table: "t"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Mems) != 1 || res.Mems[0].Key.ID != "on-pin" {
+		t.Fatalf("pinned query returned %v, want just on-pin", res.Mems)
+	}
+}
+
+func TestRouterSubscribeMergesAllShards(t *testing.T) {
+	r := newRig(t, 2, nil, nil)
+	ctx := context.Background()
+	ch, cancel, err := r.router.Subscribe(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+
+	idA := r.idOnShard(t, 0, "a")
+	idB := r.idOnShard(t, 1, "b")
+	for i, id := range []string{idA, idB} {
+		if _, err := r.stores[i].ApplyCommitSet(ctx, memento.CommitSet{
+			Creates: []memento.Memento{rmem(id, 0, 1)},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	want := map[uint64]bool{0: true, 1: true}
+	deadline := time.After(5 * time.Second)
+	for len(want) > 0 {
+		select {
+		case n, ok := <-ch:
+			if !ok {
+				t.Fatal("merged stream closed early")
+			}
+			delete(want, n.TxID>>40)
+		case <-deadline:
+			t.Fatalf("missing notices from shards %v", want)
+		}
+	}
+}
+
+func TestRouterTxnStaysSingleShard(t *testing.T) {
+	r := newRig(t, 2, nil, nil)
+	ctx := context.Background()
+	idA := r.idOnShard(t, 0, "a")
+	idB := r.idOnShard(t, 1, "b")
+	r.seed(rmem(idA, 0, 1))
+	r.seed(rmem(idB, 0, 1))
+
+	txn, err := r.router.Begin(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := txn.Get(ctx, "t", idA); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := txn.Get(ctx, "t", idB); !errors.Is(err, errCrossShardTxn) {
+		t.Fatalf("cross-shard statement: got %v, want errCrossShardTxn", err)
+	}
+	if err := txn.Abort(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRouterRejectsMismatchedConns(t *testing.T) {
+	s := sqlstore.New()
+	defer s.Close()
+	_, err := NewRouter(NewRing(2), []storeapi.Conn{storeapi.Local(s)})
+	if err == nil {
+		t.Fatal("router accepted 1 conn for 2 shards")
+	}
+}

@@ -49,6 +49,11 @@ type CommitOutcome struct {
 	// used to filter the cache's own commits out of the invalidation
 	// stream.
 	TxID uint64
+	// TxIDs lists every participating transaction when the set committed
+	// across several datacenter shards — each shard broadcasts its own
+	// notice, so all of them must be filtered as the cache's own. Nil
+	// for single-store commits.
+	TxIDs []uint64
 	// NewVersions maps every mutated key to its new row version.
 	NewVersions map[memento.Key]uint64
 }
@@ -95,7 +100,7 @@ func (l *Loader) Commit(ctx context.Context, cs memento.CommitSet) (CommitOutcom
 		if err != nil {
 			return CommitOutcome{}, err
 		}
-		return CommitOutcome{TxID: res.TxID, NewVersions: res.NewVersions}, nil
+		return CommitOutcome{TxID: res.TxID, TxIDs: res.TxIDs, NewVersions: res.NewVersions}, nil
 	case PerImage:
 		return l.commitPerImage(ctx, cs)
 	default:

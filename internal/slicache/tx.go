@@ -346,6 +346,11 @@ func (t *sliTx) Commit(ctx context.Context) error {
 		return err
 	}
 	t.mgr.recordOwnTx(outcome.TxID)
+	for _, id := range outcome.TxIDs {
+		if id != outcome.TxID {
+			t.mgr.recordOwnTx(id)
+		}
+	}
 	t.mgr.stats.commits.Add(1)
 	obsCommits.Inc()
 

@@ -12,6 +12,12 @@ import (
 type ApplyResult struct {
 	// TxID is the internal datastore transaction that applied the set.
 	TxID uint64
+	// TxIDs lists every participating transaction when the set committed
+	// across several shards (one per participant store). Single-store
+	// commits leave it nil; TxID alone identifies the commit. It never
+	// crosses the wire — the shard router fills it in edge-side from the
+	// per-participant responses.
+	TxIDs []uint64
 	// NewVersions maps every written or created key to its new row
 	// version, so callers (edge caches) can refresh their copies instead
 	// of invalidating them.
@@ -89,6 +95,7 @@ func (s *Store) applyOneDeferred(ctx context.Context, cs memento.CommitSet) (App
 		obsOptConflicts.Inc()
 		return ApplyResult{}, Notice{}, err
 	}
+	s.serveCommit(1)
 	notice, err := tx.commit()
 	if err != nil {
 		return ApplyResult{}, Notice{}, err

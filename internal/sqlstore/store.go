@@ -103,6 +103,19 @@ type Store struct {
 	subs    map[int]chan Notice
 	nextSub int
 
+	// Two-phase-commit participant state: transactions validated under
+	// Prepare and held (locks included) until the coordinator decides or
+	// the presumed-abort TTL expires. See prepare.go.
+	prepMu     sync.Mutex
+	prepared   map[string]*preparedTx
+	prepareTTL time.Duration
+
+	// commitService is the modeled per-commit-set validation service
+	// time (see WithCommitServiceTime); serviceMu serializes the modeled
+	// commit processor.
+	commitService time.Duration
+	serviceMu     sync.Mutex
+
 	stats struct {
 		begins, commits, aborts               atomic.Uint64
 		gets, puts, inserts, deletes, queries atomic.Uint64
@@ -118,8 +131,22 @@ type Option interface {
 }
 
 type config struct {
-	lockTimeout time.Duration
+	lockTimeout   time.Duration
+	prepareTTL    time.Duration
+	commitService time.Duration
+	txIDBase      uint64
 }
+
+type txIDBaseOption uint64
+
+func (o txIDBaseOption) apply(c *config) { c.txIDBase = uint64(o) }
+
+// WithTxIDBase offsets the store's transaction-ID counter. A sharded
+// deployment gives each shard a disjoint base (shard index << 40) so
+// transaction IDs are globally unique across the tier: edges track
+// their own commits by TxID over a merged invalidation stream, and two
+// shards independently counting from zero would collide constantly.
+func WithTxIDBase(base uint64) Option { return txIDBaseOption(base) }
 
 type lockTimeoutOption time.Duration
 
@@ -131,16 +158,20 @@ func WithLockTimeout(d time.Duration) Option { return lockTimeoutOption(d) }
 
 // New returns an empty store.
 func New(opts ...Option) *Store {
-	cfg := config{lockTimeout: time.Second}
+	cfg := config{lockTimeout: time.Second, prepareTTL: 10 * time.Second}
 	for _, o := range opts {
 		o.apply(&cfg)
 	}
-	return &Store{
-		lm:      lockmgr.New(lockmgr.WithTimeout(cfg.lockTimeout)),
-		tables:  make(map[string]*table),
-		writers: make(map[memento.Key]writerInfo),
-		subs:    make(map[int]chan Notice),
+	s := &Store{
+		lm:            lockmgr.New(lockmgr.WithTimeout(cfg.lockTimeout)),
+		tables:        make(map[string]*table),
+		writers:       make(map[memento.Key]writerInfo),
+		subs:          make(map[int]chan Notice),
+		prepareTTL:    cfg.prepareTTL,
+		commitService: cfg.commitService,
 	}
+	s.nextTx.Store(cfg.txIDBase)
+	return s
 }
 
 // Close shuts the store down: future operations fail and subscribers are
@@ -153,6 +184,7 @@ func (s *Store) Close() {
 	}
 	s.closed = true
 	s.mu.Unlock()
+	s.abortAllPrepared()
 	s.lm.Close()
 	s.subMu.Lock()
 	for id, ch := range s.subs {

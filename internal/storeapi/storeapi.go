@@ -90,6 +90,28 @@ type Conn interface {
 	Close() error
 }
 
+// Preparer is the optional two-phase-commit participant surface a Conn
+// may expose alongside the one-shot ApplyCommitSet path. The shard
+// router type-asserts for it when a commit set spans several shards;
+// connections to peers that predate the prepare ops simply don't
+// implement it (dbwire's client does, but its server answers unknown-op
+// for old backends, which the router surfaces as a conflict).
+type Preparer interface {
+	// Prepare validates a commit sub-set and holds its locks under gid
+	// until CommitPrepared or AbortPrepared decides it (or the
+	// participant's presumed-abort TTL expires). An error is a no vote:
+	// nothing is held and the coordinator must abort the other
+	// participants.
+	Prepare(ctx context.Context, gid string, cs memento.CommitSet) error
+	// CommitPrepared installs the writes prepared under gid. An unknown
+	// gid (expired or never prepared) fails with an error matching
+	// sqlstore.ErrConflict.
+	CommitPrepared(ctx context.Context, gid string) (sqlstore.ApplyResult, error)
+	// AbortPrepared discards the transaction prepared under gid.
+	// Aborting an unknown gid succeeds (presumed abort already did it).
+	AbortPrepared(ctx context.Context, gid string) error
+}
+
 // local adapts an in-process *sqlstore.Store to Conn. Every operation
 // records a "sqlstore.<op>" trace span: the adapter only ever runs in
 // the process that owns the store — the database tier — so these spans
@@ -159,6 +181,20 @@ func (l *local) AutoQuery(ctx context.Context, q memento.Query) (QueryResult, er
 	}
 	return QueryResult{Mems: mems, FP: memento.QueryFootprint(q, mems)}, nil
 }
+
+func (l *local) Prepare(ctx context.Context, gid string, cs memento.CommitSet) error {
+	return l.store.Prepare(ctx, gid, cs)
+}
+
+func (l *local) CommitPrepared(ctx context.Context, gid string) (sqlstore.ApplyResult, error) {
+	return l.store.CommitPrepared(ctx, gid)
+}
+
+func (l *local) AbortPrepared(ctx context.Context, gid string) error {
+	return l.store.AbortPrepared(ctx, gid)
+}
+
+var _ Preparer = (*local)(nil)
 
 func (l *local) Subscribe(ctx context.Context) (<-chan sqlstore.Notice, func(), error) {
 	ch, cancel := l.store.Subscribe(0)

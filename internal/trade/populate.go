@@ -37,6 +37,18 @@ func DefaultPopulate() PopulateConfig {
 
 // Populate seeds a store with the initial Trade database.
 func Populate(store *sqlstore.Store, cfg PopulateConfig) {
+	// The portfolio finder probes holdings by account; index that field
+	// the way the Trade schema indexes its HOLDING.ACCOUNT_ACCOUNTID
+	// column. Errors are impossible here (fresh store, valid names).
+	_ = store.CreateIndex(TableHolding, "accountID")
+	store.Seed(PopulationRows(cfg)...)
+}
+
+// PopulationRows builds the initial Trade database rows without
+// installing them, so a sharded deployment can seed each shard's store
+// with exactly the rows it owns (filter by the ring) while every shard
+// derives the identical population from the same config and seed.
+func PopulationRows(cfg PopulateConfig) []memento.Memento {
 	if cfg.Users < 1 {
 		cfg.Users = DefaultPopulate().Users
 	}
@@ -47,11 +59,6 @@ func Populate(store *sqlstore.Store, cfg PopulateConfig) {
 		cfg.OpenBalance = DefaultPopulate().OpenBalance
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
-
-	// The portfolio finder probes holdings by account; index that field
-	// the way the Trade schema indexes its HOLDING.ACCOUNT_ACCOUNTID
-	// column. Errors are impossible here (fresh store, valid names).
-	_ = store.CreateIndex(TableHolding, "accountID")
 
 	mems := make([]memento.Memento, 0, cfg.Symbols+cfg.Users*(3+cfg.HoldingsPerUser))
 	for i := 0; i < cfg.Symbols; i++ {
@@ -96,5 +103,5 @@ func Populate(store *sqlstore.Store, cfg PopulateConfig) {
 			mems = append(mems, hold.ToMemento())
 		}
 	}
-	store.Seed(mems...)
+	return mems
 }

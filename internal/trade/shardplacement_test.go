@@ -1,0 +1,105 @@
+package trade
+
+import (
+	"testing"
+
+	"edgeejb/internal/memento"
+	"edgeejb/internal/shard"
+)
+
+func TestShardPlacementCoLocatesUser(t *testing.T) {
+	user := UserID(3)
+	keys := []memento.Key{
+		{Table: TableAccount, ID: user},
+		{Table: TableProfile, ID: user},
+		{Table: TableRegistry, ID: user},
+		{Table: TableHolding, ID: "h-" + user + "-seed0"},
+		{Table: TableHolding, ID: "h-" + user + "-12345"},
+	}
+	want := ShardPlacement(keys[0])
+	for _, k := range keys[1:] {
+		if got := ShardPlacement(k); got != want {
+			t.Errorf("placement(%v) = %q, want %q (user co-location)", k, got, want)
+		}
+	}
+	// So the whole working set lands on one shard, whatever the count.
+	for _, n := range []int{2, 3, 4, 7} {
+		ring := shard.NewRing(n, shard.WithPlacement(ShardPlacement))
+		first := ring.Of(keys[0])
+		for _, k := range keys[1:] {
+			if got := ring.Of(k); got != first {
+				t.Errorf("n=%d: %v on shard %d, account on %d", n, k, got, first)
+			}
+		}
+	}
+}
+
+func TestShardPlacementQuotesSpread(t *testing.T) {
+	a := ShardPlacement(memento.Key{Table: TableQuote, ID: SymbolID(1)})
+	b := ShardPlacement(memento.Key{Table: TableQuote, ID: SymbolID(2)})
+	if a == b {
+		t.Errorf("distinct quotes share placement %q", a)
+	}
+}
+
+func TestHoldingOwner(t *testing.T) {
+	tests := []struct {
+		id    string
+		owner string
+		ok    bool
+	}{
+		{"h-uid-3-seed0", "uid-3", true},
+		{"h-uid-12-1754", "uid-12", true},
+		{"h-x-y-z", "x-y", true}, // owner may itself contain dashes
+		{"not-a-holding", "", false},
+		{"h-", "", false},
+		{"h-nodash", "", false},
+	}
+	for _, tt := range tests {
+		owner, ok := holdingOwner(tt.id)
+		if owner != tt.owner || ok != tt.ok {
+			t.Errorf("holdingOwner(%q) = (%q, %v), want (%q, %v)", tt.id, owner, ok, tt.owner, tt.ok)
+		}
+	}
+}
+
+func TestQueryShardPlacement(t *testing.T) {
+	user := UserID(5)
+	q := memento.Query{
+		Table: TableHolding,
+		Where: []memento.Predicate{memento.Where("accountID", memento.String(user))},
+	}
+	p, ok := QueryShardPlacement(q)
+	if !ok || p != "user/"+user {
+		t.Fatalf("QueryShardPlacement = (%q, %v), want (user/%s, true)", p, ok, user)
+	}
+	// The pin agrees with the rows' placement: the finder probes the
+	// shard that actually stores the user's holdings.
+	if p != ShardPlacement(memento.Key{Table: TableHolding, ID: "h-" + user + "-seed1"}) {
+		t.Error("finder pin and holding placement disagree")
+	}
+	// Non-holding or non-equality queries scatter.
+	if _, ok := QueryShardPlacement(memento.Query{Table: TableQuote}); ok {
+		t.Error("quote query should not be pinned")
+	}
+	if _, ok := QueryShardPlacement(memento.Query{Table: TableHolding}); ok {
+		t.Error("unfiltered holding query should not be pinned")
+	}
+}
+
+func TestPopulationRowsMatchPopulate(t *testing.T) {
+	cfg := PopulateConfig{Users: 5, Symbols: 7, HoldingsPerUser: 2, OpenBalance: 100}
+	rows := PopulationRows(cfg)
+	want := 7 + 5*(3+2)
+	if len(rows) != want {
+		t.Fatalf("PopulationRows: %d rows, want %d", len(rows), want)
+	}
+	// Deterministic: two derivations agree row for row, so every shard
+	// filtering the same population sees the same universe.
+	again := PopulationRows(cfg)
+	for i := range rows {
+		if rows[i].Key != again[i].Key {
+			t.Fatalf("row %d key flapped: %v vs %v", i, rows[i].Key, again[i].Key)
+		}
+	}
+}

@@ -68,6 +68,11 @@ done
 # to dynamically-built names can't silently drop it from the extraction
 # above (which only sees literal registrations).
 required="slicache.finder_hits slicache.finder_misses slicache.finder_invalidations slicache.finder_entries"
+
+# The sharded-tier commit-path split feeds shards.csv and the scaling
+# acceptance curve; require the router and participant metrics the same
+# way so the 2PC story can't silently lose its instrumentation.
+required="$required shard.fastpath_commits shard.readonly_commits shard.2pc_commits shard.2pc_aborts shard.2pc_heuristics shard.scatter_queries sqlstore.prepares sqlstore.prepared_commits sqlstore.prepared_aborts sqlstore.presumed_aborts"
 for name in $required; do
 	if ! printf '%s\n' "$names" | grep -q -F -x "$name"; then
 		echo "required metric not registered literally in the code: $name" >&2
