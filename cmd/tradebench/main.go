@@ -193,10 +193,22 @@ func run(args []string) error {
 		fmt.Fprintf(os.Stderr, "collecting run artifacts in %s\n", art.Dir)
 	}
 
+	// runStart anchors the whole-run counter diff summary.json derives
+	// its ratios from (taken after any -out-dir ring swap so the rings
+	// and registry cover the same window).
+	runStart := obs.Default.Snapshot()
+
 	// finderPhases accumulates one finder-cache accounting row per
 	// experiment phase, for the -metrics hit-ratio column and the
 	// finder_cache.csv artifact.
 	var finderPhases []finderPhaseRow
+
+	// thruCurves and shardPoints capture the extension sweeps for
+	// summary.json.
+	var (
+		thruCurves  []harness.ThroughputCurve
+		shardPoints []harness.ShardScalingPoint
+	)
 
 	// phase runs one experiment phase and, with -metrics, prints the
 	// process metrics it accumulated (a diff, so phases don't bleed into
@@ -259,14 +271,15 @@ func run(args []string) error {
 		fmt.Println()
 	}
 
-	// finishArtifacts assembles the run's traces and finalizes the
-	// artifact directory; it runs at whichever exit the run takes.
+	// finishArtifacts assembles the run's traces, attributes the
+	// critical path, and finalizes the artifact directory; it runs at
+	// whichever exit the run takes.
 	finishArtifacts := func(eval *harness.Evaluation) error {
 		if *metrics && len(finderPhases) > 0 {
 			fmt.Println()
 			writeFinderTable(os.Stdout, finderPhases)
 		}
-		if art == nil {
+		if art == nil && !*metrics {
 			return nil
 		}
 		c := collect.NewCollector(collect.FromLog("proc", obs.DefaultSpans))
@@ -274,7 +287,30 @@ func run(args []string) error {
 			return err
 		}
 		traces := c.Traces()
+		attr := collect.Attribute(traces)
+		if *metrics && attr.Traces > 0 {
+			fmt.Println()
+			if err := attr.WriteTable(os.Stdout); err != nil {
+				return err
+			}
+		}
+		if art == nil {
+			return nil
+		}
 		if err := art.WriteTraces(traces, *waterfalls, obs.DefaultSpans.Dropped()); err != nil {
+			return err
+		}
+		if err := art.WriteCriticalPath(attr); err != nil {
+			return err
+		}
+		if err := art.WriteSummary(harness.BuildSummary(harness.SummaryInput{
+			Args:        args,
+			Eval:        eval,
+			Throughput:  thruCurves,
+			Shards:      shardPoints,
+			Attribution: attr,
+			Counters:    obs.Default.Diff(runStart).Counters,
+		})); err != nil {
 			return err
 		}
 		if err := art.WriteEvents(obs.DefaultEvents.Since(0)); err != nil {
@@ -304,7 +340,9 @@ func run(args []string) error {
 	if !needsMeasurement {
 		// Shard sweep only: no figure evaluation needed.
 		if err := phase("shards", func() error {
-			return runShardSweep(shardCounts, *shardClients, *dbService, cfg, art, logf)
+			var err error
+			shardPoints, err = runShardSweep(shardCounts, *shardClients, *dbService, cfg, art, logf)
+			return err
 		}); err != nil {
 			return err
 		}
@@ -360,14 +398,20 @@ func run(args []string) error {
 	}
 	if *thru {
 		fmt.Println()
-		if err := phase("throughput", func() error { return runThroughput(cfg, *metrics, logf) }); err != nil {
+		if err := phase("throughput", func() error {
+			var err error
+			thruCurves, err = runThroughput(cfg, *metrics, logf)
+			return err
+		}); err != nil {
 			return err
 		}
 	}
 	if len(shardCounts) > 0 {
 		fmt.Println()
 		if err := phase("shards", func() error {
-			return runShardSweep(shardCounts, *shardClients, *dbService, cfg, art, logf)
+			var err error
+			shardPoints, err = runShardSweep(shardCounts, *shardClients, *dbService, cfg, art, logf)
+			return err
 		}); err != nil {
 			return err
 		}
@@ -376,8 +420,9 @@ func run(args []string) error {
 }
 
 // runShardSweep measures the shard-scaling extension and, when an
-// artifact directory is active, exports the curve as shards.csv.
-func runShardSweep(counts []int, clients int, dbService time.Duration, cfg harness.EvalConfig, art *harness.Artifacts, logf func(string, ...any)) error {
+// artifact directory is active, exports the curve as shards.csv. The
+// points also feed summary.json.
+func runShardSweep(counts []int, clients int, dbService time.Duration, cfg harness.EvalConfig, art *harness.Artifacts, logf func(string, ...any)) ([]harness.ShardScalingPoint, error) {
 	opts := harness.DefaultShardScalingOptions()
 	opts.ShardCounts = counts
 	opts.Clients = clients
@@ -388,15 +433,17 @@ func runShardSweep(counts []int, clients int, dbService time.Duration, cfg harne
 	opts.Codec = cfg.Codec
 	points, err := harness.RunShardScaling(context.Background(), opts, logf)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	harness.WriteShardScaling(os.Stdout, points)
 	if art != nil {
-		return art.WriteFile("shards.csv", "csv",
+		if err := art.WriteFile("shards.csv", "csv",
 			"shard-scaling sweep: per-shard commit balance and per-point throughput, 2PC fraction, and commit-path split", "",
-			func(w io.Writer) error { return harness.WriteShardsCSV(w, points) })
+			func(w io.Writer) error { return harness.WriteShardsCSV(w, points) }); err != nil {
+			return nil, err
+		}
 	}
-	return nil
+	return points, nil
 }
 
 // parseShardCounts parses the -shards list; empty means the sweep is
@@ -458,10 +505,11 @@ func runFaults(opts harness.FaultOptions, logf func(string, ...any)) error {
 }
 
 // runThroughput measures the concurrency extension for the three
-// Figure 6 configurations. With forensics enabled it also prints the
-// per-point conflict matrices — the concurrent run is the one workload
-// in the suite where optimistic validation actually loses races.
-func runThroughput(cfg harness.EvalConfig, forensics bool, logf func(string, ...any)) error {
+// Figure 6 configurations and returns the curves for summary.json.
+// With forensics enabled it also prints the per-point conflict
+// matrices — the concurrent run is the one workload in the suite where
+// optimistic validation actually loses races.
+func runThroughput(cfg harness.EvalConfig, forensics bool, logf func(string, ...any)) ([]harness.ThroughputCurve, error) {
 	topts := harness.DefaultThroughputOptions()
 	topts.Workload = cfg.Run.Workload
 	configs := []harness.Pair{
@@ -483,7 +531,7 @@ func runThroughput(cfg harness.EvalConfig, forensics bool, logf func(string, ...
 			Batch:        cfg.Batch,
 		}, topts)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		curves = append(curves, curve)
 	}
@@ -491,10 +539,10 @@ func runThroughput(cfg harness.EvalConfig, forensics bool, logf func(string, ...
 	if forensics {
 		fmt.Println()
 		if err := harness.WriteThroughputForensics(os.Stdout, curves); err != nil {
-			return err
+			return nil, err
 		}
 	}
-	return nil
+	return curves, nil
 }
 
 // finderPhaseRow is one experiment phase's finder-cache accounting,

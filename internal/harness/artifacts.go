@@ -10,6 +10,7 @@ import (
 
 	"edgeejb/internal/obs"
 	"edgeejb/internal/obs/collect"
+	"edgeejb/internal/regress"
 )
 
 // Artifacts is one benchmark run's output directory: traces, per-phase
@@ -215,6 +216,29 @@ func (a *Artifacts) WriteEvalReports(e *Evaluation) error {
 			ManifestFile{Path: f.name, Kind: "csv", Desc: f.desc, Phase: "evaluation"})
 	}
 	return nil
+}
+
+// WriteCriticalPath writes the run's critical-path attribution as
+// critical_path.csv — one row per (lane, tier, span) bucket with the
+// blocking-path milliseconds per trace overall and in the p50/p95/p99
+// root-duration tails.
+func (a *Artifacts) WriteCriticalPath(attr *collect.Attribution) error {
+	return a.WriteFile("critical_path.csv", "csv",
+		"critical-path attribution: blocking-path ms per trace by (lane, tier, span), overall and in the slow tails", "",
+		func(w io.Writer) error { return collect.WriteCriticalPathCSV(w, attr) })
+}
+
+// WriteSummary writes the run's canonical machine-readable result set
+// as summary.json — the file benchdiff compares and the CI perf gate
+// baselines.
+func (a *Artifacts) WriteSummary(s *regress.Summary) error {
+	return a.WriteFile(regress.SummaryFile, "summary",
+		"canonical machine-readable run summary (latency, wire, throughput, shard, cache, and critical-path metrics) for benchdiff", "",
+		func(w io.Writer) error {
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			return enc.Encode(s)
+		})
 }
 
 // Close writes MANIFEST.json. The artifacts remain readable; Close just

@@ -1,0 +1,177 @@
+package harness
+
+import (
+	"strconv"
+	"strings"
+	"time"
+
+	"edgeejb/internal/obs/collect"
+	"edgeejb/internal/regress"
+)
+
+// SummaryInput collects everything a run measured for the canonical
+// machine-readable summary.json. Every field is optional; the builder
+// emits metrics only for what ran.
+type SummaryInput struct {
+	// Args echoes the command line.
+	Args []string
+	// Eval is the figure evaluation, when one ran.
+	Eval *Evaluation
+	// Throughput holds the concurrency-extension curves.
+	Throughput []ThroughputCurve
+	// Shards holds the shard-scaling sweep.
+	Shards []ShardScalingPoint
+	// Attribution is the run's critical-path aggregation.
+	Attribution *collect.Attribution
+	// Counters is the whole run's counter diff (finder-cache ratios).
+	Counters map[string]uint64
+}
+
+// slug lowercases a paper-style name into a metric-path segment:
+// "ES/RDB" -> "es-rdb", "Vanilla EJBs" -> "vanilla-ejbs".
+func slug(s string) string {
+	s = strings.ToLower(s)
+	s = strings.ReplaceAll(s, "/", "-")
+	s = strings.ReplaceAll(s, " ", "-")
+	return s
+}
+
+// pairSlug names one evaluation cell: "es-rdb.jdbc".
+func pairSlug(p Pair) string { return slug(p.Arch.String()) + "." + slug(p.Algo.String()) }
+
+// fmtDelay renders a delay-point label without trailing zeros: "0",
+// "1", "0.5".
+func fmtDelay(ms float64) string { return strconv.FormatFloat(ms, 'f', -1, 64) }
+
+// BuildSummary flattens a run's measurements into the summary.json
+// metric namespace (documented in OBSERVABILITY.md):
+//
+//	latency.<pair>.d<D>ms.mean_ms      time   per delay point, with batch means
+//	sensitivity.<pair>                 count  Table 2 slope (delay-scale invariant)
+//	wire.<pair>.rts_per_interaction    count  shared-path round trips
+//	wire.<pair>.bytes_per_interaction  count  shared-path bytes
+//	throughput.<pair>.c<N>.ixn_per_s   rate   per concurrency level
+//	shards.s<N>.committed_per_s        rate   shard-scaling sweep
+//	shards.s<N>.twopc_fraction         ratio  cross-shard 2PC share
+//	cache.finder_hit_ratio             ratio  whole-run finder cache
+//	critpath.<tier>.<span>[.<lane>].ms_per_trace  time  blocking-path shares
+//
+// "count" and "ratio" metrics are protocol properties that reproduce
+// across machines; "time" and "rate" only compare within one host.
+func BuildSummary(in SummaryInput) *regress.Summary {
+	s := &regress.Summary{
+		Schema:    regress.SchemaV1,
+		CreatedAt: time.Now().UTC().Format(time.RFC3339),
+		Args:      in.Args,
+		Metrics:   make(map[string]regress.Metric),
+	}
+	if in.Eval != nil {
+		for pair, sweep := range in.Eval.Sweeps {
+			ps := pairSlug(pair)
+			var rts, bytesPer []float64
+			for _, p := range sweep.Points {
+				s.Metrics["latency."+ps+".d"+fmtDelay(p.OneWayDelayMs)+"ms.mean_ms"] = regress.Metric{
+					Unit:    "ms",
+					Kind:    regress.KindTime,
+					Better:  regress.LowerIsBetter,
+					Mean:    p.MeanLatencyMs,
+					N:       p.Load.Interactions,
+					Samples: p.Load.BatchMeans,
+				}
+				rts = append(rts, p.SharedRoundTripsPerInteraction)
+				bytesPer = append(bytesPer, p.SharedBytesPerInteraction)
+			}
+			s.Metrics["wire."+ps+".rts_per_interaction"] = regress.Metric{
+				Unit:    "rt/ixn",
+				Kind:    regress.KindCount,
+				Better:  regress.LowerIsBetter,
+				Mean:    mean(rts),
+				N:       len(rts),
+				Samples: rts,
+			}
+			s.Metrics["wire."+ps+".bytes_per_interaction"] = regress.Metric{
+				Unit:    "B/ixn",
+				Kind:    regress.KindCount,
+				Better:  regress.LowerIsBetter,
+				Mean:    mean(bytesPer),
+				N:       len(bytesPer),
+				Samples: bytesPer,
+			}
+			if sens := sweep.Sensitivity(); !isNaN(sens) {
+				s.Metrics["sensitivity."+ps] = regress.Metric{
+					Unit:   "ms/ms",
+					Kind:   regress.KindCount,
+					Better: regress.LowerIsBetter,
+					Mean:   sens,
+					N:      len(sweep.Points),
+				}
+			}
+		}
+	}
+	for _, curve := range in.Throughput {
+		ps := pairSlug(Pair{curve.Arch, curve.Algo})
+		for _, p := range curve.Points {
+			s.Metrics["throughput."+ps+".c"+strconv.Itoa(p.Clients)+".ixn_per_s"] = regress.Metric{
+				Unit:   "ixn/s",
+				Kind:   regress.KindRate,
+				Better: regress.HigherIsBetter,
+				Mean:   p.Throughput,
+				N:      p.Interactions,
+			}
+		}
+	}
+	for _, p := range in.Shards {
+		base := "shards.s" + strconv.Itoa(p.Shards)
+		s.Metrics[base+".committed_per_s"] = regress.Metric{
+			Unit:   "commit/s",
+			Kind:   regress.KindRate,
+			Better: regress.HigherIsBetter,
+			Mean:   p.CommittedPerSec(),
+			N:      p.Interactions,
+		}
+		s.Metrics[base+".twopc_fraction"] = regress.Metric{
+			Kind:   regress.KindRatio,
+			Better: regress.LowerIsBetter,
+			Mean:   p.TwoPCFraction(),
+			N:      int(p.FastpathCommits + p.TwoPCCommits + p.ReadonlyCommits),
+		}
+	}
+	if hits, misses := in.Counters["slicache.finder_hits"], in.Counters["slicache.finder_misses"]; hits+misses > 0 {
+		s.Metrics["cache.finder_hit_ratio"] = regress.Metric{
+			Kind:   regress.KindRatio,
+			Better: regress.HigherIsBetter,
+			Mean:   float64(hits) / float64(hits+misses),
+			N:      int(hits + misses),
+		}
+	}
+	if a := in.Attribution; a != nil && a.Traces > 0 {
+		for _, r := range a.Rows {
+			name := "critpath." + r.Key.Tier + "." + r.Key.Name
+			if r.Key.Lane != "" {
+				name += "." + r.Key.Lane
+			}
+			s.Metrics[name+".ms_per_trace"] = regress.Metric{
+				Unit:   "ms",
+				Kind:   regress.KindTime,
+				Better: regress.LowerIsBetter,
+				Mean:   float64(r.Total) / float64(a.Traces) / 1e6,
+				N:      a.Traces,
+			}
+		}
+	}
+	return s
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// isNaN avoids importing math for one comparison.
+func isNaN(f float64) bool { return f != f }

@@ -1,0 +1,143 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"edgeejb/internal/loadgen"
+	"edgeejb/internal/obs/collect"
+	"edgeejb/internal/regress"
+	"edgeejb/internal/stats"
+)
+
+func TestBuildSummaryNaming(t *testing.T) {
+	eval := &Evaluation{Sweeps: map[Pair]Sweep{
+		{ESRDB, AlgVanillaEJB}: {
+			Arch: ESRDB, Algo: AlgVanillaEJB,
+			Points: []Point{
+				{
+					OneWayDelayMs:                  0,
+					MeanLatencyMs:                  1.5,
+					SharedRoundTripsPerInteraction: 12.0,
+					SharedBytesPerInteraction:      4000,
+					Load:                           loadgen.Result{Interactions: 100, BatchMeans: []float64{1.4, 1.6}},
+				},
+				{
+					OneWayDelayMs:                  0.5,
+					MeanLatencyMs:                  13.5,
+					SharedRoundTripsPerInteraction: 12.2,
+					SharedBytesPerInteraction:      4100,
+					Load:                           loadgen.Result{Interactions: 100, BatchMeans: []float64{13.4, 13.6}},
+				},
+			},
+			Fit: stats.Fit{Slope: 24.0, R2: 0.99},
+		},
+	}}
+	attr := &collect.Attribution{
+		Traces: 10,
+		Rows: []collect.AttrRow{
+			{Key: collect.PathKey{Tier: "edge", Name: "edge.request"}, Total: 20 * time.Millisecond},
+			{Key: collect.PathKey{Lane: "shard1", Tier: "edge", Name: "shard.prepare"}, Total: 10 * time.Millisecond},
+		},
+	}
+	s := BuildSummary(SummaryInput{
+		Args: []string{"-fig7"},
+		Eval: eval,
+		Throughput: []ThroughputCurve{{
+			Arch: ESRBES, Algo: AlgCachedEJB,
+			Points: []ThroughputPoint{{Clients: 4, Throughput: 120.5, Interactions: 500}},
+		}},
+		Shards: []ShardScalingPoint{{
+			Shards: 2, Throughput: 200, Interactions: 400, Failures: 0,
+			FastpathCommits: 90, TwoPCCommits: 10,
+		}},
+		Attribution: attr,
+		Counters: map[string]uint64{
+			"slicache.finder_hits":   80,
+			"slicache.finder_misses": 20,
+		},
+	})
+	if s.Schema != regress.SchemaV1 {
+		t.Fatalf("schema = %q", s.Schema)
+	}
+
+	// Every namespace present, with paper names slugged.
+	wantKeys := []string{
+		"latency.es-rdb.vanilla-ejbs.d0ms.mean_ms",
+		"latency.es-rdb.vanilla-ejbs.d0.5ms.mean_ms",
+		"wire.es-rdb.vanilla-ejbs.rts_per_interaction",
+		"wire.es-rdb.vanilla-ejbs.bytes_per_interaction",
+		"sensitivity.es-rdb.vanilla-ejbs",
+		"throughput.es-rbes.cached-ejbs.c4.ixn_per_s",
+		"shards.s2.committed_per_s",
+		"shards.s2.twopc_fraction",
+		"cache.finder_hit_ratio",
+		"critpath.edge.edge.request.ms_per_trace",
+		"critpath.edge.shard.prepare.shard1.ms_per_trace",
+	}
+	for _, k := range wantKeys {
+		if _, ok := s.Metrics[k]; !ok {
+			t.Errorf("missing metric %q (have %v)", k, s.Names())
+		}
+	}
+
+	// Kind and direction spot checks: the gate semantics ride on these.
+	if m := s.Metrics["wire.es-rdb.vanilla-ejbs.rts_per_interaction"]; m.Kind != regress.KindCount ||
+		m.Better != regress.LowerIsBetter || m.Mean != 12.1 || len(m.Samples) != 2 {
+		t.Errorf("wire rts metric = %+v", m)
+	}
+	if m := s.Metrics["latency.es-rdb.vanilla-ejbs.d0ms.mean_ms"]; m.Kind != regress.KindTime ||
+		m.Mean != 1.5 || len(m.Samples) != 2 {
+		t.Errorf("latency metric = %+v", m)
+	}
+	if m := s.Metrics["sensitivity.es-rdb.vanilla-ejbs"]; m.Kind != regress.KindCount || m.Mean != 24.0 {
+		t.Errorf("sensitivity metric = %+v", m)
+	}
+	if m := s.Metrics["throughput.es-rbes.cached-ejbs.c4.ixn_per_s"]; m.Kind != regress.KindRate ||
+		m.Better != regress.HigherIsBetter {
+		t.Errorf("throughput metric = %+v", m)
+	}
+	if m := s.Metrics["shards.s2.twopc_fraction"]; m.Kind != regress.KindRatio || m.Mean != 0.1 {
+		t.Errorf("twopc fraction metric = %+v", m)
+	}
+	if m := s.Metrics["cache.finder_hit_ratio"]; m.Kind != regress.KindRatio || m.Mean != 0.8 ||
+		m.Better != regress.HigherIsBetter {
+		t.Errorf("hit ratio metric = %+v", m)
+	}
+	if m := s.Metrics["critpath.edge.edge.request.ms_per_trace"]; m.Mean != 2.0 {
+		t.Errorf("critpath metric = %+v", m)
+	}
+
+	// Stable kinds survive a round trip through Compare with the
+	// cross-machine gate: a self-compare must be clean.
+	rep := regress.Compare(s, s, regress.Options{Gate: regress.GateStable})
+	if rep.Regressions != 0 {
+		t.Fatalf("self-compare regressions = %d", rep.Regressions)
+	}
+}
+
+func TestBuildSummaryEmptyInput(t *testing.T) {
+	s := BuildSummary(SummaryInput{})
+	if len(s.Metrics) != 0 {
+		t.Fatalf("empty input produced metrics: %v", s.Names())
+	}
+	// NaN sensitivity (single-delay sweep) must not leak into the JSON:
+	// NaN is not valid JSON and would poison every later Load.
+	s = BuildSummary(SummaryInput{Eval: &Evaluation{Sweeps: map[Pair]Sweep{
+		{ESRDB, AlgJDBC}: {
+			Arch: ESRDB, Algo: AlgJDBC,
+			Points: []Point{{OneWayDelayMs: 0, MeanLatencyMs: 1}},
+			Fit:    stats.Fit{Slope: nan(), R2: nan()},
+		},
+	}}})
+	for name := range s.Metrics {
+		if name == "sensitivity.es-rdb.jdbc" {
+			t.Fatal("NaN sensitivity emitted")
+		}
+	}
+}
+
+func nan() float64 {
+	var zero float64
+	return zero / zero
+}

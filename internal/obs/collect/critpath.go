@@ -1,0 +1,387 @@
+package collect
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// Critical-path attribution answers "where did the latency actually
+// go": for each assembled trace it walks the blocking path from the
+// root span's end backwards — at every instant exactly one span is
+// charged, the deepest one covering that instant whose subtree ends
+// latest — and attributes each slice to the span holding it. Gaps a
+// parent spends with no child in flight (queueing, local compute,
+// network time the wire span does not subdivide) are charged to the
+// parent. Parallel children overlap; only the slowest sibling at each
+// moment is on the path, so speeding up an off-path span provably
+// cannot move the root latency. Per-trace attributions sum exactly to
+// the root span's duration (pinned by TestCriticalPathProperty), which
+// makes the aggregated tables conservation-checked rather than vibes.
+
+// PathStep is one span's total contribution to a single trace's
+// blocking path.
+type PathStep struct {
+	// Span is the contributing span.
+	Span *Span
+	// Lane is the span's effective lane: its own, or the nearest laned
+	// ancestor's (the shard router lanes coordinator-side spans, and the
+	// participant's whole remote subtree inherits here).
+	Lane string
+	// Self is the blocking-path time charged to this span: the slices
+	// of the root's window where this span was the deepest cover.
+	Self time.Duration
+}
+
+// CriticalPath attributes one trace's root window across its blocking
+// path and returns one step per on-path span (off-path spans do not
+// appear). Traces without a root return nil. Incomplete traces are
+// attributed from their earliest root only — the gap is visible as that
+// root's window, not silently stitched.
+func CriticalPath(t *Trace) []PathStep {
+	root := t.Root()
+	if root == nil {
+		return nil
+	}
+	var steps []PathStep
+	attribute(root, root.Adjusted, root.End(), "", &steps)
+	return steps
+}
+
+// attribute charges the window [lo, hi] of span s to s and its blocking
+// descendants. The cursor walks backward from hi: the child whose end
+// is latest takes the tail of the window (clipped to the cursor), the
+// gap between that child's end and the cursor is charged to s, and the
+// cursor jumps to the child's start. Children fully covered by a
+// later-ending sibling are off the path and skipped.
+func attribute(s *Span, lo, hi time.Time, lane string, steps *[]PathStep) {
+	if s.SpanRecord.Lane != "" {
+		lane = s.SpanRecord.Lane
+	}
+	if a := s.Adjusted; a.After(lo) {
+		lo = a
+	}
+	if !hi.After(lo) {
+		return
+	}
+	children := append([]*Span(nil), s.Children...)
+	sort.SliceStable(children, func(i, j int) bool {
+		return children[i].End().After(children[j].End())
+	})
+	cur := hi
+	var self time.Duration
+	for _, c := range children {
+		if !cur.After(lo) {
+			break
+		}
+		cEnd, cStart := c.End(), c.Adjusted
+		if cEnd.After(cur) {
+			cEnd = cur
+		}
+		if cStart.Before(lo) {
+			cStart = lo
+		}
+		if !cEnd.After(cStart) {
+			continue // off the path: covered by a later-ending sibling
+		}
+		self += cur.Sub(cEnd)
+		attribute(c, cStart, cEnd, lane, steps)
+		cur = cStart
+	}
+	if cur.After(lo) {
+		self += cur.Sub(lo)
+	}
+	*steps = append(*steps, PathStep{Span: s, Lane: lane, Self: self})
+}
+
+// SelfTimes computes every span's self time — its duration minus the
+// union of its children's windows (clipped to the span) — keyed by
+// span. Unlike CriticalPath this charges overlapping parallel children
+// each in full, so the per-trace sum can exceed the root duration; it
+// answers "how much work ran inside this span itself", not "what was
+// blocking".
+func SelfTimes(t *Trace) map[*Span]time.Duration {
+	out := make(map[*Span]time.Duration, len(t.Spans))
+	for _, s := range t.Spans {
+		out[s] = selfTime(s)
+	}
+	return out
+}
+
+func selfTime(s *Span) time.Duration {
+	type window struct{ lo, hi time.Time }
+	ws := make([]window, 0, len(s.Children))
+	lo, hi := s.Adjusted, s.End()
+	for _, c := range s.Children {
+		clo, chi := c.Adjusted, c.End()
+		if clo.Before(lo) {
+			clo = lo
+		}
+		if chi.After(hi) {
+			chi = hi
+		}
+		if chi.After(clo) {
+			ws = append(ws, window{clo, chi})
+		}
+	}
+	sort.Slice(ws, func(i, j int) bool { return ws[i].lo.Before(ws[j].lo) })
+	covered := time.Duration(0)
+	cur := lo
+	for _, w := range ws {
+		if w.hi.Before(cur) {
+			continue
+		}
+		if w.lo.After(cur) {
+			cur = w.lo
+		}
+		covered += w.hi.Sub(cur)
+		cur = w.hi
+	}
+	return hi.Sub(lo) - covered
+}
+
+// PathKey identifies one attribution bucket: a lane (empty outside
+// sharded runs), the tier the span ran in, and the span name.
+type PathKey struct {
+	Lane string
+	Tier string
+	Name string
+}
+
+// AttrRow is one (lane, tier, span) bucket of an aggregated
+// attribution. The four totals cover the whole run and the duration
+// tails: traces at or above the run's p50, p95, and p99 root duration.
+// Dividing by the matching trace counts in Attribution yields the
+// "ms per trace" columns of the table.
+type AttrRow struct {
+	Key   PathKey
+	Steps uint64
+	// Total is blocking-path time charged to this bucket over all
+	// attributed traces; TotalP50/P95/P99 restrict to the tail groups.
+	Total    time.Duration
+	TotalP50 time.Duration
+	TotalP95 time.Duration
+	TotalP99 time.Duration
+}
+
+// Attribution aggregates critical paths across a run's traces.
+type Attribution struct {
+	// Traces is how many rooted traces were attributed; Skipped counts
+	// traces dropped for having no root span.
+	Traces  int
+	Skipped int
+	// N50/N95/N99 are the tail-group sizes: traces whose root duration
+	// is at or above the run's p50/p95/p99 root duration.
+	N50, N95, N99 int
+	// Q50/Q95/Q99 are those root-duration thresholds.
+	Q50, Q95, Q99 time.Duration
+	// TotalAttributed is the sum of all root durations — the
+	// conservation total every row's Total divides into.
+	TotalAttributed time.Duration
+	// Rows is the aggregated table, sorted by Total descending.
+	Rows []AttrRow
+}
+
+// Attribute computes the blocking-path attribution of every rooted
+// trace and aggregates it per (lane, tier, span name), with separate
+// totals for the p50/p95/p99 root-duration tails — the "where did the
+// p99 go" table.
+func Attribute(traces []*Trace) *Attribution {
+	a := &Attribution{}
+	durs := make([]time.Duration, 0, len(traces))
+	for _, t := range traces {
+		if t.Root() == nil {
+			a.Skipped++
+			continue
+		}
+		durs = append(durs, t.Root().Dur)
+	}
+	a.Traces = len(durs)
+	if a.Traces == 0 {
+		return a
+	}
+	sorted := append([]time.Duration(nil), durs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	a.Q50 = quantileDur(sorted, 0.50)
+	a.Q95 = quantileDur(sorted, 0.95)
+	a.Q99 = quantileDur(sorted, 0.99)
+
+	rows := make(map[PathKey]*AttrRow)
+	for _, t := range traces {
+		root := t.Root()
+		if root == nil {
+			continue
+		}
+		d := root.Dur
+		in50, in95, in99 := d >= a.Q50, d >= a.Q95, d >= a.Q99
+		if in50 {
+			a.N50++
+		}
+		if in95 {
+			a.N95++
+		}
+		if in99 {
+			a.N99++
+		}
+		a.TotalAttributed += d
+		for _, step := range CriticalPath(t) {
+			k := PathKey{Lane: step.Lane, Tier: step.Span.Tier, Name: step.Span.Name}
+			row := rows[k]
+			if row == nil {
+				row = &AttrRow{Key: k}
+				rows[k] = row
+			}
+			row.Steps++
+			row.Total += step.Self
+			if in50 {
+				row.TotalP50 += step.Self
+			}
+			if in95 {
+				row.TotalP95 += step.Self
+			}
+			if in99 {
+				row.TotalP99 += step.Self
+			}
+		}
+	}
+	a.Rows = make([]AttrRow, 0, len(rows))
+	for _, r := range rows {
+		a.Rows = append(a.Rows, *r)
+	}
+	sort.Slice(a.Rows, func(i, j int) bool {
+		if a.Rows[i].Total != a.Rows[j].Total {
+			return a.Rows[i].Total > a.Rows[j].Total
+		}
+		return a.Rows[i].Key.Name < a.Rows[j].Key.Name
+	})
+	return a
+}
+
+// quantileDur returns the p-th tail threshold of a sorted duration
+// slice: the smallest value of the top ceil((1-p)*n) slowest entries,
+// so "d >= threshold" selects at least that top fraction (ties at the
+// threshold enlarge the group rather than emptying it — with exactly
+// 1% slow traces the p99 tail is the slow 1%, not everything).
+func quantileDur(sorted []time.Duration, p float64) time.Duration {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	k := n - int(p*float64(n))
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	return sorted[n-k]
+}
+
+// msPerTrace converts an attributed total into mean milliseconds per
+// trace of the given group size.
+func msPerTrace(total time.Duration, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return float64(total) / float64(n) / float64(time.Millisecond)
+}
+
+// WriteTable renders the attribution as the text table tradebench
+// -metrics prints: mean blocking-path milliseconds per trace, over all
+// traces and over the slow tails, plus each bucket's share of all
+// attributed time.
+func (a *Attribution) WriteTable(w io.Writer) error {
+	if a.Traces == 0 {
+		_, err := fmt.Fprintln(w, "Critical path: no rooted traces to attribute")
+		return err
+	}
+	if _, err := fmt.Fprintf(w,
+		"Critical path: blocking-path time by span (ms per trace; %d traces, %d skipped)\n"+
+			"(tails: traces with root duration >= run p50 %.2fms / p95 %.2fms / p99 %.2fms)\n",
+		a.Traces, a.Skipped,
+		float64(a.Q50)/float64(time.Millisecond),
+		float64(a.Q95)/float64(time.Millisecond),
+		float64(a.Q99)/float64(time.Millisecond)); err != nil {
+		return err
+	}
+	hasLane := false
+	for _, r := range a.Rows {
+		if r.Key.Lane != "" {
+			hasLane = true
+			break
+		}
+	}
+	if hasLane {
+		if _, err := fmt.Fprintf(w, "%-8s", "lane"); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%-8s %-26s %9s %9s %9s %9s %7s\n",
+		"tier", "span", "all", ">=p50", ">=p95", ">=p99", "share"); err != nil {
+		return err
+	}
+	for _, r := range a.Rows {
+		if hasLane {
+			if _, err := fmt.Fprintf(w, "%-8s", r.Key.Lane); err != nil {
+				return err
+			}
+		}
+		share := 0.0
+		if a.TotalAttributed > 0 {
+			share = 100 * float64(r.Total) / float64(a.TotalAttributed)
+		}
+		if _, err := fmt.Fprintf(w, "%-8s %-26s %9.3f %9.3f %9.3f %9.3f %6.1f%%\n",
+			r.Key.Tier, r.Key.Name,
+			msPerTrace(r.Total, a.Traces),
+			msPerTrace(r.TotalP50, a.N50),
+			msPerTrace(r.TotalP95, a.N95),
+			msPerTrace(r.TotalP99, a.N99),
+			share); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCriticalPathCSV exports the attribution in long format, one row
+// per (lane, tier, span) bucket (schema documented in
+// OBSERVABILITY.md). Headers are always written so the artifact is
+// valid even when no traces assembled.
+func WriteCriticalPathCSV(w io.Writer, a *Attribution) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"lane", "tier", "span", "steps",
+		"total_ms", "ms_per_trace",
+		"ms_per_trace_p50tail", "ms_per_trace_p95tail", "ms_per_trace_p99tail",
+		"share",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range a.Rows {
+		share := 0.0
+		if a.TotalAttributed > 0 {
+			share = float64(r.Total) / float64(a.TotalAttributed)
+		}
+		rec := []string{
+			r.Key.Lane,
+			r.Key.Tier,
+			r.Key.Name,
+			strconv.FormatUint(r.Steps, 10),
+			strconv.FormatFloat(float64(r.Total)/float64(time.Millisecond), 'f', 4, 64),
+			strconv.FormatFloat(msPerTrace(r.Total, a.Traces), 'f', 4, 64),
+			strconv.FormatFloat(msPerTrace(r.TotalP50, a.N50), 'f', 4, 64),
+			strconv.FormatFloat(msPerTrace(r.TotalP95, a.N95), 'f', 4, 64),
+			strconv.FormatFloat(msPerTrace(r.TotalP99, a.N99), 'f', 4, 64),
+			strconv.FormatFloat(share, 'f', 4, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

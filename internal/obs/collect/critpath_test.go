@@ -1,0 +1,362 @@
+package collect
+
+import (
+	"bytes"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"edgeejb/internal/obs"
+)
+
+// buildTrace assembles hand-written records through the real Assemble
+// path so the golden tests exercise the same trees production does.
+func buildTrace(t *testing.T, recs []obs.SpanRecord) *Trace {
+	t.Helper()
+	traces := Assemble(Batch{Source: "proc", Spans: recs})
+	if len(traces) != 1 {
+		t.Fatalf("Assemble built %d traces, want 1", len(traces))
+	}
+	return traces[0]
+}
+
+// pathSelf flattens CriticalPath steps into name -> total self time
+// (summing if a name appears on the path more than once).
+func pathSelf(steps []PathStep) map[string]time.Duration {
+	out := make(map[string]time.Duration)
+	for _, s := range steps {
+		out[s.Span.Name] = out[s.Span.Name] + s.Self
+	}
+	return out
+}
+
+func sumSelf(steps []PathStep) time.Duration {
+	var sum time.Duration
+	for _, s := range steps {
+		sum += s.Self
+	}
+	return sum
+}
+
+// TestCriticalPathSerialChain pins the simplest golden case: a
+// root -> edge -> db chain where each level is charged exactly the
+// time its children leave uncovered.
+func TestCriticalPathSerialChain(t *testing.T) {
+	t0 := time.Unix(0, 0)
+	ms := func(d int) time.Duration { return time.Duration(d) * time.Millisecond }
+	tr := buildTrace(t, []obs.SpanRecord{
+		{Trace: 1, Span: 1, Name: "client.interaction", Tier: "client", Start: t0, Dur: ms(10)},
+		{Trace: 1, Span: 2, Parent: 1, Name: "edge.request", Tier: "edge", Start: t0.Add(ms(1)), Dur: ms(8)},
+		{Trace: 1, Span: 3, Parent: 2, Name: "sqlstore.get", Tier: "db", Start: t0.Add(ms(3)), Dur: ms(4)},
+	})
+	steps := CriticalPath(tr)
+	self := pathSelf(steps)
+	want := map[string]time.Duration{
+		"client.interaction": ms(2), // 1ms before edge + 1ms after
+		"edge.request":       ms(4), // 2ms before db + 2ms after
+		"sqlstore.get":       ms(4),
+	}
+	for name, d := range want {
+		if self[name] != d {
+			t.Errorf("self[%s] = %v, want %v", name, self[name], d)
+		}
+	}
+	if got := sumSelf(steps); got != ms(10) {
+		t.Fatalf("path sum = %v, want root duration 10ms", got)
+	}
+}
+
+// TestCriticalPathParallelFanOut pins the defining property of a
+// blocking path: when children overlap, only the slowest sibling is on
+// the path, and a fully-covered fast sibling contributes nothing.
+func TestCriticalPathParallelFanOut(t *testing.T) {
+	t0 := time.Unix(0, 0)
+	ms := func(d int) time.Duration { return time.Duration(d) * time.Millisecond }
+	tr := buildTrace(t, []obs.SpanRecord{
+		{Trace: 2, Span: 1, Name: "edge.request", Tier: "edge", Start: t0, Dur: ms(12)},
+		// Two children started together at +1ms: fast finishes at +4ms,
+		// slow at +11ms. Fast is entirely inside slow's window.
+		{Trace: 2, Span: 2, Parent: 1, Name: "backend.fast", Tier: "backend", Start: t0.Add(ms(1)), Dur: ms(3)},
+		{Trace: 2, Span: 3, Parent: 1, Name: "backend.slow", Tier: "backend", Start: t0.Add(ms(1)), Dur: ms(10)},
+	})
+	steps := CriticalPath(tr)
+	self := pathSelf(steps)
+	if _, on := self["backend.fast"]; on {
+		t.Fatalf("backend.fast is on the critical path (self=%v), want off", self["backend.fast"])
+	}
+	if self["backend.slow"] != ms(10) {
+		t.Errorf("backend.slow self = %v, want 10ms", self["backend.slow"])
+	}
+	if self["edge.request"] != ms(2) {
+		t.Errorf("edge.request self = %v, want 2ms (1ms each side)", self["edge.request"])
+	}
+	if got := sumSelf(steps); got != ms(12) {
+		t.Fatalf("path sum = %v, want root duration 12ms", got)
+	}
+
+	// Staggered overlap: a child that starts first but ends inside a
+	// later sibling only keeps its uncovered prefix.
+	tr2 := buildTrace(t, []obs.SpanRecord{
+		{Trace: 3, Span: 1, Name: "edge.request", Tier: "edge", Start: t0, Dur: ms(10)},
+		{Trace: 3, Span: 2, Parent: 1, Name: "shard.a", Tier: "edge", Start: t0.Add(ms(1)), Dur: ms(5)},
+		{Trace: 3, Span: 3, Parent: 1, Name: "shard.b", Tier: "edge", Start: t0.Add(ms(3)), Dur: ms(6)},
+	})
+	steps2 := CriticalPath(tr2)
+	self2 := pathSelf(steps2)
+	// shard.b owns [3,9], shard.a keeps only its uncovered [1,3) prefix.
+	if self2["shard.b"] != ms(6) {
+		t.Errorf("shard.b self = %v, want 6ms", self2["shard.b"])
+	}
+	if self2["shard.a"] != ms(2) {
+		t.Errorf("shard.a self = %v, want 2ms (clipped by shard.b)", self2["shard.a"])
+	}
+	if self2["edge.request"] != ms(2) {
+		t.Errorf("edge.request self = %v, want 2ms", self2["edge.request"])
+	}
+	if got := sumSelf(steps2); got != ms(10) {
+		t.Fatalf("path sum = %v, want root duration 10ms", got)
+	}
+}
+
+// TestCriticalPathSharded2PC is the sharded-commit golden case: a
+// coordinator fans prepare out to two laned participants in parallel,
+// then commits. The slow participant's remote subtree inherits its
+// lane; the fast participant stays off the path.
+func TestCriticalPathSharded2PC(t *testing.T) {
+	t0 := time.Unix(0, 0)
+	ms := func(d int) time.Duration { return time.Duration(d) * time.Millisecond }
+	tr := buildTrace(t, []obs.SpanRecord{
+		{Trace: 4, Span: 1, Name: "shard.2pc", Tier: "edge", Start: t0, Dur: ms(20)},
+		// Prepare phase, parallel: shard0 takes 4ms, shard1 takes 10ms.
+		{Trace: 4, Span: 2, Parent: 1, Name: "shard.prepare", Tier: "edge", Lane: "shard0", Start: t0.Add(ms(1)), Dur: ms(4)},
+		{Trace: 4, Span: 3, Parent: 1, Name: "shard.prepare", Tier: "edge", Lane: "shard1", Start: t0.Add(ms(1)), Dur: ms(10)},
+		// Each prepare's remote backend work: unlaned records that must
+		// inherit the participant's lane through the walk.
+		{Trace: 4, Span: 4, Parent: 2, Name: "backend.prepare", Tier: "backend", Start: t0.Add(ms(2)), Dur: ms(2)},
+		{Trace: 4, Span: 5, Parent: 3, Name: "backend.prepare", Tier: "backend", Start: t0.Add(ms(2)), Dur: ms(8)},
+		// Commit phase, serial after prepares: shard1 again slower.
+		{Trace: 4, Span: 6, Parent: 1, Name: "shard.commit_prepared", Tier: "edge", Lane: "shard0", Start: t0.Add(ms(12)), Dur: ms(3)},
+		{Trace: 4, Span: 7, Parent: 1, Name: "shard.commit_prepared", Tier: "edge", Lane: "shard1", Start: t0.Add(ms(12)), Dur: ms(7)},
+	})
+	steps := CriticalPath(tr)
+
+	byLane := make(map[string]time.Duration)
+	for _, s := range steps {
+		byLane[s.Lane] += s.Self
+	}
+	// shard0's prepare [1,5] is inside shard1's [1,11]; its commit [12,15]
+	// inside shard1's [12,19]: shard0 must contribute nothing.
+	if byLane["shard0"] != 0 {
+		t.Errorf("shard0 lane on path for %v, want 0", byLane["shard0"])
+	}
+	// shard1 owns prepare [1,11] and commit [12,19]: 17ms.
+	if byLane["shard1"] != ms(17) {
+		t.Errorf("shard1 lane = %v, want 17ms", byLane["shard1"])
+	}
+	// Coordinator keeps the gaps: [0,1) + [11,12) + [19,20) = 3ms.
+	if byLane[""] != ms(3) {
+		t.Errorf("coordinator (no lane) = %v, want 3ms", byLane[""])
+	}
+
+	// The remote backend.prepare under shard1's prepare inherited the
+	// lane even though its own record is unlaned.
+	var sawInherited bool
+	for _, s := range steps {
+		if s.Span.Name == "backend.prepare" {
+			if s.Lane != "shard1" {
+				t.Errorf("backend.prepare lane = %q, want inherited shard1", s.Lane)
+			}
+			if s.Self != ms(8) {
+				t.Errorf("backend.prepare self = %v, want 8ms", s.Self)
+			}
+			sawInherited = true
+		}
+	}
+	if !sawInherited {
+		t.Error("slow participant's backend.prepare missing from the path")
+	}
+	if got := sumSelf(steps); got != ms(20) {
+		t.Fatalf("path sum = %v, want root duration 20ms", got)
+	}
+
+	// The aggregated table keys the lanes apart.
+	a := Attribute([]*Trace{tr})
+	var lanes []string
+	for _, r := range a.Rows {
+		if r.Key.Lane != "" && !contains(lanes, r.Key.Lane) {
+			lanes = append(lanes, r.Key.Lane)
+		}
+	}
+	sort.Strings(lanes)
+	if len(lanes) != 1 || lanes[0] != "shard1" {
+		t.Errorf("attribution lanes = %v, want [shard1] only", lanes)
+	}
+	var buf bytes.Buffer
+	if err := a.WriteTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if out := buf.String(); !strings.Contains(out, "lane") || !strings.Contains(out, "shard1") {
+		t.Errorf("table missing lane column:\n%s", out)
+	}
+}
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// TestCriticalPathProperty is the conservation check: over randomized
+// trees (children possibly overlapping, possibly outlasting their
+// parent, nested arbitrarily), per-trace path self-times sum exactly to
+// the root duration.
+func TestCriticalPathProperty(t *testing.T) {
+	seed := uint64(987654321)
+	next := func(n uint64) uint64 {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		return (seed >> 33) % n
+	}
+	t0 := time.Unix(0, 0)
+	for iter := 0; iter < 200; iter++ {
+		var recs []obs.SpanRecord
+		id := uint64(1)
+		var gen func(parent uint64, start time.Time, dur time.Duration, depth int)
+		gen = func(parent uint64, start time.Time, dur time.Duration, depth int) {
+			span := id
+			id++
+			recs = append(recs, obs.SpanRecord{
+				Trace: 1, Span: span, Parent: parent,
+				Name: "n", Tier: "t",
+				Start: start, Dur: dur,
+			})
+			if depth >= 4 || dur < 4*time.Microsecond {
+				return
+			}
+			kids := next(4)
+			for k := uint64(0); k < kids; k++ {
+				// Child windows chosen freely inside (and occasionally
+				// past) the parent: starts anywhere in the parent, length
+				// up to 125% of the remaining window.
+				off := time.Duration(next(uint64(dur))) * 1
+				maxLen := dur - off + dur/4
+				cdur := time.Duration(1 + next(uint64(maxLen)))
+				gen(span, start.Add(off), cdur, depth+1)
+			}
+		}
+		rootDur := time.Duration(1000+next(100000)) * time.Microsecond
+		gen(0, t0, rootDur, 0)
+		tr := buildTrace(t, recs)
+		steps := CriticalPath(tr)
+		if got := sumSelf(steps); got != rootDur {
+			t.Fatalf("iter %d: path sum %v != root duration %v (%d spans)",
+				iter, got, rootDur, len(recs))
+		}
+		for _, s := range steps {
+			if s.Self < 0 {
+				t.Fatalf("iter %d: negative self time %v for span %d", iter, s.Self, s.Span.Span)
+			}
+		}
+	}
+}
+
+// TestSelfTimes pins the non-path self-time computation: children's
+// windows union out of the parent, overlap counted once.
+func TestSelfTimes(t *testing.T) {
+	t0 := time.Unix(0, 0)
+	ms := func(d int) time.Duration { return time.Duration(d) * time.Millisecond }
+	tr := buildTrace(t, []obs.SpanRecord{
+		{Trace: 9, Span: 1, Name: "root", Tier: "edge", Start: t0, Dur: ms(10)},
+		{Trace: 9, Span: 2, Parent: 1, Name: "a", Tier: "edge", Start: t0.Add(ms(1)), Dur: ms(4)}, // [1,5]
+		{Trace: 9, Span: 3, Parent: 1, Name: "b", Tier: "edge", Start: t0.Add(ms(3)), Dur: ms(4)}, // [3,7] overlaps a
+	})
+	st := SelfTimes(tr)
+	root := tr.Root()
+	// Children cover [1,7] = 6ms of the 10ms root: self = 4ms.
+	if st[root] != ms(4) {
+		t.Fatalf("root self = %v, want 4ms", st[root])
+	}
+}
+
+// TestAttributeTails checks the tail grouping: a bucket that only costs
+// time in slow traces shows up in the >=p95 column, not just overall.
+func TestAttributeTails(t *testing.T) {
+	t0 := time.Unix(0, 0)
+	ms := func(d int) time.Duration { return time.Duration(d) * time.Millisecond }
+	var traces []*Trace
+	// 99 fast traces: 2ms, all in edge.request.
+	for i := 0; i < 99; i++ {
+		traces = append(traces, buildTrace(t, []obs.SpanRecord{
+			{Trace: uint64(100 + i), Span: 1, Name: "edge.request", Tier: "edge", Start: t0, Dur: ms(2)},
+		}))
+	}
+	// 1 slow trace: 50ms, dominated by lockmgr.wait.
+	traces = append(traces, buildTrace(t, []obs.SpanRecord{
+		{Trace: 999, Span: 1, Name: "edge.request", Tier: "edge", Start: t0, Dur: ms(50)},
+		{Trace: 999, Span: 2, Parent: 1, Name: "lockmgr.wait", Tier: "db", Start: t0.Add(ms(1)), Dur: ms(48)},
+	}))
+	a := Attribute(traces)
+	if a.Traces != 100 {
+		t.Fatalf("Traces = %d, want 100", a.Traces)
+	}
+	if a.N99 != 1 {
+		t.Fatalf("N99 = %d, want 1 (only the slow trace)", a.N99)
+	}
+	var lock *AttrRow
+	for i := range a.Rows {
+		if a.Rows[i].Key.Name == "lockmgr.wait" {
+			lock = &a.Rows[i]
+		}
+	}
+	if lock == nil {
+		t.Fatal("lockmgr.wait missing from attribution")
+	}
+	if lock.TotalP99 != ms(48) {
+		t.Errorf("lockmgr.wait >=p99 total = %v, want 48ms", lock.TotalP99)
+	}
+	// Per-trace means: 0.48ms across all traces, 48ms in the p99 tail.
+	if got := msPerTrace(lock.Total, a.Traces); got != 0.48 {
+		t.Errorf("ms/trace overall = %v, want 0.48", got)
+	}
+	if got := msPerTrace(lock.TotalP99, a.N99); got != 48 {
+		t.Errorf("ms/trace p99 = %v, want 48", got)
+	}
+
+	// CSV artifact has the documented header and one row per bucket.
+	var buf bytes.Buffer
+	if err := WriteCriticalPathCSV(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if want := 1 + len(a.Rows); len(lines) != want {
+		t.Fatalf("csv has %d lines, want %d", len(lines), want)
+	}
+	if !strings.HasPrefix(lines[0], "lane,tier,span,steps,total_ms,ms_per_trace") {
+		t.Fatalf("csv header = %q", lines[0])
+	}
+}
+
+// TestAttributeEmpty keeps the degenerate paths total-friendly: no
+// traces, and a rootless trace, neither panics.
+func TestAttributeEmpty(t *testing.T) {
+	a := Attribute(nil)
+	if a.Traces != 0 || len(a.Rows) != 0 {
+		t.Fatalf("empty attribution = %+v", a)
+	}
+	var buf bytes.Buffer
+	if err := a.WriteTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no rooted traces") {
+		t.Fatalf("empty table = %q", buf.String())
+	}
+	if err := WriteCriticalPathCSV(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	if steps := CriticalPath(&Trace{}); steps != nil {
+		t.Fatalf("rootless CriticalPath = %v, want nil", steps)
+	}
+}

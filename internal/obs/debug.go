@@ -31,17 +31,31 @@ type DebugOptions struct {
 //	/healthz       200 while Healthy() (503 otherwise); the body carries
 //	               uptime, build info, and the registered metric count so
 //	               liveness checks can assert more than reachability
-//	/debug/spans   recent spans (?trace=ID for one trace, ?n=N to limit,
-//	               ?format=json&since=UNIXNANO to export records for
-//	               trace assembly)
+//	/debug/spans   recent spans (?trace=ID for one trace, ?n=N to limit
+//	               the text listing, ?format=json&since=UNIXNANO to
+//	               export records for trace assembly, ?limit=N to cap
+//	               the response)
 //	/debug/events  recent forensic events (?since=SEQ for the events
-//	               after a sequence number, ?format=json for JSON Lines)
+//	               after a sequence number, ?format=json for JSON Lines,
+//	               ?limit=N to cap the response)
 //	/debug/pprof/  the standard pprof handlers
 //
-// Malformed query parameters (an unparsable since, an unknown format)
-// are rejected with 400 rather than silently treated as defaults, so a
-// collector with a typo finds out instead of silently draining from
-// zero.
+// The two endpoints' cursors differ deliberately and are easy to mix
+// up: /debug/spans?since= takes a START TIME in unix NANOSECONDS and is
+// inclusive (records with Start >= since), because spans are keyed by
+// wall-clock start for cross-process assembly; /debug/events?since=
+// takes a SEQUENCE NUMBER and is exclusive (events with Seq > since),
+// because events carry a log-assigned monotonic Seq. A poller advances
+// the span cursor to the last record's start (tolerating the one-
+// instant overlap — the assembler dedups) and the event cursor to the
+// last event's Seq. Both endpoints accept ?limit=N (N >= 1) to bound
+// the response for pollers: the OLDEST N matching records are returned,
+// so a capped poll still advances the cursor without skipping.
+//
+// Malformed query parameters (an unparsable since or limit, an unknown
+// format) are rejected with 400 rather than silently treated as
+// defaults, so a collector with a typo finds out instead of silently
+// draining from zero.
 func NewDebugMux(opts DebugOptions) *http.ServeMux {
 	reg := opts.Registry
 	if reg == nil {
@@ -58,6 +72,22 @@ func NewDebugMux(opts DebugOptions) *http.ServeMux {
 	healthy := opts.Healthy
 	if healthy == nil {
 		healthy = func() bool { return true }
+	}
+
+	// parseLimit reads the optional limit query param (0 = unlimited).
+	// Malformed or non-positive values are rejected with 400; the
+	// bool result reports whether the caller should return.
+	parseLimit := func(w http.ResponseWriter, r *http.Request) (int, bool) {
+		s := r.URL.Query().Get("limit")
+		if s == "" {
+			return 0, true
+		}
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 1 {
+			http.Error(w, "bad limit (want positive integer)", http.StatusBadRequest)
+			return 0, false
+		}
+		return v, true
 	}
 
 	started := time.Now()
@@ -114,9 +144,18 @@ func NewDebugMux(opts DebugOptions) *http.ServeMux {
 			}
 			since = time.Unix(0, ns)
 		}
+		limit, ok := parseLimit(w, r)
+		if !ok {
+			return
+		}
 		if format == "json" {
 			w.Header().Set("Content-Type", "application/json")
 			recs := spans.Since(since)
+			if limit > 0 && len(recs) > limit {
+				// Oldest-first truncation: the poller's next since
+				// picks up exactly where the capped page ended.
+				recs = recs[:limit]
+			}
 			if recs == nil {
 				recs = []SpanRecord{}
 			}
@@ -143,6 +182,9 @@ func NewDebugMux(opts DebugOptions) *http.ServeMux {
 				n = v
 			}
 		}
+		if limit > 0 {
+			n = limit
+		}
 		for _, rec := range spans.Recent(n) {
 			fmt.Fprintf(w, "trace=%d span=%d parent=%d [%s] %-24s %s\n",
 				rec.Trace, rec.Span, rec.Parent, rec.Tier, rec.Name, fmtDur(rec.Dur))
@@ -166,7 +208,16 @@ func NewDebugMux(opts DebugOptions) *http.ServeMux {
 			}
 			since = v
 		}
+		limit, ok := parseLimit(w, r)
+		if !ok {
+			return
+		}
 		evs := events.Since(since)
+		if limit > 0 && len(evs) > limit {
+			// Oldest-first truncation; the poller advances since to the
+			// last returned event's seq and drains the rest next poll.
+			evs = evs[:limit]
+		}
 		if format == "json" {
 			w.Header().Set("Content-Type", "application/x-ndjson")
 			_ = WriteEventsJSONL(w, evs)

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"context"
+	"encoding/json"
 	"io"
 	"net/http"
 	"strconv"
@@ -70,5 +71,84 @@ func TestDebugEndpointsSmoke(t *testing.T) {
 	}
 	if out := get("/debug/pprof/", 200); !strings.Contains(out, "goroutine") {
 		t.Fatalf("/debug/pprof/ index unexpected:\n%s", out)
+	}
+}
+
+// TestDebugLimitParam exercises the response-size cap both cursor
+// endpoints expose to pollers: limit truncates oldest-first (so a
+// capped page still advances the cursor), and malformed values are
+// 400s, not silent defaults.
+func TestDebugLimitParam(t *testing.T) {
+	spans := NewSpanLog(64)
+	ctx, _ := WithNewTrace(context.Background())
+	for i := 0; i < 8; i++ {
+		_, sp := StartSpan(ctx, "limit.span")
+		sp.End()
+		spans.add(sp.rec)
+	}
+	events := NewEventLog(64)
+	for i := 0; i < 8; i++ {
+		events.Emit(Event{Type: EventConflict, Op: "buy"})
+	}
+	srv, err := StartDebug("127.0.0.1:0", DebugOptions{
+		Spans:  spans,
+		Events: events,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	get := func(path string, wantStatus int) string {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != wantStatus {
+			t.Fatalf("GET %s: status %d, want %d\n%s", path, resp.StatusCode, wantStatus, body)
+		}
+		return string(body)
+	}
+
+	// Spans: the JSON export respects limit and keeps the OLDEST
+	// records, so the poller's next since= resumes from the cut.
+	var recs []SpanRecord
+	if err := json.Unmarshal([]byte(get("/debug/spans?format=json&limit=3", 200)), &recs); err != nil {
+		t.Fatalf("spans json: %v", err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("spans limit=3 returned %d records", len(recs))
+	}
+	all := spans.Since(time.Time{})
+	if recs[0].Span != all[0].Span || recs[2].Span != all[2].Span {
+		t.Fatalf("spans limit did not keep the oldest records: got %v, want prefix of %v", recs, all[:3])
+	}
+
+	// Events: same contract on the sequence cursor.
+	lines := strings.Split(strings.TrimSpace(get("/debug/events?format=json&limit=2", 200)), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("events limit=2 returned %d lines", len(lines))
+	}
+	var first Event
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatalf("events json: %v", err)
+	}
+	if first.Seq != 1 {
+		t.Fatalf("events limit kept seq %d first, want the oldest (1)", first.Seq)
+	}
+
+	// Text mode is capped too.
+	if out := get("/debug/spans?limit=2", 200); strings.Count(out, "limit.span") != 2 {
+		t.Fatalf("spans text limit=2:\n%s", out)
+	}
+
+	// Malformed limits are 400s on both endpoints.
+	for _, bad := range []string{"limit=0", "limit=-1", "limit=abc"} {
+		get("/debug/spans?"+bad, 400)
+		get("/debug/events?"+bad, 400)
 	}
 }

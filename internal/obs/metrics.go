@@ -133,29 +133,49 @@ func (s HistSnapshot) Mean() time.Duration {
 	return s.Sum / time.Duration(s.Count)
 }
 
-// Quantile returns an upper-bound estimate of the p-th quantile
-// (0 < p <= 1). The answer is the upper edge of the bucket containing
-// the target rank; for the overflow bucket it is the observed maximum.
-// An empty snapshot returns zero.
+// Quantile estimates the p-th quantile (0 < p <= 1) by locating the
+// bucket containing the target rank and interpolating linearly within
+// it: the rank's position among the bucket's observations picks a point
+// between the bucket's lower and upper edges. With power-of-two buckets
+// a pure upper-bound answer can overstate a quantile by almost 2×;
+// interpolation assumes observations spread evenly within the bucket,
+// bounding the worst-case relative error near 50% and keeping it far
+// smaller for smooth distributions (pinned by TestQuantileInterpolation).
+// The estimate is clamped at the observed maximum; the overflow bucket,
+// whose upper edge is unbounded, interpolates toward that maximum. An
+// empty snapshot returns zero.
 func (s HistSnapshot) Quantile(p float64) time.Duration {
 	if s.Count == 0 {
 		return 0
 	}
-	target := uint64(p * float64(s.Count))
-	if target == 0 {
-		target = 1
+	pos := p * float64(s.Count)
+	if pos < 1 {
+		pos = 1
 	}
 	var cum uint64
 	for i, n := range s.Buckets {
-		cum += n
-		if cum >= target {
-			if i == HistBuckets-1 {
-				return s.Max
-			}
-			// The bucket's upper edge, clamped at the observed max
-			// (a tighter upper bound for the top bucket in use).
-			return min(time.Microsecond<<i, s.Max)
+		if n == 0 {
+			continue
 		}
+		if float64(cum+n) < pos {
+			cum += n
+			continue
+		}
+		// Bucket i holds durations in [lo, hi): bucket 0 is [0, 1µs),
+		// bucket i≥1 is [1µs<<(i-1), 1µs<<i). The overflow bucket and
+		// any bucket holding the largest observation are capped at the
+		// observed maximum instead of their nominal edge.
+		var lo time.Duration
+		if i > 0 {
+			lo = time.Microsecond << (i - 1)
+		}
+		hi := time.Microsecond << i
+		if i == HistBuckets-1 || (s.Max >= lo && s.Max < hi) {
+			hi = max(s.Max, lo)
+		}
+		frac := (pos - float64(cum)) / float64(n)
+		est := lo + time.Duration(frac*float64(hi-lo))
+		return min(est, s.Max)
 	}
 	return s.Max
 }

@@ -1,0 +1,267 @@
+package regress
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"edgeejb/internal/stats"
+)
+
+// Verdict is the outcome of comparing one metric across two runs.
+type Verdict string
+
+const (
+	// Unchanged: the difference is inside the tolerance budget.
+	Unchanged Verdict = "unchanged"
+	// Improved: outside tolerance, significant (when testable), and in
+	// the metric's better direction.
+	Improved Verdict = "improved"
+	// Regressed: outside tolerance, significant (when testable), and in
+	// the worse direction.
+	Regressed Verdict = "regressed"
+	// Inconclusive: outside tolerance but the Welch test cannot
+	// distinguish the runs — the tolerance was exceeded by noise.
+	Inconclusive Verdict = "inconclusive"
+	// Added: present only in the new run.
+	Added Verdict = "added"
+	// Removed: present only in the old run.
+	Removed Verdict = "removed"
+)
+
+// GateFunc decides which metrics arm the exit-code gate.
+type GateFunc func(name string, k Kind) bool
+
+// GateAll gates every metric — for same-machine A/B comparisons.
+func GateAll(string, Kind) bool { return true }
+
+// GateStable gates only machine-independent kinds — for comparing
+// against a checked-in baseline from different hardware.
+func GateStable(_ string, k Kind) bool { return k.Stable() }
+
+// GateNone reports differences without gating any.
+func GateNone(string, Kind) bool { return false }
+
+// GateKinds gates exactly the listed kinds.
+func GateKinds(kinds ...Kind) GateFunc {
+	set := make(map[Kind]bool, len(kinds))
+	for _, k := range kinds {
+		set[k] = true
+	}
+	return func(_ string, k Kind) bool { return set[k] }
+}
+
+// Options configures a comparison. The zero value uses per-kind default
+// tolerances and gates nothing.
+type Options struct {
+	// Tolerance overrides the per-kind default budget for specific
+	// metric names (relative fraction; absolute for ratio metrics).
+	Tolerance map[string]float64
+	// Gate decides which metrics can turn the report red (GateNone when
+	// nil).
+	Gate GateFunc
+}
+
+// Result is one metric's comparison.
+type Result struct {
+	Name   string
+	Kind   Kind
+	Better Direction
+	Unit   string
+	// Old and New are the two means (zero for Added/Removed sides).
+	Old, New float64
+	// Delta is New - Old; Rel is Delta relative to Old (for ratio
+	// metrics Rel holds the absolute difference instead, matching the
+	// tolerance semantics).
+	Delta, Rel float64
+	// Tol is the budget applied.
+	Tol float64
+	// Exceeds reports |Rel| > Tol.
+	Exceeds bool
+	// Test is the Welch comparison when both runs carried >= 2 samples.
+	Test *stats.TwoSample
+	// Verdict is the outcome.
+	Verdict Verdict
+	// Gated reports whether this metric arms the exit code.
+	Gated bool
+}
+
+// worse reports whether the delta moved in the metric's worse
+// direction.
+func (r *Result) worse() bool {
+	if r.Better == HigherIsBetter {
+		return r.Delta < 0
+	}
+	return r.Delta > 0
+}
+
+// Report is a full two-run comparison.
+type Report struct {
+	Results []Result
+	// Regressions counts gated Regressed results — the exit-code
+	// signal. Improvements and Inconclusive count gated results too.
+	Regressions   int
+	Improvements  int
+	Inconclusives int
+}
+
+// Compare diffs two summaries metric by metric. A metric regresses only
+// if it exceeds its tolerance budget AND, when both runs carry samples,
+// a Welch two-sample test finds the difference significant at the 95%
+// level; tolerance-only exceedances with an insignificant test come
+// back Inconclusive instead.
+func Compare(oldS, newS *Summary, opts Options) *Report {
+	gate := opts.Gate
+	if gate == nil {
+		gate = GateNone
+	}
+	names := make(map[string]bool)
+	for n := range oldS.Metrics {
+		names[n] = true
+	}
+	for n := range newS.Metrics {
+		names[n] = true
+	}
+	rep := &Report{}
+	for name := range names {
+		om, inOld := oldS.Metrics[name]
+		nm, inNew := newS.Metrics[name]
+		r := Result{Name: name}
+		switch {
+		case !inNew:
+			r.Kind, r.Better, r.Unit = om.Kind, om.Better, om.Unit
+			r.Old = om.Mean
+			r.Verdict = Removed
+		case !inOld:
+			r.Kind, r.Better, r.Unit = nm.Kind, nm.Better, nm.Unit
+			r.New = nm.Mean
+			r.Verdict = Added
+		default:
+			r.Kind, r.Better, r.Unit = nm.Kind, nm.Better, nm.Unit
+			r.Old, r.New = om.Mean, nm.Mean
+			r.Delta = nm.Mean - om.Mean
+			r.Tol = r.Kind.DefaultTolerance()
+			if t, ok := opts.Tolerance[name]; ok {
+				r.Tol = t
+			}
+			if r.Kind == KindRatio {
+				r.Rel = r.Delta
+			} else if om.Mean != 0 {
+				r.Rel = r.Delta / math.Abs(om.Mean)
+			} else if r.Delta != 0 {
+				r.Rel = math.Inf(1)
+			}
+			r.Exceeds = math.Abs(r.Rel) > r.Tol
+			if len(om.Samples) >= 2 && len(nm.Samples) >= 2 {
+				if t, err := stats.WelchTest(om.Samples, nm.Samples); err == nil {
+					r.Test = &t
+				}
+			}
+			switch {
+			case !r.Exceeds:
+				r.Verdict = Unchanged
+			case r.Test != nil && !r.Test.Significant:
+				r.Verdict = Inconclusive
+			case r.worse():
+				r.Verdict = Regressed
+			default:
+				r.Verdict = Improved
+			}
+		}
+		r.Gated = gate(name, r.Kind)
+		if r.Gated {
+			switch r.Verdict {
+			case Regressed:
+				rep.Regressions++
+			case Improved:
+				rep.Improvements++
+			case Inconclusive:
+				rep.Inconclusives++
+			}
+		}
+		rep.Results = append(rep.Results, r)
+	}
+	sort.Slice(rep.Results, func(i, j int) bool {
+		return rep.Results[i].Name < rep.Results[j].Name
+	})
+	return rep
+}
+
+// verdictMark is the one-character gutter flag for the table.
+func verdictMark(v Verdict, gated bool) string {
+	switch v {
+	case Regressed:
+		if gated {
+			return "✗"
+		}
+		return "!"
+	case Improved:
+		return "✓"
+	case Inconclusive:
+		return "?"
+	case Added, Removed:
+		return "±"
+	default:
+		return " "
+	}
+}
+
+// WriteTable renders the comparison. With all=false only non-unchanged
+// rows print (plus a count of the suppressed ones); all=true prints
+// everything.
+func (rep *Report) WriteTable(w io.Writer, all bool) error {
+	if _, err := fmt.Fprintf(w, "%-1s %-44s %12s %12s %9s %8s  %s\n",
+		"", "metric", "old", "new", "delta", "budget", "verdict"); err != nil {
+		return err
+	}
+	suppressed := 0
+	for _, r := range rep.Results {
+		if !all && r.Verdict == Unchanged {
+			suppressed++
+			continue
+		}
+		delta := ""
+		switch r.Verdict {
+		case Added:
+			delta = "(new)"
+		case Removed:
+			delta = "(gone)"
+		default:
+			if r.Kind == KindRatio {
+				delta = fmt.Sprintf("%+.3f", r.Rel)
+			} else if math.IsInf(r.Rel, 0) {
+				delta = "+inf"
+			} else {
+				delta = fmt.Sprintf("%+.1f%%", 100*r.Rel)
+			}
+		}
+		budget := ""
+		if r.Verdict != Added && r.Verdict != Removed {
+			if r.Kind == KindRatio {
+				budget = fmt.Sprintf("±%.3f", r.Tol)
+			} else {
+				budget = fmt.Sprintf("±%.0f%%", 100*r.Tol)
+			}
+		}
+		verdict := string(r.Verdict)
+		if r.Test != nil && (r.Verdict == Regressed || r.Verdict == Improved) {
+			verdict += " (95% CI)"
+		}
+		if r.Gated && r.Verdict == Regressed {
+			verdict += " [gated]"
+		}
+		if _, err := fmt.Fprintf(w, "%-1s %-44s %12.4f %12.4f %9s %8s  %s\n",
+			verdictMark(r.Verdict, r.Gated), r.Name, r.Old, r.New, delta, budget, verdict); err != nil {
+			return err
+		}
+	}
+	if !all && suppressed > 0 {
+		if _, err := fmt.Fprintf(w, "  (%d unchanged metrics hidden; -all shows them)\n", suppressed); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "verdict: %d regressed, %d improved, %d inconclusive (gated metrics)\n",
+		rep.Regressions, rep.Improvements, rep.Inconclusives)
+	return err
+}

@@ -75,6 +75,11 @@ func (r *Router) nextGid() string {
 	return r.id + "-" + strconv.FormatUint(r.gidSeq.Add(1), 10)
 }
 
+// laneOf labels the span lane for one participant shard. Critical-path
+// attribution groups commit-path time per lane, so a sharded run's
+// table shows which shard the blocking time sat on.
+func laneOf(s int) string { return "shard" + strconv.Itoa(s) }
+
 // AutoGet routes the read to the key's owning shard: one round trip,
 // exactly as against an unsharded tier.
 func (r *Router) AutoGet(ctx context.Context, table, id string) (storeapi.GetResult, error) {
@@ -143,7 +148,9 @@ func (r *Router) ApplyCommitSet(ctx context.Context, cs memento.CommitSet) (sqls
 	obsParticipants.Observe(time.Duration(len(split)))
 	if len(split) == 1 {
 		for s, sub := range split {
-			res, err := r.conns[s].ApplyCommitSet(ctx, sub)
+			actx, asp := obs.StartSpan(obs.WithLane(ctx, laneOf(s)), "shard.apply")
+			res, err := r.conns[s].ApplyCommitSet(actx, sub)
+			asp.End()
 			if err != nil {
 				return sqlstore.ApplyResult{}, err
 			}
@@ -179,7 +186,9 @@ func (r *Router) validateScatter(ctx context.Context, split map[int]memento.Comm
 		wg.Add(1)
 		go func(p *part) {
 			defer wg.Done()
-			p.res, p.err = r.conns[p.shard].ApplyCommitSet(ctx, split[p.shard])
+			pctx, psp := obs.StartSpan(obs.WithLane(ctx, laneOf(p.shard)), "shard.apply")
+			p.res, p.err = r.conns[p.shard].ApplyCommitSet(pctx, split[p.shard])
+			psp.End()
 		}(&parts[i])
 	}
 	wg.Wait()
@@ -234,7 +243,7 @@ func (r *Router) twoPhase(ctx context.Context, split map[int]memento.CommitSet) 
 		wg.Add(1)
 		go func(p *part) {
 			defer wg.Done()
-			pctx, psp := obs.StartSpan(ctx, "shard.prepare")
+			pctx, psp := obs.StartSpan(obs.WithLane(ctx, laneOf(p.shard)), "shard.prepare")
 			start := time.Now()
 			p.err = p.prep.Prepare(pctx, gid, split[p.shard])
 			obsPrepareLatency.Observe(time.Since(start))
@@ -280,7 +289,7 @@ func (r *Router) twoPhase(ctx context.Context, split map[int]memento.CommitSet) 
 		wg.Add(1)
 		go func(p *part) {
 			defer wg.Done()
-			pctx, psp := obs.StartSpan(cctx, "shard.commit_prepared")
+			pctx, psp := obs.StartSpan(obs.WithLane(cctx, laneOf(p.shard)), "shard.commit_prepared")
 			p.res, p.err = p.prep.CommitPrepared(pctx, gid)
 			psp.End()
 		}(&parts[i])

@@ -1,0 +1,70 @@
+package stats
+
+import "math"
+
+// TwoSample is the result of a Welch two-sample comparison of means.
+type TwoSample struct {
+	// MeanDiff is mean(b) - mean(a): positive when b is larger.
+	MeanDiff float64
+	// T is the Welch t statistic (±Inf when both samples have zero
+	// variance but different means).
+	T float64
+	// DF is the Welch–Satterthwaite degrees of freedom, floored to the
+	// integer the critical-value table is indexed by.
+	DF int
+	// CI95 is the half-width of the 95% confidence interval on MeanDiff.
+	CI95 float64
+	// Significant reports |MeanDiff| > CI95 — the interval excludes
+	// zero at the 95% level.
+	Significant bool
+}
+
+// WelchTest compares the means of two independent samples without
+// assuming equal variances — the right test for batch means from two
+// separate benchmark runs, whose noise levels routinely differ. Both
+// samples need at least two points (ErrInsufficientData otherwise);
+// the degenerate zero-variance-both-sides case reports any nonzero
+// mean difference as significant, since the data admits no noise to
+// hide behind.
+func WelchTest(a, b []float64) (TwoSample, error) {
+	if len(a) < 2 || len(b) < 2 {
+		return TwoSample{}, ErrInsufficientData
+	}
+	sa, sb := Summarize(a), Summarize(b)
+	diff := sb.Mean - sa.Mean
+	va := sa.Stddev * sa.Stddev / float64(sa.N)
+	vb := sb.Stddev * sb.Stddev / float64(sb.N)
+	se := math.Sqrt(va + vb)
+	if se == 0 {
+		return TwoSample{
+			MeanDiff:    diff,
+			T:           math.Inf(sign(diff)),
+			DF:          sa.N + sb.N - 2,
+			Significant: diff != 0,
+		}, nil
+	}
+	// Welch–Satterthwaite effective degrees of freedom; flooring is the
+	// conservative direction (a wider critical value).
+	num := (va + vb) * (va + vb)
+	den := va*va/float64(sa.N-1) + vb*vb/float64(sb.N-1)
+	df := int(num / den)
+	if df < 1 {
+		df = 1
+	}
+	ci := tCritical95(df) * se
+	return TwoSample{
+		MeanDiff:    diff,
+		T:           diff / se,
+		DF:          df,
+		CI95:        ci,
+		Significant: math.Abs(diff) > ci,
+	}, nil
+}
+
+// sign maps a float to the ±1 convention math.Inf expects (0 -> +1).
+func sign(x float64) int {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}

@@ -1,0 +1,102 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWelchTestSeparatedMeans(t *testing.T) {
+	// Two tight samples 10 apart: unambiguously significant, with the
+	// right sign convention (MeanDiff = mean(b) - mean(a)).
+	a := []float64{10, 10.1, 9.9, 10.05, 9.95}
+	b := []float64{20, 20.2, 19.8, 20.1, 19.9}
+	r, err := WelchTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Significant {
+		t.Fatalf("10-sigma separation not significant: %+v", r)
+	}
+	if r.MeanDiff < 9.5 || r.MeanDiff > 10.5 {
+		t.Fatalf("MeanDiff = %v, want ~10", r.MeanDiff)
+	}
+	if r.T <= 0 {
+		t.Fatalf("T = %v, want positive for b > a", r.T)
+	}
+	// Swapped order flips the sign.
+	rs, err := WelchTest(b, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.MeanDiff >= 0 || rs.T >= 0 {
+		t.Fatalf("swapped test not negative: %+v", rs)
+	}
+}
+
+func TestWelchTestOverlappingMeans(t *testing.T) {
+	// Noisy samples with nearly identical means: must NOT be flagged.
+	a := []float64{10, 14, 8, 12, 9, 13}
+	b := []float64{11, 13, 9, 12, 10, 12}
+	r, err := WelchTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Significant {
+		t.Fatalf("overlapping samples flagged significant: %+v", r)
+	}
+	if r.CI95 <= math.Abs(r.MeanDiff) {
+		t.Fatalf("CI95 %v should cover the mean diff %v", r.CI95, r.MeanDiff)
+	}
+}
+
+func TestWelchTestUnequalVariances(t *testing.T) {
+	// One tight and one loose sample: the Welch df must fall below the
+	// pooled n1+n2-2, reflecting the looser sample's dominance.
+	a := []float64{10.0, 10.01, 9.99, 10.0, 10.01, 9.99}
+	b := []float64{12, 18, 9, 15, 8, 16}
+	r, err := WelchTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.DF >= len(a)+len(b)-2 {
+		t.Fatalf("Welch DF = %d, want < pooled %d", r.DF, len(a)+len(b)-2)
+	}
+	if r.DF < 1 {
+		t.Fatalf("DF = %d, want >= 1", r.DF)
+	}
+}
+
+func TestWelchTestZeroVariance(t *testing.T) {
+	// Identical constants on both sides: no difference, not significant.
+	same, err := WelchTest([]float64{5, 5, 5}, []float64{5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same.Significant || same.MeanDiff != 0 {
+		t.Fatalf("identical constants: %+v", same)
+	}
+	// Different constants: zero noise, any difference is significant.
+	diff, err := WelchTest([]float64{5, 5, 5}, []float64{6, 6, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !diff.Significant || diff.MeanDiff != 1 {
+		t.Fatalf("distinct constants: %+v", diff)
+	}
+	if !math.IsInf(diff.T, 1) {
+		t.Fatalf("T = %v, want +Inf", diff.T)
+	}
+}
+
+func TestWelchTestInsufficientData(t *testing.T) {
+	for _, pair := range [][2][]float64{
+		{nil, {1, 2}},
+		{{1, 2}, nil},
+		{{1}, {1, 2}},
+		{{1, 2}, {1}},
+	} {
+		if _, err := WelchTest(pair[0], pair[1]); err != ErrInsufficientData {
+			t.Fatalf("WelchTest(%v, %v) err = %v, want ErrInsufficientData", pair[0], pair[1], err)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+#!/bin/sh
+# Self-test for the regression engine: prove benchdiff can tell "same
+# build run twice" from "build with a real protocol regression" before
+# trusting it to gate CI.
+#
+#   Leg A, Leg B  identical fixed-seed runs -> benchdiff with the CI
+#                 gate (stable kinds, widened sensitivity budgets) must
+#                 exit 0: no false positives between identical builds
+#   Leg C         same build forced onto -codec gob -batch=false (the
+#                 old-peer downgrade path) -> the same gate must exit 2
+#                 and flag a wire round-trip regression (losing write
+#                 batching adds one round trip per write)
+#
+# The A/B leg deliberately gates only the stable kinds. Sub-millisecond
+# zero-delay latency points swing +-40% between identical builds at
+# this scale, which is exactly why time/rate metrics are host-only
+# evidence and the gate rides on counts and ratios.
+set -eu
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+go build -o "$tmp/tradebench" ./cmd/tradebench
+go build -o "$tmp/benchdiff" ./cmd/benchdiff
+
+leg='-fig6 -q -sessions 6 -warmup 2 -batches 6 -delays 0ms,1ms -users 10 -symbols 20 -seed 42'
+
+# shellcheck disable=SC2086 # $leg is a fixed word list, splitting is intended
+"$tmp/tradebench" $leg -out-dir "$tmp/a"
+# shellcheck disable=SC2086
+"$tmp/tradebench" $leg -out-dir "$tmp/b"
+
+echo "== same build, same seed: expect no gated regressions =="
+if ! "$tmp/benchdiff" -gate stable \
+	-tol sensitivity.es-rdb.cached-ejbs=0.25 \
+	-tol sensitivity.es-rdb.jdbc=0.25 \
+	-tol sensitivity.es-rdb.vanilla-ejbs=0.25 \
+	-tol sensitivity.es-rbes.cached-ejbs=0.25 \
+	-tol sensitivity.clients-ras.cached-ejbs=0.25 \
+	-tol sensitivity.clients-ras.jdbc=0.25 \
+	-tol sensitivity.clients-ras.vanilla-ejbs=0.25 \
+	"$tmp/a" "$tmp/b"; then
+	echo "perf_selftest: FAIL: identical builds reported a regression" >&2
+	exit 1
+fi
+
+# shellcheck disable=SC2086
+"$tmp/tradebench" $leg -codec gob -batch=false -out-dir "$tmp/c"
+
+echo "== gob fallback, batching off: expect gated wire regressions =="
+rc=0
+"$tmp/benchdiff" -gate stable "$tmp/a" "$tmp/c" >"$tmp/diff.out" || rc=$?
+cat "$tmp/diff.out"
+if [ "$rc" != 2 ]; then
+	echo "perf_selftest: FAIL: degraded leg exited $rc, want 2" >&2
+	exit 1
+fi
+if ! grep -E 'wire\..*rts_per_interaction.*\+.*regressed' "$tmp/diff.out" >/dev/null; then
+	echo "perf_selftest: FAIL: no wire round-trip regression flagged" >&2
+	exit 1
+fi
+
+echo "perf_selftest: ok (clean A/B, degraded leg gated with wire RT regression)"
