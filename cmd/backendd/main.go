@@ -17,6 +17,7 @@ import (
 	"edgeejb/internal/backend"
 	"edgeejb/internal/dbwire"
 	"edgeejb/internal/obs"
+	"edgeejb/internal/obs/prof"
 	"edgeejb/internal/wire"
 )
 
@@ -34,6 +35,7 @@ func run(args []string) error {
 		db       = fs.String("db", "127.0.0.1:7000", "database server address (this shard's dbserverd in a sharded tier)")
 		dbWait   = fs.Duration("db-wait", 15*time.Second, "how long to keep retrying the database at boot (crash-restart recovery)")
 		debug    = fs.String("debug-addr", "", "serve /metrics, /healthz and /debug/pprof on this address")
+		rates    = fs.Bool("profile-rates", false, "enable mutex and block profiling so /debug/pprof/mutex and /debug/pprof/block carry samples (both are empty at the runtime's defaults); costs a sampled stack capture on contended-unlock and blocking paths")
 		shards   = fs.Int("shards", 1, "total shards in the deployment (identity only; each backend pairs with one shard's database)")
 		shardIdx = fs.Int("shard", 0, "this backend's shard index in [0, -shards)")
 	)
@@ -50,12 +52,20 @@ func run(args []string) error {
 	// Label this process's spans for cross-tier trace assembly.
 	obs.SetTier("backend")
 
+	if *rates {
+		defer prof.EnableProfileRates()()
+	}
 	if *debug != "" {
 		dbg, err := obs.StartDebug(*debug, obs.DebugOptions{})
 		if err != nil {
 			return err
 		}
 		defer dbg.Close()
+		// Feed the Go runtime's meters into /metrics alongside the
+		// application metrics, so a scrape sees this tier's GC and
+		// allocation behavior too.
+		rt := prof.StartRuntime(obs.Default, time.Second)
+		defer rt.Stop()
 		fmt.Printf("backendd: debug endpoints on http://%s/metrics\n", dbg.Addr())
 	}
 

@@ -17,6 +17,7 @@ import (
 	"edgeejb/internal/dbwire"
 	"edgeejb/internal/memento"
 	"edgeejb/internal/obs"
+	"edgeejb/internal/obs/prof"
 	"edgeejb/internal/shard"
 	"edgeejb/internal/sqlstore"
 	"edgeejb/internal/storeapi"
@@ -43,6 +44,7 @@ func run(args []string) error {
 		snapshot    = fs.String("snapshot", "", "snapshot file: restored at boot if present, written on shutdown")
 		snapEvery   = fs.Duration("snapshot-every", 0, "also write the snapshot at this interval, bounding data lost to a crash (0 = shutdown only)")
 		debug       = fs.String("debug-addr", "", "serve /metrics, /healthz and /debug/pprof on this address")
+		rates       = fs.Bool("profile-rates", false, "enable mutex and block profiling so /debug/pprof/mutex and /debug/pprof/block carry samples (both are empty at the runtime's defaults); costs a sampled stack capture on contended-unlock and blocking paths")
 		shards      = fs.Int("shards", 1, "total database shards in the deployment; this process populates only the rows shard -shard owns")
 		shardIdx    = fs.Int("shard", 0, "this process's shard index in [0, -shards)")
 		prepareTTL  = fs.Duration("prepare-ttl", 10*time.Second, "presumed-abort timeout for prepared (in-doubt) cross-shard transactions")
@@ -60,12 +62,20 @@ func run(args []string) error {
 	// Label this process's spans for cross-tier trace assembly.
 	obs.SetTier("db")
 
+	if *rates {
+		defer prof.EnableProfileRates()()
+	}
 	if *debug != "" {
 		dbg, err := obs.StartDebug(*debug, obs.DebugOptions{})
 		if err != nil {
 			return err
 		}
 		defer dbg.Close()
+		// Feed the Go runtime's meters into /metrics alongside the
+		// application metrics, so a scrape sees this tier's GC and
+		// allocation behavior too.
+		rt := prof.StartRuntime(obs.Default, time.Second)
+		defer rt.Stop()
 		fmt.Printf("dbserverd: debug endpoints on http://%s/metrics\n", dbg.Addr())
 	}
 

@@ -16,6 +16,7 @@ import (
 
 	"edgeejb/internal/latency"
 	"edgeejb/internal/obs"
+	"edgeejb/internal/obs/prof"
 )
 
 func main() {
@@ -33,6 +34,7 @@ func run(args []string) error {
 		delay      = fs.Duration("delay", 10*time.Millisecond, "one-way delay to inject")
 		statsEvery = fs.Duration("stats", 10*time.Second, "print byte counters at this interval (0 = off)")
 		debug      = fs.String("debug-addr", "", "serve /metrics, /healthz and /debug/pprof on this address")
+		rates      = fs.Bool("profile-rates", false, "enable mutex and block profiling so /debug/pprof/mutex and /debug/pprof/block carry samples (both are empty at the runtime's defaults); costs a sampled stack capture on contended-unlock and blocking paths")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -41,12 +43,20 @@ func run(args []string) error {
 	// Label this process's spans for cross-tier trace assembly.
 	obs.SetTier("proxy")
 
+	if *rates {
+		defer prof.EnableProfileRates()()
+	}
 	if *debug != "" {
 		dbg, err := obs.StartDebug(*debug, obs.DebugOptions{})
 		if err != nil {
 			return err
 		}
 		defer dbg.Close()
+		// Feed the Go runtime's meters into /metrics alongside the
+		// application metrics, so a scrape sees this tier's GC and
+		// allocation behavior too.
+		rt := prof.StartRuntime(obs.Default, time.Second)
+		defer rt.Stop()
 		fmt.Printf("delayproxy: debug endpoints on http://%s/metrics\n", dbg.Addr())
 	}
 

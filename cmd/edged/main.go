@@ -20,11 +20,13 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"edgeejb/internal/appserver"
 	"edgeejb/internal/component"
 	"edgeejb/internal/dbwire"
 	"edgeejb/internal/obs"
+	"edgeejb/internal/obs/prof"
 	"edgeejb/internal/shard"
 	"edgeejb/internal/slicache"
 	"edgeejb/internal/storeapi"
@@ -46,6 +48,7 @@ func run(args []string) error {
 		target   = fs.String("target", "127.0.0.1:7000", "database or back-end server address; a comma-separated list (sli-backend only) routes by key across that many shards, ordered by shard index")
 		algo     = fs.String("algo", "sli-backend", "data access: jdbc | bmp | sli-db | sli-backend")
 		debug    = fs.String("debug-addr", "", "serve /metrics, /healthz and /debug/pprof on this address")
+		rates    = fs.Bool("profile-rates", false, "enable mutex and block profiling so /debug/pprof/mutex and /debug/pprof/block carry samples (both are empty at the runtime's defaults); costs a sampled stack capture on contended-unlock and blocking paths")
 		shards   = fs.Int("shards", 0, "shard count cross-check: when > 0, must equal the number of -target addresses")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -67,12 +70,20 @@ func run(args []string) error {
 	// this catches any future unprefixed ones).
 	obs.SetTier("edge")
 
+	if *rates {
+		defer prof.EnableProfileRates()()
+	}
 	if *debug != "" {
 		dbg, err := obs.StartDebug(*debug, obs.DebugOptions{})
 		if err != nil {
 			return err
 		}
 		defer dbg.Close()
+		// Feed the Go runtime's meters into /metrics alongside the
+		// application metrics, so a scrape sees this tier's GC and
+		// allocation behavior too.
+		rt := prof.StartRuntime(obs.Default, time.Second)
+		defer rt.Stop()
 		fmt.Printf("edged: debug endpoints on http://%s/metrics\n", dbg.Addr())
 	}
 

@@ -13,6 +13,11 @@
 //	                                    # Perfetto trace, waterfalls,
 //	                                    # time-series CSVs, MANIFEST.json
 //	tradebench -shards 1,2,4            # shard-scaling the datacenter tier
+//	tradebench -fig6 -out-dir runs -profile
+//	                                    # + per-phase CPU/heap/mutex/block
+//	                                    # profiles and hotspot CSVs; add
+//	                                    # -profile-remotes db=127.0.0.1:7070
+//	                                    # to profile daemons per tier
 //
 // Latency sensitivities (Table 2 slopes) are delay-scale-invariant, so
 // the default sweep uses small delays to keep wall-clock reasonable;
@@ -36,6 +41,7 @@ import (
 	"edgeejb/internal/latency"
 	"edgeejb/internal/obs"
 	"edgeejb/internal/obs/collect"
+	"edgeejb/internal/obs/prof"
 	"edgeejb/internal/slicache"
 	"edgeejb/internal/trade"
 )
@@ -64,6 +70,10 @@ func run(args []string) error {
 
 		metrics   = fs.Bool("metrics", false, "print per-phase process metrics and span-derived latency breakdowns")
 		debugAddr = fs.String("debug-addr", "", "serve /metrics, /healthz and /debug/pprof on this address while running")
+
+		profile        = fs.Bool("profile", false, "capture per-phase CPU, heap-delta, mutex, and block profiles plus hotspot CSVs into the artifact directory (needs -out-dir; enables the contention-profile rates for the run)")
+		profileRemotes = fs.String("profile-remotes", "", "comma-separated name=host:port -debug-addr listeners of daemons to profile alongside this process (with -profile)")
+		profileCPUSec  = fs.Int("profile-cpu-seconds", 5, "remote CPU profile sample window per phase; short phases block until it closes (with -profile)")
 
 		outDir      = fs.String("out-dir", "", "collect per-run artifacts (Perfetto trace, waterfalls, time-series CSVs, registry diffs, reports, MANIFEST.json) under a timestamped directory here")
 		sampleEvery = fs.Duration("sample-every", 250*time.Millisecond, "registry sampling interval for -out-dir time series")
@@ -107,6 +117,13 @@ func run(args []string) error {
 		return err
 	}
 	shardCounts, err := parseShardCounts(*shards)
+	if err != nil {
+		return err
+	}
+	if *profile && *outDir == "" {
+		return fmt.Errorf("-profile writes profile artifacts, so it needs -out-dir")
+	}
+	profRemotes, err := parseRemotes(*profileRemotes)
 	if err != nil {
 		return err
 	}
@@ -193,6 +210,35 @@ func run(args []string) error {
 		fmt.Fprintf(os.Stderr, "collecting run artifacts in %s\n", art.Dir)
 	}
 
+	// The runtime telemetry (runtime.* metric families) rides every
+	// export the registry already has — /metrics, per-phase diffs, the
+	// time-series CSVs — and feeds summary.json's resource.* metrics.
+	var rt *prof.Runtime
+	if *outDir != "" || *metrics || *debugAddr != "" {
+		rt = prof.StartRuntime(obs.Default, *sampleEvery)
+		defer rt.Stop()
+	}
+
+	// With -profile, every phase is bracketed by profile capture: CPU
+	// profile spanning the phase, allocation/mutex/block deltas, the
+	// same fetched from each -profile-remotes daemon.
+	var (
+		capt      *prof.Capturer
+		profFiles []prof.CapturedFile
+	)
+	if *profile {
+		capt, err = prof.NewCapturer(prof.Options{
+			Dir:              art.Dir,
+			Remotes:          profRemotes,
+			RemoteCPUSeconds: *profileCPUSec,
+			Rates:            true,
+		})
+		if err != nil {
+			return err
+		}
+		defer capt.Close()
+	}
+
 	// runStart anchors the whole-run counter diff summary.json derives
 	// its ratios from (taken after any -out-dir ring swap so the rings
 	// and registry cover the same window).
@@ -215,15 +261,37 @@ func run(args []string) error {
 	// each other). With -out-dir the diff and the phase's metric time
 	// series also land in the artifact directory.
 	phase := func(name string, f func() error) error {
+		if rt != nil {
+			rt.Update()
+		}
 		before := obs.Default.Snapshot()
 		start := time.Now()
 		if sampler != nil {
 			sampler.SampleNow()
 		}
+		if capt != nil {
+			if err := capt.StartPhase(name); err != nil {
+				return err
+			}
+		}
 		if err := f(); err != nil {
 			return err
 		}
+		// Fold the phase's runtime activity in before diffing, so the
+		// registry diff and time series carry its runtime.* tallies; the
+		// profile capture ends after, keeping its own parse work out of
+		// the phase's numbers.
+		if rt != nil {
+			rt.Update()
+		}
 		diff := obs.Default.Diff(before)
+		if capt != nil {
+			files, err := capt.EndPhase()
+			if err != nil {
+				return err
+			}
+			profFiles = append(profFiles, files...)
+		}
 		finderPhases = append(finderPhases, finderPhaseRowFrom(name, diff))
 		if *metrics {
 			fmt.Printf("\nMetrics accumulated by the %s phase:\n", name)
@@ -279,6 +347,19 @@ func run(args []string) error {
 			fmt.Println()
 			writeFinderTable(os.Stdout, finderPhases)
 		}
+		if rt != nil {
+			// Force a GC cycle so even a tiny run has at least one pause
+			// in runtime.gc_pause before the final fold — otherwise the
+			// gc_pause_p99 resource metric is zero on short legs.
+			runtime.GC()
+			rt.Update()
+		}
+		if *metrics && capt != nil {
+			fmt.Println()
+			if err := capt.Hotspots().WriteTable(os.Stdout, 10); err != nil {
+				return err
+			}
+		}
 		if art == nil && !*metrics {
 			return nil
 		}
@@ -303,15 +384,26 @@ func run(args []string) error {
 		if err := art.WriteCriticalPath(attr); err != nil {
 			return err
 		}
+		runDiff := obs.Default.Diff(runStart)
+		var rtSnap *obs.Snapshot
+		if rt != nil {
+			rtSnap = &runDiff
+		}
 		if err := art.WriteSummary(harness.BuildSummary(harness.SummaryInput{
 			Args:        args,
 			Eval:        eval,
 			Throughput:  thruCurves,
 			Shards:      shardPoints,
 			Attribution: attr,
-			Counters:    obs.Default.Diff(runStart).Counters,
+			Counters:    runDiff.Counters,
+			Runtime:     rtSnap,
 		})); err != nil {
 			return err
+		}
+		if capt != nil {
+			if err := art.WriteProfiles(profFiles, capt.Hotspots()); err != nil {
+				return err
+			}
 		}
 		if err := art.WriteEvents(obs.DefaultEvents.Since(0)); err != nil {
 			return err
@@ -444,6 +536,28 @@ func runShardSweep(counts []int, clients int, dbService time.Duration, cfg harne
 		}
 	}
 	return points, nil
+}
+
+// parseRemotes parses -profile-remotes: comma-separated name=host:port
+// pairs naming the -debug-addr listeners of daemons to profile.
+func parseRemotes(s string) ([]prof.Remote, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	var out []prof.Remote
+	for _, p := range strings.Split(s, ",") {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		name, addr, ok := strings.Cut(p, "=")
+		if !ok || strings.TrimSpace(name) == "" || strings.TrimSpace(addr) == "" {
+			return nil, fmt.Errorf("bad -profile-remotes entry %q (want name=host:port)", p)
+		}
+		out = append(out, prof.Remote{Name: strings.TrimSpace(name), Addr: strings.TrimSpace(addr)})
+	}
+	return out, nil
 }
 
 // parseShardCounts parses the -shards list; empty means the sweep is

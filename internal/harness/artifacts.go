@@ -10,6 +10,7 @@ import (
 
 	"edgeejb/internal/obs"
 	"edgeejb/internal/obs/collect"
+	"edgeejb/internal/obs/prof"
 	"edgeejb/internal/regress"
 )
 
@@ -39,7 +40,7 @@ type ManifestFile struct {
 	// Path is relative to the run directory.
 	Path string `json:"path"`
 	// Kind is one of: trace, waterfalls, timeseries, registry-diff,
-	// report, csv.
+	// report, csv, profile, summary, events, manifest.
 	Kind string `json:"kind"`
 	// Desc says what the file holds, in one line.
 	Desc string `json:"desc"`
@@ -226,6 +227,31 @@ func (a *Artifacts) WriteCriticalPath(attr *collect.Attribution) error {
 	return a.WriteFile("critical_path.csv", "csv",
 		"critical-path attribution: blocking-path ms per trace by (lane, tier, span), overall and in the slow tails", "",
 		func(w io.Writer) error { return collect.WriteCriticalPathCSV(w, attr) })
+}
+
+// IndexFile records a file some other writer already placed in the run
+// directory (the profile capturer streams .pb.gz files itself).
+func (a *Artifacts) IndexFile(name, kind, desc, phase string) {
+	a.manifest.Files = append(a.manifest.Files, ManifestFile{Path: name, Kind: kind, Desc: desc, Phase: phase})
+}
+
+// WriteProfiles indexes the per-phase profile captures and writes the
+// aggregated hotspot CSVs (cpu_hotspots.csv, alloc_hotspots.csv).
+func (a *Artifacts) WriteProfiles(files []prof.CapturedFile, hotspots *prof.HotspotSet) error {
+	for _, f := range files {
+		a.IndexFile(f.Name, "profile", f.Desc, f.Phase)
+	}
+	if hotspots == nil {
+		return nil
+	}
+	if err := a.WriteFile("cpu_hotspots.csv", "csv",
+		"top self-CPU functions per (phase, source), aggregated from the CPU profiles", "",
+		hotspots.WriteCPUHotspotsCSV); err != nil {
+		return err
+	}
+	return a.WriteFile("alloc_hotspots.csv", "csv",
+		"top allocation sites per (phase, source), aggregated from the heap delta profiles", "",
+		hotspots.WriteAllocHotspotsCSV)
 }
 
 // WriteSummary writes the run's canonical machine-readable result set

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"time"
 
+	"edgeejb/internal/obs"
 	"edgeejb/internal/obs/collect"
 	"edgeejb/internal/regress"
 )
@@ -25,6 +26,10 @@ type SummaryInput struct {
 	Attribution *collect.Attribution
 	// Counters is the whole run's counter diff (finder-cache ratios).
 	Counters map[string]uint64
+	// Runtime is the whole run's runtime.* registry diff (from
+	// prof.Runtime), feeding the resource.* attribution metrics. Nil
+	// when the runtime sampler was not running.
+	Runtime *obs.Snapshot
 }
 
 // slug lowercases a paper-style name into a metric-path segment:
@@ -55,12 +60,20 @@ func fmtDelay(ms float64) string { return strconv.FormatFloat(ms, 'f', -1, 64) }
 //	shards.s<N>.twopc_fraction         ratio  cross-shard 2PC share
 //	cache.finder_hit_ratio             ratio  whole-run finder cache
 //	critpath.<tier>.<span>[.<lane>].ms_per_trace  time  blocking-path shares
+//	resource.allocs_per_interaction        count  heap objects per committed ixn
+//	resource.alloc_bytes_per_interaction   count  heap bytes per committed ixn
+//	resource.cpu_sec_per_1k_interactions   time   process CPU per 1k ixn
+//	resource.gc_pause_p99_ms               time   whole-run GC pause p99
+//	resource.goroutine_high_water          count  max goroutines sampled
 //
 // "count" and "ratio" metrics are protocol properties that reproduce
-// across machines; "time" and "rate" only compare within one host.
+// across machines; "time" and "rate" only compare within one host. The
+// resource.* allocation counts are same-build deterministic enough to
+// gate (the gate scripts widen goroutine_high_water's budget, which
+// breathes with scheduling).
 func BuildSummary(in SummaryInput) *regress.Summary {
 	s := &regress.Summary{
-		Schema:    regress.SchemaV1,
+		Schema:    regress.SchemaV2,
 		CreatedAt: time.Now().UTC().Format(time.RFC3339),
 		Args:      in.Args,
 		Metrics:   make(map[string]regress.Metric),
@@ -144,6 +157,7 @@ func BuildSummary(in SummaryInput) *regress.Summary {
 			N:      int(hits + misses),
 		}
 	}
+	addResourceMetrics(s, in)
 	if a := in.Attribution; a != nil && a.Traces > 0 {
 		for _, r := range a.Rows {
 			name := "critpath." + r.Key.Tier + "." + r.Key.Name
@@ -160,6 +174,88 @@ func BuildSummary(in SummaryInput) *regress.Summary {
 		}
 	}
 	return s
+}
+
+// addResourceMetrics normalizes the run's runtime.* diff by its
+// interaction count into the resource.* attribution family. Each metric
+// is emitted only when its inputs are nonzero, so a run without the
+// sampler (or on a platform without getrusage) just omits the family.
+func addResourceMetrics(s *regress.Summary, in SummaryInput) {
+	rt := in.Runtime
+	if rt == nil {
+		return
+	}
+	ixn := totalInteractions(in)
+	if ixn > 0 {
+		if allocs := rt.Counters["runtime.allocs_total"]; allocs > 0 {
+			s.Metrics["resource.allocs_per_interaction"] = regress.Metric{
+				Unit:   "obj/ixn",
+				Kind:   regress.KindCount,
+				Better: regress.LowerIsBetter,
+				Mean:   float64(allocs) / float64(ixn),
+				N:      ixn,
+			}
+		}
+		if bytes := rt.Counters["runtime.alloc_bytes_total"]; bytes > 0 {
+			s.Metrics["resource.alloc_bytes_per_interaction"] = regress.Metric{
+				Unit:   "B/ixn",
+				Kind:   regress.KindCount,
+				Better: regress.LowerIsBetter,
+				Mean:   float64(bytes) / float64(ixn),
+				N:      ixn,
+			}
+		}
+		// CPU seconds per thousand interactions: ms/ixn happens to be
+		// the same number, since the 1e3 factors cancel.
+		if cpuMS := rt.Counters["runtime.cpu_ms_total"]; cpuMS > 0 {
+			s.Metrics["resource.cpu_sec_per_1k_interactions"] = regress.Metric{
+				Unit:   "s/kixn",
+				Kind:   regress.KindTime,
+				Better: regress.LowerIsBetter,
+				Mean:   float64(cpuMS) / float64(ixn),
+				N:      ixn,
+			}
+		}
+	}
+	if h, ok := rt.Histograms["runtime.gc_pause"]; ok && h.Count > 0 {
+		s.Metrics["resource.gc_pause_p99_ms"] = regress.Metric{
+			Unit:   "ms",
+			Kind:   regress.KindTime,
+			Better: regress.LowerIsBetter,
+			Mean:   float64(h.Quantile(0.99)) / 1e6,
+			N:      int(h.Count),
+		}
+	}
+	if hw := rt.Gauges["runtime.goroutines_highwater"]; hw > 0 {
+		s.Metrics["resource.goroutine_high_water"] = regress.Metric{
+			Unit:   "goroutines",
+			Kind:   regress.KindCount,
+			Better: regress.LowerIsBetter,
+			Mean:   float64(hw),
+		}
+	}
+}
+
+// totalInteractions sums every committed interaction the run measured,
+// across the figure sweeps, throughput curves, and shard sweep.
+func totalInteractions(in SummaryInput) int {
+	n := 0
+	if in.Eval != nil {
+		for _, sweep := range in.Eval.Sweeps {
+			for _, p := range sweep.Points {
+				n += p.Load.Interactions
+			}
+		}
+	}
+	for _, curve := range in.Throughput {
+		for _, p := range curve.Points {
+			n += p.Interactions
+		}
+	}
+	for _, p := range in.Shards {
+		n += p.Interactions
+	}
+	return n
 }
 
 func mean(xs []float64) float64 {

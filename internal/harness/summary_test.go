@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"edgeejb/internal/loadgen"
+	"edgeejb/internal/obs"
 	"edgeejb/internal/obs/collect"
 	"edgeejb/internal/regress"
 	"edgeejb/internal/stats"
@@ -56,8 +57,23 @@ func TestBuildSummaryNaming(t *testing.T) {
 			"slicache.finder_hits":   80,
 			"slicache.finder_misses": 20,
 		},
+		Runtime: &obs.Snapshot{
+			Counters: map[string]uint64{
+				"runtime.allocs_total":      1_000_000,
+				"runtime.alloc_bytes_total": 64_000_000,
+				"runtime.cpu_ms_total":      2_000,
+			},
+			Gauges: map[string]int64{"runtime.goroutines_highwater": 42},
+			Histograms: map[string]obs.HistSnapshot{
+				"runtime.gc_pause": func() obs.HistSnapshot {
+					var h obs.Histogram
+					h.ObserveN(100*time.Microsecond, 50)
+					return h.Snapshot()
+				}(),
+			},
+		},
 	})
-	if s.Schema != regress.SchemaV1 {
+	if s.Schema != regress.SchemaV2 {
 		t.Fatalf("schema = %q", s.Schema)
 	}
 
@@ -74,6 +90,11 @@ func TestBuildSummaryNaming(t *testing.T) {
 		"cache.finder_hit_ratio",
 		"critpath.edge.edge.request.ms_per_trace",
 		"critpath.edge.shard.prepare.shard1.ms_per_trace",
+		"resource.allocs_per_interaction",
+		"resource.alloc_bytes_per_interaction",
+		"resource.cpu_sec_per_1k_interactions",
+		"resource.gc_pause_p99_ms",
+		"resource.goroutine_high_water",
 	}
 	for _, k := range wantKeys {
 		if _, ok := s.Metrics[k]; !ok {
@@ -106,6 +127,24 @@ func TestBuildSummaryNaming(t *testing.T) {
 	}
 	if m := s.Metrics["critpath.edge.edge.request.ms_per_trace"]; m.Mean != 2.0 {
 		t.Errorf("critpath metric = %+v", m)
+	}
+
+	// Resource attribution: interactions sum across eval (200),
+	// throughput (500), and shards (400) phases = 1100.
+	if m := s.Metrics["resource.allocs_per_interaction"]; m.Kind != regress.KindCount ||
+		m.Better != regress.LowerIsBetter || m.Mean < 909 || m.Mean > 910 || m.N != 1100 {
+		t.Errorf("allocs/ixn metric = %+v", m)
+	}
+	// s/kixn is numerically ms/ixn: 2000ms over 1100 interactions.
+	if m := s.Metrics["resource.cpu_sec_per_1k_interactions"]; m.Kind != regress.KindTime ||
+		m.Mean < 1.8 || m.Mean > 1.9 {
+		t.Errorf("cpu metric = %+v", m)
+	}
+	if m := s.Metrics["resource.gc_pause_p99_ms"]; m.Kind != regress.KindTime || m.Mean <= 0 {
+		t.Errorf("gc pause metric = %+v", m)
+	}
+	if m := s.Metrics["resource.goroutine_high_water"]; m.Kind != regress.KindCount || m.Mean != 42 {
+		t.Errorf("goroutine high-water metric = %+v", m)
 	}
 
 	// Stable kinds survive a round trip through Compare with the

@@ -94,6 +94,33 @@ func (h *Histogram) ObserveTrace(d time.Duration, trace uint64) {
 	}
 }
 
+// ObserveN records n equal observations of d in one shot — the bulk
+// path used when replaying another histogram's bucket counts (the
+// runtime-telemetry sampler folds runtime/metrics bucket deltas in this
+// way). It costs the same few atomic operations as a single Observe
+// regardless of n. No exemplar is recorded.
+func (h *Histogram) ObserveN(d time.Duration, n uint64) {
+	if n == 0 {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	idx := bits.Len64(uint64(d / time.Microsecond))
+	if idx >= HistBuckets {
+		idx = HistBuckets - 1
+	}
+	h.count.Add(n)
+	h.sum.Add(int64(d) * int64(n))
+	h.buckets[idx].Add(n)
+	for {
+		cur := h.max.Load()
+		if int64(d) <= cur || h.max.CompareAndSwap(cur, int64(d)) {
+			return
+		}
+	}
+}
+
 // Snapshot captures the histogram's current state. Under concurrent
 // Observe calls the fields may be mutually inconsistent by a few
 // in-flight observations; that slack is fine for monitoring and the

@@ -1,0 +1,134 @@
+package prof
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// allocHeavily is the leaf the heap-delta test looks for: its frames
+// must show up in the phase's allocation delta profile. The return
+// value keeps the compiler from eliding the work.
+//
+//go:noinline
+func allocHeavily(n int) [][]byte {
+	out := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, make([]byte, 64<<10))
+	}
+	return out
+}
+
+func TestCapturePhaseHeapDelta(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewCapturer(Options{Dir: dir, Rates: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if err := c.StartPhase("bench"); err != nil {
+		t.Fatal(err)
+	}
+	// ~16MB in 64KiB chunks: far above the 512KiB sampling rate, so the
+	// delta profile must attribute most of it here.
+	sink := allocHeavily(256)
+	files, err := c.EndPhase()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = sink
+
+	byName := map[string]CapturedFile{}
+	for _, f := range files {
+		byName[f.Name] = f
+		if _, err := os.Stat(filepath.Join(dir, f.Name)); err != nil {
+			t.Errorf("captured file %s not on disk: %v", f.Name, err)
+		}
+		if f.Phase != "bench" || f.Source != "proc" {
+			t.Errorf("file %s: phase=%q source=%q", f.Name, f.Phase, f.Source)
+		}
+	}
+	for _, want := range []string{"cpu_bench.pb.gz", "heap_bench.pb.gz", "mutex_bench.pb.gz", "block_bench.pb.gz"} {
+		if _, ok := byName[want]; !ok {
+			t.Errorf("missing captured file %s (have %v)", want, files)
+		}
+	}
+
+	data, err := os.ReadFile(filepath.Join(dir, "heap_bench.pb.gz"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Parse(data)
+	if err != nil {
+		t.Fatalf("heap delta unparseable: %v", err)
+	}
+	idx := p.ValueIndex("alloc_space")
+	if idx < 0 {
+		t.Fatalf("no alloc_space in delta: %v", p.SampleTypes)
+	}
+	total := p.Total(idx)
+	if total < 8<<20 {
+		t.Fatalf("delta alloc_space = %d bytes, want >= 8MB of the ~16MB allocated", total)
+	}
+	var flat int64
+	for _, f := range p.FlatByFunction(idx, -1) {
+		if strings.Contains(f.Function, "allocHeavily") {
+			flat = f.Flat
+			break
+		}
+	}
+	if flat < 8<<20 {
+		t.Fatalf("allocHeavily self = %d bytes, want >= 8MB (delta mis-attributed)", flat)
+	}
+
+	// The hotspot aggregation saw the same profile.
+	var found bool
+	for _, r := range c.Hotspots().Alloc {
+		if r.Phase == "bench" && strings.Contains(r.Function, "allocHeavily") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("allocHeavily missing from hotspot rows")
+	}
+}
+
+func TestCaptureGuards(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewCapturer(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if _, err := c.EndPhase(); err == nil {
+		t.Error("EndPhase without StartPhase did not error")
+	}
+	if err := c.StartPhase("one"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.StartPhase("two"); err == nil {
+		t.Error("second StartPhase while capturing did not error")
+	} else if !strings.Contains(err.Error(), "one") {
+		t.Errorf("guard error does not name the active phase: %v", err)
+	}
+	if _, err := c.EndPhase(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A remote that is not serving fails at construction with a hint
+	// about -debug-addr, not mid-run.
+	_, err = NewCapturer(Options{Dir: dir, Remotes: []Remote{{Name: "db", Addr: "127.0.0.1:1"}}})
+	if err == nil {
+		t.Fatal("unreachable remote accepted")
+	}
+	if !strings.Contains(err.Error(), "-debug-addr") || !strings.Contains(err.Error(), `"db"`) {
+		t.Errorf("remote error lacks daemon name or -debug-addr hint: %v", err)
+	}
+
+	if _, err := NewCapturer(Options{}); err == nil {
+		t.Error("empty Dir accepted")
+	}
+}

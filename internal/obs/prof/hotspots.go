@@ -1,0 +1,162 @@
+package prof
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// topNPerSource bounds how many functions each (phase, source) pair
+// contributes to the hotspot CSVs; the printed table trims further.
+const topNPerSource = 20
+
+// Hotspot is one function's self cost within one (phase, source)
+// profile. For CPU rows Flat is nanoseconds; for allocation rows Flat
+// is bytes and FlatObjects the object count.
+type Hotspot struct {
+	Phase    string
+	Source   string
+	Function string
+	File     string
+	// Flat is the self value: CPU nanoseconds or allocated bytes.
+	Flat int64
+	// FlatObjects is the allocated-object count (allocation rows only).
+	FlatObjects int64
+	// Share is Flat over the profile's total, in [0,1].
+	Share float64
+}
+
+// HotspotSet accumulates per-phase, per-source top-N tables from parsed
+// profiles: self-CPU from CPU profiles, self-allocation from allocs
+// delta profiles. Rows stay grouped by insertion (phase, source) order,
+// descending by Flat within a group.
+type HotspotSet struct {
+	CPU   []Hotspot
+	Alloc []Hotspot
+}
+
+// AddCPU folds a CPU profile's top self-time functions in. Profiles
+// without a cpu/nanoseconds dimension are ignored.
+func (h *HotspotSet) AddCPU(phase, source string, p *Profile) {
+	idx := p.ValueIndex("cpu")
+	if idx < 0 {
+		return
+	}
+	h.CPU = append(h.CPU, topRows(phase, source, p, idx, -1)...)
+}
+
+// AddAlloc folds an allocation profile's top self-bytes functions in.
+// Profiles without an alloc_space dimension are ignored.
+func (h *HotspotSet) AddAlloc(phase, source string, p *Profile) {
+	idx := p.ValueIndex("alloc_space")
+	if idx < 0 {
+		return
+	}
+	h.Alloc = append(h.Alloc, topRows(phase, source, p, idx, p.ValueIndex("alloc_objects"))...)
+}
+
+func topRows(phase, source string, p *Profile, idx, secondaryIdx int) []Hotspot {
+	flat := p.FlatByFunction(idx, secondaryIdx)
+	total := p.Total(idx)
+	if len(flat) > topNPerSource {
+		flat = flat[:topNPerSource]
+	}
+	rows := make([]Hotspot, 0, len(flat))
+	for _, f := range flat {
+		if f.Flat == 0 {
+			continue
+		}
+		var share float64
+		if total > 0 {
+			share = float64(f.Flat) / float64(total)
+		}
+		rows = append(rows, Hotspot{
+			Phase: phase, Source: source,
+			Function: f.Function, File: f.File,
+			Flat: f.Flat, FlatObjects: f.FlatSecondary,
+			Share: share,
+		})
+	}
+	return rows
+}
+
+// WriteCPUHotspotsCSV writes the accumulated CPU rows as
+// cpu_hotspots.csv: phase,source,function,file,flat_ns,share.
+func (h *HotspotSet) WriteCPUHotspotsCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"phase", "source", "function", "file", "flat_ns", "share"}); err != nil {
+		return err
+	}
+	for _, r := range h.CPU {
+		rec := []string{r.Phase, r.Source, r.Function, r.File,
+			strconv.FormatInt(r.Flat, 10), strconv.FormatFloat(r.Share, 'f', 4, 64)}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteAllocHotspotsCSV writes the accumulated allocation rows as
+// alloc_hotspots.csv:
+// phase,source,function,file,alloc_bytes,alloc_objects,share.
+func (h *HotspotSet) WriteAllocHotspotsCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"phase", "source", "function", "file", "alloc_bytes", "alloc_objects", "share"}); err != nil {
+		return err
+	}
+	for _, r := range h.Alloc {
+		rec := []string{r.Phase, r.Source, r.Function, r.File,
+			strconv.FormatInt(r.Flat, 10), strconv.FormatInt(r.FlatObjects, 10),
+			strconv.FormatFloat(r.Share, 'f', 4, 64)}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTable prints a human-readable top-n hotspot summary (across all
+// phases and sources, by share) for the -metrics dump: one block for
+// self-CPU, one for allocation sites.
+func (h *HotspotSet) WriteTable(w io.Writer, n int) error {
+	if n <= 0 {
+		n = 10
+	}
+	if len(h.CPU) > 0 {
+		if _, err := fmt.Fprintf(w, "top self-CPU (phase/source, share of that profile):\n"); err != nil {
+			return err
+		}
+		for _, r := range topByShare(h.CPU, n) {
+			if _, err := fmt.Fprintf(w, "  %5.1f%%  %8.1fms  %-12s %-8s %s\n",
+				r.Share*100, float64(r.Flat)/1e6, r.Phase, r.Source, r.Function); err != nil {
+				return err
+			}
+		}
+	}
+	if len(h.Alloc) > 0 {
+		if _, err := fmt.Fprintf(w, "top allocation sites (phase/source, share of that profile):\n"); err != nil {
+			return err
+		}
+		for _, r := range topByShare(h.Alloc, n) {
+			if _, err := fmt.Fprintf(w, "  %5.1f%%  %8.1fKiB %10d objs  %-12s %-8s %s\n",
+				r.Share*100, float64(r.Flat)/1024, r.FlatObjects, r.Phase, r.Source, r.Function); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func topByShare(rows []Hotspot, n int) []Hotspot {
+	out := append([]Hotspot(nil), rows...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Share > out[j].Share })
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}

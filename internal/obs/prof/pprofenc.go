@@ -1,0 +1,143 @@
+package prof
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"sort"
+)
+
+// Encode serializes the profile back to the gzipped profile.proto
+// format go tool pprof reads. The string table is rebuilt from the
+// resolved symbol names; mappings and labels, which Parse drops, are
+// omitted (pprof symbolizes from the line info).
+func Encode(p *Profile) ([]byte, error) {
+	st := newStringTable()
+	var body []byte
+	for _, vt := range p.SampleTypes {
+		body = appendMessage(body, 1, encodeValueType(st, vt))
+	}
+	for _, s := range p.Samples {
+		var msg []byte
+		msg = appendPacked(msg, 1, s.LocationIDs)
+		vals := make([]uint64, len(s.Values))
+		for i, v := range s.Values {
+			vals[i] = uint64(v)
+		}
+		msg = appendPacked(msg, 2, vals)
+		body = appendMessage(body, 2, msg)
+	}
+	for _, id := range sortedKeys(p.Locations) {
+		loc := p.Locations[id]
+		var msg []byte
+		msg = appendVarintField(msg, 1, loc.ID)
+		msg = appendVarintField(msg, 3, loc.Address)
+		for _, ln := range loc.Lines {
+			var lmsg []byte
+			lmsg = appendVarintField(lmsg, 1, ln.FunctionID)
+			lmsg = appendVarintField(lmsg, 2, uint64(ln.Line))
+			msg = appendMessage(msg, 4, lmsg)
+		}
+		body = appendMessage(body, 4, msg)
+	}
+	for _, id := range sortedKeys(p.Functions) {
+		fn := p.Functions[id]
+		var msg []byte
+		msg = appendVarintField(msg, 1, fn.ID)
+		msg = appendVarintField(msg, 2, uint64(st.index(fn.Name)))
+		msg = appendVarintField(msg, 4, uint64(st.index(fn.File)))
+		msg = appendVarintField(msg, 5, uint64(fn.StartLine))
+		body = appendMessage(body, 5, msg)
+	}
+	body = appendVarintField(body, 9, uint64(p.TimeNanos))
+	body = appendVarintField(body, 10, uint64(p.DurationNanos))
+	if p.PeriodType != (ValueType{}) {
+		body = appendMessage(body, 11, encodeValueType(st, p.PeriodType))
+	}
+	body = appendVarintField(body, 12, uint64(p.Period))
+	// The string table is referenced by index, so it must hold every
+	// string interned above; field order within the message is free.
+	var head []byte
+	for _, s := range st.strings {
+		head = appendMessage(head, 6, []byte(s))
+	}
+	var out bytes.Buffer
+	zw := gzip.NewWriter(&out)
+	if _, err := zw.Write(append(head, body...)); err != nil {
+		return nil, fmt.Errorf("prof: encode: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return nil, fmt.Errorf("prof: encode: %w", err)
+	}
+	return out.Bytes(), nil
+}
+
+func encodeValueType(st *stringTable, vt ValueType) []byte {
+	var msg []byte
+	msg = appendVarintField(msg, 1, uint64(st.index(vt.Type)))
+	msg = appendVarintField(msg, 2, uint64(st.index(vt.Unit)))
+	return msg
+}
+
+// stringTable interns strings; index 0 is always "".
+type stringTable struct {
+	strings []string
+	idx     map[string]int
+}
+
+func newStringTable() *stringTable {
+	return &stringTable{strings: []string{""}, idx: map[string]int{"": 0}}
+}
+
+func (st *stringTable) index(s string) int {
+	if i, ok := st.idx[s]; ok {
+		return i
+	}
+	i := len(st.strings)
+	st.strings = append(st.strings, s)
+	st.idx[s] = i
+	return i
+}
+
+func sortedKeys[V any](m map[uint64]V) []uint64 {
+	keys := make([]uint64, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func appendVarint(b []byte, v uint64) []byte {
+	for v >= 0x80 {
+		b = append(b, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(b, byte(v))
+}
+
+// appendVarintField writes tag+value, omitting proto3 zero defaults.
+func appendVarintField(b []byte, field int, v uint64) []byte {
+	if v == 0 {
+		return b
+	}
+	b = appendVarint(b, uint64(field)<<3|0)
+	return appendVarint(b, v)
+}
+
+func appendMessage(b []byte, field int, msg []byte) []byte {
+	b = appendVarint(b, uint64(field)<<3|2)
+	b = appendVarint(b, uint64(len(msg)))
+	return append(b, msg...)
+}
+
+func appendPacked(b []byte, field int, vals []uint64) []byte {
+	if len(vals) == 0 {
+		return b
+	}
+	var packed []byte
+	for _, v := range vals {
+		packed = appendVarint(packed, v)
+	}
+	return appendMessage(b, field, packed)
+}

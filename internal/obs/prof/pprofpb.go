@@ -1,0 +1,731 @@
+package prof
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// Profile is a parsed pprof profile.proto — the subset of the format
+// the hotspot tables and delta profiles need: sample types, samples
+// with their location stacks, and the location → line → function →
+// string-table chain that turns a stack into symbol names. Mappings
+// and labels are skipped on parse and omitted on encode; go tool pprof
+// resolves symbols from the line info alone.
+type Profile struct {
+	// SampleTypes names each parallel position in Sample.Values
+	// ("cpu"/"nanoseconds", "alloc_space"/"bytes", ...).
+	SampleTypes []ValueType
+	// Samples are the measurements; LocationIDs[0] is the leaf frame.
+	Samples []Sample
+	// Locations and Functions index the symbol tables by their proto
+	// IDs.
+	Locations map[uint64]*Location
+	Functions map[uint64]*Function
+	// TimeNanos / DurationNanos / PeriodType / Period echo the
+	// profile's own metadata.
+	TimeNanos     int64
+	DurationNanos int64
+	PeriodType    ValueType
+	Period        int64
+}
+
+// ValueType is one sample-value dimension.
+type ValueType struct {
+	Type string
+	Unit string
+}
+
+// Sample is one measured stack.
+type Sample struct {
+	LocationIDs []uint64
+	Values      []int64
+}
+
+// Location is one program counter with its (possibly inlined) frames;
+// Lines[0] is the innermost frame.
+type Location struct {
+	ID      uint64
+	Address uint64
+	Lines   []Line
+}
+
+// Line points a location at a function.
+type Line struct {
+	FunctionID uint64
+	Line       int64
+}
+
+// Function is one symbol-table entry.
+type Function struct {
+	ID        uint64
+	Name      string
+	File      string
+	StartLine int64
+}
+
+// maxDecompressed bounds gunzip output so a corrupt or hostile length
+// prefix cannot balloon memory; real profiles are a few MB at most.
+const maxDecompressed = 512 << 20
+
+// Parse decodes a pprof profile, gunzipping first when the payload is
+// gzip-framed (the runtime always gzips; a bare protobuf also parses).
+// Truncated or corrupt input returns an error, never a panic.
+func Parse(data []byte) (*Profile, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("prof: empty profile data")
+	}
+	if len(data) >= 2 && data[0] == 0x1f && data[1] == 0x8b {
+		zr, err := gzip.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("prof: gunzip: %w", err)
+		}
+		raw, err := io.ReadAll(io.LimitReader(zr, maxDecompressed+1))
+		if err != nil {
+			return nil, fmt.Errorf("prof: gunzip: %w", err)
+		}
+		if len(raw) > maxDecompressed {
+			return nil, fmt.Errorf("prof: profile exceeds %d bytes decompressed", maxDecompressed)
+		}
+		data = raw
+	}
+	p := &Profile{
+		Locations: make(map[uint64]*Location),
+		Functions: make(map[uint64]*Function),
+	}
+	var strTable []string
+	d := decoder{b: data}
+	for !d.done() {
+		num, wire, err := d.tag()
+		if err != nil {
+			return nil, err
+		}
+		switch num {
+		case 1: // sample_type
+			msg, err := d.fieldBytes(wire)
+			if err != nil {
+				return nil, err
+			}
+			vt, err := parseValueType(msg)
+			if err != nil {
+				return nil, err
+			}
+			p.SampleTypes = append(p.SampleTypes, vt)
+		case 2: // sample
+			msg, err := d.fieldBytes(wire)
+			if err != nil {
+				return nil, err
+			}
+			s, err := parseSample(msg)
+			if err != nil {
+				return nil, err
+			}
+			p.Samples = append(p.Samples, s)
+		case 4: // location
+			msg, err := d.fieldBytes(wire)
+			if err != nil {
+				return nil, err
+			}
+			loc, err := parseLocation(msg)
+			if err != nil {
+				return nil, err
+			}
+			p.Locations[loc.ID] = loc
+		case 5: // function
+			msg, err := d.fieldBytes(wire)
+			if err != nil {
+				return nil, err
+			}
+			fn, err := parseFunction(msg)
+			if err != nil {
+				return nil, err
+			}
+			p.Functions[fn.ID] = fn
+		case 6: // string_table
+			msg, err := d.fieldBytes(wire)
+			if err != nil {
+				return nil, err
+			}
+			strTable = append(strTable, string(msg))
+		case 9:
+			v, err := d.varintField(wire)
+			if err != nil {
+				return nil, err
+			}
+			p.TimeNanos = int64(v)
+		case 10:
+			v, err := d.varintField(wire)
+			if err != nil {
+				return nil, err
+			}
+			p.DurationNanos = int64(v)
+		case 11:
+			msg, err := d.fieldBytes(wire)
+			if err != nil {
+				return nil, err
+			}
+			vt, err := parseValueType(msg)
+			if err != nil {
+				return nil, err
+			}
+			p.PeriodType = vt
+		case 12:
+			v, err := d.varintField(wire)
+			if err != nil {
+				return nil, err
+			}
+			p.Period = int64(v)
+		default:
+			if err := d.skip(wire); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Resolve string-table indices now that the whole table is read
+	// (the runtime happens to emit it before use, but the proto makes
+	// no ordering promise).
+	str := func(ref string) (string, error) {
+		if ref == "" {
+			// Absent field: proto default 0, and index 0 is always "".
+			return "", nil
+		}
+		idx, err := strconv.ParseUint(ref, 10, 64)
+		if err != nil {
+			return "", fmt.Errorf("prof: bad string ref %q", ref)
+		}
+		if idx >= uint64(len(strTable)) {
+			return "", fmt.Errorf("prof: string index %d out of range (table has %d)", idx, len(strTable))
+		}
+		return strTable[idx], nil
+	}
+	var err error
+	for i := range p.SampleTypes {
+		if p.SampleTypes[i], err = resolveValueType(p.SampleTypes[i], str); err != nil {
+			return nil, err
+		}
+	}
+	if p.PeriodType, err = resolveValueType(p.PeriodType, str); err != nil {
+		return nil, err
+	}
+	for _, fn := range p.Functions {
+		if fn.Name, err = str(fn.Name); err != nil {
+			return nil, err
+		}
+		if fn.File, err = str(fn.File); err != nil {
+			return nil, err
+		}
+	}
+	for _, s := range p.Samples {
+		if len(s.Values) != len(p.SampleTypes) {
+			return nil, fmt.Errorf("prof: sample has %d values, profile has %d sample types",
+				len(s.Values), len(p.SampleTypes))
+		}
+	}
+	return p, nil
+}
+
+// resolveValueType turns the numeric string-table references stashed in
+// the Type/Unit fields during the first pass into real strings.
+func resolveValueType(vt ValueType, str func(string) (string, error)) (ValueType, error) {
+	var err error
+	if vt.Type != "" {
+		if vt.Type, err = str(vt.Type); err != nil {
+			return vt, err
+		}
+	}
+	if vt.Unit != "" {
+		if vt.Unit, err = str(vt.Unit); err != nil {
+			return vt, err
+		}
+	}
+	return vt, nil
+}
+
+func parseValueType(msg []byte) (ValueType, error) {
+	var vt ValueType
+	d := decoder{b: msg}
+	for !d.done() {
+		num, wire, err := d.tag()
+		if err != nil {
+			return vt, err
+		}
+		switch num {
+		case 1:
+			v, err := d.varintField(wire)
+			if err != nil {
+				return vt, err
+			}
+			// Stash the index; Parse resolves it once the table is read.
+			vt.Type = strconv.FormatUint(v, 10)
+		case 2:
+			v, err := d.varintField(wire)
+			if err != nil {
+				return vt, err
+			}
+			vt.Unit = strconv.FormatUint(v, 10)
+		default:
+			if err := d.skip(wire); err != nil {
+				return vt, err
+			}
+		}
+	}
+	return vt, nil
+}
+
+func parseSample(msg []byte) (Sample, error) {
+	var s Sample
+	d := decoder{b: msg}
+	for !d.done() {
+		num, wire, err := d.tag()
+		if err != nil {
+			return s, err
+		}
+		switch num {
+		case 1: // location_id, packed or repeated
+			vals, err := d.packedVarints(wire)
+			if err != nil {
+				return s, err
+			}
+			s.LocationIDs = append(s.LocationIDs, vals...)
+		case 2: // value, packed or repeated
+			vals, err := d.packedVarints(wire)
+			if err != nil {
+				return s, err
+			}
+			for _, v := range vals {
+				s.Values = append(s.Values, int64(v))
+			}
+		default:
+			if err := d.skip(wire); err != nil {
+				return s, err
+			}
+		}
+	}
+	return s, nil
+}
+
+func parseLocation(msg []byte) (*Location, error) {
+	loc := &Location{}
+	d := decoder{b: msg}
+	for !d.done() {
+		num, wire, err := d.tag()
+		if err != nil {
+			return nil, err
+		}
+		switch num {
+		case 1:
+			v, err := d.varintField(wire)
+			if err != nil {
+				return nil, err
+			}
+			loc.ID = v
+		case 3:
+			v, err := d.varintField(wire)
+			if err != nil {
+				return nil, err
+			}
+			loc.Address = v
+		case 4:
+			sub, err := d.fieldBytes(wire)
+			if err != nil {
+				return nil, err
+			}
+			line, err := parseLine(sub)
+			if err != nil {
+				return nil, err
+			}
+			loc.Lines = append(loc.Lines, line)
+		default:
+			if err := d.skip(wire); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return loc, nil
+}
+
+func parseLine(msg []byte) (Line, error) {
+	var l Line
+	d := decoder{b: msg}
+	for !d.done() {
+		num, wire, err := d.tag()
+		if err != nil {
+			return l, err
+		}
+		switch num {
+		case 1:
+			v, err := d.varintField(wire)
+			if err != nil {
+				return l, err
+			}
+			l.FunctionID = v
+		case 2:
+			v, err := d.varintField(wire)
+			if err != nil {
+				return l, err
+			}
+			l.Line = int64(v)
+		default:
+			if err := d.skip(wire); err != nil {
+				return l, err
+			}
+		}
+	}
+	return l, nil
+}
+
+func parseFunction(msg []byte) (*Function, error) {
+	fn := &Function{}
+	d := decoder{b: msg}
+	for !d.done() {
+		num, wire, err := d.tag()
+		if err != nil {
+			return nil, err
+		}
+		switch num {
+		case 1:
+			v, err := d.varintField(wire)
+			if err != nil {
+				return nil, err
+			}
+			fn.ID = v
+		case 2:
+			v, err := d.varintField(wire)
+			if err != nil {
+				return nil, err
+			}
+			fn.Name = strconv.FormatUint(v, 10) // index; resolved in Parse
+		case 4:
+			v, err := d.varintField(wire)
+			if err != nil {
+				return nil, err
+			}
+			fn.File = strconv.FormatUint(v, 10)
+		case 5:
+			v, err := d.varintField(wire)
+			if err != nil {
+				return nil, err
+			}
+			fn.StartLine = int64(v)
+		default:
+			if err := d.skip(wire); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return fn, nil
+}
+
+// decoder walks protobuf wire format over a byte slice with explicit
+// bounds checks; every claimed length is validated against the bytes
+// actually present, so truncation surfaces as an error at the exact
+// field rather than a panic or a silent short read.
+type decoder struct {
+	b   []byte
+	pos int
+}
+
+func (d *decoder) done() bool { return d.pos >= len(d.b) }
+
+func (d *decoder) varint() (uint64, error) {
+	var v uint64
+	for shift := uint(0); shift < 64; shift += 7 {
+		if d.pos >= len(d.b) {
+			return 0, fmt.Errorf("prof: truncated varint at offset %d", d.pos)
+		}
+		b := d.b[d.pos]
+		d.pos++
+		v |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("prof: varint overflows 64 bits at offset %d", d.pos)
+}
+
+func (d *decoder) tag() (num int, wire int, err error) {
+	v, err := d.varint()
+	if err != nil {
+		return 0, 0, err
+	}
+	num, wire = int(v>>3), int(v&7)
+	if num == 0 {
+		return 0, 0, fmt.Errorf("prof: field number 0 at offset %d", d.pos)
+	}
+	return num, wire, nil
+}
+
+// bytes reads a length-delimited field body.
+func (d *decoder) bytes() ([]byte, error) {
+	n, err := d.varint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(d.b)-d.pos) {
+		return nil, fmt.Errorf("prof: field length %d exceeds %d remaining bytes", n, len(d.b)-d.pos)
+	}
+	out := d.b[d.pos : d.pos+int(n)]
+	d.pos += int(n)
+	return out, nil
+}
+
+// fieldBytes requires wire type 2 and returns the field body.
+func (d *decoder) fieldBytes(wire int) ([]byte, error) {
+	if wire != 2 {
+		return nil, fmt.Errorf("prof: wire type %d where length-delimited expected", wire)
+	}
+	return d.bytes()
+}
+
+// varintField requires wire type 0 and returns the value.
+func (d *decoder) varintField(wire int) (uint64, error) {
+	if wire != 0 {
+		return 0, fmt.Errorf("prof: wire type %d where varint expected", wire)
+	}
+	return d.varint()
+}
+
+// packedVarints reads a repeated varint field in either encoding:
+// packed (one length-delimited blob) or one-per-tag.
+func (d *decoder) packedVarints(wire int) ([]uint64, error) {
+	switch wire {
+	case 0:
+		v, err := d.varint()
+		if err != nil {
+			return nil, err
+		}
+		return []uint64{v}, nil
+	case 2:
+		body, err := d.bytes()
+		if err != nil {
+			return nil, err
+		}
+		sub := decoder{b: body}
+		var out []uint64
+		for !sub.done() {
+			v, err := sub.varint()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("prof: wire type %d where packed varints expected", wire)
+	}
+}
+
+func (d *decoder) skip(wire int) error {
+	switch wire {
+	case 0:
+		_, err := d.varint()
+		return err
+	case 1:
+		if len(d.b)-d.pos < 8 {
+			return fmt.Errorf("prof: truncated fixed64 at offset %d", d.pos)
+		}
+		d.pos += 8
+		return nil
+	case 2:
+		_, err := d.bytes()
+		return err
+	case 5:
+		if len(d.b)-d.pos < 4 {
+			return fmt.Errorf("prof: truncated fixed32 at offset %d", d.pos)
+		}
+		d.pos += 4
+		return nil
+	default:
+		return fmt.Errorf("prof: unsupported wire type %d", wire)
+	}
+}
+
+// ValueIndex returns the position of the sample type named typ in each
+// sample's Values, or -1 when the profile does not carry it.
+func (p *Profile) ValueIndex(typ string) int {
+	for i, vt := range p.SampleTypes {
+		if vt.Type == typ {
+			return i
+		}
+	}
+	return -1
+}
+
+// stackKey identifies a sample by its resolved frame addresses — stable
+// across two captures from the same process, unlike proto location IDs,
+// which each encoding assigns fresh.
+func (p *Profile) stackKey(s Sample) string {
+	var b bytes.Buffer
+	for _, id := range s.LocationIDs {
+		addr := id
+		if loc := p.Locations[id]; loc != nil && loc.Address != 0 {
+			addr = loc.Address
+		}
+		fmt.Fprintf(&b, "%x;", addr)
+	}
+	return b.String()
+}
+
+// Sub returns the activity between two cumulative captures of the same
+// process: base's sample values are subtracted stack by stack (clamped
+// at zero), and samples with no remaining activity are dropped. The
+// receiver's symbol tables are kept whole. This is how a cumulative
+// allocs (or mutex/block) profile becomes a per-phase delta profile.
+func (p *Profile) Sub(base *Profile) *Profile {
+	prev := make(map[string][]int64, len(base.Samples))
+	for _, s := range base.Samples {
+		key := base.stackKey(s)
+		if cur, ok := prev[key]; ok {
+			// Merge duplicate stacks (labels are dropped on parse, so
+			// samples distinguished only by label collapse together).
+			for i := range cur {
+				if i < len(s.Values) {
+					cur[i] += s.Values[i]
+				}
+			}
+			continue
+		}
+		prev[key] = append([]int64(nil), s.Values...)
+	}
+	out := &Profile{
+		SampleTypes:   p.SampleTypes,
+		Locations:     p.Locations,
+		Functions:     p.Functions,
+		TimeNanos:     p.TimeNanos,
+		DurationNanos: p.DurationNanos,
+		PeriodType:    p.PeriodType,
+		Period:        p.Period,
+	}
+	merged := make(map[string]*Sample)
+	var order []string
+	for _, s := range p.Samples {
+		key := p.stackKey(s)
+		if m, ok := merged[key]; ok {
+			for i := range m.Values {
+				if i < len(s.Values) {
+					m.Values[i] += s.Values[i]
+				}
+			}
+			continue
+		}
+		cp := Sample{LocationIDs: s.LocationIDs, Values: append([]int64(nil), s.Values...)}
+		merged[key] = &cp
+		order = append(order, key)
+	}
+	for _, key := range order {
+		s := merged[key]
+		if b, ok := prev[key]; ok {
+			for i := range s.Values {
+				if i < len(b) {
+					s.Values[i] -= b[i]
+					if s.Values[i] < 0 {
+						s.Values[i] = 0
+					}
+				}
+			}
+		}
+		keep := false
+		for _, v := range s.Values {
+			if v != 0 {
+				keep = true
+				break
+			}
+		}
+		if keep {
+			out.Samples = append(out.Samples, *s)
+		}
+	}
+	return out
+}
+
+// Total sums the given value dimension across all samples.
+func (p *Profile) Total(valueIdx int) int64 {
+	if valueIdx < 0 {
+		return 0
+	}
+	var total int64
+	for _, s := range p.Samples {
+		if valueIdx < len(s.Values) {
+			total += s.Values[valueIdx]
+		}
+	}
+	return total
+}
+
+// FlatValue is one function's self (leaf) total in a profile.
+type FlatValue struct {
+	Function string
+	File     string
+	// Flat is the self value in the profile's unit for the chosen
+	// sample type (nanoseconds for CPU, bytes for alloc_space).
+	Flat int64
+	// FlatSecondary carries a second dimension when requested
+	// (alloc_objects next to alloc_space); zero otherwise.
+	FlatSecondary int64
+}
+
+// leafFrame resolves a sample's leaf frame to (function, file); frames
+// the symbol tables cannot resolve fall back to a hex address so the
+// value is attributed rather than dropped.
+func (p *Profile) leafFrame(s Sample) (string, string) {
+	if len(s.LocationIDs) == 0 {
+		return "(unknown)", ""
+	}
+	loc := p.Locations[s.LocationIDs[0]]
+	if loc == nil {
+		return fmt.Sprintf("(0x%x)", s.LocationIDs[0]), ""
+	}
+	if len(loc.Lines) == 0 {
+		return fmt.Sprintf("(0x%x)", loc.Address), ""
+	}
+	fn := p.Functions[loc.Lines[0].FunctionID]
+	if fn == nil {
+		return fmt.Sprintf("(0x%x)", loc.Address), ""
+	}
+	return fn.Name, fn.File
+}
+
+// FlatByFunction aggregates self values by leaf function, descending.
+// secondaryIdx < 0 leaves FlatSecondary zero.
+func (p *Profile) FlatByFunction(valueIdx, secondaryIdx int) []FlatValue {
+	if valueIdx < 0 {
+		return nil
+	}
+	type agg struct {
+		file      string
+		flat, sec int64
+	}
+	byFn := make(map[string]*agg)
+	for _, s := range p.Samples {
+		if valueIdx >= len(s.Values) {
+			continue
+		}
+		name, file := p.leafFrame(s)
+		a := byFn[name]
+		if a == nil {
+			a = &agg{file: file}
+			byFn[name] = a
+		}
+		a.flat += s.Values[valueIdx]
+		if secondaryIdx >= 0 && secondaryIdx < len(s.Values) {
+			a.sec += s.Values[secondaryIdx]
+		}
+	}
+	out := make([]FlatValue, 0, len(byFn))
+	for name, a := range byFn {
+		if a.flat == 0 && a.sec == 0 {
+			continue
+		}
+		out = append(out, FlatValue{Function: name, File: a.file, Flat: a.flat, FlatSecondary: a.sec})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Flat != out[j].Flat {
+			return out[i].Flat > out[j].Flat
+		}
+		return out[i].Function < out[j].Function
+	})
+	return out
+}

@@ -1,0 +1,225 @@
+package prof
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"runtime/pprof"
+	"strings"
+	"testing"
+)
+
+// captureAllocs grabs this process's cumulative allocation profile via
+// the runtime — a "golden" input in the sense that it exercises the
+// real encoder the parser must understand, on every Go version the
+// tests run under.
+func captureAllocs(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := pprof.Lookup("allocs").WriteTo(&buf, 0); err != nil {
+		t.Fatalf("capture allocs profile: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestParseRealAllocsProfile(t *testing.T) {
+	// Make sure there is something to see.
+	sink := make([][]byte, 0, 64)
+	for i := 0; i < 64; i++ {
+		sink = append(sink, make([]byte, 64<<10))
+	}
+	_ = sink
+
+	p, err := Parse(captureAllocs(t))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(p.SampleTypes) == 0 || len(p.Samples) == 0 || len(p.Locations) == 0 || len(p.Functions) == 0 {
+		t.Fatalf("empty profile: %d types, %d samples, %d locations, %d functions",
+			len(p.SampleTypes), len(p.Samples), len(p.Locations), len(p.Functions))
+	}
+	idx := p.ValueIndex("alloc_space")
+	if idx < 0 {
+		t.Fatalf("no alloc_space dimension in %v", p.SampleTypes)
+	}
+	if p.Total(idx) <= 0 {
+		t.Fatal("zero total alloc_space")
+	}
+	// Every sample's locations must resolve, and at least one stack must
+	// mention a real function from this test binary.
+	var sawTesting bool
+	for _, s := range p.Samples {
+		for _, id := range s.LocationIDs {
+			if _, ok := p.Locations[id]; !ok {
+				t.Fatalf("sample references unknown location %d", id)
+			}
+		}
+	}
+	for _, fn := range p.Functions {
+		if strings.HasPrefix(fn.Name, "testing.") {
+			sawTesting = true
+			break
+		}
+	}
+	if !sawTesting {
+		t.Error("no testing.* function resolved — string table mis-parsed?")
+	}
+}
+
+func TestEncodeRoundTrip(t *testing.T) {
+	p, err := Parse(captureAllocs(t))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	data, err := Encode(p)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	q, err := Parse(data)
+	if err != nil {
+		t.Fatalf("re-Parse: %v", err)
+	}
+	if len(q.Samples) != len(p.Samples) {
+		t.Fatalf("samples: %d != %d", len(q.Samples), len(p.Samples))
+	}
+	for i, st := range p.SampleTypes {
+		if q.SampleTypes[i] != st {
+			t.Fatalf("sample type %d: %v != %v", i, q.SampleTypes[i], st)
+		}
+	}
+	for i := range p.SampleTypes {
+		if q.Total(i) != p.Total(i) {
+			t.Fatalf("total[%d]: %d != %d", i, q.Total(i), p.Total(i))
+		}
+	}
+	// Per-function flat values must survive the round trip exactly.
+	idx := p.ValueIndex("alloc_space")
+	want := p.FlatByFunction(idx, -1)
+	got := q.FlatByFunction(idx, -1)
+	if len(want) != len(got) {
+		t.Fatalf("flat rows: %d != %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Function != want[i].Function || got[i].Flat != want[i].Flat {
+			t.Fatalf("flat[%d]: %+v != %+v", i, got[i], want[i])
+		}
+	}
+	if q.TimeNanos != p.TimeNanos || q.Period != p.Period || q.PeriodType != p.PeriodType {
+		t.Fatalf("metadata: %+v vs %+v", q, p)
+	}
+}
+
+// TestParseTruncated feeds every prefix of a real profile to the
+// parser: none may panic or over-read; each must either error or
+// produce a profile.
+func TestParseTruncated(t *testing.T) {
+	gz := captureAllocs(t)
+	zr, err := gzip.NewReader(bytes.NewReader(gz))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Raw proto prefixes hit the protobuf decoder's bounds checks;
+	// gzipped prefixes hit the decompression framing. Both must fail
+	// cleanly, never panic or over-read.
+	for name, data := range map[string][]byte{"gzipped": gz, "raw": raw} {
+		if len(data) > 4096 {
+			data = data[:4096] // bound test time; plenty of prefixes
+		}
+		for n := 0; n < len(data); n++ {
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("%s: panic at prefix %d: %v", name, n, r)
+					}
+				}()
+				_, _ = Parse(data[:n])
+			}()
+		}
+	}
+}
+
+func TestParseCorrupt(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":         {},
+		"garbage":       []byte("this is not a profile at all, not even close"),
+		"gzip magic":    {0x1f, 0x8b},
+		"truncated tag": {0x0a},
+		// A length-delimited field claiming more bytes than exist.
+		"overlong len": {0x0a, 0xff, 0xff, 0xff, 0x7f, 0x00},
+		// Varint that never terminates.
+		"runaway varint": {0x08, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80},
+	}
+	for name, data := range cases {
+		if _, err := Parse(data); err == nil {
+			t.Errorf("%s: no error", name)
+		}
+	}
+}
+
+func TestSubDelta(t *testing.T) {
+	base := syntheticProfile(map[uint64][]int64{
+		0x100: {10, 1000},
+		0x200: {5, 500},
+	})
+	post := syntheticProfile(map[uint64][]int64{
+		0x100: {15, 1500}, // grew by 5/500
+		0x200: {5, 500},   // unchanged -> dropped
+		0x300: {7, 700},   // new stack
+	})
+	d := post.Sub(base)
+	if len(d.Samples) != 2 {
+		t.Fatalf("delta samples = %d, want 2", len(d.Samples))
+	}
+	byAddr := map[uint64][]int64{}
+	for _, s := range d.Samples {
+		byAddr[d.Locations[s.LocationIDs[0]].Address] = s.Values
+	}
+	if v := byAddr[0x100]; len(v) != 2 || v[0] != 5 || v[1] != 500 {
+		t.Errorf("grown stack delta = %v", v)
+	}
+	if v := byAddr[0x300]; len(v) != 2 || v[0] != 7 || v[1] != 700 {
+		t.Errorf("new stack delta = %v", v)
+	}
+	// Shrinking (e.g. a counter reset) clamps to zero, never negative.
+	shrunk := syntheticProfile(map[uint64][]int64{0x100: {1, 100}})
+	d = shrunk.Sub(base)
+	for _, s := range d.Samples {
+		for _, v := range s.Values {
+			if v < 0 {
+				t.Fatalf("negative delta value %d", v)
+			}
+		}
+	}
+}
+
+// syntheticProfile builds a two-dimension profile with one
+// single-location stack per address.
+func syntheticProfile(stacks map[uint64][]int64) *Profile {
+	p := &Profile{
+		SampleTypes: []ValueType{{Type: "objects", Unit: "count"}, {Type: "space", Unit: "bytes"}},
+		Locations:   map[uint64]*Location{},
+		Functions:   map[uint64]*Function{},
+	}
+	id := uint64(1)
+	for addr, values := range stacks {
+		p.Functions[id] = &Function{ID: id, Name: "fn_" + hexAddr(addr), File: "synthetic.go"}
+		p.Locations[id] = &Location{ID: id, Address: addr, Lines: []Line{{FunctionID: id, Line: 1}}}
+		p.Samples = append(p.Samples, Sample{LocationIDs: []uint64{id}, Values: append([]int64(nil), values...)})
+		id++
+	}
+	return p
+}
+
+func hexAddr(a uint64) string {
+	const digits = "0123456789abcdef"
+	buf := make([]byte, 0, 16)
+	for a > 0 {
+		buf = append([]byte{digits[a&0xf]}, buf...)
+		a >>= 4
+	}
+	return string(buf)
+}

@@ -1,0 +1,36 @@
+package prof
+
+import "runtime"
+
+// Sampling rates for the contention profiles. Both profiles are OFF by
+// default in the Go runtime — /debug/pprof/mutex and /debug/pprof/block
+// serve empty profiles until something sets these — which is why the
+// daemons gate them behind -profile-rates and the harness enables them
+// only while -profile is on.
+const (
+	// DefaultMutexFraction samples 1 in N mutex contention events.
+	// Overhead: one extra atomic plus, for sampled events, a stack
+	// capture on the *unlock* path of a contended mutex — invisible
+	// unless the workload is pure lock churn.
+	DefaultMutexFraction = 100
+	// DefaultBlockRateNs samples one blocking event per N nanoseconds
+	// of cumulative blocked time (channel waits, mutex waits, select).
+	// 100µs keeps the sample count modest while catching anything that
+	// matters at request timescales. Overhead: a timestamp on block
+	// entry/exit for events at or above the rate.
+	DefaultBlockRateNs = 100_000
+)
+
+// EnableProfileRates turns on mutex and block profiling at the default
+// rates and returns a restore func that puts both back exactly as they
+// were (block profiling has no getter, so "as it was" means off — the
+// only state it can have had unless something else enabled it, in which
+// case that something owns it).
+func EnableProfileRates() (restore func()) {
+	prevMutex := runtime.SetMutexProfileFraction(DefaultMutexFraction)
+	runtime.SetBlockProfileRate(DefaultBlockRateNs)
+	return func() {
+		runtime.SetMutexProfileFraction(prevMutex)
+		runtime.SetBlockProfileRate(0)
+	}
+}

@@ -1,0 +1,153 @@
+package prof
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"edgeejb/internal/obs"
+
+	rtmetrics "runtime/metrics"
+)
+
+// TestRuntimeSampleNamesExist pins the runtime/metrics names we read to
+// the toolchain: a Go release that renames one turns the corresponding
+// family into silent zeros, and this test is what catches it.
+func TestRuntimeSampleNamesExist(t *testing.T) {
+	known := map[string]bool{}
+	for _, d := range rtmetrics.All() {
+		known[d.Name] = true
+	}
+	for _, name := range runtimeSampleNames {
+		if !known[name] {
+			t.Errorf("runtime/metrics no longer exports %q", name)
+		}
+	}
+}
+
+func TestRuntimeRegistersAndAdvances(t *testing.T) {
+	reg := obs.NewRegistry()
+	rt := NewRuntime(reg)
+
+	// Generate runtime activity: allocate and force GC cycles.
+	sink := make([][]byte, 0, 256)
+	for i := 0; i < 256; i++ {
+		sink = append(sink, make([]byte, 32<<10))
+	}
+	_ = sink
+	runtime.GC()
+	runtime.GC()
+	rt.Update()
+
+	snap := reg.Snapshot()
+	for _, name := range []string{
+		"runtime.allocs_total", "runtime.alloc_bytes_total", "runtime.gc_cycles_total", "runtime.cpu_ms_total",
+	} {
+		if _, ok := snap.Counters[name]; !ok {
+			t.Errorf("counter %q not registered", name)
+		}
+	}
+	for _, name := range []string{
+		"runtime.heap_live_bytes", "runtime.heap_goal_bytes", "runtime.goroutines", "runtime.goroutines_highwater",
+	} {
+		if _, ok := snap.Gauges[name]; !ok {
+			t.Errorf("gauge %q not registered", name)
+		}
+	}
+	for _, name := range []string{"runtime.gc_pause", "runtime.sched_latency"} {
+		if _, ok := snap.Histograms[name]; !ok {
+			t.Errorf("histogram %q not registered", name)
+		}
+	}
+
+	if snap.Counters["runtime.allocs_total"] == 0 || snap.Counters["runtime.alloc_bytes_total"] == 0 {
+		t.Error("allocation counters did not advance across 8MB of allocation")
+	}
+	if snap.Counters["runtime.gc_cycles_total"] < 2 {
+		t.Errorf("gc_cycles_total = %d after two forced GCs", snap.Counters["runtime.gc_cycles_total"])
+	}
+	if h := snap.Histograms["runtime.gc_pause"]; h.Count == 0 {
+		t.Error("gc_pause histogram empty after forced GCs")
+	}
+	if snap.Gauges["runtime.goroutines"] < 1 || snap.Gauges["runtime.goroutines_highwater"] < snap.Gauges["runtime.goroutines"] {
+		t.Errorf("goroutines=%d highwater=%d", snap.Gauges["runtime.goroutines"], snap.Gauges["runtime.goroutines_highwater"])
+	}
+
+	// Counters are monotonic: further updates never go backwards.
+	for i := 0; i < 3; i++ {
+		rt.Update()
+		next := reg.Snapshot()
+		for name, v := range snap.Counters {
+			if next.Counters[name] < v {
+				t.Fatalf("counter %q went backwards: %d -> %d", name, v, next.Counters[name])
+			}
+		}
+		snap = next
+	}
+}
+
+func TestStartRuntimeStop(t *testing.T) {
+	reg := obs.NewRegistry()
+	rt := StartRuntime(reg, time.Millisecond)
+	time.Sleep(20 * time.Millisecond)
+	rt.Stop()
+	rt.Stop() // idempotent
+	if reg.Snapshot().Gauges["runtime.goroutines"] == 0 {
+		t.Error("background sampler never updated the gauges")
+	}
+}
+
+func TestBucketMidpoint(t *testing.T) {
+	inf := func(sign int) float64 {
+		f := 1.0
+		if sign < 0 {
+			f = -1.0
+		}
+		for i := 0; i < 2000; i++ {
+			f *= 2
+		}
+		return f
+	}
+	edges := []float64{inf(-1), 0.001, 0.002, inf(1)}
+	if got := bucketMidpoint(edges, 0); got != 500*time.Microsecond {
+		t.Errorf("-inf..1ms midpoint = %v", got)
+	}
+	if got := bucketMidpoint(edges, 1); got != 1500*time.Microsecond {
+		t.Errorf("1ms..2ms midpoint = %v", got)
+	}
+	if got := bucketMidpoint(edges, 2); got != 2*time.Millisecond {
+		t.Errorf("2ms..+inf clamps to %v, want 2ms", got)
+	}
+	if got := bucketMidpoint(edges, 3); got != 0 {
+		t.Errorf("out-of-range bucket = %v", got)
+	}
+}
+
+func TestHistogramObserveN(t *testing.T) {
+	var h obs.Histogram
+	h.ObserveN(100*time.Microsecond, 3)
+	h.ObserveN(200*time.Microsecond, 0) // no-op
+	h.ObserveN(-time.Second, 2)         // clamps to zero bucket
+	s := h.Snapshot()
+	if s.Count != 5 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.Sum != 300*time.Microsecond {
+		t.Fatalf("sum = %v", s.Sum)
+	}
+	if s.Max != 100*time.Microsecond {
+		t.Fatalf("max = %v", s.Max)
+	}
+	// Bulk and single observation land in the same bucket.
+	var single obs.Histogram
+	for i := 0; i < 3; i++ {
+		single.Observe(100 * time.Microsecond)
+	}
+	if sb, hb := single.Snapshot().Buckets, s.Buckets; sb != hb {
+		for i := range sb {
+			if sb[i] > 0 && hb[i] != sb[i] {
+				t.Fatalf("bucket %d: ObserveN %d vs Observe %d", i, hb[i], sb[i])
+			}
+		}
+	}
+}

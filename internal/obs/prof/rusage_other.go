@@ -1,0 +1,10 @@
+//go:build !unix
+
+package prof
+
+import "time"
+
+// processCPU has no portable source on this platform; the
+// runtime.cpu_ms_total counter stays at zero and the summary simply
+// omits its resource metric.
+func processCPU() time.Duration { return 0 }

@@ -1,0 +1,24 @@
+//go:build unix
+
+package prof
+
+import (
+	"syscall"
+	"time"
+)
+
+// processCPU returns the process's cumulative CPU time, user plus
+// system, via getrusage — a true "cycles burned" meter, unlike the
+// runtime's /cpu/classes estimates, which are GC-cycle granular and
+// include idle capacity.
+func processCPU() time.Duration {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return tvDuration(ru.Utime) + tvDuration(ru.Stime)
+}
+
+func tvDuration(tv syscall.Timeval) time.Duration {
+	return time.Duration(tv.Sec)*time.Second + time.Duration(tv.Usec)*time.Microsecond
+}

@@ -47,6 +47,11 @@ names=$(
 	grep -rho --include='*.go' --exclude='*_test.go' \
 		-E 'obs\.Default\.Labeled(Counter|Histogram)\("[^"]+", *"[^"]+"\)' internal cmd |
 		sed -E 's/.*\("([^"]+)", *"([^"]+)"\).*/\1{\2=<\2>}/'
+	# the runtime telemetry sampler registers through named constants
+	# (runtimeFooName = "runtime.foo"); extract the literals directly
+	grep -rho --include='*.go' --exclude='*_test.go' \
+		-E '= "runtime\.[^"]+"' internal/obs/prof |
+		sed -E 's/.*"([^"]+)".*/\1/'
 )
 
 # Forensic event types must be documented by their type string.
@@ -79,6 +84,11 @@ required="slicache.finder_hits slicache.finder_misses slicache.finder_invalidati
 # acceptance curve; require the router and participant metrics the same
 # way so the 2PC story can't silently lose its instrumentation.
 required="$required shard.fastpath_commits shard.readonly_commits shard.2pc_commits shard.2pc_aborts shard.2pc_heuristics shard.scatter_queries sqlstore.prepares sqlstore.prepared_commits sqlstore.prepared_aborts sqlstore.presumed_aborts"
+
+# The runtime telemetry sampler feeds the resource.* summary rows and
+# the per-phase time series; require its full name set so a rename in
+# internal/obs/prof can't silently drop a gated metric's source.
+required="$required runtime.gc_pause runtime.sched_latency runtime.heap_live_bytes runtime.heap_goal_bytes runtime.goroutines runtime.goroutines_highwater runtime.allocs_total runtime.alloc_bytes_total runtime.gc_cycles_total runtime.cpu_ms_total"
 for name in $required; do
 	if ! printf '%s\n' "$names" | grep -q -F -x "$name"; then
 		echo "required metric not registered literally in the code: $name" >&2
@@ -93,7 +103,7 @@ done
 # Artifact files downstream tooling depends on by name: the perf gate
 # loads summary.json and the attribution table feeds critical_path.csv.
 # Both schemas must stay documented.
-for artifact in critical_path.csv summary.json MANIFEST.json trace.perfetto.json; do
+for artifact in critical_path.csv summary.json MANIFEST.json trace.perfetto.json cpu_hotspots.csv alloc_hotspots.csv; do
 	if ! grep -q -F "\`$artifact\`" "$doc"; then
 		echo "undocumented artifact: $artifact (add it to $doc)" >&2
 		fail=1
@@ -103,7 +113,7 @@ done
 # The gated metric namespace: the prefixes benchdiff and the CI perf
 # gate key on. Renaming one in the summary builder without updating the
 # docs (and the baseline) silently un-gates it.
-for prefix in latency. sensitivity. wire. throughput. shards. cache. critpath.; do
+for prefix in latency. sensitivity. wire. throughput. shards. cache. critpath. resource.; do
 	if ! grep -rho --include='*.go' --exclude='*_test.go' -F "\"$prefix" internal/harness >/dev/null; then
 		echo "summary metric prefix no longer built: $prefix (update $doc and results/baseline)" >&2
 		fail=1

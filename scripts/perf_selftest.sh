@@ -8,8 +8,10 @@
 #                 exit 0: no false positives between identical builds
 #   Leg C         same build forced onto -codec gob -batch=false (the
 #                 old-peer downgrade path) -> the same gate must exit 2
-#                 and flag a wire round-trip regression (losing write
-#                 batching adds one round trip per write)
+#                 and flag both a wire round-trip regression (losing
+#                 write batching adds one round trip per write) and a
+#                 resource regression (gob's reflection decode allocates
+#                 ~30% more objects per interaction)
 #
 # The A/B leg deliberately gates only the stable kinds. Sub-millisecond
 # zero-delay latency points swing +-40% between identical builds at
@@ -40,6 +42,9 @@ if ! "$tmp/benchdiff" -gate stable \
 	-tol sensitivity.clients-ras.cached-ejbs=0.25 \
 	-tol sensitivity.clients-ras.jdbc=0.25 \
 	-tol sensitivity.clients-ras.vanilla-ejbs=0.25 \
+	-tol resource.allocs_per_interaction=0.25 \
+	-tol resource.alloc_bytes_per_interaction=0.25 \
+	-tol resource.goroutine_high_water=0.5 \
 	"$tmp/a" "$tmp/b"; then
 	echo "perf_selftest: FAIL: identical builds reported a regression" >&2
 	exit 1
@@ -60,5 +65,9 @@ if ! grep -E 'wire\..*rts_per_interaction.*\+.*regressed' "$tmp/diff.out" >/dev/
 	echo "perf_selftest: FAIL: no wire round-trip regression flagged" >&2
 	exit 1
 fi
+if ! grep -E 'resource\..*\+.*regressed' "$tmp/diff.out" >/dev/null; then
+	echo "perf_selftest: FAIL: no resource regression flagged (gob decode should cost ~30% more allocs/interaction)" >&2
+	exit 1
+fi
 
-echo "perf_selftest: ok (clean A/B, degraded leg gated with wire RT regression)"
+echo "perf_selftest: ok (clean A/B, degraded leg gated with wire RT and resource regressions)"
